@@ -1,0 +1,230 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// cache-flush mechanism, DP-ANT's privacy-budget split, the FIFO/LIFO cache
+// discipline, and workload sparsity (the paper's remark that SET's overhead
+// amplifies on sparse streams). Run with:
+//
+//	go test -bench=BenchmarkAblation -benchtime=1x
+package dpsync_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dpsync/internal/cache"
+	"dpsync/internal/core"
+	"dpsync/internal/dp"
+	"dpsync/internal/oblidb"
+	"dpsync/internal/query"
+	"dpsync/internal/record"
+	"dpsync/internal/strategy"
+	"dpsync/internal/workload"
+)
+
+// replayStrategy drives one strategy over a trace and reports the final
+// cache backlog, peak backlog, total dummies, and mean Q2 error.
+func replayStrategy(b *testing.B, strat strategy.Strategy, trace *workload.Trace) (finalGap, peakGap, dummies int, meanErr float64) {
+	b.Helper()
+	db, err := oblidb.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	owner, err := core.New(core.Config{Strategy: strat, Database: db})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := owner.Setup(nil); err != nil {
+		b.Fatal(err)
+	}
+	var errSum float64
+	var errN int
+	for t := record.Tick(1); t <= trace.Horizon; t++ {
+		var terr error
+		if r, ok := trace.ArrivalAt(t); ok {
+			terr = owner.Tick(r)
+		} else {
+			terr = owner.Tick()
+		}
+		if terr != nil {
+			b.Fatal(terr)
+		}
+		if g := owner.LogicalGap(); g > peakGap {
+			peakGap = g
+		}
+		if t%90 == 0 {
+			qe, _, err := owner.QueryError(query.Q2())
+			if err != nil {
+				b.Fatal(err)
+			}
+			errSum += qe
+			errN++
+		}
+	}
+	return owner.LogicalGap(), peakGap, owner.DB().Stats().DummyRecords, errSum / float64(errN)
+}
+
+func ablationTrace(b *testing.B, records int, seed uint64) *workload.Trace {
+	b.Helper()
+	tr, err := workload.Generate(workload.Config{
+		Provider: record.YellowCab, Horizon: 2160, Records: records, Seed: seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkAblationFlush compares DP-Timer with and without the cache-flush
+// mechanism: without it the backlog (logical gap) random-walks unboundedly;
+// with it the cache provably drains.
+func BenchmarkAblationFlush(b *testing.B) {
+	for _, tc := range []struct {
+		name     string
+		interval record.Tick
+		size     int
+	}{
+		{"no-flush", 0, 0},
+		{"flush-f500-s15", 500, 15},
+		{"flush-f200-s15", 200, 15},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var peak, final int
+			for i := 0; i < b.N; i++ {
+				strat, err := strategy.NewTimer(strategy.TimerConfig{
+					Epsilon: 0.5, Period: 30,
+					FlushInterval: tc.interval, FlushSize: tc.size,
+					Source: dp.NewSeededSource(uint64(i) + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				final, peak, _, _ = replayStrategy(b, strat, ablationTrace(b, 920, 3))
+			}
+			b.ReportMetric(float64(peak), "peak_gap")
+			b.ReportMetric(float64(final), "final_gap")
+		})
+	}
+}
+
+// BenchmarkAblationANTSplit sweeps DP-ANT's ε1/ε2 budget split. More budget
+// on the threshold test (higher ratio) means fewer spurious syncs; more on
+// the fetch means tighter volumes — the paper fixes 50/50, this measures the
+// neighborhood.
+func BenchmarkAblationANTSplit(b *testing.B) {
+	for _, ratio := range []float64{0.25, 0.5, 0.75} {
+		b.Run(fmt.Sprintf("eps1_ratio=%.2f", ratio), func(b *testing.B) {
+			var dummies int
+			var meanErr float64
+			for i := 0; i < b.N; i++ {
+				strat, err := strategy.NewANT(strategy.ANTConfig{
+					Epsilon: 0.5, Threshold: 15, SplitRatio: ratio,
+					FlushInterval: 500, FlushSize: 15,
+					Source: dp.NewSeededSource(uint64(i) + 7),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, _, dummies, meanErr = replayStrategy(b, strat, ablationTrace(b, 920, 4))
+			}
+			b.ReportMetric(float64(dummies), "dummies")
+			b.ReportMetric(meanErr, "L1mean_Q2")
+		})
+	}
+}
+
+// BenchmarkAblationSparsity measures the paper's sparsity remark: SET's
+// storage overhead relative to the DP strategies amplifies as the workload
+// thins (|D0|+t dummies vs O(2√k/ε) dummies).
+func BenchmarkAblationSparsity(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		records int
+	}{
+		{"dense-50pct", 1080},
+		{"paper-43pct", 920},
+		{"sparse-10pct", 216},
+		{"very-sparse-2pct", 43},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				trace := ablationTrace(b, tc.records, 5)
+				timer, err := strategy.NewTimer(strategy.TimerConfig{
+					Epsilon: 0.5, Period: 30, FlushInterval: 500, FlushSize: 15,
+					Source: dp.NewSeededSource(uint64(i) + 11),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, _, timerDummies, _ := replayStrategy(b, timer, trace)
+				timerTotal := trace.Len() + timerDummies
+				setTotal := int(trace.Horizon) // SET uploads one record every tick
+				ratio = float64(setTotal) / float64(timerTotal)
+			}
+			b.ReportMetric(ratio, "SET_over_DPTimer_storage")
+		})
+	}
+}
+
+// BenchmarkAblationCacheOrder compares FIFO vs LIFO cache disciplines under
+// DP-Timer: identical privacy and volumes, different delivery order (LIFO
+// favours fresh records and forfeits the P3 ordering guarantee).
+func BenchmarkAblationCacheOrder(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		order cache.Order
+	}{
+		{"FIFO", cache.FIFO},
+		{"LIFO", cache.LIFO},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var meanErr float64
+			for i := 0; i < b.N; i++ {
+				strat, err := strategy.NewTimer(strategy.TimerConfig{
+					Epsilon: 0.5, Period: 30, FlushInterval: 500, FlushSize: 15,
+					Source: dp.NewSeededSource(uint64(i) + 13),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				db, err := oblidb.New()
+				if err != nil {
+					b.Fatal(err)
+				}
+				owner, err := core.New(core.Config{
+					Strategy: strat, Database: db,
+					Order: tc.order,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := owner.Setup(nil); err != nil {
+					b.Fatal(err)
+				}
+				trace := ablationTrace(b, 920, 6)
+				var errSum float64
+				var errN int
+				for t := record.Tick(1); t <= trace.Horizon; t++ {
+					var terr error
+					if r, ok := trace.ArrivalAt(t); ok {
+						terr = owner.Tick(r)
+					} else {
+						terr = owner.Tick()
+					}
+					if terr != nil {
+						b.Fatal(terr)
+					}
+					if t%90 == 0 {
+						qe, _, qerr := owner.QueryError(query.Q2())
+						if qerr != nil {
+							b.Fatal(qerr)
+						}
+						errSum += qe
+						errN++
+					}
+				}
+				meanErr = errSum / float64(errN)
+			}
+			b.ReportMetric(meanErr, "L1mean_Q2")
+		})
+	}
+}

@@ -1,0 +1,270 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dpsync/internal/edb"
+	"dpsync/internal/metrics"
+	"dpsync/internal/query"
+	"dpsync/internal/record"
+	"dpsync/internal/sim"
+)
+
+// runner carries the shared experiment settings and caches grid results so
+// "all" does not rerun the same simulations per figure.
+type runner struct {
+	scale  float64
+	seed   uint64
+	outDir string
+
+	gridCache map[sim.System]map[sim.StrategyKind]*sim.Result
+}
+
+func (r *runner) grid(s sim.System) (map[sim.StrategyKind]*sim.Result, error) {
+	if r.gridCache == nil {
+		r.gridCache = map[sim.System]map[sim.StrategyKind]*sim.Result{}
+	}
+	if g, ok := r.gridCache[s]; ok {
+		return g, nil
+	}
+	fmt.Printf("## running %s grid (scale=%.3f)...\n", s, r.scale)
+	g, err := sim.RunGrid(s, r.seed, r.scale)
+	if err != nil {
+		return nil, err
+	}
+	r.gridCache[s] = g
+	return g, nil
+}
+
+func header(title string) {
+	fmt.Println()
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("=", 72))
+}
+
+// table2 prints the strategy-comparison table: the paper's analytic bounds
+// next to measured values from a simulated run, verifying the O(·) claims.
+func (r *runner) table2() error {
+	header("Table 2: comparison of synchronization strategies")
+	g, err := r.grid(sim.ObliDB)
+	if err != nil {
+		return err
+	}
+	p := sim.DefaultParams()
+	fmt.Printf("%-10s %-12s %-14s %-16s %-18s\n",
+		"strategy", "privacy", "mean gap", "max gap (meas.)", "total outsourced")
+	for _, k := range sim.AllStrategies() {
+		res := g[k]
+		agg := res.Aggregate()
+		privacy := map[sim.StrategyKind]string{
+			sim.SUR: "inf-DP", sim.OTO: "0-DP", sim.SET: "0-DP",
+			sim.DPTimer: fmt.Sprintf("%.2g-DP", p.Epsilon),
+			sim.DPANT:   fmt.Sprintf("%.2g-DP", p.Epsilon),
+		}[k]
+		fmt.Printf("%-10s %-12s %-14.2f %-16.0f %-18d\n",
+			k, privacy, agg.MeanGap, res.Collector.LogicalGap.Max(), res.FinalStats.Records)
+	}
+	fmt.Println("\nTheory cross-check (beta = 0.05):")
+	timer := g[sim.DPTimer]
+	k := timer.Patterns[0].Updates // uploads posted by the Yellow owner
+	bound := 2 / p.Epsilon * math.Sqrt(float64(k)*math.Log(1/0.05))
+	fmt.Printf("  DP-Timer Thm 6 gap bound O(2*sqrt(k)/eps) = %.1f; measured max gap = %.0f\n",
+		bound, timer.Collector.LogicalGap.Max())
+	ant := g[sim.DPANT]
+	horizon := float64(ant.Config.Traces[0].Horizon)
+	antBound := 16 * (math.Log(horizon) + math.Log(2/0.05)) / p.Epsilon
+	fmt.Printf("  DP-ANT   Thm 8 gap bound O(16*log t/eps)  = %.1f; measured max gap = %.0f\n",
+		antBound, ant.Collector.LogicalGap.Max())
+	return nil
+}
+
+// table3 prints the leakage-group taxonomy.
+func (r *runner) table3() error {
+	header("Table 3: leakage groups of encrypted database schemes")
+	for _, class := range []edb.LeakageClass{edb.L0, edb.LDP, edb.L1, edb.L2} {
+		fmt.Printf("\n%s (DP-Sync compatible: %v)\n", class, class.Compatible())
+		for _, s := range edb.Table3() {
+			if s.Class == class {
+				fmt.Printf("  %-34s %s\n", s.Name, s.Note)
+			}
+		}
+	}
+	return nil
+}
+
+// table5 prints the aggregated end-to-end statistics for both systems.
+func (r *runner) table5() error {
+	header("Table 5: aggregated statistics for the comparison experiment")
+	for _, s := range []sim.System{sim.Crypteps, sim.ObliDB} {
+		g, err := r.grid(s)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n--- %s ---\n", s)
+		kinds := g[sim.SUR].Collector.Kinds()
+		for _, kind := range kinds {
+			fmt.Printf("\n%v\n", kind)
+			fmt.Printf("  %-12s %-12s %-12s %-12s\n", "strategy", "mean L1", "max L1", "mean QET(s)")
+			for _, k := range sim.AllStrategies() {
+				agg := g[k].Aggregate()
+				fmt.Printf("  %-12s %-12.2f %-12.0f %-12.2f\n",
+					k, agg.MeanL1[kind], agg.MaxL1[kind], agg.MeanQET[kind])
+			}
+		}
+		fmt.Printf("\n  %-12s %-16s %-16s %-16s\n", "strategy", "mean gap", "total data (Mb)", "dummy data (Mb)")
+		for _, k := range sim.AllStrategies() {
+			agg := g[k].Aggregate()
+			fmt.Printf("  %-12s %-16.2f %-16.2f %-16.2f\n", k, agg.MeanGap, agg.TotalMb, agg.DummyMb)
+		}
+	}
+	return nil
+}
+
+// figure2 emits the L1-error and QET time series per system/query/strategy.
+func (r *runner) figure2() error {
+	header("Figure 2: end-to-end comparison (L1 error and QET over time)")
+	for _, s := range []sim.System{sim.Crypteps, sim.ObliDB} {
+		g, err := r.grid(s)
+		if err != nil {
+			return err
+		}
+		for _, kind := range g[sim.SUR].Collector.Kinds() {
+			fmt.Printf("\n%s %v — mean L1 / mean QET per strategy\n", s, kind)
+			for _, k := range sim.AllStrategies() {
+				errS := g[k].Collector.QueryError[kind]
+				qetS := g[k].Collector.QET[kind]
+				fmt.Printf("  %-10s L1 mean %-10.2f QET mean %-8.2fs (%d samples)\n",
+					k, errS.Mean(), qetS.Mean(), errS.Len())
+				if err := r.dump(fmt.Sprintf("fig2_%s_%v_%s_l1.tsv", s, kind, k), errS); err != nil {
+					return err
+				}
+				if err := r.dump(fmt.Sprintf("fig2_%s_%v_%s_qet.tsv", s, kind, k), qetS); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// figure3 emits total and dummy outsourced data sizes over time.
+func (r *runner) figure3() error {
+	header("Figure 3: total and dummy data size over time")
+	for _, s := range []sim.System{sim.Crypteps, sim.ObliDB} {
+		g, err := r.grid(s)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s — final sizes (Mb)\n", s)
+		for _, k := range sim.AllStrategies() {
+			agg := g[k].Aggregate()
+			fmt.Printf("  %-10s total %-10.2f dummy %-10.2f\n", k, agg.TotalMb, agg.DummyMb)
+			if err := r.dump(fmt.Sprintf("fig3_%s_%s_total.tsv", s, k), g[k].Collector.TotalMb); err != nil {
+				return err
+			}
+			if err := r.dump(fmt.Sprintf("fig3_%s_%s_dummy.tsv", s, k), g[k].Collector.DummyMb); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// figure4 prints the QET-vs-L1 scatter for the default query Q2.
+func (r *runner) figure4() error {
+	header("Figure 4: mean QET vs mean L1 error (Q2)")
+	for _, s := range []sim.System{sim.ObliDB, sim.Crypteps} {
+		g, err := r.grid(s)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s group (x = mean QET s, y = mean L1)\n", s)
+		for _, k := range sim.AllStrategies() {
+			agg := g[k].Aggregate()
+			fmt.Printf("  %-10s x=%-10.2f y=%-10.2f\n", k, agg.MeanQET[query.GroupCount], agg.MeanL1[query.GroupCount])
+		}
+	}
+	fmt.Println("\nExpected shape: SET lower-right (accuracy at performance's expense),")
+	fmt.Println("OTO upper-left (performance at accuracy's expense), DP strategies lower-left near SUR.")
+	return nil
+}
+
+// figure5 sweeps the privacy parameter.
+func (r *runner) figure5() error {
+	header("Figure 5: accuracy/performance vs privacy (ObliDB, Q2)")
+	eps := sim.Figure5Epsilons()
+	for _, k := range []sim.StrategyKind{sim.DPTimer, sim.DPANT} {
+		res, err := sim.SweepEpsilon(sim.ObliDB, k, eps, r.seed, r.scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s\n  %-10s %-14s %-14s %-12s\n", k, "epsilon", "avg L1 (Q2)", "avg QET (s)", "dummies")
+		l1 := metrics.NewSeries(fmt.Sprintf("fig5-%s-l1", k))
+		qet := metrics.NewSeries(fmt.Sprintf("fig5-%s-qet", k))
+		for i, e := range eps {
+			agg := res[e].Aggregate()
+			fmt.Printf("  %-10g %-14.2f %-14.2f %-12d\n",
+				e, agg.MeanL1[query.GroupCount], agg.MeanQET[query.GroupCount], res[e].FinalStats.DummyRecords)
+			l1.Add(record.Tick(i), agg.MeanL1[query.GroupCount])
+			qet.Add(record.Tick(i), agg.MeanQET[query.GroupCount])
+		}
+		if err := r.dump(fmt.Sprintf("fig5_%s_l1.tsv", k), l1); err != nil {
+			return err
+		}
+		if err := r.dump(fmt.Sprintf("fig5_%s_qet.tsv", k), qet); err != nil {
+			return err
+		}
+	}
+	fmt.Println("\nExpected shape: DP-Timer error falls as eps grows; DP-ANT error *rises*")
+	fmt.Println("(small eps fires syncs early); QET falls with eps for both.")
+	return nil
+}
+
+// figure6 sweeps the non-privacy parameters T and theta.
+func (r *runner) figure6() error {
+	header("Figure 6: trade-offs with non-privacy parameters (ObliDB, Q2)")
+	tRes, err := sim.SweepPeriod(sim.ObliDB, sim.Figure6Periods(), r.seed, r.scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nDP-Timer T sweep\n  %-10s %-14s %-14s\n", "T", "avg L1 (Q2)", "avg QET (s)")
+	for _, T := range sim.Figure6Periods() {
+		agg := tRes[T].Aggregate()
+		fmt.Printf("  %-10d %-14.2f %-14.2f\n", T, agg.MeanL1[query.GroupCount], agg.MeanQET[query.GroupCount])
+	}
+	thRes, err := sim.SweepThreshold(sim.ObliDB, sim.Figure6Thresholds(), r.seed, r.scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nDP-ANT theta sweep\n  %-10s %-14s %-14s\n", "theta", "avg L1 (Q2)", "avg QET (s)")
+	for _, th := range sim.Figure6Thresholds() {
+		agg := thRes[th].Aggregate()
+		fmt.Printf("  %-10g %-14.2f %-14.2f\n", th, agg.MeanL1[query.GroupCount], agg.MeanQET[query.GroupCount])
+	}
+	fmt.Println("\nExpected shape: error rises and QET falls as T / theta grow.")
+	return nil
+}
+
+// dump writes a series as TSV under the output directory, if one was set.
+func (r *runner) dump(name string, s *metrics.Series) error {
+	if r.outDir == "" {
+		return nil
+	}
+	path := filepath.Join(r.outDir, sanitize(name))
+	return os.WriteFile(path, []byte(s.TSV()), 0o644)
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '/', ' ':
+			return '_'
+		}
+		return r
+	}, s)
+}

@@ -1,0 +1,73 @@
+// Command dpsync-bench regenerates the paper's evaluation artifacts: Tables
+// 2, 3 and 5 and Figures 2–6 from SIGMOD'21 "DP-Sync: Hiding Update Patterns
+// in Secure Outsourced Databases with Differential Privacy".
+//
+// Usage:
+//
+//	dpsync-bench -exp table5 -scale 1.0           # full paper scale
+//	dpsync-bench -exp all   -scale 0.1 -out plots # quick pass, TSV series
+//
+// Scale 1.0 replays the entire June horizon (43,200 ticks, 120 query
+// rounds); smaller scales shrink the horizon and datasets proportionally
+// while keeping every shape (who wins, by how much) intact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table2|table3|table5|fig2|fig3|fig4|fig5|fig6|all")
+		scale  = flag.Float64("scale", 0.1, "fraction of the paper's horizon to replay (0 < scale <= 1)")
+		seed   = flag.Uint64("seed", 1, "deterministic noise/workload seed")
+		outDir = flag.String("out", "", "directory for TSV series (figures); empty = print summaries only")
+	)
+	flag.Parse()
+
+	if *scale <= 0 || *scale > 1 {
+		fmt.Fprintln(os.Stderr, "dpsync-bench: -scale must be in (0, 1]")
+		os.Exit(2)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "dpsync-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	r := &runner{scale: *scale, seed: *seed, outDir: *outDir}
+	experiments := map[string]func() error{
+		"table2": r.table2,
+		"table3": r.table3,
+		"table5": r.table5,
+		"fig2":   r.figure2,
+		"fig3":   r.figure3,
+		"fig4":   r.figure4,
+		"fig5":   r.figure5,
+		"fig6":   r.figure6,
+	}
+	order := []string{"table2", "table3", "table5", "fig2", "fig3", "fig4", "fig5", "fig6"}
+
+	run := func(name string) {
+		fn, ok := experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dpsync-bench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "dpsync-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range order {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

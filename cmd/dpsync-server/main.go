@@ -1,0 +1,81 @@
+// Command dpsync-server runs the cloud half of the three-party model: a TCP
+// storage server backed by the ObliDB enclave simulator. It stores sealed
+// ciphertexts, answers analyst queries, and logs the update-pattern
+// transcript — everything an honest-but-curious operator would see.
+//
+// Usage:
+//
+//	dpsync-server -listen 127.0.0.1:7700 -key-file shared.key [-gen-key]
+//
+// With -gen-key the server creates the shared data key and writes it to
+// -key-file (hex); owners and analysts load the same file, standing in for
+// enclave attestation and key provisioning.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"dpsync/internal/seal"
+	"dpsync/internal/server"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7700", "listen address")
+		keyFile = flag.String("key-file", "dpsync.key", "hex-encoded shared data key")
+		genKey  = flag.Bool("gen-key", false, "generate a fresh key and write it to -key-file")
+	)
+	flag.Parse()
+
+	key, err := loadOrGenKey(*keyFile, *genKey)
+	if err != nil {
+		log.Fatalf("dpsync-server: %v", err)
+	}
+	logger := log.New(os.Stderr, "dpsync-server: ", log.LstdFlags)
+	srv, err := server.New(*listen, key, logger)
+	if err != nil {
+		log.Fatalf("dpsync-server: %v", err)
+	}
+	logger.Printf("listening on %s", srv.Addr())
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-done
+		pat := srv.ObservedPattern()
+		logger.Printf("shutting down; observed update pattern: %s", pat.String())
+		_ = srv.Close()
+	}()
+	if err := srv.Serve(); err != nil {
+		log.Fatalf("dpsync-server: serve: %v", err)
+	}
+}
+
+func loadOrGenKey(path string, gen bool) ([]byte, error) {
+	if gen {
+		key, err := seal.NewRandomKey()
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(path, []byte(hex.EncodeToString(key)+"\n"), 0o600); err != nil {
+			return nil, fmt.Errorf("writing key file: %w", err)
+		}
+		return key, nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading key file (use -gen-key to create one): %w", err)
+	}
+	key, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+	if err != nil {
+		return nil, fmt.Errorf("decoding key file: %w", err)
+	}
+	return key, nil
+}

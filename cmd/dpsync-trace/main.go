@@ -1,0 +1,85 @@
+// Command dpsync-trace generates and inspects the synthetic taxi workload
+// traces that stand in for the paper's NYC TLC datasets.
+//
+// Usage:
+//
+//	dpsync-trace -provider yellow -seed 1                # summary
+//	dpsync-trace -provider green -dump | head            # tick,zone,fare CSV
+//	dpsync-trace -ticks 1440 -records 600 -histogram     # one day, hourly load
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"dpsync/internal/record"
+	"dpsync/internal/workload"
+)
+
+func main() {
+	var (
+		provider  = flag.String("provider", "yellow", "yellow|green")
+		ticks     = flag.Int64("ticks", int64(workload.JuneHorizon), "trace horizon in ticks")
+		records   = flag.Int("records", 0, "record count (0 = paper default for the provider)")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+		dump      = flag.Bool("dump", false, "print tick,zone,fare CSV")
+		histogram = flag.Bool("histogram", false, "print hourly arrival histogram")
+	)
+	flag.Parse()
+
+	var p record.Provider
+	switch strings.ToLower(*provider) {
+	case "yellow":
+		p = record.YellowCab
+	case "green":
+		p = record.GreenTaxi
+	default:
+		log.Fatalf("dpsync-trace: unknown provider %q", *provider)
+	}
+	tr, err := workload.Generate(workload.Config{
+		Provider: p,
+		Horizon:  record.Tick(*ticks),
+		Records:  *records,
+		Seed:     *seed,
+	})
+	if err != nil {
+		log.Fatalf("dpsync-trace: %v", err)
+	}
+
+	if *dump {
+		fmt.Println("tick,zone,fare_cents")
+		for _, r := range tr.Records {
+			fmt.Printf("%d,%d,%d\n", r.PickupTime, r.PickupID, r.FareCents)
+		}
+		return
+	}
+
+	fmt.Printf("provider:  %v\n", tr.Provider)
+	fmt.Printf("horizon:   %d ticks (%.1f days at 1 min/tick)\n", tr.Horizon, float64(tr.Horizon)/1440)
+	fmt.Printf("records:   %d (density %.4f/tick)\n", tr.Len(), float64(tr.Len())/float64(tr.Horizon))
+	zones := map[uint16]int{}
+	for _, r := range tr.Records {
+		zones[r.PickupID]++
+	}
+	fmt.Printf("zones hit: %d of %d\n", len(zones), record.NumLocations)
+
+	if *histogram {
+		fmt.Println("\nhour  arrivals (all days)")
+		var byHour [24]int
+		for _, r := range tr.Records {
+			byHour[(r.PickupTime%1440)/60]++
+		}
+		maxN := 1
+		for _, n := range byHour {
+			if n > maxN {
+				maxN = n
+			}
+		}
+		for h, n := range byHour {
+			bar := strings.Repeat("#", n*50/maxN)
+			fmt.Printf("%02d    %-6d %s\n", h, n, bar)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package dpsync implements DP-Sync (Wang, Bater, Nayak, Machanavajjhala,
+// SIGMOD 2021): a framework for secure outsourced growing databases that
+// hides the owner's update pattern — when uploads happen and how many
+// records they carry — behind an ε-differential-privacy guarantee.
+//
+// # Why update patterns leak
+//
+// An encrypted database protects record *contents*, but a server (or anyone
+// timing the owner's traffic) still observes every upload's time and volume.
+// For event-driven sources — IoT sensors, point-of-sale terminals, health
+// monitors — upload timing is event timing, and that alone can reveal who
+// entered a building and which floor they walked to (the paper's §1
+// example). DP-Sync decouples the two: a synchronization strategy decides
+// data-independently (or with calibrated noise) when to sync and how many
+// records to send, padding shortfalls with dummy records that are
+// cryptographically indistinguishable from real ones.
+//
+// # The strategies
+//
+// Three baselines span the privacy/accuracy/performance triangle:
+//
+//   - SUR (synchronize upon receipt): perfect accuracy and performance,
+//     zero privacy — the pattern is the event stream.
+//   - OTO (one-time outsourcing): perfect privacy and performance, zero
+//     accuracy for post-setup data.
+//   - SET (synchronize every time): perfect privacy and accuracy, with a
+//     dummy record uploaded on every idle tick — storage and query time
+//     balloon.
+//
+// The two DP strategies interpolate, with an ε-DP guarantee for any single
+// record's presence (paper Definition 5):
+//
+//   - DP-Timer uploads every T ticks; each upload's volume is the window's
+//     true arrival count plus Lap(1/ε) noise.
+//   - DP-ANT uploads when the arrival count since the last sync crosses a
+//     noisy threshold θ (sparse-vector technique), fetching a noisy count.
+//
+// Both pair with a cache-flush mechanism (fixed s records every f ticks,
+// 0-DP) that bounds the owner-side cache and guarantees eventual
+// consistency.
+//
+// # Quick start
+//
+//	db, err := dpsync.NewObliDB()
+//	if err != nil { ... }
+//	strat, err := dpsync.NewDPTimer(dpsync.TimerConfig{
+//		Epsilon: 0.5, Period: 30, FlushInterval: 2000, FlushSize: 15,
+//	})
+//	if err != nil { ... }
+//	owner, err := dpsync.New(dpsync.Config{Database: db, Strategy: strat})
+//	if err != nil { ... }
+//
+//	_ = owner.Setup(nil)             // empty initial database
+//	_ = owner.Tick(sensorRecord)     // a record arrived this tick
+//	_ = owner.Tick()                 // nothing arrived this tick
+//	ans, cost, _ := owner.Query(dpsync.Q1())
+//
+// The owner buffers arrivals locally; uploads happen only when the strategy
+// fires. owner.Pattern() exposes exactly what the server observed.
+//
+// # Substrates
+//
+// Two encrypted-database substrates ship with the library, mirroring the
+// paper's evaluation: NewObliDB (an SGX/ORAM-style oblivious engine,
+// leakage class L-0, supports range/group/join counting) and NewCrypteps
+// (a crypto-assisted DP engine, class L-DP, linear queries with noisy
+// answers). Any store satisfying the Database interface and the §6 leakage
+// constraints can be plugged in.
+package dpsync

@@ -1,0 +1,174 @@
+// Package ahe implements the Paillier additively homomorphic cryptosystem,
+// the primitive behind Cryptε's crypto-assisted pipeline: records are
+// encoded as one-hot vectors of AHE ciphertexts, the untrusted aggregation
+// server sums them without ever holding a decryption key, and the analyst
+// side decrypts only noisy aggregates.
+//
+// The main simulation path (internal/crypte) evaluates the same linear
+// algebra in the clear for speed — 43,200-tick months with per-record
+// encodings would need millions of modular exponentiations — but this
+// package, its tests, and crypte's AHE integration test demonstrate that
+// the pipeline is the real construction, not hand-waving: encode → blind
+// aggregate → decrypt reproduces the plaintext answers exactly.
+package ahe
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// PublicKey holds the Paillier encryption key.
+type PublicKey struct {
+	N  *big.Int // modulus n = p·q
+	N2 *big.Int // n²
+	G  *big.Int // generator, fixed to n+1
+}
+
+// PrivateKey holds the decryption key.
+type PrivateKey struct {
+	PublicKey
+	lambda *big.Int // lcm(p-1, q-1)
+	mu     *big.Int // (L(g^λ mod n²))⁻¹ mod n
+}
+
+// Ciphertext is one Paillier ciphertext (an element of Z*_{n²}).
+type Ciphertext struct {
+	C *big.Int
+}
+
+// ErrBadBits rejects undersized keys.
+var ErrBadBits = errors.New("ahe: key size must be at least 256 bits")
+
+// ErrDecrypt is returned for malformed ciphertexts.
+var ErrDecrypt = errors.New("ahe: decryption failed")
+
+var one = big.NewInt(1)
+
+// GenerateKey creates a Paillier key pair with an n of about `bits` bits.
+// Tests use 512–1024; production would use ≥2048.
+func GenerateKey(bits int) (*PrivateKey, error) {
+	if bits < 256 {
+		return nil, ErrBadBits
+	}
+	for {
+		p, err := rand.Prime(rand.Reader, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("ahe: prime: %w", err)
+		}
+		q, err := rand.Prime(rand.Reader, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("ahe: prime: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		n2 := new(big.Int).Mul(n, n)
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+		lambda := new(big.Int).Div(new(big.Int).Mul(pm1, qm1), gcd)
+
+		pk := PublicKey{N: n, N2: n2, G: new(big.Int).Add(n, one)}
+		// μ = (L(g^λ mod n²))⁻¹ mod n; with g = n+1, g^λ = 1 + λ·n (mod n²),
+		// so L(g^λ) = λ mod n, and μ = λ⁻¹ mod n.
+		mu := new(big.Int).ModInverse(new(big.Int).Mod(lambda, n), n)
+		if mu == nil {
+			continue // λ not invertible mod n (p-1 or q-1 shares a factor with n); redraw
+		}
+		return &PrivateKey{PublicKey: pk, lambda: lambda, mu: mu}, nil
+	}
+}
+
+// Encrypt encrypts the non-negative integer m < n.
+func (pk *PublicKey) Encrypt(m int64) (Ciphertext, error) {
+	if m < 0 {
+		return Ciphertext{}, fmt.Errorf("ahe: negative plaintext %d", m)
+	}
+	mBig := big.NewInt(m)
+	if mBig.Cmp(pk.N) >= 0 {
+		return Ciphertext{}, fmt.Errorf("ahe: plaintext exceeds modulus")
+	}
+	// r uniform in [1, n) with gcd(r, n) = 1.
+	var r *big.Int
+	for {
+		var err error
+		r, err = rand.Int(rand.Reader, pk.N)
+		if err != nil {
+			return Ciphertext{}, fmt.Errorf("ahe: rand: %w", err)
+		}
+		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+			break
+		}
+	}
+	// c = g^m · r^n mod n²; with g = n+1, g^m = 1 + m·n (mod n²).
+	gm := new(big.Int).Mod(new(big.Int).Add(one, new(big.Int).Mul(mBig, pk.N)), pk.N2)
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	c := new(big.Int).Mod(new(big.Int).Mul(gm, rn), pk.N2)
+	return Ciphertext{C: c}, nil
+}
+
+// Decrypt recovers the plaintext.
+func (sk *PrivateKey) Decrypt(ct Ciphertext) (int64, error) {
+	if ct.C == nil || ct.C.Sign() <= 0 || ct.C.Cmp(sk.N2) >= 0 {
+		return 0, ErrDecrypt
+	}
+	// m = L(c^λ mod n²) · μ mod n, with L(x) = (x-1)/n.
+	u := new(big.Int).Exp(ct.C, sk.lambda, sk.N2)
+	l := new(big.Int).Div(new(big.Int).Sub(u, one), sk.N)
+	m := new(big.Int).Mod(new(big.Int).Mul(l, sk.mu), sk.N)
+	if !m.IsInt64() {
+		return 0, ErrDecrypt
+	}
+	return m.Int64(), nil
+}
+
+// Add homomorphically adds two ciphertexts: Dec(Add(a,b)) = Dec(a)+Dec(b).
+func (pk *PublicKey) Add(a, b Ciphertext) Ciphertext {
+	return Ciphertext{C: new(big.Int).Mod(new(big.Int).Mul(a.C, b.C), pk.N2)}
+}
+
+// AddPlain adds a plaintext constant: Dec(AddPlain(a, k)) = Dec(a)+k.
+func (pk *PublicKey) AddPlain(a Ciphertext, k int64) Ciphertext {
+	gm := new(big.Int).Mod(new(big.Int).Add(one, new(big.Int).Mul(big.NewInt(k), pk.N)), pk.N2)
+	return Ciphertext{C: new(big.Int).Mod(new(big.Int).Mul(a.C, gm), pk.N2)}
+}
+
+// MulPlain multiplies by a plaintext scalar: Dec(MulPlain(a, k)) = k·Dec(a).
+func (pk *PublicKey) MulPlain(a Ciphertext, k int64) Ciphertext {
+	return Ciphertext{C: new(big.Int).Exp(a.C, big.NewInt(k), pk.N2)}
+}
+
+// EncryptZero returns a fresh encryption of 0 (used to initialize
+// accumulators and to re-randomize).
+func (pk *PublicKey) EncryptZero() (Ciphertext, error) { return pk.Encrypt(0) }
+
+// SumVector homomorphically sums ciphertext vectors element-wise. All
+// vectors must share a length; the result has that length. Aggregating
+// one-hot record encodings this way is exactly Cryptε's server-side
+// evaluation of a histogram query.
+func (pk *PublicKey) SumVector(vecs ...[]Ciphertext) ([]Ciphertext, error) {
+	if len(vecs) == 0 {
+		return nil, fmt.Errorf("ahe: no vectors")
+	}
+	width := len(vecs[0])
+	acc := make([]Ciphertext, width)
+	for i := range acc {
+		z, err := pk.EncryptZero()
+		if err != nil {
+			return nil, err
+		}
+		acc[i] = z
+	}
+	for vi, v := range vecs {
+		if len(v) != width {
+			return nil, fmt.Errorf("ahe: vector %d has width %d, want %d", vi, len(v), width)
+		}
+		for i := range v {
+			acc[i] = pk.Add(acc[i], v[i])
+		}
+	}
+	return acc, nil
+}

@@ -1,0 +1,137 @@
+// Package cache implements DP-Sync's local cache (paper §3.2.1): the
+// lightweight owner-side buffer that holds records between synchronizations.
+//
+// The cache exposes exactly the three operations the paper defines — Len,
+// Write, and Read(n) — where Read pops the first n records and, when the
+// cache holds fewer than n, pads the result with dummy records so the caller
+// always receives exactly n. That padding is what lets the Perturb operator
+// (Algorithm 2) upload a *noisy* number of ciphertexts regardless of how many
+// real records actually arrived.
+//
+// FIFO order is load-bearing: P3 (consistent eventually) requires records to
+// reach the server in arrival order. A LIFO mode is provided for deployments
+// that prioritize the freshest records, matching the paper's remark that the
+// cache design is swappable.
+package cache
+
+import (
+	"sync"
+
+	"dpsync/internal/record"
+)
+
+// Order selects the pop discipline of the cache.
+type Order int
+
+const (
+	// FIFO pops oldest-first; the default, and the mode under which DP-Sync
+	// satisfies the strong eventual-consistency principle (P3).
+	FIFO Order = iota
+	// LIFO pops newest-first, for analysts who only care about recent data.
+	LIFO
+)
+
+// Cache is the owner's local record buffer. It is safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	order   Order
+	items   []record.Record
+	dummyOf func() record.Record
+
+	writes  int
+	reads   int
+	dummies int
+}
+
+// New returns an empty cache with the given pop order. dummyOf produces the
+// padding records used when a read overdraws the cache; if nil, a YellowCab
+// dummy is used.
+func New(order Order, dummyOf func() record.Record) *Cache {
+	if dummyOf == nil {
+		dummyOf = func() record.Record { return record.NewDummy(record.YellowCab) }
+	}
+	return &Cache{order: order, dummyOf: dummyOf}
+}
+
+// Len returns the number of records currently buffered (the paper's len(σ)).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Write appends r to the cache (the paper's write(σ, r)).
+func (c *Cache) Write(r record.Record) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items = append(c.items, r)
+	c.writes++
+}
+
+// Read pops n records (the paper's read(σ, n)). If the cache holds at least
+// n records the first n (FIFO) or last n (LIFO) are returned. Otherwise all
+// buffered records are returned, padded with n - len(σ) dummy records so the
+// result always has exactly n entries. Read(0) returns an empty, non-nil
+// slice. Negative n panics: noisy counts are clamped before reaching here.
+func (c *Cache) Read(n int) []record.Record {
+	if n < 0 {
+		panic("cache: negative read size")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reads++
+	out := make([]record.Record, 0, n)
+	take := n
+	if take > len(c.items) {
+		take = len(c.items)
+	}
+	switch c.order {
+	case FIFO:
+		out = append(out, c.items[:take]...)
+		c.items = append(c.items[:0], c.items[take:]...)
+	case LIFO:
+		for i := 0; i < take; i++ {
+			out = append(out, c.items[len(c.items)-1-i])
+		}
+		c.items = c.items[:len(c.items)-take]
+	}
+	for len(out) < n {
+		out = append(out, c.dummyOf())
+		c.dummies++
+	}
+	return out
+}
+
+// Drain pops every buffered record without padding. The flush mechanism uses
+// it when the cache holds fewer records than the flush size, before topping
+// up with dummies itself.
+func (c *Cache) Drain() []record.Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reads++
+	out := c.items
+	c.items = nil
+	if c.order == LIFO {
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+	}
+	return out
+}
+
+// Peek returns a copy of the buffered records without consuming them.
+func (c *Cache) Peek() []record.Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]record.Record, len(c.items))
+	copy(out, c.items)
+	return out
+}
+
+// Stats reports lifetime counters: total writes, total read operations, and
+// total dummy records emitted as padding.
+func (c *Cache) Stats() (writes, reads, dummies int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes, c.reads, c.dummies
+}

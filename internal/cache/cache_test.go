@@ -1,0 +1,222 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dpsync/internal/record"
+)
+
+func realRec(i int) record.Record {
+	return record.Record{PickupTime: record.Tick(i), PickupID: uint16(i%record.NumLocations + 1), Provider: record.YellowCab}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	c := New(FIFO, nil)
+	for i := 0; i < 5; i++ {
+		c.Write(realRec(i))
+	}
+	got := c.Read(3)
+	for i := 0; i < 3; i++ {
+		if got[i].PickupTime != record.Tick(i) {
+			t.Errorf("pos %d: time %d, want %d", i, got[i].PickupTime, i)
+		}
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	rest := c.Read(2)
+	if rest[0].PickupTime != 3 || rest[1].PickupTime != 4 {
+		t.Error("FIFO tail out of order")
+	}
+}
+
+func TestLIFOOrder(t *testing.T) {
+	c := New(LIFO, nil)
+	for i := 0; i < 4; i++ {
+		c.Write(realRec(i))
+	}
+	got := c.Read(2)
+	if got[0].PickupTime != 3 || got[1].PickupTime != 2 {
+		t.Errorf("LIFO read = %v, %v; want 3, 2", got[0].PickupTime, got[1].PickupTime)
+	}
+}
+
+func TestReadPadsWithDummies(t *testing.T) {
+	c := New(FIFO, func() record.Record { return record.NewDummy(record.GreenTaxi) })
+	c.Write(realRec(0))
+	got := c.Read(4)
+	if len(got) != 4 {
+		t.Fatalf("Read(4) returned %d records", len(got))
+	}
+	if got[0].Dummy {
+		t.Error("first record should be the real one")
+	}
+	for i := 1; i < 4; i++ {
+		if !got[i].Dummy {
+			t.Errorf("record %d should be dummy", i)
+		}
+		if got[i].Provider != record.GreenTaxi {
+			t.Errorf("dummy provider = %v, want GreenTaxi", got[i].Provider)
+		}
+	}
+	if c.Len() != 0 {
+		t.Errorf("cache should be empty, Len = %d", c.Len())
+	}
+}
+
+func TestReadZeroAndNegative(t *testing.T) {
+	c := New(FIFO, nil)
+	c.Write(realRec(1))
+	got := c.Read(0)
+	if len(got) != 0 {
+		t.Errorf("Read(0) returned %d records", len(got))
+	}
+	if c.Len() != 1 {
+		t.Error("Read(0) consumed records")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Read(-1) did not panic")
+		}
+	}()
+	c.Read(-1)
+}
+
+func TestDrain(t *testing.T) {
+	c := New(FIFO, nil)
+	for i := 0; i < 3; i++ {
+		c.Write(realRec(i))
+	}
+	got := c.Drain()
+	if len(got) != 3 || c.Len() != 0 {
+		t.Fatalf("Drain returned %d records, Len = %d", len(got), c.Len())
+	}
+	for i := range got {
+		if got[i].PickupTime != record.Tick(i) {
+			t.Error("Drain broke FIFO order")
+		}
+	}
+	// LIFO drain is equivalent to popping one record at a time: newest first.
+	l := New(LIFO, nil)
+	for i := 0; i < 3; i++ {
+		l.Write(realRec(i))
+	}
+	lg := l.Drain()
+	if lg[0].PickupTime != 2 || lg[2].PickupTime != 0 {
+		t.Errorf("LIFO drain order: %v, %v, %v", lg[0].PickupTime, lg[1].PickupTime, lg[2].PickupTime)
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	c := New(FIFO, nil)
+	c.Write(realRec(7))
+	p := c.Peek()
+	if len(p) != 1 || c.Len() != 1 {
+		t.Error("Peek consumed or miscounted")
+	}
+	p[0].PickupTime = 999 // mutating the copy must not affect the cache
+	if c.Peek()[0].PickupTime != 7 {
+		t.Error("Peek returned aliased storage")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New(FIFO, nil)
+	c.Write(realRec(0))
+	c.Write(realRec(1))
+	c.Read(5) // 2 real + 3 dummies
+	c.Read(1) // 1 dummy
+	w, r, d := c.Stats()
+	if w != 2 || r != 2 || d != 4 {
+		t.Errorf("Stats = (%d, %d, %d), want (2, 2, 4)", w, r, d)
+	}
+}
+
+func TestDefaultDummyFactory(t *testing.T) {
+	c := New(FIFO, nil)
+	got := c.Read(1)
+	if !got[0].Dummy || got[0].Provider != record.YellowCab {
+		t.Errorf("default dummy = %+v", got[0])
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(FIFO, nil)
+	done := make(chan bool)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			for i := 0; i < 500; i++ {
+				c.Write(realRec(g*1000 + i))
+				if i%10 == 0 {
+					c.Read(3)
+				}
+			}
+			done <- true
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	// No assertion beyond absence of races (run with -race) and sane length.
+	if c.Len() < 0 {
+		t.Error("negative length")
+	}
+}
+
+// Property: Read(n) always returns exactly n records, and the number of real
+// records among them is min(n, buffered).
+func TestQuickReadContract(t *testing.T) {
+	f := func(writes uint8, n uint8) bool {
+		c := New(FIFO, nil)
+		for i := 0; i < int(writes); i++ {
+			c.Write(realRec(i))
+		}
+		got := c.Read(int(n))
+		if len(got) != int(n) {
+			return false
+		}
+		real := record.CountReal(got)
+		want := int(writes)
+		if int(n) < want {
+			want = int(n)
+		}
+		return real == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FIFO pops preserve global arrival order across any sequence of
+// interleaved writes and reads.
+func TestQuickFIFOPreservesOrder(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := New(FIFO, nil)
+		next := 0
+		var popped []record.Record
+		for _, op := range ops {
+			if op%3 == 0 { // read a few
+				popped = append(popped, c.Read(int(op%4))...)
+			} else {
+				c.Write(realRec(next))
+				next++
+			}
+		}
+		popped = append(popped, c.Drain()...)
+		seq := -1
+		for _, r := range popped {
+			if r.Dummy {
+				continue
+			}
+			if int(r.PickupTime) <= seq {
+				return false
+			}
+			seq = int(r.PickupTime)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

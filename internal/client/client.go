@@ -1,0 +1,147 @@
+// Package client provides the owner- and analyst-side network clients. The
+// owner client implements edb.Database over the wire protocol, so the whole
+// DP-Sync stack (core.Owner, strategies, cache) runs unchanged against a
+// remote server: records are sealed locally before transmission, and the
+// client keeps the true real/dummy storage accounting that the server, by
+// design, cannot.
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"dpsync/internal/edb"
+	"dpsync/internal/query"
+	"dpsync/internal/record"
+	"dpsync/internal/seal"
+	"dpsync/internal/wire"
+)
+
+// Client is a connection to a DP-Sync server. It implements edb.Database.
+// Safe for concurrent use; requests are serialized on one connection.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	sealer *seal.Sealer
+	stats  edb.StorageStats
+}
+
+// Dial connects to a server and prepares the local sealer with the shared
+// data key (the attested-enclave provisioning stand-in).
+func Dial(addr string, key []byte) (*Client, error) {
+	s, err := seal.NewSealer(key)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, sealer: s}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Name implements edb.Database.
+func (c *Client) Name() string { return "ObliDB-remote" }
+
+// Leakage implements edb.Database: the remote store is the ObliDB substrate.
+func (c *Client) Leakage() edb.LeakageClass { return edb.L0 }
+
+// Supports implements edb.Database.
+func (c *Client) Supports(q query.Query) bool { return q.Validate() == nil }
+
+// roundTrip sends one request and reads one response. Callers hold c.mu.
+func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
+	payload, err := wire.Encode(req)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	if err := wire.WriteFrame(c.conn, payload); err != nil {
+		return wire.Response{}, err
+	}
+	raw, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return wire.Response{}, fmt.Errorf("client: read response: %w", err)
+	}
+	resp, err := wire.DecodeResponse(raw)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	if !resp.OK {
+		return wire.Response{}, fmt.Errorf("client: server error: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+func (c *Client) upload(t wire.MsgType, rs []record.Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sealedBatch, err := c.sealer.SealAll(rs)
+	if err != nil {
+		return err
+	}
+	raw := make([][]byte, len(sealedBatch))
+	for i, ct := range sealedBatch {
+		raw[i] = ct
+	}
+	if _, err := c.roundTrip(wire.Request{Type: t, Sealed: raw}); err != nil {
+		return err
+	}
+	dummies := len(rs) - record.CountReal(rs)
+	c.stats.Add(len(rs), dummies, obliBlockBytes)
+	return nil
+}
+
+// obliBlockBytes mirrors oblidb.BlockBytes without importing the package
+// into the client (the client should not depend on server internals).
+const obliBlockBytes = 1024
+
+// Setup implements edb.Database: seals rs locally and runs the remote setup
+// protocol.
+func (c *Client) Setup(rs []record.Record) error { return c.upload(wire.MsgSetup, rs) }
+
+// Update implements edb.Database.
+func (c *Client) Update(rs []record.Record) error { return c.upload(wire.MsgUpdate, rs) }
+
+// Query implements edb.Database: the analyst path.
+func (c *Client) Query(q query.Query) (query.Answer, edb.Cost, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	spec := wire.FromQuery(q)
+	resp, err := c.roundTrip(wire.Request{Type: wire.MsgQuery, Query: &spec})
+	if err != nil {
+		return query.Answer{}, edb.Cost{}, err
+	}
+	if resp.Answer == nil || resp.Cost == nil {
+		return query.Answer{}, edb.Cost{}, fmt.Errorf("client: malformed query response")
+	}
+	return resp.Answer.ToAnswer(), resp.Cost.ToCost(), nil
+}
+
+// Stats implements edb.Database. It returns the *owner-side* accounting,
+// which knows the real/dummy split; RemoteStats exposes the server's
+// split-blind view.
+func (c *Client) Stats() edb.StorageStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// RemoteStats asks the server for its view of the store.
+func (c *Client) RemoteStats() (wire.StatsSpec, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.roundTrip(wire.Request{Type: wire.MsgStats})
+	if err != nil {
+		return wire.StatsSpec{}, err
+	}
+	if resp.Stats == nil {
+		return wire.StatsSpec{}, fmt.Errorf("client: malformed stats response")
+	}
+	return *resp.Stats, nil
+}
+
+var _ edb.Database = (*Client)(nil)

@@ -1,0 +1,208 @@
+package client
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"dpsync/internal/edb"
+	"dpsync/internal/query"
+	"dpsync/internal/record"
+	"dpsync/internal/seal"
+	"dpsync/internal/server"
+	"dpsync/internal/wire"
+)
+
+func startServer(t *testing.T) (*server.Server, []byte) {
+	t.Helper()
+	key, err := seal.NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New("127.0.0.1:0", key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, key
+}
+
+func TestClientImplementsDatabase(t *testing.T) {
+	srv, key := startServer(t)
+	cl, err := Dial(srv.Addr(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var _ edb.Database = cl
+	if cl.Name() != "ObliDB-remote" {
+		t.Errorf("name = %q", cl.Name())
+	}
+	if cl.Leakage() != edb.L0 {
+		t.Errorf("leakage = %v", cl.Leakage())
+	}
+	if err := edb.CheckCompatibility(cl); err != nil {
+		t.Errorf("remote client should pass the §6 gate: %v", err)
+	}
+	if !cl.Supports(query.Q3()) {
+		t.Error("remote ObliDB should support joins")
+	}
+}
+
+func TestClientStatsTrackOwnerView(t *testing.T) {
+	srv, key := startServer(t)
+	cl, err := Dial(srv.Addr(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Setup(nil); err != nil {
+		t.Fatal(err)
+	}
+	batch := []record.Record{
+		{PickupTime: 1, PickupID: 10, Provider: record.YellowCab},
+		record.NewDummy(record.YellowCab),
+		record.NewDummy(record.YellowCab),
+	}
+	if err := cl.Update(batch); err != nil {
+		t.Fatal(err)
+	}
+	st := cl.Stats()
+	if st.Records != 3 || st.RealRecords != 1 || st.DummyRecords != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Bytes != 3*obliBlockBytes {
+		t.Errorf("bytes = %d", st.Bytes)
+	}
+	if st.Updates != 2 { // setup + update
+		t.Errorf("updates = %d", st.Updates)
+	}
+}
+
+func TestClientConcurrentQueries(t *testing.T) {
+	srv, key := startServer(t)
+	cl, err := Dial(srv.Addr(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var rs []record.Record
+	for i := 0; i < 20; i++ {
+		rs = append(rs, record.Record{PickupTime: record.Tick(i + 1), PickupID: 75, Provider: record.YellowCab})
+	}
+	if err := cl.Setup(rs); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				ans, _, err := cl.Query(query.Q1())
+				if err != nil {
+					errs <- err
+					return
+				}
+				if ans.Scalar != 20 {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestClientSurvivesServerError(t *testing.T) {
+	srv, key := startServer(t)
+	cl, err := Dial(srv.Addr(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Query before setup → server error; the connection must stay usable.
+	if _, _, err := cl.Query(query.Q1()); err == nil {
+		t.Fatal("query before setup accepted")
+	}
+	if err := cl.Setup(nil); err != nil {
+		t.Fatalf("connection unusable after server error: %v", err)
+	}
+}
+
+// rawConn lets tests speak the wire protocol directly, to exercise the
+// server against malformed input a well-behaved client never sends.
+func TestServerToleratesMalformedFrames(t *testing.T) {
+	srv, key := startServer(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Garbage JSON in a valid frame: server answers with an error response
+	// and keeps the connection open.
+	if err := wire.WriteFrame(conn, []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.DecodeResponse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || resp.Error == "" {
+		t.Errorf("malformed request got %+v", resp)
+	}
+	// Unknown message type.
+	payload, _ := wire.Encode(wire.Request{Type: "format-c-colon"})
+	if err := wire.WriteFrame(conn, payload); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = wire.DecodeResponse(raw)
+	if resp.OK {
+		t.Error("unknown message type accepted")
+	}
+	conn.Close()
+
+	// The server is still alive for legitimate clients.
+	cl, err := Dial(srv.Addr(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Setup(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryMissingSpecRejected(t *testing.T) {
+	srv, _ := startServer(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	payload, _ := wire.Encode(wire.Request{Type: wire.MsgQuery})
+	if err := wire.WriteFrame(conn, payload); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := wire.DecodeResponse(raw)
+	if resp.OK {
+		t.Error("query without spec accepted")
+	}
+}

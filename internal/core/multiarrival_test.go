@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"dpsync/internal/dp"
+	"dpsync/internal/leakage"
+	"dpsync/internal/query"
+	"dpsync/internal/record"
+	"dpsync/internal/strategy"
+)
+
+// Tests for the multi-arrival generalization the paper sketches in §4.1:
+// more than one record may arrive in a single time unit. The DP guarantees
+// are unaffected (sensitivity stays 1 per record); SUR uploads bursts
+// whole, SET drains them one per tick.
+
+func TestMultiArrivalSURUploadsBurst(t *testing.T) {
+	o := newOwner(t, strategy.NewSUR())
+	if err := o.Setup(nil); err != nil {
+		t.Fatal(err)
+	}
+	burst := []record.Record{yellow(1, 10), yellow(1, 20), yellow(1, 30)}
+	if err := o.Tick(burst...); err != nil {
+		t.Fatal(err)
+	}
+	if o.LogicalGap() != 0 {
+		t.Errorf("SUR gap after burst = %d", o.LogicalGap())
+	}
+	if got := o.Pattern().VolumeAt(1); got != 3 {
+		t.Errorf("uploaded volume = %d, want 3", got)
+	}
+}
+
+func TestMultiArrivalSETDrainsOnePerTick(t *testing.T) {
+	o := newOwner(t, strategy.NewSET())
+	if err := o.Setup(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Tick(yellow(1, 1), yellow(1, 2), yellow(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// SET stays data-independent: exactly one record left at tick 1, so two
+	// remain cached.
+	if o.LogicalGap() != 2 {
+		t.Errorf("gap after burst = %d, want 2", o.LogicalGap())
+	}
+	// Two idle ticks drain the backlog.
+	if err := o.RunIdle(2); err != nil {
+		t.Fatal(err)
+	}
+	if o.LogicalGap() != 0 {
+		t.Errorf("gap after drain = %d", o.LogicalGap())
+	}
+	s := o.DB().Stats()
+	if s.DummyRecords != 0 {
+		t.Errorf("SET uploaded %d dummies while real records were queued", s.DummyRecords)
+	}
+}
+
+func TestMultiArrivalTimerCountsAll(t *testing.T) {
+	// With negligible noise the first window's upload equals the total
+	// number of arrivals, including the burst.
+	tm, err := strategy.NewTimer(strategy.TimerConfig{Epsilon: 1e9, Period: 10, Source: dp.NewSeededSource(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := newOwner(t, tm)
+	if err := o.Setup(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Tick(yellow(1, 1), yellow(1, 2), yellow(1, 3), yellow(1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i <= 10; i++ {
+		if err := o.Tick(yellow(i, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := o.Pattern().VolumeAt(10); got != 13 { // 4 + 9 arrivals
+		t.Errorf("window volume = %d, want 13", got)
+	}
+}
+
+func TestMultiArrivalAnswersStayExact(t *testing.T) {
+	tm, err := strategy.NewTimer(strategy.TimerConfig{Epsilon: 2, Period: 5, FlushInterval: 20, FlushSize: 5, Source: dp.NewSeededSource(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := newOwner(t, tm)
+	if err := o.Setup(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 100; i++ {
+		var rs []record.Record
+		for j := 0; j < i%4; j++ {
+			rs = append(rs, yellow(i, uint16(60+j)))
+		}
+		if err := o.Tick(rs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.RunIdle(200); err != nil { // drain via flush
+		t.Fatal(err)
+	}
+	qe, _, err := o.QueryError(query.Q1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qe != 0 {
+		t.Errorf("after drain, error = %v, want 0", qe)
+	}
+}
+
+// TestEndToEndPatternAudit runs the Definition-5 audit through the entire
+// pipeline — strategy, owner, cache, sealed uploads into ObliDB — rather
+// than the mechanism simulators: for two neighboring 5-tick worlds, the
+// distribution of server-observed patterns must stay within e^ε.
+func TestEndToEndPatternAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("audit needs many pipeline runs")
+	}
+	const eps = 1.0
+	runWorld := func(extra bool, src dp.Source) *leakage.Pattern {
+		tm, err := strategy.NewTimer(strategy.TimerConfig{Epsilon: eps, Period: 5, Source: src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := newOwner(t, tm)
+		if err := o.Setup(nil); err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 5; i++ {
+			var terr error
+			if i == 2 || (extra && i == 4) {
+				terr = o.Tick(yellow(i, 7))
+			} else {
+				terr = o.Tick()
+			}
+			if terr != nil {
+				t.Fatal(terr)
+			}
+		}
+		return o.Pattern()
+	}
+	srcA := dp.NewSeededSource(900)
+	srcB := dp.NewSeededSource(901)
+	res, err := leakage.Audit(
+		func() *leakage.Pattern { return runWorld(false, srcA) },
+		func() *leakage.Pattern { return runWorld(true, srcB) },
+		leakage.AuditConfig{Trials: 8000, Epsilon: eps, Slack: 1.4, MinProb: 0.02},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Errorf("end-to-end audit failed: %s", res)
+	}
+	if res.Outcomes < 2 {
+		t.Errorf("audit too sparse: %d outcomes", res.Outcomes)
+	}
+}

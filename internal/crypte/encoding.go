@@ -1,0 +1,120 @@
+package crypte
+
+import (
+	"fmt"
+
+	"dpsync/internal/ahe"
+	"dpsync/internal/query"
+	"dpsync/internal/record"
+)
+
+// AHEPipeline is the real cryptographic core of Cryptε: records become
+// one-hot vectors of Paillier ciphertexts over the pickup-location domain,
+// an untrusted aggregator sums them without any key material, and the
+// analyst side decrypts aggregate histograms. Dummy records encode the
+// all-zero vector, which is why they vanish from every linear query — the
+// algebraic counterpart of the Appendix-B rewrite.
+//
+// The fast simulation path in DB evaluates the same linear algebra in
+// plaintext; TestAHEPipelineMatchesPlaintext pins the two paths to each
+// other, so the performance shortcut cannot drift from the construction.
+type AHEPipeline struct {
+	sk *ahe.PrivateKey
+}
+
+// NewAHEPipeline generates a key pair. 512-bit keys keep tests fast;
+// production deployments would use ≥2048.
+func NewAHEPipeline(bits int) (*AHEPipeline, error) {
+	sk, err := ahe.GenerateKey(bits)
+	if err != nil {
+		return nil, err
+	}
+	return &AHEPipeline{sk: sk}, nil
+}
+
+// PublicKey returns the encryption key, the only material the encoder and
+// the aggregation server ever need.
+func (p *AHEPipeline) PublicKey() *ahe.PublicKey { return &p.sk.PublicKey }
+
+// EncodeRecord produces the one-hot location encoding of r: a vector of
+// NumLocations Paillier ciphertexts, all encrypting 0 except a 1 at the
+// record's pickup zone. Dummy records encode all zeros. Every vector also
+// carries one extra slot encrypting the (bounded) fare, supporting the Q4
+// SUM extension.
+func (p *AHEPipeline) EncodeRecord(r record.Record) ([]ahe.Ciphertext, error) {
+	pk := p.PublicKey()
+	out := make([]ahe.Ciphertext, record.NumLocations+1)
+	for i := 0; i < record.NumLocations; i++ {
+		m := int64(0)
+		if !r.Dummy && int(r.PickupID) == i+1 {
+			m = 1
+		}
+		ct, err := pk.Encrypt(m)
+		if err != nil {
+			return nil, fmt.Errorf("crypte: encode bin %d: %w", i, err)
+		}
+		out[i] = ct
+	}
+	fare := int64(0)
+	if !r.Dummy {
+		fare = int64(r.FareCents)
+	}
+	ct, err := pk.Encrypt(fare)
+	if err != nil {
+		return nil, fmt.Errorf("crypte: encode fare: %w", err)
+	}
+	out[record.NumLocations] = ct
+	return out, nil
+}
+
+// Aggregate blindly sums encoded records — the aggregation server's entire
+// job. It needs only the public key.
+func Aggregate(pk *ahe.PublicKey, encodings ...[]ahe.Ciphertext) ([]ahe.Ciphertext, error) {
+	return pk.SumVector(encodings...)
+}
+
+// DecryptAnswer turns an aggregated encoding into the exact answer of q
+// (before DP noise): histogram bins for GroupCount, bin-range sums for
+// RangeCount, the fare slot for SumFare.
+func (p *AHEPipeline) DecryptAnswer(q query.Query, agg []ahe.Ciphertext) (query.Answer, error) {
+	if len(agg) != record.NumLocations+1 {
+		return query.Answer{}, fmt.Errorf("crypte: aggregate width %d, want %d", len(agg), record.NumLocations+1)
+	}
+	switch q.Kind {
+	case query.GroupCount:
+		groups := make([]float64, record.NumLocations)
+		for i := 0; i < record.NumLocations; i++ {
+			v, err := p.sk.Decrypt(agg[i])
+			if err != nil {
+				return query.Answer{}, fmt.Errorf("crypte: bin %d: %w", i, err)
+			}
+			groups[i] = float64(v)
+		}
+		return query.Answer{Groups: groups}, nil
+	case query.RangeCount:
+		var sum float64
+		lo := int(q.Lo)
+		if lo < 1 {
+			lo = 1 // zone IDs are 1-based; bin 0 does not exist
+		}
+		for i := lo; i <= int(q.Hi) && i <= record.NumLocations; i++ {
+			v, err := p.sk.Decrypt(agg[i-1])
+			if err != nil {
+				return query.Answer{}, fmt.Errorf("crypte: bin %d: %w", i, err)
+			}
+			sum += float64(v)
+		}
+		return query.Answer{Scalar: sum}, nil
+	case query.SumFare:
+		v, err := p.sk.Decrypt(agg[record.NumLocations])
+		if err != nil {
+			return query.Answer{}, fmt.Errorf("crypte: fare slot: %w", err)
+		}
+		return query.Answer{Scalar: float64(v)}, nil
+	default:
+		return query.Answer{}, fmt.Errorf("%w: %v on the AHE pipeline", ErrUnsupportedAHE, q.Kind)
+	}
+}
+
+// ErrUnsupportedAHE marks queries outside the linear repertoire.
+var ErrUnsupportedAHE = fmt.Errorf("crypte: query not expressible as a linear aggregate")

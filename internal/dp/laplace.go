@@ -1,0 +1,113 @@
+package dp
+
+import (
+	"errors"
+	"math"
+)
+
+// Laplace is a zero-mean Laplace distribution with scale b, the workhorse
+// noise distribution of DP-Sync: adding Lap(Δ/ε) noise to a sensitivity-Δ
+// count yields an ε-differentially-private release.
+type Laplace struct {
+	b   float64
+	src Source
+}
+
+// ErrInvalidScale is returned when a non-positive scale or epsilon is used.
+var ErrInvalidScale = errors.New("dp: scale must be positive and finite")
+
+// NewLaplace returns a Laplace sampler with scale b drawing from src.
+func NewLaplace(b float64, src Source) (*Laplace, error) {
+	if !(b > 0) || math.IsInf(b, 1) {
+		return nil, ErrInvalidScale
+	}
+	if src == nil {
+		src = CryptoSource{}
+	}
+	return &Laplace{b: b, src: src}, nil
+}
+
+// Scale returns the distribution's scale parameter b.
+func (l *Laplace) Scale() float64 { return l.b }
+
+// Sample draws one Laplace(0, b) variate by inverse-CDF transform:
+// for u ~ Uniform(-1/2, 1/2), x = -b·sgn(u)·ln(1-2|u|).
+func (l *Laplace) Sample() float64 {
+	u := l.src.Uniform() - 0.5
+	if u < 0 {
+		return l.b * math.Log1p(2*u) // u in (-1/2, 0): negative tail
+	}
+	return -l.b * math.Log1p(-2*u) // u in [0, 1/2): positive tail
+}
+
+// Mechanism releases ε-DP noisy counts for sensitivity-1 integer statistics.
+// It is the building block behind DP-Sync's Perturb operator (Algorithm 2)
+// and the setup-size release M_setup.
+type Mechanism struct {
+	eps float64
+	lap *Laplace
+}
+
+// NewMechanism returns an ε-DP Laplace mechanism for sensitivity-1 counts.
+func NewMechanism(eps float64, src Source) (*Mechanism, error) {
+	if !(eps > 0) || math.IsInf(eps, 1) {
+		return nil, ErrInvalidScale
+	}
+	lap, err := NewLaplace(1/eps, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Mechanism{eps: eps, lap: lap}, nil
+}
+
+// Epsilon returns the privacy parameter the mechanism was built with.
+func (m *Mechanism) Epsilon() float64 { return m.eps }
+
+// NoisyCount returns c + Lap(1/ε) as a real number.
+func (m *Mechanism) NoisyCount(c int) float64 {
+	return float64(c) + m.lap.Sample()
+}
+
+// NoisyCountInt returns c + Lap(1/ε) rounded to the nearest integer and
+// clamped at zero. This is exactly the quantity Perturb (Algorithm 2) reads
+// from the local cache: a record count must be a non-negative integer, and
+// Algorithm 2 releases nothing when the noisy count is non-positive.
+func (m *Mechanism) NoisyCountInt(c int) int {
+	n := m.NoisyCount(c)
+	if n <= 0 {
+		return 0
+	}
+	return int(math.Round(n))
+}
+
+// SampleNoise draws one Lap(1/ε) variate. Exposed so strategies can reuse a
+// mechanism's source for auxiliary noise (e.g. DP-ANT's per-tick v_t).
+func (m *Mechanism) SampleNoise() float64 { return m.lap.Sample() }
+
+// LaplaceTailBound returns P[|Lap(b)| ≥ t] = exp(-t/b) for t ≥ 0, the bound
+// used throughout the paper's utility theorems (Fact 3.7 of Dwork–Roth).
+func LaplaceTailBound(b, t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	return math.Exp(-t / b)
+}
+
+// SumTailBound returns the paper's Lemma 19 bound on a sum of k i.i.d.
+// Lap(b) variables: P[Σ Y_i ≥ α] ≤ exp(-α²/(4kb²)) for 0 < α ≤ kb.
+// It returns 1 when the bound's preconditions do not hold.
+func SumTailBound(k int, b, alpha float64) float64 {
+	if k <= 0 || alpha <= 0 || alpha > float64(k)*b {
+		return 1
+	}
+	return math.Exp(-alpha * alpha / (4 * float64(k) * b * b))
+}
+
+// SumHighProbBound returns the α for which a sum of k i.i.d. Lap(b) variables
+// exceeds α with probability at most β (Corollary 20): α = 2b·sqrt(k·ln(1/β)).
+func SumHighProbBound(k int, b, beta float64) float64 {
+	if k <= 0 || !(beta > 0 && beta < 1) || b <= 0 {
+		return math.Inf(1)
+	}
+	return 2 * b * math.Sqrt(float64(k)*math.Log(1/beta))
+}

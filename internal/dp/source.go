@@ -1,0 +1,93 @@
+// Package dp implements the differential-privacy primitives that DP-Sync's
+// synchronization strategies are built on: Laplace noise, privacy-budget
+// accounting with sequential and parallel composition, and the sparse-vector
+// (above-noisy-threshold) mechanism.
+//
+// All randomness flows through the Source interface so that deployments can
+// use cryptographically secure noise (CryptoSource) while experiments and
+// tests stay reproducible (SeededSource).
+package dp
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	mrand "math/rand/v2"
+	"sync"
+)
+
+// Source supplies uniform randomness for noise sampling. Implementations must
+// be safe for use from a single goroutine; wrap with NewLockedSource when a
+// source is shared.
+type Source interface {
+	// Uniform returns a uniformly distributed float64 in the open interval
+	// (0, 1). Both endpoints are excluded so that log(u) and log(1-u) are
+	// always finite, which inverse-CDF Laplace sampling relies on.
+	Uniform() float64
+}
+
+// CryptoSource draws randomness from crypto/rand. It is the source that
+// production deployments should use: update patterns are an adversary-visible
+// output, so predictable noise would void the differential-privacy guarantee.
+type CryptoSource struct{}
+
+// Uniform implements Source using 64 bits from the operating system CSPRNG.
+func (CryptoSource) Uniform() float64 {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// crypto/rand failure means the platform RNG is broken; no safe
+		// fallback exists for a privacy mechanism.
+		panic(fmt.Sprintf("dp: crypto/rand failed: %v", err))
+	}
+	// Use the top 53 bits for a uniform in [0,1) with full float64 precision,
+	// then shift off zero to make the interval open.
+	u := float64(binary.BigEndian.Uint64(buf[:])>>11) / (1 << 53)
+	if u == 0 {
+		return minUniform
+	}
+	return u
+}
+
+// minUniform is the smallest value Uniform may return; 2^-53 keeps log(u)
+// finite while staying below any value the 53-bit construction can produce.
+const minUniform = 1.0 / (1 << 53)
+
+// SeededSource is a deterministic Source backed by a PCG generator. It exists
+// for experiments and tests: identical seeds give identical noise sequences,
+// which makes simulation results and regression tests reproducible.
+type SeededSource struct {
+	rng *mrand.Rand
+}
+
+// NewSeededSource returns a deterministic source seeded with seed.
+func NewSeededSource(seed uint64) *SeededSource {
+	return &SeededSource{rng: mrand.New(mrand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Uniform implements Source.
+func (s *SeededSource) Uniform() float64 {
+	u := s.rng.Float64()
+	if u == 0 {
+		return minUniform
+	}
+	return u
+}
+
+// LockedSource serializes access to an underlying Source, making it safe to
+// share across goroutines (e.g. one owner syncing while an audit samples).
+type LockedSource struct {
+	mu  sync.Mutex
+	src Source
+}
+
+// NewLockedSource wraps src with a mutex.
+func NewLockedSource(src Source) *LockedSource {
+	return &LockedSource{src: src}
+}
+
+// Uniform implements Source.
+func (l *LockedSource) Uniform() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.src.Uniform()
+}

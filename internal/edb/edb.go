@@ -1,0 +1,89 @@
+// Package edb defines the encrypted-database abstraction DP-Sync plugs into:
+// the three-protocol interface from the paper's Definition 1 (Setup, Update,
+// Query), a storage-accounting surface, and the §6 leakage-class taxonomy
+// that decides which schemes may be combined with DP-Sync at all.
+//
+// DP-Sync deliberately treats the EDB as a black box (design principle P4):
+// the framework never reaches inside the store, it only controls when
+// Update is invoked and with how many (real + dummy) records.
+package edb
+
+import (
+	"errors"
+
+	"dpsync/internal/query"
+	"dpsync/internal/record"
+)
+
+// Database is a secure outsourced growing database (paper Definition 1).
+// Implementations must encrypt each record independently (atomic database),
+// accept dummy records transparently, and answer queries without revealing
+// the real/dummy split beyond what their leakage class admits.
+type Database interface {
+	// Name identifies the scheme (e.g. "ObliDB", "Crypteps").
+	Name() string
+
+	// Leakage returns the scheme's query-leakage class (§6).
+	Leakage() LeakageClass
+
+	// Setup initializes the outsourced structure with the initial batch γ0.
+	// It must be called exactly once, before any Update or Query.
+	Setup(rs []record.Record) error
+
+	// Update appends a batch of sealed records to the outsourced structure.
+	// DP-Sync guarantees the batch sizes follow a differentially-private
+	// schedule; the database just stores them.
+	Update(rs []record.Record) error
+
+	// Query evaluates q over the current outsourced structure and returns
+	// the answer together with the modeled execution cost. Implementations
+	// apply the Appendix-B rewrite so dummy records never affect answers
+	// (though L-DP schemes may add their own noise).
+	Query(q query.Query) (query.Answer, Cost, error)
+
+	// Supports reports whether the scheme can evaluate q at all (Cryptε,
+	// like the paper's, has no join operator).
+	Supports(q query.Query) bool
+
+	// Stats reports current storage accounting.
+	Stats() StorageStats
+}
+
+// ErrNotSetup is returned by Update/Query before Setup has run.
+var ErrNotSetup = errors.New("edb: database not set up")
+
+// ErrAlreadySetup is returned by a second Setup call.
+var ErrAlreadySetup = errors.New("edb: Setup called twice")
+
+// ErrUnsupportedQuery is returned for queries outside the scheme's operator
+// repertoire.
+var ErrUnsupportedQuery = errors.New("edb: query not supported by this scheme")
+
+// StorageStats accounts for the outsourced structure's size. Byte figures
+// use each scheme's *outsourced* per-record width (ObliDB pads rows to 1 KiB
+// blocks; Cryptε stores ~6.4 KiB one-hot encodings), not the 44-byte sealed
+// wire records, so they are comparable with the paper's Figure 3 / Table 5.
+type StorageStats struct {
+	// Records is the total number of encrypted records outsourced.
+	Records int
+	// RealRecords / DummyRecords split Records. The split is *not* visible
+	// to the adversary — it is bookkeeping the simulator keeps so metrics
+	// can report dummy overhead, mirroring the paper's instrumentation.
+	RealRecords  int
+	DummyRecords int
+	// Bytes is the total outsourced size; DummyBytes the dummy share.
+	Bytes      int64
+	DummyBytes int64
+	// Updates counts Setup + Update invocations (the adversary sees these).
+	Updates int
+}
+
+// Add folds a batch of n records (d of them dummy) at w bytes each into s.
+func (s *StorageStats) Add(n, d int, w int64) {
+	s.Records += n
+	s.RealRecords += n - d
+	s.DummyRecords += d
+	s.Bytes += int64(n) * w
+	s.DummyBytes += int64(d) * w
+	s.Updates++
+}

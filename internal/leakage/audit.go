@@ -1,0 +1,120 @@
+package leakage
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AuditConfig tunes the empirical differential-privacy audit.
+type AuditConfig struct {
+	// Trials is the number of pattern samples drawn per database.
+	Trials int
+	// Epsilon is the guarantee under test.
+	Epsilon float64
+	// Slack is the multiplicative allowance for sampling error on top of
+	// e^ε (e.g. 1.25). Must be ≥ 1.
+	Slack float64
+	// MinProb ignores outcomes rarer than this on either side: their
+	// empirical ratios are dominated by sampling noise.
+	MinProb float64
+}
+
+// DefaultAuditConfig returns settings suitable for unit tests.
+func DefaultAuditConfig(eps float64) AuditConfig {
+	return AuditConfig{Trials: 50_000, Epsilon: eps, Slack: 1.3, MinProb: 0.005}
+}
+
+// AuditResult summarizes an audit run.
+type AuditResult struct {
+	// MaxRatio is the largest probability ratio observed across outcomes
+	// frequent enough to estimate.
+	MaxRatio float64
+	// WorstOutcome is the pattern signature achieving MaxRatio.
+	WorstOutcome string
+	// Outcomes is the number of distinct comparable outcomes.
+	Outcomes int
+	// Violations lists outcome signatures exceeding e^ε·Slack.
+	Violations []string
+}
+
+// OK reports whether the audit found no violations.
+func (r AuditResult) OK() bool { return len(r.Violations) == 0 }
+
+// String implements fmt.Stringer.
+func (r AuditResult) String() string {
+	return fmt.Sprintf("audit: maxRatio=%.3f outcomes=%d violations=%d worst=%s",
+		r.MaxRatio, r.Outcomes, len(r.Violations), r.WorstOutcome)
+}
+
+// Audit estimates the privacy loss between the update-pattern distributions
+// of two (neighboring) growing databases. genA and genB sample one pattern
+// each per call — typically closures over MTimer/MANT with fresh randomness,
+// or over the full owner stack for end-to-end audits.
+//
+// The audit histograms pattern signatures and checks
+// max_O P[A=O]/P[B=O] ≤ e^ε·Slack over outcomes with mass ≥ MinProb on both
+// sides. It is a falsification tool, not a proof: it catches wrong noise
+// scales, broken budget splits, and accidental data-dependent branching, but
+// passing it does not certify privacy.
+func Audit(genA, genB func() *Pattern, cfg AuditConfig) (AuditResult, error) {
+	if cfg.Trials <= 0 {
+		return AuditResult{}, fmt.Errorf("leakage: audit needs trials > 0")
+	}
+	if cfg.Slack < 1 {
+		return AuditResult{}, fmt.Errorf("leakage: slack must be >= 1")
+	}
+	histA := make(map[string]float64)
+	histB := make(map[string]float64)
+	for i := 0; i < cfg.Trials; i++ {
+		histA[genA().Signature()]++
+		histB[genB().Signature()]++
+	}
+	for k := range histA {
+		histA[k] /= float64(cfg.Trials)
+	}
+	for k := range histB {
+		histB[k] /= float64(cfg.Trials)
+	}
+
+	bound := math.Exp(cfg.Epsilon) * cfg.Slack
+	res := AuditResult{}
+	keys := make([]string, 0, len(histA))
+	for k := range histA {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		pa, pb := histA[k], histB[k]
+		if pa < cfg.MinProb || pb < cfg.MinProb {
+			continue
+		}
+		res.Outcomes++
+		ratio := math.Max(pa/pb, pb/pa)
+		if ratio > res.MaxRatio {
+			res.MaxRatio = ratio
+			res.WorstOutcome = k
+		}
+		if ratio > bound {
+			res.Violations = append(res.Violations, k)
+		}
+	}
+	return res, nil
+}
+
+// NeighboringTraces returns a pair of arrival traces that differ by exactly
+// one arrival at tick extraAt (1-based), the Definition 4 neighboring
+// relation restricted to a finite horizon. The base trace has an arrival
+// every `every` ticks.
+func NeighboringTraces(horizon int, every int, extraAt int) (Arrivals, Arrivals) {
+	a := make(Arrivals, horizon)
+	for i := range a {
+		a[i] = every > 0 && (i+1)%every == 0
+	}
+	b := make(Arrivals, horizon)
+	copy(b, a)
+	if extraAt >= 1 && extraAt <= horizon {
+		b[extraAt-1] = !b[extraAt-1]
+	}
+	return a, b
+}

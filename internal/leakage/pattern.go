@@ -1,0 +1,84 @@
+// Package leakage formalizes the paper's update-pattern leakage (§4.2): the
+// transcript UpdtPatt(Σ, D) = {(t, |γ_t|)} the server observes, the Table-4
+// mechanisms M_timer and M_ANT that simulate the patterns the DP strategies
+// emit, and an empirical audit checking that neighboring growing databases
+// induce e^ε-close pattern distributions (Definition 5).
+package leakage
+
+import (
+	"fmt"
+	"strings"
+
+	"dpsync/internal/record"
+)
+
+// Event is one observed update: at tick Tick the owner uploaded Volume
+// encrypted records. Flush marks the 0-DP cache-flush uploads; the flag is
+// not adversary-visible information (flush times and volumes are public
+// constants of the deployment), it just aids metrics.
+type Event struct {
+	Tick   record.Tick
+	Volume int
+	Flush  bool
+}
+
+// Pattern is an update-pattern transcript: everything the server learns
+// about the owner's upload behaviour.
+type Pattern struct {
+	Events []Event
+}
+
+// Record appends an observed update.
+func (p *Pattern) Record(t record.Tick, volume int, flush bool) {
+	p.Events = append(p.Events, Event{Tick: t, Volume: volume, Flush: flush})
+}
+
+// TotalVolume returns the total number of records uploaded.
+func (p Pattern) TotalVolume() int {
+	n := 0
+	for _, e := range p.Events {
+		n += e.Volume
+	}
+	return n
+}
+
+// Updates returns the number of update events (the k of Theorem 6).
+func (p Pattern) Updates() int { return len(p.Events) }
+
+// VolumeAt returns the uploaded volume at tick t (0 if no update occurred).
+func (p Pattern) VolumeAt(t record.Tick) int {
+	for _, e := range p.Events {
+		if e.Tick == t {
+			return e.Volume
+		}
+	}
+	return 0
+}
+
+// Times returns the set of ticks with updates, in order.
+func (p Pattern) Times() []record.Tick {
+	out := make([]record.Tick, len(p.Events))
+	for i, e := range p.Events {
+		out[i] = e.Tick
+	}
+	return out
+}
+
+// String renders the pattern like the paper's Example 4.1:
+// {(0, 5), (30, 5), ...}.
+func (p Pattern) String() string {
+	var b strings.Builder
+	b.WriteString("{")
+	for i, e := range p.Events {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d, %d)", e.Tick, e.Volume)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Signature flattens the pattern into a comparable string key. The audit
+// uses it to histogram pattern outcomes over repeated runs.
+func (p Pattern) Signature() string { return p.String() }

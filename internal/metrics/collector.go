@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dpsync/internal/query"
+	"dpsync/internal/record"
+)
+
+// Collector gathers every series one experiment run produces.
+type Collector struct {
+	// QueryError and QET are keyed by query kind; one sample per query round.
+	QueryError map[query.Kind]*Series
+	QET        map[query.Kind]*Series
+	// LogicalGap is sampled at each query round.
+	LogicalGap *Series
+	// TotalMb / DummyMb are storage sizes in megabits, sampled periodically.
+	TotalMb *Series
+	DummyMb *Series
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		QueryError: make(map[query.Kind]*Series),
+		QET:        make(map[query.Kind]*Series),
+		LogicalGap: NewSeries("logical-gap"),
+		TotalMb:    NewSeries("total-mb"),
+		DummyMb:    NewSeries("dummy-mb"),
+	}
+}
+
+// RecordQuery logs one query round's error and QET.
+func (c *Collector) RecordQuery(t record.Tick, kind query.Kind, l1 float64, qet float64) {
+	if c.QueryError[kind] == nil {
+		c.QueryError[kind] = NewSeries(fmt.Sprintf("%v-l1", kind))
+		c.QET[kind] = NewSeries(fmt.Sprintf("%v-qet", kind))
+	}
+	c.QueryError[kind].Add(t, l1)
+	c.QET[kind].Add(t, qet)
+}
+
+// RecordGap logs the logical gap at a query round.
+func (c *Collector) RecordGap(t record.Tick, gap int) {
+	c.LogicalGap.Add(t, float64(gap))
+}
+
+// RecordStorage logs outsourced sizes.
+func (c *Collector) RecordStorage(t record.Tick, totalBytes, dummyBytes int64) {
+	c.TotalMb.Add(t, BytesToMegabits(totalBytes))
+	c.DummyMb.Add(t, BytesToMegabits(dummyBytes))
+}
+
+// Kinds returns the query kinds recorded, in stable order.
+func (c *Collector) Kinds() []query.Kind {
+	kinds := make([]query.Kind, 0, len(c.QueryError))
+	for k := range c.QueryError {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}
+
+// Aggregate is the Table 5 row for one (strategy, query) cell plus the
+// strategy-level storage lines.
+type Aggregate struct {
+	MeanL1  map[query.Kind]float64
+	MaxL1   map[query.Kind]float64
+	MeanQET map[query.Kind]float64
+	MeanGap float64
+	TotalMb float64
+	DummyMb float64
+}
+
+// Aggregate computes Table 5 statistics from the collected series.
+func (c *Collector) Aggregate() Aggregate {
+	a := Aggregate{
+		MeanL1:  map[query.Kind]float64{},
+		MaxL1:   map[query.Kind]float64{},
+		MeanQET: map[query.Kind]float64{},
+	}
+	for k, s := range c.QueryError {
+		a.MeanL1[k] = s.Mean()
+		a.MaxL1[k] = s.Max()
+	}
+	for k, s := range c.QET {
+		a.MeanQET[k] = s.Mean()
+	}
+	a.MeanGap = c.LogicalGap.Mean()
+	a.TotalMb = c.TotalMb.Last()
+	a.DummyMb = c.DummyMb.Last()
+	return a
+}
+
+// String renders the aggregate as aligned rows.
+func (a Aggregate) String() string {
+	var b strings.Builder
+	kinds := make([]query.Kind, 0, len(a.MeanL1))
+	for k := range a.MeanL1 {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "%-16v meanL1=%-10.2f maxL1=%-10.0f meanQET=%.2fs\n",
+			k, a.MeanL1[k], a.MaxL1[k], a.MeanQET[k])
+	}
+	fmt.Fprintf(&b, "mean logical gap  %.2f\n", a.MeanGap)
+	fmt.Fprintf(&b, "total data        %.2f Mb\n", a.TotalMb)
+	fmt.Fprintf(&b, "dummy data        %.2f Mb\n", a.DummyMb)
+	return b.String()
+}

@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dpsync/internal/query"
+	"dpsync/internal/record"
+)
+
+func TestSeriesStats(t *testing.T) {
+	s := NewSeries("x")
+	for i, v := range []float64{1, 5, 3, 9, 2} {
+		s.Add(record.Tick(i), v)
+	}
+	if s.Len() != 5 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if got := s.Mean(); got != 4 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := s.Max(); got != 9 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := s.Last(); got != 2 {
+		t.Errorf("Last = %v", got)
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	s := NewSeries("empty")
+	if s.Mean() != 0 || s.Max() != 0 || s.Last() != 0 || s.Quantile(0.5) != 0 {
+		t.Error("empty series stats should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := NewSeries("q")
+	for i := 1; i <= 100; i++ {
+		s.Add(record.Tick(i), float64(i))
+	}
+	if got := s.Quantile(0.5); got != 50 {
+		t.Errorf("median = %v", got)
+	}
+	if got := s.Quantile(1.0); got != 100 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := NewSeries("d")
+	for i := 0; i < 10; i++ {
+		s.Add(record.Tick(i), float64(i))
+	}
+	d := s.Downsample(3)
+	if d.Len() != 4 { // indices 0, 3, 6, 9
+		t.Errorf("downsampled len = %d", d.Len())
+	}
+	if d.Samples[1].Value != 3 {
+		t.Errorf("sample 1 = %v", d.Samples[1].Value)
+	}
+	if s.Downsample(0).Len() != s.Len() {
+		t.Error("k<1 should keep everything")
+	}
+}
+
+func TestTSV(t *testing.T) {
+	s := NewSeries("t")
+	s.Add(10, 1.5)
+	s.Add(20, 2.5)
+	want := "10\t1.5\n20\t2.5\n"
+	if got := s.TSV(); got != want {
+		t.Errorf("TSV = %q", got)
+	}
+}
+
+func TestBytesToMegabits(t *testing.T) {
+	if got := BytesToMegabits(1e6); got != 8 {
+		t.Errorf("1 MB = %v Mb", got)
+	}
+	// The paper's Cryptε Yellow figure: 18,429 records × 6400 B ≈ 943.6 Mb.
+	got := BytesToMegabits(18429 * 6400)
+	if math.Abs(got-943.5) > 10 {
+		t.Errorf("calibration: %v Mb, want ≈943.5", got)
+	}
+}
+
+func TestCollectorAggregate(t *testing.T) {
+	c := NewCollector()
+	c.RecordQuery(360, query.RangeCount, 2, 1.5)
+	c.RecordQuery(720, query.RangeCount, 4, 2.5)
+	c.RecordQuery(360, query.GroupCount, 10, 3)
+	c.RecordGap(360, 5)
+	c.RecordGap(720, 15)
+	c.RecordStorage(360, 2e6, 1e6)
+	c.RecordStorage(720, 4e6, 1e6)
+
+	a := c.Aggregate()
+	if a.MeanL1[query.RangeCount] != 3 || a.MaxL1[query.RangeCount] != 4 {
+		t.Errorf("L1 aggregates = %v / %v", a.MeanL1, a.MaxL1)
+	}
+	if a.MeanQET[query.RangeCount] != 2 {
+		t.Errorf("QET mean = %v", a.MeanQET[query.RangeCount])
+	}
+	if a.MeanGap != 10 {
+		t.Errorf("gap mean = %v", a.MeanGap)
+	}
+	if a.TotalMb != 32 || a.DummyMb != 8 {
+		t.Errorf("storage = %v / %v", a.TotalMb, a.DummyMb)
+	}
+	kinds := c.Kinds()
+	if len(kinds) != 2 || kinds[0] != query.RangeCount {
+		t.Errorf("kinds = %v", kinds)
+	}
+	out := a.String()
+	for _, want := range []string{"Q1-range-count", "logical gap", "Mb"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("aggregate string missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Property: Mean is always between min and max of the inputs.
+func TestQuickMeanBounded(t *testing.T) {
+	f := func(vals []float64) bool {
+		s := NewSeries("p")
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e150 {
+				return true // skip inputs whose sum overflows float64
+			}
+			s.Add(record.Tick(i), v)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if len(vals) == 0 {
+			return s.Mean() == 0
+		}
+		m := s.Mean()
+		const slack = 1e-9
+		return m >= lo-slack-math.Abs(lo)*1e-12 && m <= hi+slack+math.Abs(hi)*1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+package oblidb
+
+import (
+	"fmt"
+	"sync"
+
+	"dpsync/internal/query"
+	"dpsync/internal/record"
+	"dpsync/internal/seal"
+)
+
+// Enclave simulates the SGX-resident half of ObliDB: it owns the data key
+// and hosts the decrypted tables in enclave-protected memory (ORAM in the
+// real system). Ciphertexts are opened exactly once, when they enter the
+// enclave; queries then execute oblivious scans over the resident tables.
+// The simulation preserves the two properties DP-Sync's analysis needs from
+// an L-0 engine:
+//
+//  1. Query execution touches every resident record of the scanned table,
+//     in storage order, no matter what the query or the data says (verified
+//     by TestAccessTraceOblivious). Response volumes therefore reveal
+//     nothing.
+//  2. Dummy records are filtered *inside* the enclave via the Appendix-B
+//     query rewrite, so answers are exact over real records while the
+//     real/dummy split never crosses the enclave boundary.
+type Enclave struct {
+	mu     sync.Mutex
+	sealer *seal.Sealer
+
+	// tables is the enclave-resident decrypted store (the ORAM contents).
+	tables query.Tables
+	// yellow / green count resident records per table, dummies included —
+	// they drive the scan and join cost models.
+	yellow, green int64
+}
+
+// NewEnclave provisions an enclave with the shared data key.
+func NewEnclave(key []byte) (*Enclave, error) {
+	s, err := seal.NewSealer(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Enclave{sealer: s, tables: query.Tables{}}, nil
+}
+
+// Ingest opens a batch of ciphertexts into the enclave-resident tables.
+// A failed authentication aborts the whole batch (nothing is admitted), the
+// behaviour of an enclave rejecting forged inputs at the attested boundary.
+func (e *Enclave) Ingest(cts []seal.Sealed) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	opened := make([]record.Record, len(cts))
+	for i, ct := range cts {
+		r, err := e.sealer.Open(ct)
+		if err != nil {
+			return fmt.Errorf("oblidb: ciphertext %d rejected by enclave: %w", i, err)
+		}
+		opened[i] = r
+	}
+	for _, r := range opened {
+		e.tables[r.Provider] = append(e.tables[r.Provider], r)
+		if r.Provider == record.GreenTaxi {
+			e.green++
+		} else {
+			e.yellow++
+		}
+	}
+	return nil
+}
+
+// Execute runs q over the resident tables and returns the exact answer plus
+// the number of records the oblivious scan touched — the full target
+// table(s), independent of data and predicates.
+func (e *Enclave) Execute(q query.Query) (query.Answer, int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ans, err := query.Evaluate(q, e.tables) // Appendix-B rewrite inside
+	if err != nil {
+		return query.Answer{}, 0, err
+	}
+	touched := e.scanExtent(q)
+	return ans, touched, nil
+}
+
+// scanExtent reports how many resident records the oblivious execution of q
+// reads: the target table for linear queries, both tables for joins.
+// Callers hold e.mu.
+func (e *Enclave) scanExtent(q query.Query) int {
+	switch {
+	case q.Kind == query.JoinCount:
+		return int(e.yellow + e.green)
+	case q.Provider == record.GreenTaxi:
+		return int(e.green)
+	default:
+		return int(e.yellow)
+	}
+}
+
+// tableSizes reports the per-provider resident record counts (dummies
+// included) for the cost model.
+func (e *Enclave) tableSizes() (yellow, green int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.yellow, e.green
+}

@@ -1,0 +1,235 @@
+package oblidb
+
+import (
+	"testing"
+
+	"dpsync/internal/edb"
+	"dpsync/internal/query"
+	"dpsync/internal/record"
+)
+
+func newDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func yellow(tick int, id uint16) record.Record {
+	return record.Record{PickupTime: record.Tick(tick), PickupID: id, Provider: record.YellowCab}
+}
+
+func green(tick int, id uint16) record.Record {
+	return record.Record{PickupTime: record.Tick(tick), PickupID: id, Provider: record.GreenTaxi}
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	db := newDB(t)
+	if err := db.Update([]record.Record{yellow(1, 1)}); err != edb.ErrNotSetup {
+		t.Errorf("Update before Setup: %v", err)
+	}
+	if _, _, err := db.Query(query.Q1()); err != edb.ErrNotSetup {
+		t.Errorf("Query before Setup: %v", err)
+	}
+	if err := db.Setup(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Setup(nil); err != edb.ErrAlreadySetup {
+		t.Errorf("second Setup: %v", err)
+	}
+}
+
+func TestQueryAnswersExact(t *testing.T) {
+	db := newDB(t)
+	if err := db.Setup([]record.Record{yellow(0, 60), yellow(1, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update([]record.Record{yellow(2, 70), green(2, 5), record.NewDummy(record.YellowCab)}); err != nil {
+		t.Fatal(err)
+	}
+	ans, cost, err := db.Query(query.Q1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Scalar != 2 { // ids 60, 70 in [50,100]; dummy ignored
+		t.Errorf("Q1 = %v, want 2", ans.Scalar)
+	}
+	// Q1 targets the Yellow table: 3 real + 1 dummy ciphertexts.
+	if cost.RecordsScanned != 4 {
+		t.Errorf("scanned %d, want the Yellow table's 4", cost.RecordsScanned)
+	}
+
+	ans, _, err = db.Query(query.Q2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Total() != 3 { // three real yellow records
+		t.Errorf("Q2 total = %v, want 3", ans.Total())
+	}
+
+	ans, cost, err = db.Query(query.Q3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Scalar != 1 { // tick 2 collides across providers
+		t.Errorf("Q3 = %v, want 1", ans.Scalar)
+	}
+	if cost.PairsCompared == 0 {
+		t.Error("join cost should count pairs")
+	}
+}
+
+// TestAccessTraceOblivious pins the L-0 property the substrate exists to
+// provide: the number of ciphertexts touched per query depends only on the
+// store size, never on data values or predicates.
+func TestAccessTraceOblivious(t *testing.T) {
+	mkDB := func(ids []uint16) *DB {
+		db := newDB(t)
+		var rs []record.Record
+		for i, id := range ids {
+			rs = append(rs, yellow(i, id))
+		}
+		if err := db.Setup(rs); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	// Same sizes, completely different data: one all-in-range, one none.
+	dbA := mkDB([]uint16{50, 60, 70, 80, 90})
+	dbB := mkDB([]uint16{1, 2, 3, 4, 5})
+	queries := []query.Query{query.Q1(), query.Q2(), query.Q3(), {Kind: query.RangeCount, Provider: record.YellowCab, Lo: 200, Hi: 210}}
+	for _, q := range queries {
+		if _, _, err := dbA.Query(q); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := dbB.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	la, lb := dbA.AccessLog(), dbB.AccessLog()
+	for i := range la {
+		if la[i] != 5 || lb[i] != 5 {
+			t.Errorf("query %d: access counts %d / %d, want full-store scans of 5", i, la[i], lb[i])
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	db := newDB(t)
+	if err := db.Setup([]record.Record{yellow(0, 1), record.NewDummy(record.YellowCab)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update([]record.Record{record.NewDummy(record.GreenTaxi)}); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.Records != 3 || s.RealRecords != 1 || s.DummyRecords != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Bytes != 3*BlockBytes || s.DummyBytes != 2*BlockBytes {
+		t.Errorf("bytes = %d / %d", s.Bytes, s.DummyBytes)
+	}
+	if s.Updates != 2 {
+		t.Errorf("updates = %d", s.Updates)
+	}
+	if db.StoreSize() != 3 {
+		t.Errorf("store size = %d", db.StoreSize())
+	}
+}
+
+func TestJoinCostUsesPerTableSizes(t *testing.T) {
+	db := newDB(t)
+	var rs []record.Record
+	for i := 0; i < 10; i++ {
+		rs = append(rs, yellow(i, 1))
+	}
+	for i := 0; i < 4; i++ {
+		rs = append(rs, green(100+i, 1))
+	}
+	if err := db.Setup(rs); err != nil {
+		t.Fatal(err)
+	}
+	_, cost, err := db.Query(query.Q3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.PairsCompared != 40 {
+		t.Errorf("pairs = %d, want 10×4", cost.PairsCompared)
+	}
+}
+
+func TestCostGrowsWithStore(t *testing.T) {
+	db := newDB(t)
+	if err := db.Setup([]record.Record{yellow(0, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	_, c1, err := db.Query(query.Q2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []record.Record
+	for i := 0; i < 100; i++ {
+		batch = append(batch, record.NewDummy(record.YellowCab))
+	}
+	if err := db.Update(batch); err != nil {
+		t.Fatal(err)
+	}
+	_, c2, err := db.Query(query.Q2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Seconds <= c1.Seconds {
+		t.Errorf("cost did not grow with dummies: %v then %v", c1.Seconds, c2.Seconds)
+	}
+}
+
+func TestLeakageAndSupports(t *testing.T) {
+	db := newDB(t)
+	if db.Leakage() != edb.L0 {
+		t.Errorf("leakage = %v", db.Leakage())
+	}
+	if err := edb.CheckCompatibility(db); err != nil {
+		t.Errorf("ObliDB should be DP-Sync compatible: %v", err)
+	}
+	for _, q := range []query.Query{query.Q1(), query.Q2(), query.Q3()} {
+		if !db.Supports(q) {
+			t.Errorf("should support %v", q.Kind)
+		}
+	}
+	if db.Supports(query.Query{Kind: query.RangeCount, Provider: record.YellowCab, Lo: 9, Hi: 1}) {
+		t.Error("invalid query reported as supported")
+	}
+}
+
+func TestInvalidQueryRejected(t *testing.T) {
+	db := newDB(t)
+	if err := db.Setup(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.Query(query.Query{Kind: query.JoinCount, Provider: record.YellowCab}); err == nil {
+		t.Error("invalid join accepted")
+	}
+}
+
+func TestNewWithKeyRejectsBadKey(t *testing.T) {
+	if _, err := NewWithKey([]byte("short")); err == nil {
+		t.Error("bad key accepted")
+	}
+}
+
+func TestOwnerSealerInterop(t *testing.T) {
+	// The owner seals with db.Sealer(); the enclave must open those exact
+	// ciphertexts. (Exercises the shared-key provisioning path.)
+	db := newDB(t)
+	r := yellow(7, 77)
+	ct, err := db.Sealer().Seal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Sealer().Open(ct)
+	if err != nil || got != r {
+		t.Errorf("owner/enclave sealer mismatch: %v %v", got, err)
+	}
+}

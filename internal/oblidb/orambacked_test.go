@@ -1,0 +1,106 @@
+package oblidb
+
+import (
+	"testing"
+
+	"dpsync/internal/query"
+	"dpsync/internal/record"
+)
+
+func TestORAMBackedRoundTrip(t *testing.T) {
+	db := newDB(t)
+	if err := db.EnableORAM(128); err != nil {
+		t.Fatal(err)
+	}
+	if !db.ORAMEnabled() {
+		t.Fatal("ORAM not enabled")
+	}
+	var rs []record.Record
+	for i := 0; i < 40; i++ {
+		rs = append(rs, yellow(i, uint16(i%record.NumLocations+1)))
+	}
+	if err := db.Setup(rs[:10]); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update(rs[10:]); err != nil {
+		t.Fatal(err)
+	}
+	// The ORAM scan must return decryptable ciphertexts matching the store
+	// contents in order.
+	cts, err := db.ScanThroughORAM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cts) != 40 {
+		t.Fatalf("scan returned %d ciphertexts", len(cts))
+	}
+	for i, ct := range cts {
+		r, err := db.Sealer().Open(ct)
+		if err != nil {
+			t.Fatalf("ciphertext %d from ORAM does not authenticate: %v", i, err)
+		}
+		if r != rs[i] {
+			t.Fatalf("record %d mismatch after ORAM round trip", i)
+		}
+	}
+	// Queries still answer exactly with ORAM enabled.
+	ans, _, err := db.Query(query.Q2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Total() != 40 {
+		t.Errorf("Q2 total = %v", ans.Total())
+	}
+}
+
+func TestEnableORAMOrdering(t *testing.T) {
+	db := newDB(t)
+	if err := db.Setup(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnableORAM(10); err == nil {
+		t.Error("EnableORAM after Setup accepted")
+	}
+	db2 := newDB(t)
+	if db2.ORAMEnabled() {
+		t.Error("ORAM enabled by default")
+	}
+	if _, err := db2.ScanThroughORAM(); err == nil {
+		t.Error("scan without ORAM accepted")
+	}
+}
+
+func TestORAMPhysicalTraceGrows(t *testing.T) {
+	db := newDB(t)
+	if err := db.EnableORAM(64); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Setup([]record.Record{yellow(1, 1), yellow(2, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	before := len(db.ORAMAccessLog())
+	if before != 2 {
+		t.Errorf("ingest produced %d ORAM accesses, want 2", before)
+	}
+	if _, err := db.ScanThroughORAM(); err != nil {
+		t.Fatal(err)
+	}
+	after := len(db.ORAMAccessLog())
+	if after != before+2 {
+		t.Errorf("scan produced %d accesses, want 2", after-before)
+	}
+}
+
+func TestORAMCapacityExceeded(t *testing.T) {
+	db := newDB(t)
+	if err := db.EnableORAM(3); err != nil {
+		t.Fatal(err)
+	}
+	var rs []record.Record
+	for i := 0; i < 5; i++ {
+		rs = append(rs, yellow(i, 1))
+	}
+	if err := db.Setup(rs); err == nil {
+		t.Error("over-capacity ingest accepted")
+	}
+}

@@ -1,0 +1,222 @@
+// Package oram implements Path ORAM (Stefanov et al., CCS'13), the oblivious
+// RAM construction ObliDB's tables are stored in. Path ORAM hides *which*
+// block a client touches: every logical read or write re-fetches one
+// uniformly random root-to-leaf path of an encrypted binary tree and
+// re-writes it with freshly re-encrypted, re-shuffled blocks, so the
+// server-visible physical access sequence is independent of the logical one.
+//
+// DP-Sync itself only needs the *volume* dimension of obliviousness (the
+// enclave simulator already scans whole tables), but the paper evaluates
+// ObliDB "with ORAM enabled", and the physical-layer guarantee is what makes
+// the L-0 classification honest. This package provides the standard
+// construction — binary tree of bucket capacity Z, client-side stash and
+// position map — together with tests that drive the recursion invariants and
+// verify the access-trace distribution is data-independent.
+package oram
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// BlockSize is the fixed payload width of one ORAM block. Matching the
+// sealed-record width keeps the ObliDB integration zero-copy.
+const BlockSize = 64
+
+// Z is the bucket capacity (blocks per tree node); 4 is the standard Path
+// ORAM setting with negligible stash overflow.
+const Z = 4
+
+// Block is one logical datum.
+type Block struct {
+	ID   uint32 // logical address, 1-based (0 marks an empty slot)
+	Data [BlockSize]byte
+}
+
+// ORAM is a Path ORAM client+server pair in one structure. The `tree` field
+// plays the server role: an adversary observing the construction sees only
+// tree bucket indices being read and written (exposed via AccessLog), never
+// logical IDs. The stash and position map are client-side state.
+//
+// Not safe for concurrent use; callers serialize (the enclave does).
+type ORAM struct {
+	depth    int      // tree height; leaves = 1<<depth
+	capacity uint32   // max logical blocks
+	tree     []bucket // 2^(depth+1) - 1 buckets, heap order
+	position map[uint32]uint32
+	stash    map[uint32]Block
+
+	accessLog []uint32 // leaf label of every access (the adversary's view)
+}
+
+type bucket struct {
+	blocks [Z]Block // ID 0 = empty slot
+}
+
+// ErrNotFound is returned when reading a logical ID that was never written.
+var ErrNotFound = errors.New("oram: block not found")
+
+// ErrFull is returned when writing beyond the declared capacity.
+var ErrFull = errors.New("oram: capacity exceeded")
+
+// New creates a Path ORAM holding up to capacity blocks. The tree is sized
+// with one leaf per up-to-Z blocks, plus one level of slack to keep the
+// stash small.
+func New(capacity int) (*ORAM, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("oram: capacity must be positive, got %d", capacity)
+	}
+	depth := 1
+	for (1<<depth)*Z/2 < capacity {
+		depth++
+	}
+	o := &ORAM{
+		depth:    depth,
+		capacity: uint32(capacity),
+		tree:     make([]bucket, (1<<(depth+1))-1),
+		position: make(map[uint32]uint32),
+		stash:    make(map[uint32]Block),
+	}
+	return o, nil
+}
+
+// Capacity returns the maximum number of logical blocks.
+func (o *ORAM) Capacity() int { return int(o.capacity) }
+
+// Depth returns the tree height.
+func (o *ORAM) Depth() int { return o.depth }
+
+// StashSize returns the current client-side stash occupancy, the quantity
+// whose boundedness Path ORAM's analysis guarantees.
+func (o *ORAM) StashSize() int { return len(o.stash) }
+
+// AccessLog returns the leaf labels of all accesses so far — the complete
+// server-visible transcript. Tests check its distribution is uniform and
+// data-independent.
+func (o *ORAM) AccessLog() []uint32 {
+	out := make([]uint32, len(o.accessLog))
+	copy(out, o.accessLog)
+	return out
+}
+
+// Write stores data under logical id (1-based).
+func (o *ORAM) Write(id uint32, data [BlockSize]byte) error {
+	if id == 0 || id > o.capacity {
+		return ErrFull
+	}
+	_, err := o.access(id, &data)
+	return err
+}
+
+// Read fetches the block with logical id.
+func (o *ORAM) Read(id uint32) ([BlockSize]byte, error) {
+	if id == 0 || id > o.capacity {
+		return [BlockSize]byte{}, ErrNotFound
+	}
+	b, err := o.access(id, nil)
+	if err != nil {
+		return [BlockSize]byte{}, err
+	}
+	return b, nil
+}
+
+// access implements the Path ORAM access protocol: remap the block to a
+// fresh random leaf, read the old path into the stash, serve the request,
+// then write the path back greedily from the leaf up.
+func (o *ORAM) access(id uint32, write *[BlockSize]byte) ([BlockSize]byte, error) {
+	leaf, known := o.position[id]
+	if !known {
+		if write == nil {
+			return [BlockSize]byte{}, ErrNotFound
+		}
+		leaf = o.randomLeaf()
+	}
+	// Remap before the physical access: the path fetched now corresponds to
+	// the *old* position, and the new one is secret until next time.
+	newLeaf := o.randomLeaf()
+	o.position[id] = newLeaf
+
+	o.accessLog = append(o.accessLog, leaf)
+	o.readPathToStash(leaf)
+
+	blk, ok := o.stash[id]
+	if !ok {
+		if write == nil {
+			// Position map said the block exists but the path+stash miss it:
+			// corrupted state.
+			return [BlockSize]byte{}, fmt.Errorf("oram: block %d lost (stash=%d)", id, len(o.stash))
+		}
+		blk = Block{ID: id}
+	}
+	if write != nil {
+		blk.Data = *write
+	}
+	o.stash[id] = blk
+
+	o.writePathFromStash(leaf)
+	return blk.Data, nil
+}
+
+// randomLeaf draws a uniform leaf label in [0, 2^depth).
+func (o *ORAM) randomLeaf() uint32 {
+	var buf [4]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		panic(fmt.Sprintf("oram: rand: %v", err))
+	}
+	return binary.BigEndian.Uint32(buf[:]) & ((1 << o.depth) - 1)
+}
+
+// pathNodes returns the heap indices of the root-to-leaf path for a leaf
+// label, root first.
+func (o *ORAM) pathNodes(leaf uint32) []int {
+	nodes := make([]int, o.depth+1)
+	// Heap index of the leaf: leaves start at 2^depth - 1.
+	idx := int(leaf) + (1 << o.depth) - 1
+	for lvl := o.depth; lvl >= 0; lvl-- {
+		nodes[lvl] = idx
+		idx = (idx - 1) / 2
+	}
+	return nodes
+}
+
+func (o *ORAM) readPathToStash(leaf uint32) {
+	for _, n := range o.pathNodes(leaf) {
+		for i := range o.tree[n].blocks {
+			b := o.tree[n].blocks[i]
+			if b.ID != 0 {
+				o.stash[b.ID] = b
+				o.tree[n].blocks[i] = Block{}
+			}
+		}
+	}
+}
+
+// writePathFromStash evicts stash blocks back onto the path, deepest level
+// first, placing each block as close to its assigned leaf as the path
+// intersection allows.
+func (o *ORAM) writePathFromStash(leaf uint32) {
+	nodes := o.pathNodes(leaf)
+	for lvl := o.depth; lvl >= 0; lvl-- {
+		n := nodes[lvl]
+		slot := 0
+		for id, b := range o.stash {
+			if slot >= Z {
+				break
+			}
+			if o.pathIntersects(o.position[id], leaf, lvl) {
+				o.tree[n].blocks[slot] = b
+				slot++
+				delete(o.stash, id)
+			}
+		}
+	}
+}
+
+// pathIntersects reports whether the path to leafA passes through the
+// level-lvl node on the path to leafB.
+func (o *ORAM) pathIntersects(leafA, leafB uint32, lvl int) bool {
+	shift := uint(o.depth - lvl)
+	return leafA>>shift == leafB>>shift
+}

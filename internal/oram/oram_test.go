@@ -1,0 +1,239 @@
+package oram
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func payload(v uint32) [BlockSize]byte {
+	var d [BlockSize]byte
+	binary.BigEndian.PutUint32(d[:4], v)
+	return d
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	o, err := New(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint32(1); id <= 100; id++ {
+		if err := o.Write(id, payload(id*7)); err != nil {
+			t.Fatalf("write %d: %v", id, err)
+		}
+	}
+	for id := uint32(1); id <= 100; id++ {
+		got, err := o.Read(id)
+		if err != nil {
+			t.Fatalf("read %d: %v", id, err)
+		}
+		if binary.BigEndian.Uint32(got[:4]) != id*7 {
+			t.Fatalf("block %d corrupted", id)
+		}
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	o, _ := New(10)
+	if err := o.Write(3, payload(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Write(3, payload(2)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := o.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary.BigEndian.Uint32(got[:4]) != 2 {
+		t.Error("overwrite lost")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	o, _ := New(10)
+	if _, err := o.Read(5); err != ErrNotFound {
+		t.Errorf("unwritten read: %v", err)
+	}
+	if _, err := o.Read(0); err != ErrNotFound {
+		t.Errorf("id 0 read: %v", err)
+	}
+	if err := o.Write(0, payload(1)); err != ErrFull {
+		t.Errorf("id 0 write: %v", err)
+	}
+	if err := o.Write(11, payload(1)); err != ErrFull {
+		t.Errorf("overflow write: %v", err)
+	}
+}
+
+func TestStashStaysBounded(t *testing.T) {
+	const n = 256
+	o, _ := New(n)
+	for id := uint32(1); id <= n; id++ {
+		if err := o.Write(id, payload(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	maxStash := 0
+	// Random-ish access workload.
+	for i := 0; i < 10_000; i++ {
+		id := uint32(i*2654435761)%n + 1
+		if i%3 == 0 {
+			if err := o.Write(id, payload(uint32(i))); err != nil {
+				t.Fatal(err)
+			}
+		} else if _, err := o.Read(id); err != nil {
+			t.Fatal(err)
+		}
+		if s := o.StashSize(); s > maxStash {
+			maxStash = s
+		}
+	}
+	// Path ORAM's stash is O(log N) w.h.p.; with Z=4 and a slack level,
+	// anything near capacity would signal broken eviction.
+	if maxStash > 60 {
+		t.Errorf("stash peaked at %d blocks (capacity %d): eviction broken?", maxStash, n)
+	}
+}
+
+// TestAccessPatternUniform checks the server-visible leaf sequence is
+// uniform over leaves — the statistical heart of Path ORAM's security.
+func TestAccessPatternUniform(t *testing.T) {
+	const n = 64
+	o, _ := New(n)
+	for id := uint32(1); id <= n; id++ {
+		if err := o.Write(id, payload(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Hammer one single logical block; its physical trace must still be
+	// uniform because of per-access remapping.
+	const accesses = 20_000
+	for i := 0; i < accesses; i++ {
+		if _, err := o.Read(7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log := o.AccessLog()
+	log = log[n:] // skip the setup writes
+	leaves := 1 << o.Depth()
+	counts := make([]int, leaves)
+	for _, leaf := range log {
+		counts[leaf]++
+	}
+	expected := float64(len(log)) / float64(leaves)
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// Chi-square with (leaves-1) dof; mean = dof, sd = sqrt(2·dof).
+	dof := float64(leaves - 1)
+	if chi2 > dof+6*math.Sqrt(2*dof) {
+		t.Errorf("leaf distribution non-uniform: chi2 = %.1f, dof = %.0f", chi2, dof)
+	}
+}
+
+// TestAccessPatternDataIndependent compares the physical traces of two
+// workloads with identical access *counts* but different logical targets:
+// the trace distributions must be statistically indistinguishable (equal
+// leaf-frequency profiles up to sampling noise).
+func TestAccessPatternDataIndependent(t *testing.T) {
+	run := func(sameBlock bool) []uint32 {
+		const n = 64
+		o, _ := New(n)
+		for id := uint32(1); id <= n; id++ {
+			if err := o.Write(id, payload(id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 8000; i++ {
+			id := uint32(1)
+			if !sameBlock {
+				id = uint32(i%n) + 1
+			}
+			if _, err := o.Read(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return o.AccessLog()[n:]
+	}
+	a, b := run(true), run(false)
+	// Compare first-moment statistics of the leaf labels.
+	mean := func(xs []uint32) float64 {
+		var s float64
+		for _, x := range xs {
+			s += float64(x)
+		}
+		return s / float64(len(xs))
+	}
+	leaves := 32.0 // depth for 64 blocks with Z=4 slack → at least 32 leaves
+	if d := math.Abs(mean(a)-mean(b)) / leaves; d > 0.05 {
+		t.Errorf("trace means differ by %.3f of the leaf range", d)
+	}
+}
+
+func TestCapacityAndDepth(t *testing.T) {
+	for _, n := range []int{1, 4, 100, 1000} {
+		o, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Capacity() != n {
+			t.Errorf("capacity = %d, want %d", o.Capacity(), n)
+		}
+		// Tree must hold at least the capacity with slack.
+		if (1<<o.Depth())*Z/2 < n {
+			t.Errorf("n=%d: depth %d too shallow", n, o.Depth())
+		}
+	}
+}
+
+// Property: any sequence of writes is fully recoverable.
+func TestQuickAllWritesRecoverable(t *testing.T) {
+	f := func(values []uint32) bool {
+		if len(values) == 0 || len(values) > 200 {
+			return true
+		}
+		o, err := New(len(values))
+		if err != nil {
+			return false
+		}
+		for i, v := range values {
+			if err := o.Write(uint32(i)+1, payload(v)); err != nil {
+				return false
+			}
+		}
+		for i, v := range values {
+			got, err := o.Read(uint32(i) + 1)
+			if err != nil || binary.BigEndian.Uint32(got[:4]) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkORAMAccess(b *testing.B) {
+	const n = 4096
+	o, _ := New(n)
+	for id := uint32(1); id <= n; id++ {
+		if err := o.Write(id, payload(id)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Read(uint32(i%n) + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package query
+
+import (
+	"fmt"
+
+	"dpsync/internal/record"
+)
+
+// Tables maps each provider to its stored rows. Both the logical database
+// (ground truth) and the substrates' decrypted stores satisfy this shape.
+type Tables map[record.Provider][]record.Record
+
+// Execute evaluates a compiled plan over the given tables and returns the
+// answer. GroupBy plans return per-location counts (Groups), everything else
+// returns a Scalar.
+func Execute(p *Plan, tables Tables) (Answer, error) {
+	switch p.Op {
+	case OpCount:
+		rows, err := rows(p.Children[0], tables)
+		if err != nil {
+			return Answer{}, err
+		}
+		return Answer{Scalar: float64(len(rows))}, nil
+	case OpSum:
+		rows, err := rows(p.Children[0], tables)
+		if err != nil {
+			return Answer{}, err
+		}
+		if len(p.Attrs) != 1 || p.Attrs[0] != AttrFare {
+			return Answer{}, fmt.Errorf("query: sum supports fare only, got %v", p.Attrs)
+		}
+		var sum float64
+		for _, r := range rows {
+			sum += float64(r.FareCents)
+		}
+		return Answer{Scalar: sum}, nil
+	case OpGroupBy:
+		rows, err := rows(p.Children[0], tables)
+		if err != nil {
+			return Answer{}, err
+		}
+		if len(p.Attrs) != 1 || p.Attrs[0] != AttrPickupID {
+			return Answer{}, fmt.Errorf("query: group-by supports pickupID only, got %v", p.Attrs)
+		}
+		groups := make([]float64, record.NumLocations)
+		for _, r := range rows {
+			if r.PickupID >= 1 && r.PickupID <= record.NumLocations {
+				groups[r.PickupID-1]++
+			}
+			// Rows outside the domain (dummy padding reaching an unrewritten
+			// plan) land nowhere, mirroring Appendix B's requirement that
+			// dummies never join a real group.
+		}
+		return Answer{Groups: groups}, nil
+	default:
+		rs, err := rows(p, tables)
+		if err != nil {
+			return Answer{}, err
+		}
+		return Answer{Scalar: float64(len(rs))}, nil
+	}
+}
+
+// rows evaluates the row-producing fragment of a plan.
+func rows(p *Plan, tables Tables) ([]record.Record, error) {
+	if p == nil {
+		return nil, fmt.Errorf("query: nil plan node")
+	}
+	switch p.Op {
+	case OpScan:
+		return tables[p.Table], nil
+	case OpFilter:
+		in, err := rows(p.Children[0], tables)
+		if err != nil {
+			return nil, err
+		}
+		var out []record.Record
+		for _, r := range in {
+			if p.Pred.Matches(r) {
+				out = append(out, r)
+			}
+		}
+		return out, nil
+	case OpProject:
+		// Projection does not change cardinality; attribute narrowing is a
+		// no-op on the in-memory record representation.
+		return rows(p.Children[0], tables)
+	case OpJoin:
+		if len(p.Children) != 2 {
+			return nil, fmt.Errorf("query: join needs 2 children, has %d", len(p.Children))
+		}
+		left, err := rows(p.Children[0], tables)
+		if err != nil {
+			return nil, err
+		}
+		right, err := rows(p.Children[1], tables)
+		if err != nil {
+			return nil, err
+		}
+		return equiJoin(left, right, p.Attrs)
+	case OpCount, OpGroupBy, OpSum:
+		return nil, fmt.Errorf("query: %v is not a row producer", p.Op)
+	default:
+		return nil, fmt.Errorf("query: unknown op %v", p.Op)
+	}
+}
+
+// equiJoin hash-joins left and right on the given key attribute. The result
+// rows reuse the left record with the understanding that only cardinality is
+// consumed downstream (all evaluation queries count).
+func equiJoin(left, right []record.Record, attrs []Attr) ([]record.Record, error) {
+	if len(attrs) != 1 {
+		return nil, fmt.Errorf("query: join supports exactly one key, got %d", len(attrs))
+	}
+	key := attrs[0]
+	var keyOf func(r record.Record) int64
+	switch key {
+	case AttrPickupTime:
+		keyOf = func(r record.Record) int64 { return int64(r.PickupTime) }
+	case AttrPickupID:
+		keyOf = func(r record.Record) int64 { return int64(r.PickupID) }
+	default:
+		return nil, fmt.Errorf("query: unsupported join key %v", key)
+	}
+	index := make(map[int64]int, len(right))
+	for _, r := range right {
+		index[keyOf(r)]++
+	}
+	var out []record.Record
+	for _, l := range left {
+		for i := 0; i < index[keyOf(l)]; i++ {
+			out = append(out, l)
+		}
+	}
+	return out, nil
+}
+
+// Truth evaluates q over the logical database tables (which contain no
+// dummies) using the naive plan. It is the reference answer for the paper's
+// L1 query-error metric.
+func Truth(q Query, tables Tables) (Answer, error) {
+	p, err := Compile(q)
+	if err != nil {
+		return Answer{}, err
+	}
+	return Execute(p, tables)
+}
+
+// Evaluate compiles q, applies the Appendix-B rewrite, and executes over
+// dummy-bearing tables. This is what the substrates' "enclaves" run.
+func Evaluate(q Query, tables Tables) (Answer, error) {
+	p, err := Compile(q)
+	if err != nil {
+		return Answer{}, err
+	}
+	rw := Rewrite(p)
+	if !IsDummyFree(rw) {
+		return Answer{}, fmt.Errorf("query: rewrite failed to guard plan %s", rw)
+	}
+	return Execute(rw, tables)
+}

@@ -1,0 +1,218 @@
+package query
+
+import (
+	"fmt"
+
+	"dpsync/internal/record"
+)
+
+// Op is a logical relational operator. Plans are small trees of Ops; the
+// executor (exec.go) walks them and the rewriter (rewrite.go) injects
+// dummy-elimination predicates following the paper's Appendix B.
+type Op int
+
+const (
+	// OpScan reads a base table (one provider's records).
+	OpScan Op = iota
+	// OpFilter keeps rows matching a predicate (Appendix B: φ(T, p)).
+	OpFilter
+	// OpProject keeps a subset of attributes (Appendix B: π(T, A)).
+	OpProject
+	// OpGroupBy groups rows on an attribute and counts (Appendix B: χ(T, A')).
+	OpGroupBy
+	// OpJoin equi-joins two children on an attribute (Appendix B: ⋈(T1,T2,c)).
+	OpJoin
+	// OpCount counts its child's rows.
+	OpCount
+	// OpSum sums an attribute over its child's rows (extension operator).
+	OpSum
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpScan:
+		return "scan"
+	case OpFilter:
+		return "filter"
+	case OpProject:
+		return "project"
+	case OpGroupBy:
+		return "groupby"
+	case OpJoin:
+		return "join"
+	case OpCount:
+		return "count"
+	case OpSum:
+		return "sum"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Attr names a record attribute used by project/group/join operators.
+type Attr int
+
+const (
+	AttrPickupTime Attr = iota
+	AttrPickupID
+	AttrProvider
+	AttrFare
+	AttrIsDummy
+)
+
+// String implements fmt.Stringer.
+func (a Attr) String() string {
+	switch a {
+	case AttrPickupTime:
+		return "pickupTime"
+	case AttrPickupID:
+		return "pickupID"
+	case AttrProvider:
+		return "provider"
+	case AttrFare:
+		return "fare"
+	case AttrIsDummy:
+		return "isDummy"
+	default:
+		return fmt.Sprintf("Attr(%d)", int(a))
+	}
+}
+
+// Predicate is a row filter. NotDummy is the Appendix-B rewrite predicate.
+type Predicate struct {
+	// IDRange, when set, keeps rows with Lo <= PickupID <= Hi.
+	IDRange bool
+	Lo, Hi  uint16
+	// NotDummy, when set, keeps only real rows.
+	NotDummy bool
+}
+
+// Matches reports whether r satisfies the predicate.
+func (p Predicate) Matches(r record.Record) bool {
+	if p.NotDummy && r.Dummy {
+		return false
+	}
+	if p.IDRange && (r.PickupID < p.Lo || r.PickupID > p.Hi) {
+		return false
+	}
+	return true
+}
+
+// And returns the conjunction of p and q.
+func (p Predicate) And(q Predicate) Predicate {
+	out := p
+	if q.NotDummy {
+		out.NotDummy = true
+	}
+	if q.IDRange {
+		if !out.IDRange {
+			out.IDRange, out.Lo, out.Hi = true, q.Lo, q.Hi
+		} else {
+			if q.Lo > out.Lo {
+				out.Lo = q.Lo
+			}
+			if q.Hi < out.Hi {
+				out.Hi = q.Hi
+			}
+		}
+	}
+	return out
+}
+
+// Plan is a node in a logical query plan tree.
+type Plan struct {
+	Op       Op
+	Table    record.Provider // OpScan
+	Pred     Predicate       // OpFilter
+	Attrs    []Attr          // OpProject / OpGroupBy key / OpJoin key
+	Children []*Plan
+}
+
+// Compile lowers a Query into a logical plan. The produced plan is *naive*:
+// it contains no dummy-elimination predicates. Callers targeting stores that
+// hold dummy records must pass the plan through Rewrite first; evaluating
+// ground truth over the logical database uses the naive plan directly.
+func Compile(q Query) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	switch q.Kind {
+	case RangeCount:
+		return &Plan{
+			Op: OpCount,
+			Children: []*Plan{{
+				Op:       OpFilter,
+				Pred:     Predicate{IDRange: true, Lo: q.Lo, Hi: q.Hi},
+				Children: []*Plan{{Op: OpScan, Table: q.Provider}},
+			}},
+		}, nil
+	case GroupCount:
+		return &Plan{
+			Op:       OpGroupBy,
+			Attrs:    []Attr{AttrPickupID},
+			Children: []*Plan{{Op: OpScan, Table: q.Provider}},
+		}, nil
+	case JoinCount:
+		return &Plan{
+			Op: OpCount,
+			Children: []*Plan{{
+				Op:    OpJoin,
+				Attrs: []Attr{AttrPickupTime},
+				Children: []*Plan{
+					{Op: OpScan, Table: q.Provider},
+					{Op: OpScan, Table: q.JoinWith},
+				},
+			}},
+		}, nil
+	case SumFare:
+		return &Plan{
+			Op:    OpSum,
+			Attrs: []Attr{AttrFare},
+			Children: []*Plan{{
+				Op:       OpFilter,
+				Pred:     Predicate{IDRange: true, Lo: q.Lo, Hi: q.Hi},
+				Children: []*Plan{{Op: OpScan, Table: q.Provider}},
+			}},
+		}, nil
+	default:
+		return nil, fmt.Errorf("query: cannot compile kind %v", q.Kind)
+	}
+}
+
+// Walk visits the plan tree depth-first, parents before children.
+func (p *Plan) Walk(visit func(*Plan)) {
+	if p == nil {
+		return
+	}
+	visit(p)
+	for _, c := range p.Children {
+		c.Walk(visit)
+	}
+}
+
+// String renders the plan as a one-line s-expression, for tests and logs.
+func (p *Plan) String() string {
+	if p == nil {
+		return "()"
+	}
+	s := "(" + p.Op.String()
+	if p.Op == OpScan {
+		s += " " + p.Table.String()
+	}
+	if p.Op == OpFilter {
+		if p.Pred.IDRange {
+			s += fmt.Sprintf(" id∈[%d,%d]", p.Pred.Lo, p.Pred.Hi)
+		}
+		if p.Pred.NotDummy {
+			s += " ¬dummy"
+		}
+	}
+	for _, a := range p.Attrs {
+		s += " " + a.String()
+	}
+	for _, c := range p.Children {
+		s += " " + c.String()
+	}
+	return s + ")"
+}

@@ -1,0 +1,145 @@
+// Package query implements the analyst-side query layer: a small relational
+// algebra (scan, filter, project, group-by, join, count), the three
+// evaluation queries from the paper's §8 (Q1 range count, Q2 group-by count,
+// Q3 equi-join count), and the Appendix-B query rewriting that makes query
+// results ignore dummy records.
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"dpsync/internal/record"
+)
+
+// Kind enumerates the evaluation query templates from the paper.
+type Kind int
+
+const (
+	// RangeCount is Q1: SELECT COUNT(*) FROM t WHERE pickupID BETWEEN lo AND hi.
+	RangeCount Kind = iota
+	// GroupCount is Q2: SELECT pickupID, COUNT(*) FROM t GROUP BY pickupID.
+	GroupCount
+	// JoinCount is Q3: SELECT COUNT(*) FROM a INNER JOIN b ON a.pickTime = b.pickTime.
+	JoinCount
+	// SumFare is Q4 — an extension beyond the paper's evaluation:
+	// SELECT SUM(fareCents) FROM t WHERE pickupID BETWEEN lo AND hi.
+	// It exercises non-count linear aggregation: exact under ObliDB,
+	// released with sensitivity-MaxFareCents Laplace noise under Cryptε.
+	SumFare
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case RangeCount:
+		return "Q1-range-count"
+	case GroupCount:
+		return "Q2-group-count"
+	case JoinCount:
+		return "Q3-join-count"
+	case SumFare:
+		return "Q4-sum-fare"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Query is one analyst request.
+type Query struct {
+	Kind     Kind
+	Provider record.Provider // target table (left table for joins)
+	JoinWith record.Provider // right table, JoinCount only
+	Lo, Hi   uint16          // inclusive pickupID bounds, RangeCount only
+}
+
+// Q1 returns the paper's linear range query over Yellow Cab pickups 50–100.
+func Q1() Query {
+	return Query{Kind: RangeCount, Provider: record.YellowCab, Lo: 50, Hi: 100}
+}
+
+// Q2 returns the paper's aggregation query grouping Yellow Cab pickups by
+// location.
+func Q2() Query {
+	return Query{Kind: GroupCount, Provider: record.YellowCab}
+}
+
+// Q3 returns the paper's join query counting tick-aligned trips across the
+// two providers.
+func Q3() Query {
+	return Query{Kind: JoinCount, Provider: record.YellowCab, JoinWith: record.GreenTaxi}
+}
+
+// Q4 returns the extension aggregation: total Yellow Cab fare (cents) over
+// the full zone range.
+func Q4() Query {
+	return Query{Kind: SumFare, Provider: record.YellowCab, Lo: 1, Hi: record.NumLocations}
+}
+
+// Validate checks structural well-formedness.
+func (q Query) Validate() error {
+	switch q.Kind {
+	case RangeCount, SumFare:
+		if q.Lo > q.Hi {
+			return fmt.Errorf("query: empty range %d..%d", q.Lo, q.Hi)
+		}
+	case GroupCount:
+	case JoinCount:
+		if q.JoinWith == 0 {
+			return fmt.Errorf("query: join without right table")
+		}
+	default:
+		return fmt.Errorf("query: unknown kind %d", q.Kind)
+	}
+	if q.Provider == 0 {
+		return fmt.Errorf("query: missing provider")
+	}
+	return nil
+}
+
+// Answer holds a query result. RangeCount and JoinCount fill Scalar;
+// GroupCount fills Groups, indexed by pickupID-1.
+type Answer struct {
+	Scalar float64
+	Groups []float64
+}
+
+// L1 returns the L1 distance between two answers of the same shape, the
+// paper's query-error metric QE(q_t). Comparing mismatched shapes returns
+// +Inf so the error is impossible to miss in metrics.
+func (a Answer) L1(b Answer) float64 {
+	if len(a.Groups) != len(b.Groups) {
+		return math.Inf(1)
+	}
+	if len(a.Groups) == 0 {
+		return math.Abs(a.Scalar - b.Scalar)
+	}
+	var sum float64
+	for i := range a.Groups {
+		sum += math.Abs(a.Groups[i] - b.Groups[i])
+	}
+	return sum
+}
+
+// Total returns the sum of all values in the answer, used by volume-style
+// metrics.
+func (a Answer) Total() float64 {
+	if len(a.Groups) == 0 {
+		return a.Scalar
+	}
+	var sum float64
+	for _, g := range a.Groups {
+		sum += g
+	}
+	return sum
+}
+
+// Clone deep-copies the answer.
+func (a Answer) Clone() Answer {
+	out := Answer{Scalar: a.Scalar}
+	if a.Groups != nil {
+		out.Groups = make([]float64, len(a.Groups))
+		copy(out.Groups, a.Groups)
+	}
+	return out
+}

@@ -1,0 +1,339 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dpsync/internal/record"
+)
+
+func TestQueryValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		q    Query
+		ok   bool
+	}{
+		{"Q1", Q1(), true},
+		{"Q2", Q2(), true},
+		{"Q3", Q3(), true},
+		{"empty range", Query{Kind: RangeCount, Provider: record.YellowCab, Lo: 10, Hi: 5}, false},
+		{"join no right", Query{Kind: JoinCount, Provider: record.YellowCab}, false},
+		{"no provider", Query{Kind: GroupCount}, false},
+		{"bad kind", Query{Kind: Kind(99), Provider: record.YellowCab}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.q.Validate(); (err == nil) != tt.ok {
+				t.Errorf("Validate = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{RangeCount, GroupCount, JoinCount} {
+		if s := k.String(); !strings.HasPrefix(s, "Q") {
+			t.Errorf("Kind %d string = %q", k, s)
+		}
+	}
+}
+
+func TestAnswerL1(t *testing.T) {
+	a := Answer{Scalar: 10}
+	b := Answer{Scalar: 7}
+	if got := a.L1(b); got != 3 {
+		t.Errorf("scalar L1 = %v, want 3", got)
+	}
+	g1 := Answer{Groups: []float64{1, 2, 3}}
+	g2 := Answer{Groups: []float64{2, 2, 1}}
+	if got := g1.L1(g2); got != 3 {
+		t.Errorf("group L1 = %v, want 3", got)
+	}
+	if got := a.L1(g1); !math.IsInf(got, 1) {
+		t.Errorf("mismatched shapes L1 = %v, want +Inf", got)
+	}
+}
+
+func TestAnswerTotalAndClone(t *testing.T) {
+	a := Answer{Groups: []float64{1, 2, 3}}
+	if a.Total() != 6 {
+		t.Errorf("Total = %v, want 6", a.Total())
+	}
+	c := a.Clone()
+	c.Groups[0] = 99
+	if a.Groups[0] != 1 {
+		t.Error("Clone aliased Groups")
+	}
+	s := Answer{Scalar: 4}
+	if s.Total() != 4 {
+		t.Errorf("scalar Total = %v", s.Total())
+	}
+}
+
+func yellowRows() []record.Record {
+	// pickupIDs: 10, 50, 75, 100, 101, 75
+	ids := []uint16{10, 50, 75, 100, 101, 75}
+	rs := make([]record.Record, len(ids))
+	for i, id := range ids {
+		rs[i] = record.Record{PickupTime: record.Tick(i), PickupID: id, Provider: record.YellowCab}
+	}
+	return rs
+}
+
+func greenRows() []record.Record {
+	// pickup times 0, 2, 4 — two collide with yellow's 0..5.
+	ticks := []record.Tick{0, 2, 4}
+	rs := make([]record.Record, len(ticks))
+	for i, tk := range ticks {
+		rs[i] = record.Record{PickupTime: tk, PickupID: 5, Provider: record.GreenTaxi}
+	}
+	return rs
+}
+
+func TestTruthQ1(t *testing.T) {
+	tables := Tables{record.YellowCab: yellowRows()}
+	ans, err := Truth(Q1(), tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IDs in [50,100]: 50, 75, 100, 75 → 4.
+	if ans.Scalar != 4 {
+		t.Errorf("Q1 = %v, want 4", ans.Scalar)
+	}
+}
+
+func TestTruthQ2(t *testing.T) {
+	tables := Tables{record.YellowCab: yellowRows()}
+	ans, err := Truth(Q2(), tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Groups) != record.NumLocations {
+		t.Fatalf("groups len = %d", len(ans.Groups))
+	}
+	if ans.Groups[74] != 2 { // pickupID 75
+		t.Errorf("group 75 = %v, want 2", ans.Groups[74])
+	}
+	if ans.Total() != 6 {
+		t.Errorf("total = %v, want 6", ans.Total())
+	}
+}
+
+func TestTruthQ3(t *testing.T) {
+	tables := Tables{record.YellowCab: yellowRows(), record.GreenTaxi: greenRows()}
+	ans, err := Truth(Q3(), tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Yellow times 0..5, green times 0,2,4 → 3 matches.
+	if ans.Scalar != 3 {
+		t.Errorf("Q3 = %v, want 3", ans.Scalar)
+	}
+}
+
+func TestJoinCountsMultiplicity(t *testing.T) {
+	left := []record.Record{
+		{PickupTime: 1, PickupID: 1, Provider: record.YellowCab},
+		{PickupTime: 1, PickupID: 2, Provider: record.YellowCab},
+	}
+	right := []record.Record{
+		{PickupTime: 1, PickupID: 3, Provider: record.GreenTaxi},
+		{PickupTime: 1, PickupID: 4, Provider: record.GreenTaxi},
+		{PickupTime: 1, PickupID: 5, Provider: record.GreenTaxi},
+	}
+	tables := Tables{record.YellowCab: left, record.GreenTaxi: right}
+	ans, err := Truth(Q3(), tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Scalar != 6 { // 2 × 3 cross matches on the shared tick
+		t.Errorf("join = %v, want 6", ans.Scalar)
+	}
+}
+
+func TestEvaluateIgnoresDummies(t *testing.T) {
+	rows := yellowRows()
+	for i := 0; i < 10; i++ {
+		rows = append(rows, record.NewDummy(record.YellowCab))
+	}
+	greens := append(greenRows(), record.NewDummy(record.GreenTaxi), record.NewDummy(record.GreenTaxi))
+	dirty := Tables{record.YellowCab: rows, record.GreenTaxi: greens}
+	clean := Tables{record.YellowCab: yellowRows(), record.GreenTaxi: greenRows()}
+
+	for _, q := range []Query{Q1(), Q2(), Q3()} {
+		want, err := Truth(q, clean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Evaluate(q, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.L1(want) != 0 {
+			t.Errorf("%v: rewritten answer differs from truth by %v", q.Kind, got.L1(want))
+		}
+	}
+}
+
+func TestNaiveExecutionSeesDummiesInCount(t *testing.T) {
+	// Sanity check that the rewrite is actually doing something: a naive
+	// (unrewritten) Q1 plan over a dummy whose PickupID lands in range
+	// counts it.
+	rows := []record.Record{
+		{PickupTime: 1, PickupID: 60, Provider: record.YellowCab},
+		{PickupTime: 2, PickupID: 70, Provider: record.YellowCab, Dummy: true},
+	}
+	p, err := Compile(Q1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := Execute(p, Tables{record.YellowCab: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Scalar != 2 {
+		t.Errorf("naive count = %v, want 2 (dummy included)", ans.Scalar)
+	}
+	got, err := Evaluate(Q1(), Tables{record.YellowCab: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scalar != 1 {
+		t.Errorf("rewritten count = %v, want 1", got.Scalar)
+	}
+}
+
+func TestRewriteEstablishesDummyFree(t *testing.T) {
+	for _, q := range []Query{Q1(), Q2(), Q3()} {
+		p, err := Compile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if IsDummyFree(p) {
+			t.Errorf("%v: naive plan should not be dummy-free", q.Kind)
+		}
+		rw := Rewrite(p)
+		if !IsDummyFree(rw) {
+			t.Errorf("%v: rewritten plan not dummy-free: %s", q.Kind, rw)
+		}
+	}
+}
+
+func TestRewriteDoesNotMutateInput(t *testing.T) {
+	p, err := Compile(Q1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.String()
+	_ = Rewrite(p)
+	if p.String() != before {
+		t.Errorf("Rewrite mutated input:\nbefore %s\nafter  %s", before, p.String())
+	}
+}
+
+func TestRewriteIdempotentOnFilters(t *testing.T) {
+	p, _ := Compile(Q1())
+	once := Rewrite(p)
+	twice := Rewrite(once)
+	if !IsDummyFree(twice) {
+		t.Error("double rewrite lost dummy-freeness")
+	}
+	// Double rewrite must not change answers.
+	tables := Tables{record.YellowCab: append(yellowRows(), record.NewDummy(record.YellowCab))}
+	a1, err := Execute(once, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Execute(twice, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.L1(a2) != 0 {
+		t.Errorf("idempotence violated: %v vs %v", a1.Scalar, a2.Scalar)
+	}
+}
+
+func TestPredicateAnd(t *testing.T) {
+	p := Predicate{IDRange: true, Lo: 10, Hi: 100}
+	q := Predicate{IDRange: true, Lo: 50, Hi: 200, NotDummy: true}
+	both := p.And(q)
+	if !both.NotDummy || both.Lo != 50 || both.Hi != 100 {
+		t.Errorf("And = %+v", both)
+	}
+	r := record.Record{PickupID: 60, Provider: record.YellowCab}
+	if !both.Matches(r) {
+		t.Error("record in intersection rejected")
+	}
+	if both.Matches(record.NewDummy(record.YellowCab)) {
+		t.Error("dummy accepted by NotDummy predicate")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p, _ := Compile(Q1())
+	s := Rewrite(p).String()
+	for _, want := range []string{"count", "filter", "scan", "YellowCab", "¬dummy"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("plan string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestPlanWalkVisitsAllNodes(t *testing.T) {
+	p, _ := Compile(Q3())
+	n := 0
+	p.Walk(func(*Plan) { n++ })
+	// count → join → 2 scans = 4 nodes.
+	if n != 4 {
+		t.Errorf("walk visited %d nodes, want 4", n)
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	if _, err := Execute(&Plan{Op: OpGroupBy, Attrs: []Attr{AttrFare}, Children: []*Plan{{Op: OpScan, Table: record.YellowCab}}}, Tables{}); err == nil {
+		t.Error("group-by on unsupported attr accepted")
+	}
+	if _, err := Execute(&Plan{Op: OpCount, Children: []*Plan{{Op: OpJoin, Attrs: []Attr{AttrFare}, Children: []*Plan{{Op: OpScan}, {Op: OpScan}}}}}, Tables{}); err == nil {
+		t.Error("join on unsupported key accepted")
+	}
+	if _, err := Execute(&Plan{Op: OpCount, Children: []*Plan{nil}}, Tables{}); err == nil {
+		t.Error("nil child accepted")
+	}
+	if _, err := Execute(&Plan{Op: OpCount, Children: []*Plan{{Op: OpJoin, Attrs: []Attr{AttrPickupTime}, Children: []*Plan{{Op: OpScan}}}}}, Tables{}); err == nil {
+		t.Error("1-child join accepted")
+	}
+}
+
+func TestOpAndAttrStrings(t *testing.T) {
+	ops := []Op{OpScan, OpFilter, OpProject, OpGroupBy, OpJoin, OpCount}
+	for _, o := range ops {
+		if strings.Contains(o.String(), "Op(") {
+			t.Errorf("missing name for op %d", o)
+		}
+	}
+	attrs := []Attr{AttrPickupTime, AttrPickupID, AttrProvider, AttrFare, AttrIsDummy}
+	for _, a := range attrs {
+		if strings.Contains(a.String(), "Attr(") {
+			t.Errorf("missing name for attr %d", a)
+		}
+	}
+}
+
+func TestProjectPreservesCardinality(t *testing.T) {
+	p := &Plan{
+		Op: OpCount,
+		Children: []*Plan{{
+			Op:       OpProject,
+			Attrs:    []Attr{AttrPickupID},
+			Children: []*Plan{{Op: OpScan, Table: record.YellowCab}},
+		}},
+	}
+	ans, err := Execute(p, Tables{record.YellowCab: yellowRows()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Scalar != 6 {
+		t.Errorf("project count = %v, want 6", ans.Scalar)
+	}
+}

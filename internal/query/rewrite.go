@@ -1,0 +1,93 @@
+package query
+
+// Rewrite applies the paper's Appendix-B query rewriting, producing a plan
+// whose answer ignores dummy records. The rules, verbatim from the paper:
+//
+//   - Filter φ(T, p)        → φ(T, p ∧ isDummy = false)
+//   - Project π(T, A)       → π(φ(T, isDummy = false), A)
+//   - GroupBy χ(T, A')      → χ(φ(T, isDummy = false), A') — dummies must
+//     never group with real rows, which pre-filtering guarantees.
+//   - Join ⋈(T1, T2, c)     → ⋈(φ(T1, ¬dummy), φ(T2, ¬dummy), c)
+//   - Count (an aggregation) → count over the dummy-filtered child.
+//
+// The rewrite is only sound for stores that hide size patterns (L-0 / L-DP
+// groups): for schemes leaking exact response volumes the dummy filter
+// itself would leak how many dummies exist. That compatibility argument is
+// §6's, and the edb layer enforces it via leakage classes.
+//
+// Rewrite returns a new plan; the input is not modified.
+func Rewrite(p *Plan) *Plan {
+	if p == nil {
+		return nil
+	}
+	out := &Plan{Op: p.Op, Table: p.Table, Pred: p.Pred, Attrs: append([]Attr(nil), p.Attrs...)}
+	switch p.Op {
+	case OpFilter:
+		// p ∧ ¬dummy, recursing into the child.
+		out.Pred = p.Pred.And(Predicate{NotDummy: true})
+		for _, c := range p.Children {
+			out.Children = append(out.Children, Rewrite(c))
+		}
+	case OpScan:
+		// Scans stay as-is; consumers above insert the filters.
+	case OpProject, OpGroupBy, OpCount, OpSum:
+		for _, c := range p.Children {
+			out.Children = append(out.Children, guard(Rewrite(c)))
+		}
+	case OpJoin:
+		for _, c := range p.Children {
+			out.Children = append(out.Children, guard(Rewrite(c)))
+		}
+	default:
+		for _, c := range p.Children {
+			out.Children = append(out.Children, Rewrite(c))
+		}
+	}
+	return out
+}
+
+// guard wraps child in a ¬dummy filter unless the child already eliminates
+// dummies (it is a filter whose predicate includes NotDummy).
+func guard(child *Plan) *Plan {
+	if child != nil && child.Op == OpFilter && child.Pred.NotDummy {
+		return child
+	}
+	return &Plan{
+		Op:       OpFilter,
+		Pred:     Predicate{NotDummy: true},
+		Children: []*Plan{child},
+	}
+}
+
+// IsDummyFree reports whether every path from an aggregate/join to a scan
+// passes through a ¬dummy filter — the invariant Rewrite establishes. Tests
+// and the edb substrates use it as a safety assertion before executing over
+// dummy-bearing stores.
+func IsDummyFree(p *Plan) bool {
+	return dummyFree(p, false)
+}
+
+func dummyFree(p *Plan, guarded bool) bool {
+	if p == nil {
+		return true
+	}
+	switch p.Op {
+	case OpScan:
+		return guarded
+	case OpFilter:
+		g := guarded || p.Pred.NotDummy
+		for _, c := range p.Children {
+			if !dummyFree(c, g) {
+				return false
+			}
+		}
+		return true
+	default:
+		for _, c := range p.Children {
+			if !dummyFree(c, guarded) {
+				return false
+			}
+		}
+		return true
+	}
+}

@@ -1,0 +1,89 @@
+package query
+
+import (
+	"testing"
+
+	"dpsync/internal/record"
+)
+
+func fareRows() []record.Record {
+	return []record.Record{
+		{PickupTime: 1, PickupID: 60, Provider: record.YellowCab, FareCents: 1000},
+		{PickupTime: 2, PickupID: 70, Provider: record.YellowCab, FareCents: 2500},
+		{PickupTime: 3, PickupID: 200, Provider: record.YellowCab, FareCents: 4000}, // outside 50-100
+		{PickupTime: 4, PickupID: 80, Provider: record.GreenTaxi, FareCents: 999},   // other table
+	}
+}
+
+func TestQ4Validates(t *testing.T) {
+	if err := Q4().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Query{Kind: SumFare, Provider: record.YellowCab, Lo: 10, Hi: 5}
+	if bad.Validate() == nil {
+		t.Error("inverted sum range accepted")
+	}
+}
+
+func TestQ4TruthSumsFares(t *testing.T) {
+	tables := Tables{record.YellowCab: fareRows()[:3], record.GreenTaxi: fareRows()[3:]}
+	ans, err := Truth(Q4(), tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Scalar != 7500 { // all three yellow fares, full zone range
+		t.Errorf("Q4 = %v, want 7500", ans.Scalar)
+	}
+	// Restricted range excludes zone 200.
+	q := Query{Kind: SumFare, Provider: record.YellowCab, Lo: 50, Hi: 100}
+	ans, err = Truth(q, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Scalar != 3500 {
+		t.Errorf("restricted Q4 = %v, want 3500", ans.Scalar)
+	}
+}
+
+func TestQ4RewriteExcludesDummies(t *testing.T) {
+	rows := fareRows()[:3]
+	d := record.NewDummy(record.YellowCab)
+	d.FareCents = 99999 // garbage padding bytes must never count
+	rows = append(rows, d)
+	ans, err := Evaluate(Q4(), Tables{record.YellowCab: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Scalar != 7500 {
+		t.Errorf("Q4 with dummy = %v, want 7500", ans.Scalar)
+	}
+	p, _ := Compile(Q4())
+	if IsDummyFree(p) {
+		t.Error("naive Q4 plan should not be dummy-free")
+	}
+	if !IsDummyFree(Rewrite(p)) {
+		t.Error("rewritten Q4 plan not dummy-free")
+	}
+}
+
+func TestQ4ExecErrors(t *testing.T) {
+	// Sum over a non-fare attribute is rejected.
+	p := &Plan{Op: OpSum, Attrs: []Attr{AttrPickupID}, Children: []*Plan{{Op: OpScan, Table: record.YellowCab}}}
+	if _, err := Execute(p, Tables{}); err == nil {
+		t.Error("sum over pickupID accepted")
+	}
+	// OpSum is not a row producer.
+	q := &Plan{Op: OpCount, Children: []*Plan{p}}
+	if _, err := Execute(q, Tables{}); err == nil {
+		t.Error("count over sum accepted")
+	}
+}
+
+func TestKindStringQ4(t *testing.T) {
+	if SumFare.String() != "Q4-sum-fare" {
+		t.Errorf("SumFare string = %q", SumFare.String())
+	}
+	if OpSum.String() != "sum" {
+		t.Errorf("OpSum string = %q", OpSum.String())
+	}
+}

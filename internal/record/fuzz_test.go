@@ -1,0 +1,47 @@
+package record
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary byte strings to the record decoder: it must
+// never panic, and anything it accepts must re-encode to the same bytes
+// (the codec is bijective on its valid range).
+func FuzzDecode(f *testing.F) {
+	seed := Encode(Record{PickupTime: 42, PickupID: 7, Provider: YellowCab, FareCents: 999})
+	f.Add(seed[:])
+	f.Add(make([]byte, EncodedSize))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, EncodedSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := Encode(r)
+		if !bytes.Equal(re[:], data) {
+			t.Fatalf("accepted %x but re-encodes to %x", data, re)
+		}
+	})
+}
+
+// FuzzDecodeSlice checks the batch decoder never panics and conserves
+// record counts.
+func FuzzDecodeSlice(f *testing.F) {
+	batch := EncodeSlice([]Record{
+		{PickupTime: 1, PickupID: 2, Provider: GreenTaxi},
+		NewDummy(YellowCab),
+	})
+	f.Add(batch)
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rs, err := DecodeSlice(data)
+		if err != nil {
+			return
+		}
+		if len(rs) != len(data)/EncodedSize {
+			t.Fatalf("decoded %d records from %d bytes", len(rs), len(data))
+		}
+	})
+}

@@ -1,0 +1,186 @@
+// Package server hosts the cloud half of the three-party model as a real
+// TCP service: it stores sealed ciphertexts, serves queries through the
+// ObliDB enclave simulator, and — critically — observes exactly what the
+// paper's adversary observes: update times and volumes. The server logs that
+// transcript, making the update-pattern leakage a tangible artifact.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"dpsync/internal/leakage"
+	"dpsync/internal/oblidb"
+	"dpsync/internal/record"
+	"dpsync/internal/seal"
+	"dpsync/internal/wire"
+)
+
+// Server is a DP-Sync storage server backed by the ObliDB substrate.
+type Server struct {
+	db  *oblidb.DB
+	lis net.Listener
+	log *log.Logger
+
+	mu       sync.Mutex
+	observed leakage.Pattern // the adversary's view: (tick, volume) per upload
+	ticks    int             // server-side logical clock: one tick per update
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New creates a server holding the given 32-byte data key (standing in for
+// enclave attestation/provisioning) and starts listening on addr
+// (e.g. "127.0.0.1:7700"; port 0 picks a free port).
+func New(addr string, key []byte, logger *log.Logger) (*Server, error) {
+	db, err := oblidb.NewWithKey(key)
+	if err != nil {
+		return nil, err
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen: %w", err)
+	}
+	if logger == nil {
+		logger = log.New(logDiscard{}, "", 0)
+	}
+	return &Server{db: db, lis: lis, log: logger}, nil
+}
+
+type logDiscard struct{}
+
+func (logDiscard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Serve accepts connections until Close. It blocks; run it in a goroutine.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.lis.Close()
+	s.wg.Wait()
+	return err
+}
+
+// ObservedPattern returns a copy of the update-pattern transcript the server
+// has accumulated — the leakage DP-Sync bounds.
+func (s *Server) ObservedPattern() leakage.Pattern {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := leakage.Pattern{Events: make([]leakage.Event, len(s.observed.Events))}
+	copy(out.Events, s.observed.Events)
+	return out
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	for {
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return // client hung up (io.EOF) or broke framing
+		}
+		req, err := wire.DecodeRequest(payload)
+		var resp wire.Response
+		if err != nil {
+			resp = wire.Response{Error: err.Error()}
+		} else {
+			resp = s.dispatch(req)
+		}
+		out, err := wire.Encode(resp)
+		if err != nil {
+			return
+		}
+		if err := wire.WriteFrame(conn, out); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req wire.Request) wire.Response {
+	switch req.Type {
+	case wire.MsgSetup, wire.MsgUpdate:
+		cts := make([]seal.Sealed, len(req.Sealed))
+		for i, b := range req.Sealed {
+			cts[i] = seal.Sealed(b)
+		}
+		var err error
+		if req.Type == wire.MsgSetup {
+			err = s.db.SetupSealed(cts)
+		} else {
+			err = s.db.UpdateSealed(cts)
+		}
+		if err != nil {
+			return wire.Response{Error: err.Error()}
+		}
+		s.observe(len(cts))
+		return wire.Response{OK: true}
+
+	case wire.MsgQuery:
+		if req.Query == nil {
+			return wire.Response{Error: "query missing"}
+		}
+		q := req.Query.ToQuery()
+		ans, cost, err := s.db.Query(q)
+		if err != nil {
+			return wire.Response{Error: err.Error()}
+		}
+		return wire.Response{
+			OK:     true,
+			Answer: &wire.AnswerSpec{Scalar: ans.Scalar, Groups: ans.Groups},
+			Cost: &wire.CostSpec{
+				Seconds:        cost.Seconds,
+				RecordsScanned: cost.RecordsScanned,
+				PairsCompared:  cost.PairsCompared,
+			},
+		}
+
+	case wire.MsgStats:
+		st := s.db.Stats()
+		return wire.Response{OK: true, Stats: &wire.StatsSpec{
+			Records: st.Records, Bytes: st.Bytes, Updates: st.Updates,
+		}}
+
+	default:
+		return wire.Response{Error: fmt.Sprintf("unknown message type %q", req.Type)}
+	}
+}
+
+// observe appends the upload to the adversary-view transcript. The server
+// has no tick source of its own, so it indexes events by update sequence —
+// the volume sequence is the leakage that matters.
+func (s *Server) observe(volume int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ticks++
+	s.observed.Record(record.Tick(s.ticks), volume, false)
+	s.log.Printf("observed update #%d: %d ciphertexts", s.ticks, volume)
+}
+
+// ErrServerClosed mirrors net/http's sentinel for tests.
+var ErrServerClosed = errors.New("server: closed")

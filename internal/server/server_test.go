@@ -1,0 +1,221 @@
+package server_test
+
+import (
+	"strings"
+	"testing"
+
+	"dpsync/internal/client"
+	"dpsync/internal/core"
+	"dpsync/internal/dp"
+	"dpsync/internal/query"
+	"dpsync/internal/record"
+	"dpsync/internal/seal"
+	"dpsync/internal/server"
+	"dpsync/internal/strategy"
+)
+
+func startServer(t *testing.T) (*server.Server, []byte) {
+	t.Helper()
+	key, err := seal.NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New("127.0.0.1:0", key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, key
+}
+
+func yellow(tick int, id uint16) record.Record {
+	return record.Record{PickupTime: record.Tick(tick), PickupID: id, Provider: record.YellowCab}
+}
+
+func TestEndToEndOverTCP(t *testing.T) {
+	srv, key := startServer(t)
+	cl, err := client.Dial(srv.Addr(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Setup([]record.Record{yellow(0, 60), yellow(0, 70)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Update([]record.Record{yellow(1, 80), record.NewDummy(record.YellowCab)}); err != nil {
+		t.Fatal(err)
+	}
+	ans, cost, err := cl.Query(query.Q1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Scalar != 3 { // 60, 70, 80 in range; dummy excluded in enclave
+		t.Errorf("Q1 = %v, want 3", ans.Scalar)
+	}
+	if cost.RecordsScanned != 4 {
+		t.Errorf("scanned = %d, want full store", cost.RecordsScanned)
+	}
+}
+
+func TestServerSeesOnlyVolumes(t *testing.T) {
+	srv, key := startServer(t)
+	cl, err := client.Dial(srv.Addr(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Setup(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Update([]record.Record{yellow(1, 1), record.NewDummy(record.YellowCab), record.NewDummy(record.YellowCab)}); err != nil {
+		t.Fatal(err)
+	}
+	// Owner-side stats know the split; server-side stats cannot.
+	own := cl.Stats()
+	if own.DummyRecords != 2 || own.RealRecords != 1 {
+		t.Errorf("owner stats = %+v", own)
+	}
+	remote, err := cl.RemoteStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.Records != 3 {
+		t.Errorf("server records = %d", remote.Records)
+	}
+	pat := srv.ObservedPattern()
+	if pat.Updates() != 2 || pat.Events[1].Volume != 3 {
+		t.Errorf("observed pattern = %s", pat.String())
+	}
+}
+
+func TestFullOwnerStackOverNetwork(t *testing.T) {
+	srv, key := startServer(t)
+	cl, err := client.Dial(srv.Addr(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	strat, err := strategy.NewTimer(strategy.TimerConfig{
+		Epsilon: 1, Period: 10, Source: dp.NewSeededSource(9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := core.New(core.Config{Strategy: strat, Database: cl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.Setup(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 100; i++ {
+		var terr error
+		if i%2 == 0 {
+			terr = owner.Tick(yellow(i, 55))
+		} else {
+			terr = owner.Tick()
+		}
+		if terr != nil {
+			t.Fatal(terr)
+		}
+	}
+	qe, _, err := owner.QueryError(query.Q1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ObliDB answers exactly; error = records still cached.
+	if qe != float64(owner.LogicalGap()) {
+		t.Errorf("error %v != gap %d", qe, owner.LogicalGap())
+	}
+	// The server's observed event count matches the owner's transcript
+	// (plus nothing: every pattern event crossed the wire).
+	if got, want := srv.ObservedPattern().Updates(), owner.Pattern().Updates(); got != want {
+		t.Errorf("server saw %d updates, owner posted %d", got, want)
+	}
+}
+
+func TestWrongKeyRejectedByEnclave(t *testing.T) {
+	srv, _ := startServer(t)
+	otherKey, err := seal.NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := client.Dial(srv.Addr(), otherKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// The enclave authenticates ciphertexts as they enter its resident
+	// tables; blobs sealed under the wrong key are rejected at upload.
+	if err := cl.Setup([]record.Record{yellow(0, 60)}); err == nil {
+		t.Error("enclave admitted ciphertexts sealed under the wrong key")
+	}
+}
+
+func TestServerErrorPropagation(t *testing.T) {
+	srv, key := startServer(t)
+	cl, err := client.Dial(srv.Addr(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Update before setup must surface the edb error through the wire.
+	err = cl.Update([]record.Record{yellow(1, 1)})
+	if err == nil || !strings.Contains(err.Error(), "not set up") {
+		t.Errorf("error = %v, want not-set-up", err)
+	}
+	if err := cl.Setup(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Setup(nil); err == nil {
+		t.Error("double setup accepted")
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	srv, key := startServer(t)
+	owner1, err := client.Dial(srv.Addr(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer owner1.Close()
+	owner2, err := client.Dial(srv.Addr(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer owner2.Close()
+
+	if err := owner1.Setup([]record.Record{yellow(0, 60)}); err != nil {
+		t.Fatal(err)
+	}
+	green := record.Record{PickupTime: 0, PickupID: 5, Provider: record.GreenTaxi}
+	if err := owner2.Update([]record.Record{green}); err != nil {
+		t.Fatal(err)
+	}
+	// Analyst on a third connection.
+	analyst, err := client.Dial(srv.Addr(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer analyst.Close()
+	ans, _, err := analyst.Query(query.Q2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Total() != 1 { // one yellow record
+		t.Errorf("Q2 total = %v", ans.Total())
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := client.Dial("127.0.0.1:1", make([]byte, 32)); err == nil {
+		t.Error("dial to dead port succeeded")
+	}
+	if _, err := client.Dial("127.0.0.1:0", []byte("short")); err == nil {
+		t.Error("bad key accepted")
+	}
+}

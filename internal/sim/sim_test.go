@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"dpsync/internal/query"
+	"dpsync/internal/record"
+	"dpsync/internal/workload"
+)
+
+// smallScale keeps unit-test runs fast (~1/40 of the paper's horizon).
+const smallScale = 0.025
+
+func runCell(t *testing.T, s System, k StrategyKind) *Result {
+	t.Helper()
+	cfg, err := PaperConfig(s, k, 1, smallScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := Run(Config{System: "bogus", Strategy: SUR, Traces: []*workload.Trace{workload.YellowJune(1)}}); err == nil {
+		t.Error("unknown system accepted")
+	}
+	cfg, _ := PaperConfig(ObliDB, StrategyKind("nope"), 1, smallScale)
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestSURZeroGapZeroDummy(t *testing.T) {
+	res := runCell(t, ObliDB, SUR)
+	if res.FinalGap != 0 {
+		t.Errorf("SUR final gap = %d", res.FinalGap)
+	}
+	if res.FinalStats.DummyRecords != 0 {
+		t.Errorf("SUR dummies = %d", res.FinalStats.DummyRecords)
+	}
+	agg := res.Aggregate()
+	// ObliDB answers exactly → SUR has zero error on every query.
+	for k, v := range agg.MeanL1 {
+		if v != 0 {
+			t.Errorf("SUR %v error = %v, want 0", k, v)
+		}
+	}
+}
+
+func TestOTOErrorGrowsToDatasetSize(t *testing.T) {
+	res := runCell(t, ObliDB, OTO)
+	agg := res.Aggregate()
+	// Everything after t=0 is missing; by the end the Q2 error equals the
+	// Yellow record count at this scale.
+	yellowScaled := float64(workload.YellowRecords) * smallScale
+	wantMax := math.Trunc(yellowScaled)
+	if agg.MaxL1[query.GroupCount] != wantMax {
+		t.Errorf("OTO max Q2 error = %v, want %v", agg.MaxL1[query.GroupCount], wantMax)
+	}
+	if res.FinalStats.Records != 0 {
+		t.Errorf("OTO outsourced %d records, want 0 (D0 = ∅)", res.FinalStats.Records)
+	}
+}
+
+func TestSETZeroGapManyDummies(t *testing.T) {
+	res := runCell(t, ObliDB, SET)
+	if res.FinalGap != 0 {
+		t.Errorf("SET final gap = %d", res.FinalGap)
+	}
+	horizon := res.Config.Traces[0].Horizon
+	// Two owners × one record per tick.
+	wantRecords := 2 * int(horizon)
+	if res.FinalStats.Records != wantRecords {
+		t.Errorf("SET records = %d, want %d", res.FinalStats.Records, wantRecords)
+	}
+	if res.FinalStats.DummyRecords == 0 {
+		t.Error("SET should upload dummies")
+	}
+	agg := res.Aggregate()
+	for k, v := range agg.MeanL1 {
+		if v != 0 {
+			t.Errorf("SET %v error = %v, want 0 (ObliDB, zero gap)", k, v)
+		}
+	}
+}
+
+func TestDPStrategiesBoundedError(t *testing.T) {
+	for _, k := range []StrategyKind{DPTimer, DPANT} {
+		res := runCell(t, ObliDB, k)
+		agg := res.Aggregate()
+		oto := runCell(t, ObliDB, OTO).Aggregate()
+		for kind, v := range agg.MeanL1 {
+			if v >= oto.MeanL1[kind]/10 {
+				t.Errorf("%s %v mean error %v not ≪ OTO's %v", k, kind, v, oto.MeanL1[kind])
+			}
+		}
+		// Bounded gap: DP strategies must not accumulate error over time.
+		if agg.MeanGap > 200 {
+			t.Errorf("%s mean gap = %v", k, agg.MeanGap)
+		}
+	}
+}
+
+func TestDPStorageBetweenSURAndSET(t *testing.T) {
+	sur := runCell(t, ObliDB, SUR).FinalStats.Bytes
+	set := runCell(t, ObliDB, SET).FinalStats.Bytes
+	for _, k := range []StrategyKind{DPTimer, DPANT} {
+		dp := runCell(t, ObliDB, k).FinalStats.Bytes
+		if dp <= sur {
+			t.Errorf("%s storage %d ≤ SUR %d (dummies must add something)", k, dp, sur)
+		}
+		if dp >= set {
+			t.Errorf("%s storage %d ≥ SET %d", k, dp, set)
+		}
+	}
+}
+
+func TestCrypteGridSkipsJoin(t *testing.T) {
+	res := runCell(t, Crypteps, DPTimer)
+	agg := res.Aggregate()
+	if _, ok := agg.MeanL1[query.JoinCount]; ok {
+		t.Error("Cryptε recorded join results")
+	}
+	if _, ok := agg.MeanL1[query.RangeCount]; !ok {
+		t.Error("Q1 missing")
+	}
+	// Noise floor: even SUR-style zero gap would leave nonzero error, so
+	// DP-Timer error must be nonzero too.
+	if agg.MeanL1[query.RangeCount] == 0 {
+		t.Error("Cryptε answers should be noisy")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := runCell(t, ObliDB, DPTimer)
+	b := runCell(t, ObliDB, DPTimer)
+	if a.FinalStats.Records != b.FinalStats.Records {
+		t.Errorf("same seed, different stores: %d vs %d", a.FinalStats.Records, b.FinalStats.Records)
+	}
+	aa, bb := a.Aggregate(), b.Aggregate()
+	for k := range aa.MeanL1 {
+		if aa.MeanL1[k] != bb.MeanL1[k] {
+			t.Errorf("same seed, different %v errors", k)
+		}
+	}
+}
+
+func TestPatternsReported(t *testing.T) {
+	res := runCell(t, ObliDB, DPTimer)
+	if len(res.Patterns) != 2 {
+		t.Fatalf("patterns = %d, want 2 owners", len(res.Patterns))
+	}
+	for _, p := range res.Patterns {
+		if p.Updates == 0 {
+			t.Errorf("owner %v posted no updates", p.Provider)
+		}
+	}
+}
+
+func TestQETOrderingSETSlowest(t *testing.T) {
+	set := runCell(t, ObliDB, SET).Aggregate()
+	timer := runCell(t, ObliDB, DPTimer).Aggregate()
+	sur := runCell(t, ObliDB, SUR).Aggregate()
+	for _, kind := range []query.Kind{query.RangeCount, query.GroupCount, query.JoinCount} {
+		if set.MeanQET[kind] <= timer.MeanQET[kind] {
+			t.Errorf("%v: SET QET %v ≤ DP-Timer %v", kind, set.MeanQET[kind], timer.MeanQET[kind])
+		}
+		if timer.MeanQET[kind] < sur.MeanQET[kind] {
+			t.Errorf("%v: DP-Timer QET %v < SUR %v", kind, timer.MeanQET[kind], sur.MeanQET[kind])
+		}
+	}
+}
+
+func TestSweepEpsilonShapes(t *testing.T) {
+	eps := []float64{0.05, 5}
+	res, err := SweepEpsilon(ObliDB, DPTimer, eps, 3, smallScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observation 4: DP-Timer's error falls as ε rises.
+	lo := res[0.05].Aggregate().MeanL1[query.GroupCount]
+	hi := res[5.0].Aggregate().MeanL1[query.GroupCount]
+	if hi >= lo {
+		t.Errorf("DP-Timer: error at eps=5 (%v) should be below eps=0.05 (%v)", hi, lo)
+	}
+	// Observation 5: storage overhead falls as ε rises.
+	if res[5.0].FinalStats.DummyRecords > res[0.05].FinalStats.DummyRecords {
+		t.Errorf("dummies at eps=5 (%d) exceed eps=0.05 (%d)",
+			res[5.0].FinalStats.DummyRecords, res[0.05].FinalStats.DummyRecords)
+	}
+}
+
+func TestSweepPeriodShapes(t *testing.T) {
+	res, err := SweepPeriod(ObliDB, []record.Tick{5, 200}, 4, smallScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observation 6: error rises with T.
+	small := res[5].Aggregate().MeanL1[query.GroupCount]
+	large := res[200].Aggregate().MeanL1[query.GroupCount]
+	if large <= small {
+		t.Errorf("error at T=200 (%v) should exceed T=5 (%v)", large, small)
+	}
+}
+
+func TestSweepThresholdShapes(t *testing.T) {
+	res, err := SweepThreshold(ObliDB, []float64{2, 300}, 5, smallScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := res[2].Aggregate().MeanL1[query.GroupCount]
+	large := res[300].Aggregate().MeanL1[query.GroupCount]
+	if large <= small {
+		t.Errorf("error at θ=300 (%v) should exceed θ=2 (%v)", large, small)
+	}
+}
+
+func TestPaperTracesShape(t *testing.T) {
+	ob, err := PaperTraces(ObliDB, 1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ob) != 2 || ob[0].Provider != record.YellowCab || ob[1].Provider != record.GreenTaxi {
+		t.Error("ObliDB should store Yellow + Green")
+	}
+	cr, err := PaperTraces(Crypteps, 1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr) != 1 || cr[0].Provider != record.YellowCab {
+		t.Error("Cryptε should store Yellow only")
+	}
+	if _, err := PaperTraces(ObliDB, 1, 0); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := PaperTraces(ObliDB, 1, 1.5); err == nil {
+		t.Error("scale > 1 accepted")
+	}
+}
+
+func TestFigureGrids(t *testing.T) {
+	if n := len(Figure5Epsilons()); n < 5 {
+		t.Errorf("epsilon grid too small: %d", n)
+	}
+	for i, e := range Figure5Epsilons() {
+		if e <= 0 || (i > 0 && e <= Figure5Epsilons()[i-1]) {
+			t.Errorf("epsilon grid not increasing at %d", i)
+		}
+	}
+	if len(Figure6Periods()) != len(Figure6Thresholds()) {
+		t.Error("T and θ grids should align")
+	}
+}
+
+func TestRunGridAllCells(t *testing.T) {
+	grid, err := RunGrid(ObliDB, 9, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 5 {
+		t.Fatalf("grid cells = %d", len(grid))
+	}
+	for k, res := range grid {
+		if res.Collector.LogicalGap.Len() == 0 {
+			t.Errorf("%s: no gap samples", k)
+		}
+	}
+}
+
+// TestGapMatchesErrorObliDB pins the identity the paper leans on: under
+// ObliDB (exact answers) the Q2 L1 error equals the number of missing
+// records, i.e. the logical gap at query time.
+func TestGapMatchesErrorObliDB(t *testing.T) {
+	res := runCell(t, ObliDB, DPTimer)
+	errs := res.Collector.QueryError[query.GroupCount]
+	gaps := res.Collector.LogicalGap
+	if errs.Len() != gaps.Len() {
+		t.Fatalf("series misaligned: %d vs %d", errs.Len(), gaps.Len())
+	}
+	for i := range errs.Samples {
+		e, g := errs.Samples[i].Value, gaps.Samples[i].Value
+		if e > g {
+			t.Errorf("sample %d: Q2 error %v exceeds gap %v", i, e, g)
+		}
+	}
+}

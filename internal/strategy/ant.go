@@ -1,0 +1,151 @@
+package strategy
+
+import (
+	"fmt"
+
+	"dpsync/internal/dp"
+	"dpsync/internal/record"
+)
+
+// ANTConfig parameterizes DP-ANT (Algorithm 3).
+type ANTConfig struct {
+	// Epsilon is the update-pattern privacy budget ε, split evenly between
+	// the above-noisy-threshold test (ε1) and the record fetch (ε2).
+	Epsilon float64
+	// Threshold is θ: the approximate number of buffered arrivals that
+	// triggers a synchronization.
+	Threshold float64
+	// FlushInterval (f) and FlushSize (s) configure the cache-flush
+	// mechanism; zero values disable flushing.
+	FlushInterval record.Tick
+	FlushSize     int
+	// SplitRatio is the fraction of ε spent on the above-noisy-threshold
+	// test (ε1 = SplitRatio·ε, ε2 = (1-SplitRatio)·ε). Zero means the
+	// paper's even split (Alg 3:3). The total guarantee is ε either way
+	// (sequential composition within a window); the ratio trades halting
+	// precision against fetch precision — an ablation this library exposes
+	// beyond the paper.
+	SplitRatio float64
+	// Source supplies noise randomness; nil means crypto/rand.
+	Source dp.Source
+}
+
+// DefaultANTConfig returns the paper's §8 defaults: ε=0.5, θ=15, f=2000, s=15.
+func DefaultANTConfig() ANTConfig {
+	return ANTConfig{Epsilon: 0.5, Threshold: 15, FlushInterval: 2000, FlushSize: 15}
+}
+
+// ANT is the above-noisy-threshold strategy (paper Algorithm 3). Each tick
+// it compares the noisy arrival count against a noisy threshold
+// (sparse-vector technique with budget ε1 = ε/2); on crossing, it uploads
+// Perturb(c) records using ε2 = ε/2 and re-arms with a fresh threshold.
+// Windows between syncs are disjoint, so the schedule is ε-DP overall
+// (Theorem 11).
+type ANT struct {
+	cfg    ANTConfig
+	sv     *dp.SparseVector
+	fetch  *dp.Mechanism
+	flush  flusher
+	budget *dp.Budget
+
+	count int // arrivals since last sync (c in Alg 3:9)
+	syncs int
+}
+
+// NewANT builds a DP-ANT strategy.
+func NewANT(cfg ANTConfig) (*ANT, error) {
+	if cfg.Threshold < 0 {
+		return nil, fmt.Errorf("strategy: negative ANT threshold %v", cfg.Threshold)
+	}
+	if cfg.FlushInterval < 0 || cfg.FlushSize < 0 {
+		return nil, fmt.Errorf("strategy: negative flush parameters")
+	}
+	src := cfg.Source
+	if src == nil {
+		src = dp.CryptoSource{}
+	}
+	ratio := cfg.SplitRatio
+	if ratio == 0 {
+		ratio = 0.5 // Alg 3:3, the paper's even split
+	}
+	if ratio <= 0 || ratio >= 1 {
+		return nil, fmt.Errorf("strategy: ANT split ratio %v outside (0, 1)", ratio)
+	}
+	eps1, eps2 := ratio*cfg.Epsilon, (1-ratio)*cfg.Epsilon
+	sv, err := dp.NewSparseVector(eps1, cfg.Threshold, src)
+	if err != nil {
+		return nil, fmt.Errorf("strategy: ANT epsilon: %w", err)
+	}
+	fetch, err := dp.NewMechanism(eps2, src)
+	if err != nil {
+		return nil, fmt.Errorf("strategy: ANT epsilon: %w", err)
+	}
+	return &ANT{
+		cfg:    cfg,
+		sv:     sv,
+		fetch:  fetch,
+		flush:  flusher{Interval: cfg.FlushInterval, Size: cfg.FlushSize},
+		budget: dp.NewBudget(),
+	}, nil
+}
+
+// Name implements Strategy.
+func (*ANT) Name() string { return "DP-ANT" }
+
+// Epsilon implements Strategy.
+func (a *ANT) Epsilon() float64 { return a.cfg.Epsilon }
+
+// Config returns the strategy's parameters.
+func (a *ANT) Config() ANTConfig { return a.cfg }
+
+// InitialCount implements Strategy: γ0 = Perturb(|D0|, ε) (Alg 3:1). The
+// setup release uses the full ε, composing in parallel with the post-setup
+// stream (disjoint data).
+func (a *ANT) InitialCount(d0 int) int {
+	_ = a.budget.Charge("setup", a.cfg.Epsilon, dp.Parallel)
+	setup, err := dp.NewMechanism(a.cfg.Epsilon, a.cfg.Source)
+	if err != nil {
+		// Epsilon was validated in NewANT; this cannot happen.
+		panic(err)
+	}
+	return setup.NoisyCountInt(d0)
+}
+
+// Tick implements Strategy (Alg 3:5-13 plus the flush mechanism).
+func (a *ANT) Tick(now record.Tick, arrivals int) []Op {
+	a.count += arrivals
+	var ops []Op
+	// Above-noisy-threshold test with fresh Lap(4/ε1) per tick (Alg 3:6,10).
+	if a.sv.Above(a.count) {
+		// One sparse-vector window spent ε1 on halting + ε2 on the fetch;
+		// windows compose in parallel (disjoint data).
+		_ = a.budget.Charge("sparse-window", a.cfg.Epsilon, dp.Parallel)
+		n := a.fetch.NoisyCountInt(a.count)
+		a.count = 0
+		a.syncs++
+		a.sv.Reset() // fresh noisy threshold (Alg 3:13)
+		if n > 0 {
+			ops = append(ops, Op{Count: n})
+		}
+	}
+	if f := a.flush.tick(now); f != nil {
+		_ = a.budget.Charge("flush", 0, dp.Parallel)
+		ops = append(ops, f...)
+	}
+	return ops
+}
+
+// Syncs returns how many threshold crossings have fired.
+func (a *ANT) Syncs() int { return a.syncs }
+
+// Budget exposes the privacy ledger for audits.
+func (a *ANT) Budget() *dp.Budget { return a.budget }
+
+// GapBound returns Theorem 8's high-probability logical-gap bound at tick t:
+// with probability ≥ 1-β the gap exceeds the current window's arrivals by at
+// most 16·(ln t + ln(2/β))/ε.
+func (a *ANT) GapBound(t record.Tick, beta float64) float64 {
+	return dp.ANTGapBound(int64(t), a.cfg.Epsilon, beta)
+}
+
+var _ Strategy = (*ANT)(nil)

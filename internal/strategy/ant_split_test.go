@@ -1,0 +1,67 @@
+package strategy
+
+import (
+	"testing"
+
+	"dpsync/internal/dp"
+	"dpsync/internal/record"
+)
+
+func TestANTSplitRatioValidation(t *testing.T) {
+	for _, ratio := range []float64{-0.1, 1.0, 1.5} {
+		cfg := ANTConfig{Epsilon: 1, Threshold: 10, SplitRatio: ratio}
+		if _, err := NewANT(cfg); err == nil {
+			t.Errorf("ratio %v accepted", ratio)
+		}
+	}
+	// Zero means the paper default; valid ratios construct fine.
+	for _, ratio := range []float64{0, 0.25, 0.5, 0.9} {
+		cfg := ANTConfig{Epsilon: 1, Threshold: 10, SplitRatio: ratio, Source: dp.NewSeededSource(1)}
+		if _, err := NewANT(cfg); err != nil {
+			t.Errorf("ratio %v rejected: %v", ratio, err)
+		}
+	}
+}
+
+// TestANTSplitRatioChangesBehaviour: a threshold-heavy split (high ratio)
+// fires less often spuriously than a fetch-heavy one under an idle stream.
+func TestANTSplitRatioChangesBehaviour(t *testing.T) {
+	fires := func(ratio float64, seed uint64) int {
+		s, err := NewANT(ANTConfig{
+			Epsilon: 0.5, Threshold: 30, SplitRatio: ratio,
+			Source: dp.NewSeededSource(seed),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for tick := record.Tick(1); tick <= 20_000; tick++ {
+			if len(s.Tick(tick, 0)) > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	lowBudgetTest := fires(0.1, 5)  // eps1 = 0.05 → noise Lap(80): trigger-happy
+	highBudgetTest := fires(0.9, 6) // eps1 = 0.45 → noise Lap(8.9): quiet
+	if highBudgetTest >= lowBudgetTest {
+		t.Errorf("spurious fires: ratio 0.9 (%d) should be < ratio 0.1 (%d)", highBudgetTest, lowBudgetTest)
+	}
+}
+
+// TestANTBudgetStillComposesWithCustomSplit: any split composes to ε.
+func TestANTBudgetStillComposesWithCustomSplit(t *testing.T) {
+	s, err := NewANT(ANTConfig{
+		Epsilon: 0.8, Threshold: 5, SplitRatio: 0.3,
+		Source: dp.NewSeededSource(7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := record.Tick(1); tick <= 500; tick++ {
+		s.Tick(tick, 1)
+	}
+	if got := s.Budget().SpentParallel(); got != 0.8 {
+		t.Errorf("composed privacy = %v, want 0.8", got)
+	}
+}

@@ -1,0 +1,87 @@
+package strategy
+
+import (
+	"dpsync/internal/record"
+)
+
+// SUR is synchronize-upon-receipt (paper §5.1): every arrival is uploaded
+// immediately, nothing else ever is. Zero logical gap, zero dummies — and
+// zero privacy: the update pattern equals the arrival pattern exactly.
+type SUR struct{}
+
+// NewSUR returns the synchronize-upon-receipt baseline.
+func NewSUR() *SUR { return &SUR{} }
+
+// Name implements Strategy.
+func (*SUR) Name() string { return "SUR" }
+
+// Epsilon implements Strategy: SUR leaks the exact pattern (∞-DP).
+func (*SUR) Epsilon() float64 { return Infinity() }
+
+// InitialCount implements Strategy: the initial database is outsourced as-is.
+func (*SUR) InitialCount(d0 int) int { return d0 }
+
+// Tick implements Strategy: every arrival uploads immediately.
+func (*SUR) Tick(_ record.Tick, arrivals int) []Op {
+	if arrivals > 0 {
+		return []Op{{Count: arrivals}}
+	}
+	return nil
+}
+
+// OTO is one-time outsourcing (paper §5.1): upload D0 at setup, then go
+// silent forever. Perfect privacy (the pattern is a single data-independent
+// event), total accuracy loss for everything after t=0.
+type OTO struct{}
+
+// NewOTO returns the one-time-outsourcing baseline.
+func NewOTO() *OTO { return &OTO{} }
+
+// Name implements Strategy.
+func (*OTO) Name() string { return "OTO" }
+
+// Epsilon implements Strategy: the pattern is data-independent (0-DP).
+//
+// Strictly, releasing |D0| exactly would distinguish neighboring *initial*
+// databases; the paper's neighboring definition (Def. 4) differs only in
+// post-τ updates, under which OTO's single fixed-time upload is 0-DP.
+func (*OTO) Epsilon() float64 { return 0 }
+
+// InitialCount implements Strategy.
+func (*OTO) InitialCount(d0 int) int { return d0 }
+
+// Tick implements Strategy: never sync again.
+func (*OTO) Tick(record.Tick, int) []Op { return nil }
+
+// SET is synchronize-every-time (paper §5.1): upload exactly one record per
+// tick — the real arrival when there is one, a dummy otherwise. Zero logical
+// gap and 0-DP (the pattern is the constant sequence (t, 1)), but the store
+// fills with dummies: |DS_t| = |D0| + t.
+type SET struct{}
+
+// NewSET returns the synchronize-every-time baseline.
+func NewSET() *SET { return &SET{} }
+
+// Name implements Strategy.
+func (*SET) Name() string { return "SET" }
+
+// Epsilon implements Strategy: constant pattern, 0-DP.
+func (*SET) Epsilon() float64 { return 0 }
+
+// InitialCount implements Strategy.
+func (*SET) InitialCount(d0 int) int { return d0 }
+
+// Tick implements Strategy: one record every tick, arrival or not. The
+// owner's dummy-padded cache read supplies the dummy when nothing arrived.
+// Under the multi-arrival generalization SET must still upload exactly one
+// record per tick to stay data-independent (0-DP), so bursts queue up and
+// drain on later idle ticks.
+func (*SET) Tick(record.Tick, int) []Op {
+	return []Op{{Count: 1}}
+}
+
+var (
+	_ Strategy = (*SUR)(nil)
+	_ Strategy = (*OTO)(nil)
+	_ Strategy = (*SET)(nil)
+)

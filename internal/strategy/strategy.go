@@ -1,0 +1,81 @@
+// Package strategy implements DP-Sync's synchronization strategies (paper
+// §5): the three naïve baselines — synchronize-upon-receipt (SUR), one-time
+// outsourcing (OTO), synchronize-every-time (SET) — and the two
+// differentially-private strategies, DP-Timer (Algorithm 1) and DP-ANT
+// (Algorithm 3), each with the periodic cache-flush mechanism.
+//
+// A Strategy never touches records. It observes only *whether* a logical
+// update arrived at each tick and emits read instructions ("sync n records
+// now"); the owner (internal/core) performs the dummy-padded cache reads and
+// the EDB update protocol. This split mirrors the paper's framing: the
+// update-pattern leakage is exactly the sequence of (tick, count) pairs the
+// strategy emits, so the privacy analysis lives entirely in this package.
+package strategy
+
+import (
+	"math"
+
+	"dpsync/internal/record"
+)
+
+// Op is one synchronization instruction for the owner: read Count records
+// from the local cache (padding with dummies if the cache runs short) and
+// run the EDB update protocol with them.
+type Op struct {
+	// Count is the number of records to upload. It is already noisy/fixed;
+	// the owner must upload exactly this many ciphertexts.
+	Count int
+	// Flush marks cache-flush uploads (fixed volume s on a fixed schedule,
+	// 0-DP by construction). Metrics separate them from regular syncs.
+	Flush bool
+}
+
+// Strategy is a synchronization policy (the paper's Sync algorithm).
+// Implementations are stateful and not safe for concurrent use; the owner
+// drives a strategy from a single goroutine.
+type Strategy interface {
+	// Name returns the strategy's short name as used in the paper's plots.
+	Name() string
+
+	// Epsilon returns the update-pattern privacy guarantee: the ε of
+	// Definition 5. OTO and SET are 0-DP (data-independent patterns);
+	// SUR is ∞-DP (leaks the exact pattern).
+	Epsilon() float64
+
+	// InitialCount returns |γ0|: how many records the owner must read for
+	// the Setup protocol, given the initial database size. DP strategies
+	// perturb the size (Algorithms 1 and 3, line 1–2).
+	InitialCount(d0 int) int
+
+	// Tick advances time by one unit. arrivals is the number of real
+	// logical updates received at this tick — 0 or 1 in the paper's base
+	// model (§4.1), arbitrary under the multi-arrival generalization the
+	// paper sketches. The DP strategies' noise scales are unchanged by the
+	// generalization: neighboring growing databases still differ by one
+	// record, so every windowed count keeps sensitivity 1. The returned
+	// ops are executed by the owner in order, at this tick.
+	Tick(t record.Tick, arrivals int) []Op
+}
+
+// Infinity is the ε reported by SUR: the update pattern is released exactly.
+func Infinity() float64 { return math.Inf(1) }
+
+// flusher implements the cache-flush mechanism shared by the DP strategies:
+// every Interval ticks it emits a fixed-size upload of Size records. The
+// schedule and volume are data-independent, so the mechanism is 0-DP
+// (M_flush in the paper's Table 4).
+type flusher struct {
+	Interval record.Tick
+	Size     int
+}
+
+// tick returns a flush op when t is a flush boundary.
+func (f flusher) tick(t record.Tick) []Op {
+	if f.Interval <= 0 || f.Size <= 0 {
+		return nil
+	}
+	if t > 0 && t%f.Interval == 0 {
+		return []Op{{Count: f.Size, Flush: true}}
+	}
+	return nil
+}

@@ -1,0 +1,389 @@
+package strategy
+
+import (
+	"math"
+	"testing"
+
+	"dpsync/internal/dp"
+	"dpsync/internal/record"
+)
+
+func arrivalsIf(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestSURSyncsOnArrivalOnly(t *testing.T) {
+	s := NewSUR()
+	if got := s.Tick(1, 0); got != nil {
+		t.Errorf("no-arrival tick produced ops: %v", got)
+	}
+	got := s.Tick(2, 1)
+	if len(got) != 1 || got[0].Count != 1 || got[0].Flush {
+		t.Errorf("arrival tick ops = %v, want one sync of 1", got)
+	}
+	if s.InitialCount(42) != 42 {
+		t.Error("SUR must outsource D0 exactly")
+	}
+	if !math.IsInf(s.Epsilon(), 1) {
+		t.Error("SUR epsilon should be +Inf")
+	}
+}
+
+func TestOTONeverSyncsAfterSetup(t *testing.T) {
+	s := NewOTO()
+	if s.InitialCount(10) != 10 {
+		t.Error("OTO initial count")
+	}
+	for tick := record.Tick(1); tick <= 10_000; tick++ {
+		if got := s.Tick(tick, arrivalsIf(tick%2 == 0)); got != nil {
+			t.Fatalf("OTO produced ops at tick %d", tick)
+		}
+	}
+	if s.Epsilon() != 0 {
+		t.Error("OTO epsilon should be 0")
+	}
+}
+
+func TestSETSyncsEveryTick(t *testing.T) {
+	s := NewSET()
+	for tick := record.Tick(1); tick <= 100; tick++ {
+		got := s.Tick(tick, arrivalsIf(tick%7 == 0))
+		if len(got) != 1 || got[0].Count != 1 {
+			t.Fatalf("tick %d: ops = %v, want exactly one record", tick, got)
+		}
+	}
+	if s.Epsilon() != 0 {
+		t.Error("SET epsilon should be 0")
+	}
+}
+
+func TestTimerSyncsOnSchedule(t *testing.T) {
+	cfg := TimerConfig{Epsilon: 1, Period: 10, Source: dp.NewSeededSource(1)}
+	s, err := NewTimer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := record.Tick(1); tick <= 200; tick++ {
+		ops := s.Tick(tick, 1) // arrival every tick
+		if tick%10 != 0 && len(ops) != 0 {
+			t.Fatalf("tick %d: sync off schedule", tick)
+		}
+		for _, op := range ops {
+			if op.Flush {
+				t.Fatalf("flush op with flushing disabled")
+			}
+		}
+	}
+	if s.Syncs() != 20 {
+		t.Errorf("windows closed = %d, want 20", s.Syncs())
+	}
+}
+
+func TestTimerCountsTrackWindowArrivals(t *testing.T) {
+	// With 10 arrivals per window and eps=2 the noisy counts concentrate
+	// near 10; across many windows the mean must approach 10.
+	cfg := TimerConfig{Epsilon: 2, Period: 10, Source: dp.NewSeededSource(2)}
+	s, err := NewTimer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, n float64
+	for tick := record.Tick(1); tick <= 50_000; tick++ {
+		for _, op := range s.Tick(tick, 1) {
+			total += float64(op.Count)
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no syncs fired")
+	}
+	mean := total / n
+	if math.Abs(mean-10) > 0.5 {
+		t.Errorf("mean sync volume = %v, want ~10", mean)
+	}
+}
+
+func TestTimerInitialCountPerturbed(t *testing.T) {
+	cfg := TimerConfig{Epsilon: 0.5, Period: 30, Source: dp.NewSeededSource(3)}
+	s, _ := NewTimer(cfg)
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		seen[s.InitialCount(50)] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("initial counts look deterministic: %d distinct values", len(seen))
+	}
+	for v := range seen {
+		if v < 0 {
+			t.Errorf("negative initial count %d", v)
+		}
+	}
+}
+
+func TestTimerFlushSchedule(t *testing.T) {
+	cfg := TimerConfig{Epsilon: 0.5, Period: 30, FlushInterval: 100, FlushSize: 7, Source: dp.NewSeededSource(4)}
+	s, err := NewTimer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushes := 0
+	for tick := record.Tick(1); tick <= 1000; tick++ {
+		for _, op := range s.Tick(tick, 0) {
+			if op.Flush {
+				flushes++
+				if op.Count != 7 {
+					t.Errorf("flush volume = %d, want 7", op.Count)
+				}
+				if tick%100 != 0 {
+					t.Errorf("flush off schedule at %d", tick)
+				}
+			}
+		}
+	}
+	if flushes != 10 {
+		t.Errorf("flushes = %d, want 10", flushes)
+	}
+}
+
+func TestTimerBudgetComposesToEpsilon(t *testing.T) {
+	cfg := TimerConfig{Epsilon: 0.7, Period: 5, FlushInterval: 50, FlushSize: 3, Source: dp.NewSeededSource(5)}
+	s, _ := NewTimer(cfg)
+	s.InitialCount(0)
+	for tick := record.Tick(1); tick <= 500; tick++ {
+		s.Tick(tick, arrivalsIf(tick%3 == 0))
+	}
+	if got := s.Budget().SpentParallel(); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("composed privacy = %v, want 0.7 (Theorem 10)", got)
+	}
+}
+
+func TestTimerRejectsBadConfig(t *testing.T) {
+	if _, err := NewTimer(TimerConfig{Epsilon: 0.5, Period: 0}); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := NewTimer(TimerConfig{Epsilon: 0, Period: 10}); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	if _, err := NewTimer(TimerConfig{Epsilon: 0.5, Period: 10, FlushInterval: -1}); err == nil {
+		t.Error("negative flush interval accepted")
+	}
+}
+
+func TestANTFiresNearThreshold(t *testing.T) {
+	cfg := ANTConfig{Epsilon: 4, Threshold: 20, Source: dp.NewSeededSource(6)}
+	s, err := NewANT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One arrival per tick: syncs should fire roughly every 20 ticks.
+	var gaps []int
+	last := 0
+	for tick := record.Tick(1); tick <= 20_000; tick++ {
+		ops := s.Tick(tick, 1)
+		for _, op := range ops {
+			if !op.Flush && op.Count >= 0 {
+				gaps = append(gaps, int(tick)-last)
+				last = int(tick)
+			}
+		}
+	}
+	if len(gaps) < 100 {
+		t.Fatalf("too few syncs: %d", len(gaps))
+	}
+	var sum float64
+	for _, g := range gaps {
+		sum += float64(g)
+	}
+	mean := sum / float64(len(gaps))
+	if mean < 10 || mean > 30 {
+		t.Errorf("mean inter-sync gap = %v, want ≈20", mean)
+	}
+}
+
+func TestANTSmallEpsilonFiresEarlier(t *testing.T) {
+	// Observation 4 of the paper: large noise (small ε) triggers the upload
+	// condition early, so syncs become *more* frequent.
+	meanGap := func(eps float64, seed uint64) float64 {
+		s, err := NewANT(ANTConfig{Epsilon: eps, Threshold: 50, Source: dp.NewSeededSource(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		syncs, lastTick := 0, 0
+		total := 0.0
+		for tick := record.Tick(1); tick <= 100_000; tick++ {
+			for _, op := range s.Tick(tick, 1) {
+				_ = op
+				total += float64(int(tick) - lastTick)
+				lastTick = int(tick)
+				syncs++
+			}
+		}
+		if syncs == 0 {
+			t.Fatal("no syncs")
+		}
+		return total / float64(syncs)
+	}
+	small := meanGap(0.05, 7)
+	large := meanGap(5, 8)
+	if small >= large {
+		t.Errorf("mean gap eps=0.05 (%v) should be smaller than eps=5 (%v)", small, large)
+	}
+}
+
+func TestANTIdleStreamRarelyFires(t *testing.T) {
+	cfg := ANTConfig{Epsilon: 1, Threshold: 50, Source: dp.NewSeededSource(9)}
+	s, _ := NewANT(cfg)
+	syncs := 0
+	for tick := record.Tick(1); tick <= 10_000; tick++ {
+		for range s.Tick(tick, 0) {
+			syncs++
+		}
+	}
+	// With c=0 a firing requires Lap(8) - Lap(4) ≥ 50: rare.
+	if syncs > 25 {
+		t.Errorf("idle stream fired %d times in 10k ticks", syncs)
+	}
+}
+
+func TestANTBudgetComposesToEpsilon(t *testing.T) {
+	cfg := ANTConfig{Epsilon: 0.5, Threshold: 5, FlushInterval: 200, FlushSize: 4, Source: dp.NewSeededSource(10)}
+	s, _ := NewANT(cfg)
+	s.InitialCount(3)
+	for tick := record.Tick(1); tick <= 2000; tick++ {
+		s.Tick(tick, 1)
+	}
+	if s.Syncs() == 0 {
+		t.Fatal("no syncs fired")
+	}
+	if got := s.Budget().SpentParallel(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("composed privacy = %v, want 0.5 (Theorem 11)", got)
+	}
+}
+
+func TestANTRejectsBadConfig(t *testing.T) {
+	if _, err := NewANT(ANTConfig{Epsilon: 0, Threshold: 10}); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	if _, err := NewANT(ANTConfig{Epsilon: 1, Threshold: -1}); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	if _, err := NewANT(ANTConfig{Epsilon: 1, Threshold: 1, FlushSize: -2}); err == nil {
+		t.Error("negative flush size accepted")
+	}
+}
+
+func TestANTFlushSchedule(t *testing.T) {
+	cfg := ANTConfig{Epsilon: 0.5, Threshold: 1e9, FlushInterval: 250, FlushSize: 9, Source: dp.NewSeededSource(11)}
+	s, _ := NewANT(cfg)
+	flushes := 0
+	for tick := record.Tick(1); tick <= 1000; tick++ {
+		for _, op := range s.Tick(tick, 0) {
+			if op.Flush {
+				flushes++
+				if op.Count != 9 || tick%250 != 0 {
+					t.Errorf("bad flush op %+v at tick %d", op, tick)
+				}
+			}
+		}
+	}
+	if flushes != 4 {
+		t.Errorf("flushes = %d, want 4", flushes)
+	}
+}
+
+func TestDefaultConfigsMatchPaper(t *testing.T) {
+	tc := DefaultTimerConfig()
+	if tc.Epsilon != 0.5 || tc.Period != 30 || tc.FlushInterval != 2000 || tc.FlushSize != 15 {
+		t.Errorf("timer defaults = %+v", tc)
+	}
+	ac := DefaultANTConfig()
+	if ac.Epsilon != 0.5 || ac.Threshold != 15 || ac.FlushInterval != 2000 || ac.FlushSize != 15 {
+		t.Errorf("ANT defaults = %+v", ac)
+	}
+}
+
+func TestGapBounds(t *testing.T) {
+	s, _ := NewTimer(TimerConfig{Epsilon: 0.5, Period: 10, Source: dp.NewSeededSource(12)})
+	if !math.IsInf(s.GapBound(0.1), 1) {
+		t.Error("gap bound before any sync should be +Inf")
+	}
+	for tick := record.Tick(1); tick <= 100; tick++ {
+		s.Tick(tick, 1)
+	}
+	b1 := s.GapBound(0.1)
+	for tick := record.Tick(101); tick <= 1000; tick++ {
+		s.Tick(tick, 1)
+	}
+	if b2 := s.GapBound(0.1); b2 <= b1 {
+		t.Errorf("timer gap bound should grow with k: %v then %v", b1, b2)
+	}
+
+	a, _ := NewANT(ANTConfig{Epsilon: 0.5, Threshold: 10, Source: dp.NewSeededSource(13)})
+	if a.GapBound(100, 0.1) >= a.GapBound(100_000, 0.1) {
+		t.Error("ANT gap bound should grow with t")
+	}
+}
+
+// TestTimerUpdatePatternDP is an end-to-end empirical DP check of the
+// DP-Timer release: two neighboring arrival streams (one extra arrival)
+// produce window-count distributions whose ratio is bounded by e^ε.
+func TestTimerUpdatePatternDP(t *testing.T) {
+	const (
+		eps    = 1.0
+		trials = 120_000
+	)
+	histFor := func(extra bool, seed uint64) map[int]float64 {
+		src := dp.NewSeededSource(seed)
+		h := map[int]float64{}
+		for i := 0; i < trials; i++ {
+			s, err := NewTimer(TimerConfig{Epsilon: eps, Period: 5, Source: src})
+			if err != nil {
+				t.Fatal(err)
+			}
+			released := -1 // no update posted
+			for tick := record.Tick(1); tick <= 5; tick++ {
+				arrived := tick == 2 || (extra && tick == 4)
+				for _, op := range s.Tick(tick, arrivalsIf(arrived)) {
+					released = op.Count
+				}
+			}
+			h[released]++
+		}
+		for k := range h {
+			h[k] /= trials
+		}
+		return h
+	}
+	p := histFor(false, 501)
+	q := histFor(true, 502)
+	bound := math.Exp(eps) * 1.25
+	for k, pv := range p {
+		qv := q[k]
+		if pv < 0.005 || qv < 0.005 {
+			continue
+		}
+		if r := math.Max(pv/qv, qv/pv); r > bound {
+			t.Errorf("released volume %d: probability ratio %v exceeds e^ε bound %v", k, r, bound)
+		}
+	}
+}
+
+// TestOpsOrderSyncBeforeFlush pins the deterministic ordering when a timer
+// boundary and a flush boundary coincide.
+func TestOpsOrderSyncBeforeFlush(t *testing.T) {
+	cfg := TimerConfig{Epsilon: 100, Period: 10, FlushInterval: 10, FlushSize: 2, Source: dp.NewSeededSource(14)}
+	s, _ := NewTimer(cfg)
+	for tick := record.Tick(1); tick <= 9; tick++ {
+		s.Tick(tick, 1)
+	}
+	ops := s.Tick(10, 1)
+	if len(ops) != 2 {
+		t.Fatalf("ops = %v, want sync + flush", ops)
+	}
+	if ops[0].Flush || !ops[1].Flush {
+		t.Errorf("order = %v, want sync first", ops)
+	}
+}

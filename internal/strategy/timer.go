@@ -1,0 +1,119 @@
+package strategy
+
+import (
+	"fmt"
+
+	"dpsync/internal/dp"
+	"dpsync/internal/record"
+)
+
+// TimerConfig parameterizes DP-Timer (Algorithm 1).
+type TimerConfig struct {
+	// Epsilon is the update-pattern privacy budget ε.
+	Epsilon float64
+	// Period is the fixed sync interval T (in ticks).
+	Period record.Tick
+	// FlushInterval (f) and FlushSize (s) configure the cache-flush
+	// mechanism; zero values disable flushing.
+	FlushInterval record.Tick
+	FlushSize     int
+	// Source supplies noise randomness; nil means crypto/rand.
+	Source dp.Source
+}
+
+// DefaultTimerConfig returns the paper's §8 defaults: ε=0.5, T=30, f=2000,
+// s=15.
+func DefaultTimerConfig() TimerConfig {
+	return TimerConfig{Epsilon: 0.5, Period: 30, FlushInterval: 2000, FlushSize: 15}
+}
+
+// Timer is the DP-Timer strategy (paper Algorithm 1): every T ticks it
+// uploads Perturb(c) records, where c is the number of real arrivals in the
+// closing window and Perturb adds Lap(1/ε) (Algorithm 2). Each window's
+// count is a disjoint sensitivity-1 statistic, so the whole schedule is
+// ε-DP by parallel composition (Theorem 10).
+type Timer struct {
+	cfg    TimerConfig
+	mech   *dp.Mechanism
+	flush  flusher
+	budget *dp.Budget
+
+	windowCount int // arrivals since the last timer boundary
+	syncs       int // timer syncs posted so far (the k of Theorem 6)
+}
+
+// NewTimer builds a DP-Timer strategy.
+func NewTimer(cfg TimerConfig) (*Timer, error) {
+	if cfg.Period <= 0 {
+		return nil, fmt.Errorf("strategy: timer period must be positive, got %d", cfg.Period)
+	}
+	if cfg.FlushInterval < 0 || cfg.FlushSize < 0 {
+		return nil, fmt.Errorf("strategy: negative flush parameters")
+	}
+	mech, err := dp.NewMechanism(cfg.Epsilon, cfg.Source)
+	if err != nil {
+		return nil, fmt.Errorf("strategy: timer epsilon: %w", err)
+	}
+	return &Timer{
+		cfg:    cfg,
+		mech:   mech,
+		flush:  flusher{Interval: cfg.FlushInterval, Size: cfg.FlushSize},
+		budget: dp.NewBudget(),
+	}, nil
+}
+
+// Name implements Strategy.
+func (*Timer) Name() string { return "DP-Timer" }
+
+// Epsilon implements Strategy.
+func (t *Timer) Epsilon() float64 { return t.cfg.Epsilon }
+
+// Config returns the strategy's parameters.
+func (t *Timer) Config() TimerConfig { return t.cfg }
+
+// InitialCount implements Strategy: γ0 = Perturb(|D0|, ε) (Alg 1:2).
+func (t *Timer) InitialCount(d0 int) int {
+	// M_setup: one ε-DP Laplace release on the initial database, composing
+	// in parallel with the per-window releases (disjoint data).
+	_ = t.budget.Charge("setup", t.cfg.Epsilon, dp.Parallel)
+	return t.mech.NoisyCountInt(d0)
+}
+
+// Tick implements Strategy (Alg 1:4-10 plus the flush mechanism).
+func (t *Timer) Tick(now record.Tick, arrivals int) []Op {
+	t.windowCount += arrivals
+	var ops []Op
+	if now > 0 && now%t.cfg.Period == 0 {
+		// M_unit: release Perturb(c) for the closing window. Windows are
+		// disjoint slices of the update stream → parallel composition.
+		_ = t.budget.Charge("update-unit", t.cfg.Epsilon, dp.Parallel)
+		n := t.mech.NoisyCountInt(t.windowCount)
+		t.windowCount = 0
+		t.syncs++
+		if n > 0 {
+			ops = append(ops, Op{Count: n})
+		}
+	}
+	// M_flush: fixed size on a fixed schedule, 0-DP.
+	if f := t.flush.tick(now); f != nil {
+		_ = t.budget.Charge("flush", 0, dp.Parallel)
+		ops = append(ops, f...)
+	}
+	return ops
+}
+
+// Syncs returns how many timer windows have closed (Theorem 6's k).
+func (t *Timer) Syncs() int { return t.syncs }
+
+// Budget exposes the privacy ledger for audits: its parallel composition
+// must equal Epsilon().
+func (t *Timer) Budget() *dp.Budget { return t.budget }
+
+// GapBound returns Theorem 6's high-probability logical-gap bound after the
+// strategy's current number of syncs: with probability ≥ 1-β the gap exceeds
+// the current window's arrivals by at most (2/ε)·sqrt(k·ln(1/β)).
+func (t *Timer) GapBound(beta float64) float64 {
+	return dp.TimerGapBound(t.syncs, t.cfg.Epsilon, beta)
+}
+
+var _ Strategy = (*Timer)(nil)

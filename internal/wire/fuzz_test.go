@@ -1,0 +1,49 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame throws arbitrary bytes at the frame reader: it must never
+// panic or over-allocate (the MaxFrame guard), and everything it accepts
+// must round-trip through WriteFrame.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, []byte("hello"))
+	f.Add(buf.Bytes())
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteFrame(&out, payload); err != nil {
+			t.Fatalf("accepted frame cannot be rewritten: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:4+len(payload)]) {
+			t.Fatal("frame round trip changed bytes")
+		}
+	})
+}
+
+// FuzzDecodeRequest must never panic on malformed JSON.
+func FuzzDecodeRequest(f *testing.F) {
+	ok, _ := Encode(Request{Type: MsgStats})
+	f.Add(ok)
+	f.Add([]byte(`{"type":"query","query":{"kind":2}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data)
+		if err != nil {
+			return
+		}
+		if req.Query != nil {
+			_ = req.Query.ToQuery() // conversion must not panic either
+		}
+	})
+}

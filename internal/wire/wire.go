@@ -1,0 +1,179 @@
+// Package wire defines the client/server protocol for the networked
+// three-party deployment: length-prefixed JSON frames over TCP carrying the
+// EDB protocol messages (setup, update, query, stats).
+//
+// Records cross the wire only as sealed ciphertexts — the owner encrypts
+// locally and the server never sees plaintexts or the real/dummy split. The
+// enclave half of the server (which holds the data key, standing in for an
+// attested SGX enclave) is the only component that opens ciphertexts.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"dpsync/internal/edb"
+	"dpsync/internal/query"
+	"dpsync/internal/record"
+)
+
+// MaxFrame bounds a single frame (16 MiB): large enough for any realistic
+// sync batch, small enough to stop a malformed length prefix from OOMing
+// the server.
+const MaxFrame = 16 << 20
+
+// ErrFrameTooLarge is returned for frames exceeding MaxFrame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds limit")
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: short payload: %w", err)
+	}
+	return payload, nil
+}
+
+// MsgType discriminates protocol requests.
+type MsgType string
+
+// Protocol message types.
+const (
+	MsgSetup  MsgType = "setup"
+	MsgUpdate MsgType = "update"
+	MsgQuery  MsgType = "query"
+	MsgStats  MsgType = "stats"
+)
+
+// Request is a client→server message.
+type Request struct {
+	Type MsgType `json:"type"`
+	// Sealed carries ciphertexts for setup/update (JSON base64-encodes it).
+	Sealed [][]byte `json:"sealed,omitempty"`
+	// Query describes the analyst request for MsgQuery.
+	Query *QuerySpec `json:"query,omitempty"`
+}
+
+// QuerySpec is the wire form of query.Query.
+type QuerySpec struct {
+	Kind     int    `json:"kind"`
+	Provider uint8  `json:"provider"`
+	JoinWith uint8  `json:"joinWith,omitempty"`
+	Lo       uint16 `json:"lo,omitempty"`
+	Hi       uint16 `json:"hi,omitempty"`
+}
+
+// ToQuery converts the wire form back to a query.Query.
+func (s QuerySpec) ToQuery() query.Query {
+	return query.Query{
+		Kind:     query.Kind(s.Kind),
+		Provider: record.Provider(s.Provider),
+		JoinWith: record.Provider(s.JoinWith),
+		Lo:       s.Lo,
+		Hi:       s.Hi,
+	}
+}
+
+// FromQuery converts a query.Query to its wire form.
+func FromQuery(q query.Query) QuerySpec {
+	return QuerySpec{
+		Kind:     int(q.Kind),
+		Provider: uint8(q.Provider),
+		JoinWith: uint8(q.JoinWith),
+		Lo:       q.Lo,
+		Hi:       q.Hi,
+	}
+}
+
+// Response is a server→client message.
+type Response struct {
+	OK     bool        `json:"ok"`
+	Error  string      `json:"error,omitempty"`
+	Answer *AnswerSpec `json:"answer,omitempty"`
+	Cost   *CostSpec   `json:"cost,omitempty"`
+	Stats  *StatsSpec  `json:"stats,omitempty"`
+}
+
+// AnswerSpec is the wire form of query.Answer.
+type AnswerSpec struct {
+	Scalar float64   `json:"scalar"`
+	Groups []float64 `json:"groups,omitempty"`
+}
+
+// ToAnswer converts back to a query.Answer.
+func (a AnswerSpec) ToAnswer() query.Answer {
+	return query.Answer{Scalar: a.Scalar, Groups: a.Groups}
+}
+
+// CostSpec is the wire form of edb.Cost.
+type CostSpec struct {
+	Seconds        float64 `json:"seconds"`
+	RecordsScanned int64   `json:"recordsScanned"`
+	PairsCompared  int64   `json:"pairsCompared,omitempty"`
+}
+
+// ToCost converts back to an edb.Cost.
+func (c CostSpec) ToCost() edb.Cost {
+	return edb.Cost{Seconds: c.Seconds, RecordsScanned: c.RecordsScanned, PairsCompared: c.PairsCompared}
+}
+
+// StatsSpec is the wire form of edb.StorageStats (server view: no split).
+type StatsSpec struct {
+	Records int   `json:"records"`
+	Bytes   int64 `json:"bytes"`
+	Updates int   `json:"updates"`
+}
+
+// Encode serializes any protocol message to a frame payload.
+func Encode(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("wire: encode: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeRequest parses a request frame.
+func DecodeRequest(b []byte) (Request, error) {
+	var req Request
+	if err := json.Unmarshal(b, &req); err != nil {
+		return Request{}, fmt.Errorf("wire: decode request: %w", err)
+	}
+	return req, nil
+}
+
+// DecodeResponse parses a response frame.
+func DecodeResponse(b []byte) (Response, error) {
+	var resp Response
+	if err := json.Unmarshal(b, &resp); err != nil {
+		return Response{}, fmt.Errorf("wire: decode response: %w", err)
+	}
+	return resp, nil
+}

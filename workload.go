@@ -1,0 +1,36 @@
+package dpsync
+
+import (
+	"dpsync/internal/workload"
+)
+
+// Workload generation, re-exported for examples and downstream experiments.
+type (
+	// Trace is a synthetic arrival trace: at most one record per tick.
+	Trace = workload.Trace
+	// TraceConfig parameterizes GenerateTrace.
+	TraceConfig = workload.Config
+)
+
+// Workload defaults matching the paper's evaluation datasets.
+const (
+	// JuneHorizon is 30 days of one-minute ticks (43,200).
+	JuneHorizon = workload.JuneHorizon
+	// YellowRecords and GreenRecords are the paper's post-dedup June 2020
+	// dataset sizes.
+	YellowRecords = workload.YellowRecords
+	GreenRecords  = workload.GreenRecords
+)
+
+// GenerateTrace builds a deterministic synthetic arrival trace with a
+// diurnal intensity profile and a skewed zone marginal (see
+// internal/workload for the calibration details).
+func GenerateTrace(cfg TraceConfig) (*Trace, error) { return workload.Generate(cfg) }
+
+// YellowJuneTrace returns the Yellow Cab stand-in dataset (18,429 records
+// over 43,200 ticks).
+func YellowJuneTrace(seed uint64) *Trace { return workload.YellowJune(seed) }
+
+// GreenJuneTrace returns the Green Boro stand-in dataset (21,300 records
+// over 43,200 ticks).
+func GreenJuneTrace(seed uint64) *Trace { return workload.GreenJune(seed) }
