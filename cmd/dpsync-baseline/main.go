@@ -1,0 +1,194 @@
+// Command dpsync-baseline measures the hot-path micro-operations and the
+// experiment-grid wall-clock on the current machine and emits a JSON
+// baseline (BENCH_baseline.json at the repo root by convention), so future
+// changes can be compared against a recorded perf trajectory:
+//
+//	go run ./cmd/dpsync-baseline            # writes BENCH_baseline.json
+//	go run ./cmd/dpsync-baseline -out -     # prints to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dpsync/internal/ahe"
+	"dpsync/internal/core"
+	"dpsync/internal/oblidb"
+	"dpsync/internal/query"
+	"dpsync/internal/record"
+	"dpsync/internal/sim"
+)
+
+// Baseline is the emitted document. NsPerOp entries are testing.Benchmark
+// measurements of real substrate operations; GridSeconds is one parallel
+// RunGrid wall-clock at the recorded scale.
+type Baseline struct {
+	GeneratedAt time.Time          `json:"generated_at"`
+	GoVersion   string             `json:"go_version"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	NsPerOp     map[string]float64 `json:"ns_per_op"`
+	GridScale   float64            `json:"grid_scale"`
+	GridSeconds float64            `json:"grid_seconds"`
+}
+
+func obliWithRecords(n int) (*oblidb.DB, error) {
+	db, err := oblidb.New()
+	if err != nil {
+		return nil, err
+	}
+	rs := make([]record.Record, n)
+	for i := range rs {
+		rs[i] = record.Record{
+			PickupTime: record.Tick(i + 1),
+			PickupID:   uint16(i%record.NumLocations + 1),
+			Provider:   record.YellowCab,
+		}
+		if i%3 == 0 {
+			rs[i].Provider = record.GreenTaxi
+		}
+	}
+	return db, db.Setup(rs)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_baseline.json", "output path, or - for stdout")
+	scale := flag.Float64("scale", 0.05, "grid scale for the wall-clock sample")
+	flag.Parse()
+
+	b := Baseline{
+		GeneratedAt: time.Now().UTC(),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NsPerOp:     map[string]float64{},
+		GridScale:   *scale,
+	}
+
+	for _, n := range []int{1000, 10_000, 50_000} {
+		db, err := obliWithRecords(n)
+		if err != nil {
+			fatal(err)
+		}
+		r := testing.Benchmark(func(bb *testing.B) {
+			for i := 0; i < bb.N; i++ {
+				if _, _, err := db.Query(query.Q2()); err != nil {
+					bb.Fatal(err)
+				}
+			}
+		})
+		b.NsPerOp[fmt.Sprintf("oblivious_scan_n%d", n)] = float64(r.NsPerOp())
+	}
+
+	{
+		db, err := obliWithRecords(20_000)
+		if err != nil {
+			fatal(err)
+		}
+		r := testing.Benchmark(func(bb *testing.B) {
+			for i := 0; i < bb.N; i++ {
+				if _, _, err := db.Query(query.Q3()); err != nil {
+					bb.Fatal(err)
+				}
+			}
+		})
+		b.NsPerOp["join_n20000"] = float64(r.NsPerOp())
+	}
+
+	{
+		db, err := oblidb.New()
+		if err != nil {
+			fatal(err)
+		}
+		strat, err := sim.NewStrategy(sim.DPTimer, sim.DefaultParams(), nil)
+		if err != nil {
+			fatal(err)
+		}
+		owner, err := core.New(core.Config{Strategy: strat, Database: db})
+		if err != nil {
+			fatal(err)
+		}
+		if err := owner.Setup(nil); err != nil {
+			fatal(err)
+		}
+		tick := 0
+		r := testing.Benchmark(func(bb *testing.B) {
+			for i := 0; i < bb.N; i++ {
+				tick++
+				var terr error
+				if tick%3 == 0 {
+					terr = owner.Tick(record.Record{
+						PickupTime: record.Tick(tick),
+						PickupID:   uint16(tick%record.NumLocations + 1),
+						Provider:   record.YellowCab,
+					})
+				} else {
+					terr = owner.Tick()
+				}
+				if terr != nil {
+					bb.Fatal(terr)
+				}
+			}
+		})
+		b.NsPerOp["owner_tick_dptimer"] = float64(r.NsPerOp())
+	}
+
+	{
+		key, err := ahe.GenerateKey(512)
+		if err != nil {
+			fatal(err)
+		}
+		vecs := make([][]ahe.Ciphertext, 4)
+		for i := range vecs {
+			v := make([]ahe.Ciphertext, 32)
+			for j := range v {
+				m := int64(0)
+				if j == i {
+					m = 1
+				}
+				ct, err := key.Encrypt(m)
+				if err != nil {
+					fatal(err)
+				}
+				v[j] = ct
+			}
+			vecs[i] = v
+		}
+		r := testing.Benchmark(func(bb *testing.B) {
+			for i := 0; i < bb.N; i++ {
+				if _, err := key.SumVector(vecs...); err != nil {
+					bb.Fatal(err)
+				}
+			}
+		})
+		b.NsPerOp["ahe_sumvector_w32x4"] = float64(r.NsPerOp())
+	}
+
+	start := time.Now()
+	if _, err := sim.RunGrid(sim.ObliDB, 1, *scale); err != nil {
+		fatal(err)
+	}
+	b.GridSeconds = time.Since(start).Seconds()
+
+	enc, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dpsync-baseline: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module dpsync
+
+go 1.24

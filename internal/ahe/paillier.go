@@ -149,22 +149,33 @@ func (pk *PublicKey) EncryptZero() (Ciphertext, error) { return pk.Encrypt(0) }
 // vectors must share a length; the result has that length. Aggregating
 // one-hot record encodings this way is exactly Cryptε's server-side
 // evaluation of a histogram query.
+//
+// The accumulator is seeded from the first vector rather than from a fresh
+// EncryptZero per slot, because the zero encryptions cost one n-bit modular
+// exponentiation each and width× of them dominated every call
+// (BenchmarkSumVector pins the win for direct callers). This moves
+// re-randomization from every sum to the trust boundary: chained or
+// batched sums pay no zero encryptions here, and a release point that
+// needs unlinkability (crypte.Aggregate) re-randomizes once per published
+// slot — so a multi-sum pipeline pays the exponentiations once per
+// release instead of once per SumVector call. The trade-off: no fresh randomness
+// enters this function, so the result is the deterministic slot-wise
+// product of the inputs — semantically secure against outsiders (every
+// input carried fresh randomness at encryption time) but *linkable* by a
+// party who saw the input ciphertexts, and with a single input vector the
+// result aliases that vector's *big.Int values outright. Callers releasing
+// the aggregate to such a party must re-randomize it themselves by Adding
+// an EncryptZero per slot, and must treat Ciphertexts as immutable (this
+// API never mutates them in place).
 func (pk *PublicKey) SumVector(vecs ...[]Ciphertext) ([]Ciphertext, error) {
 	if len(vecs) == 0 {
 		return nil, fmt.Errorf("ahe: no vectors")
 	}
 	width := len(vecs[0])
-	acc := make([]Ciphertext, width)
-	for i := range acc {
-		z, err := pk.EncryptZero()
-		if err != nil {
-			return nil, err
-		}
-		acc[i] = z
-	}
-	for vi, v := range vecs {
+	acc := append([]Ciphertext(nil), vecs[0]...)
+	for vi, v := range vecs[1:] {
 		if len(v) != width {
-			return nil, fmt.Errorf("ahe: vector %d has width %d, want %d", vi, len(v), width)
+			return nil, fmt.Errorf("ahe: vector %d has width %d, want %d", vi+1, len(v), width)
 		}
 		for i := range v {
 			acc[i] = pk.Add(acc[i], v[i])

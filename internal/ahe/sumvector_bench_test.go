@@ -1,0 +1,46 @@
+package ahe
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchVectors encrypts n one-hot vectors of the given width under testKey.
+func benchVectors(b *testing.B, n, width int) [][]Ciphertext {
+	b.Helper()
+	vecs := make([][]Ciphertext, n)
+	for i := range vecs {
+		v := make([]Ciphertext, width)
+		for j := range v {
+			m := int64(0)
+			if j == i%width {
+				m = 1
+			}
+			ct, err := testKey.Encrypt(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			v[j] = ct
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+// BenchmarkSumVector pins the accumulator seeding win: the per-call cost is
+// now the homomorphic additions alone (cheap modular multiplications), not
+// width× EncryptZero modular exponentiations.
+func BenchmarkSumVector(b *testing.B) {
+	for _, width := range []int{16, 64} {
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			vecs := benchVectors(b, 8, width)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := testKey.SumVector(vecs...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -57,7 +57,11 @@ type Owner struct {
 	cache   *cache.Cache
 	pattern *leakage.Pattern
 
-	logical      query.Tables
+	// truth incrementally aggregates the logical database D_t, so Truth and
+	// QueryError at query cadence cost O(keys) instead of re-evaluating the
+	// whole logical history. The answers are bit-identical to naive plan
+	// evaluation over the stored records (see query.Aggregates).
+	truth        *query.Aggregates
 	logicalCount int // |D_t|: real records received so far (incl. D0)
 	uploadedReal int // real records outsourced so far
 	now          record.Tick
@@ -96,7 +100,7 @@ func New(cfg Config) (*Owner, error) {
 		attach:  cfg.Attach,
 		cache:   cache.New(cfg.Order, dummyOf),
 		pattern: &leakage.Pattern{},
-		logical: query.Tables{},
+		truth:   query.NewAggregates(),
 	}, nil
 }
 
@@ -178,7 +182,7 @@ func (o *Owner) RunIdle(n int) error {
 }
 
 func (o *Owner) appendLogical(r record.Record) {
-	o.logical[r.Provider] = append(o.logical[r.Provider], r)
+	o.truth.Observe(r)
 	o.logicalCount++
 }
 
@@ -191,9 +195,10 @@ func (o *Owner) Query(q query.Query) (query.Answer, edb.Cost, error) {
 }
 
 // Truth evaluates q over the logical database D_t — the reference answer for
-// the paper's L1 query-error metric.
+// the paper's L1 query-error metric — from the incrementally maintained
+// aggregates.
 func (o *Owner) Truth(q query.Query) (query.Answer, error) {
-	return query.Truth(q, o.logical)
+	return o.truth.AnswerFor(q)
 }
 
 // QueryError runs q both ways and returns the L1 error QE(q_t) along with

@@ -42,10 +42,16 @@ const DefaultQueryEpsilon = 3.0
 type DB struct {
 	mu     sync.Mutex
 	sealer *seal.Sealer
-	rows   []record.Record // decrypted view held by the aggregation service
-	stats  edb.StorageStats
-	model  edb.CostModel
-	setup  bool
+	// agg is the aggregation service's incrementally maintained view: each
+	// ingested record folds its one-hot encodings into the running linear
+	// aggregates (dummies encode all-zero vectors, so Observe skips them).
+	// This is exactly how Cryptε's server works — it sums encodings as they
+	// arrive rather than keeping rows — and it makes query answering
+	// O(keys) instead of an O(n) rescan.
+	agg   *query.Aggregates
+	stats edb.StorageStats
+	model edb.CostModel
+	setup bool
 
 	queryEps float64
 	noise    *dp.Mechanism
@@ -88,6 +94,7 @@ func NewWithKey(key []byte, opts ...Option) (*DB, error) {
 	}
 	db := &DB{
 		sealer:   s,
+		agg:      query.NewAggregates(),
 		model:    edb.CrypteCostModel(),
 		queryEps: DefaultQueryEpsilon,
 		spent:    dp.NewBudget(),
@@ -152,7 +159,7 @@ func (db *DB) ingest(rs []record.Record) error {
 	if err != nil {
 		return fmt.Errorf("crypte: ingest: %w", err)
 	}
-	db.rows = append(db.rows, opened...)
+	db.agg.ObserveAll(opened)
 	dummies := len(rs) - record.CountReal(rs)
 	db.stats.Add(len(rs), dummies, EncodingBytes)
 	return nil
@@ -172,11 +179,7 @@ func (db *DB) Query(q query.Query) (query.Answer, edb.Cost, error) {
 	if !db.Supports(q) {
 		return query.Answer{}, edb.Cost{}, fmt.Errorf("%w: %v on %s", edb.ErrUnsupportedQuery, q.Kind, db.Name())
 	}
-	tables := query.Tables{}
-	for _, r := range db.rows {
-		tables[r.Provider] = append(tables[r.Provider], r)
-	}
-	exact, err := query.Evaluate(q, tables)
+	exact, err := db.agg.AnswerFor(q)
 	if err != nil {
 		return query.Answer{}, edb.Cost{}, err
 	}
@@ -184,7 +187,7 @@ func (db *DB) Query(q query.Query) (query.Answer, edb.Cost, error) {
 	if err := db.spent.Charge("query-release", db.queryEps, dp.Sequential); err != nil {
 		return query.Answer{}, edb.Cost{}, err
 	}
-	cost := db.model.Linear(q.Kind, int64(len(db.rows)))
+	cost := db.model.Linear(q.Kind, int64(db.stats.Records))
 	return ans, cost, nil
 }
 

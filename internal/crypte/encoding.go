@@ -68,9 +68,25 @@ func (p *AHEPipeline) EncodeRecord(r record.Record) ([]ahe.Ciphertext, error) {
 }
 
 // Aggregate blindly sums encoded records — the aggregation server's entire
-// job. It needs only the public key.
+// job. It needs only the public key. The release is re-randomized once per
+// slot (SumVector itself no longer is, trading the per-input zero
+// encryptions for plain homomorphic additions), so the published aggregate
+// stays unlinkable to the uploaded encodings even for a party that observed
+// them — including the degenerate one-record window, where the raw sum
+// would alias the upload outright.
 func Aggregate(pk *ahe.PublicKey, encodings ...[]ahe.Ciphertext) ([]ahe.Ciphertext, error) {
-	return pk.SumVector(encodings...)
+	sum, err := pk.SumVector(encodings...)
+	if err != nil {
+		return nil, err
+	}
+	for i := range sum {
+		z, err := pk.EncryptZero()
+		if err != nil {
+			return nil, err
+		}
+		sum[i] = pk.Add(sum[i], z)
+	}
+	return sum, nil
 }
 
 // DecryptAnswer turns an aggregated encoding into the exact answer of q

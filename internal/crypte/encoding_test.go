@@ -109,3 +109,35 @@ func TestDummyEncodesZeroVector(t *testing.T) {
 		t.Errorf("dummy contributed %v to the histogram", ans.Total())
 	}
 }
+
+// TestAggregateReleaseUnlinkable pins the release-point re-randomization:
+// even a one-record aggregation window (where the raw homomorphic sum would
+// equal the uploaded encoding) must publish fresh ciphertexts, while still
+// decrypting to the same plaintexts.
+func TestAggregateReleaseUnlinkable(t *testing.T) {
+	enc, err := pipeline.EncodeRecord(record.Record{
+		PickupTime: 1, PickupID: 7, Provider: record.YellowCab, FareCents: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := Aggregate(pipeline.PublicKey(), enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg) != len(enc) {
+		t.Fatalf("aggregate width %d, want %d", len(agg), len(enc))
+	}
+	for i := range agg {
+		if agg[i].C.Cmp(enc[i].C) == 0 {
+			t.Fatalf("slot %d: released ciphertext identical to upload — release not re-randomized", i)
+		}
+	}
+	ans, err := pipeline.DecryptAnswer(query.Q2(), agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Groups[6] != 1 || ans.Total() != 1 {
+		t.Errorf("re-randomized aggregate decrypts wrong: %+v", ans)
+	}
+}

@@ -23,14 +23,29 @@ import (
 //  2. Dummy records are filtered *inside* the enclave via the Appendix-B
 //     query rewrite, so answers are exact over real records while the
 //     real/dummy split never crosses the enclave boundary.
+//
+// Answers are computed from incrementally maintained aggregates (updated at
+// ingest) rather than by re-evaluating the relational plan over the resident
+// tables on every query — amortized O(1) per ingested record, O(keys) per
+// query. This changes nothing the adversary or the metrics see: the modeled
+// oblivious execution still touches the full scan extent (scanExtent, the
+// access log, and the calibrated cost model are untouched), and the
+// incremental answers are bit-identical to the naive plan evaluation, which
+// TestIncrementalMatchesNaive pins. Obliviousness is a property of the
+// *modeled* engine; how the simulator computes the (exact) answer is free.
 type Enclave struct {
 	mu     sync.Mutex
 	sealer *seal.Sealer
 
-	// tables is the enclave-resident decrypted store (the ORAM contents).
-	tables query.Tables
+	// agg holds the incrementally maintained query aggregates over the
+	// resident real records (dummies are filtered at Observe, mirroring the
+	// Appendix-B rewrite). It is the only per-record state the simulated
+	// enclave keeps: the resident table *sizes* below are what drive the
+	// modeled oblivious scans, so retaining decrypted rows would only
+	// duplicate what the aggregates already answer from.
+	agg *query.Aggregates
 	// yellow / green count resident records per table, dummies included —
-	// they drive the scan and join cost models.
+	// they drive the scan extent and the join cost model.
 	yellow, green int64
 }
 
@@ -40,7 +55,7 @@ func NewEnclave(key []byte) (*Enclave, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Enclave{sealer: s, tables: query.Tables{}}, nil
+	return &Enclave{sealer: s, agg: query.NewAggregates()}, nil
 }
 
 // Ingest opens a batch of ciphertexts into the enclave-resident tables.
@@ -58,7 +73,7 @@ func (e *Enclave) Ingest(cts []seal.Sealed) error {
 		opened[i] = r
 	}
 	for _, r := range opened {
-		e.tables[r.Provider] = append(e.tables[r.Provider], r)
+		e.agg.Observe(r)
 		if r.Provider == record.GreenTaxi {
 			e.green++
 		} else {
@@ -68,13 +83,16 @@ func (e *Enclave) Ingest(cts []seal.Sealed) error {
 	return nil
 }
 
-// Execute runs q over the resident tables and returns the exact answer plus
+// Execute runs q over the resident store and returns the exact answer plus
 // the number of records the oblivious scan touched — the full target
-// table(s), independent of data and predicates.
+// table(s), independent of data and predicates. The answer comes from the
+// ingest-time aggregates and equals the Appendix-B-rewritten plan evaluated
+// over the ingested records (TestIncrementalMatchesNaive keeps a mirror of
+// every upload and pins exactly that).
 func (e *Enclave) Execute(q query.Query) (query.Answer, int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	ans, err := query.Evaluate(q, e.tables) // Appendix-B rewrite inside
+	ans, err := e.agg.AnswerFor(q)
 	if err != nil {
 		return query.Answer{}, 0, err
 	}

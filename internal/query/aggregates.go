@@ -1,0 +1,150 @@
+package query
+
+import (
+	"fmt"
+
+	"dpsync/internal/record"
+)
+
+// Aggregates is an incrementally maintained sufficient statistic for the
+// bundled evaluation queries: per-provider real-record counts, per-pickupID
+// histograms (Q1 range counts, Q2 group-bys), per-pickupID fare totals (Q4),
+// and per-pickupTime join-key counters (Q3). Feeding every stored record
+// through Observe lets AnswerFor produce answers bit-identical to executing
+// the naive relational plans over the full table — counts and fare sums are
+// integers well below 2^53, so float64 accumulation order cannot perturb
+// them — in O(1) ingest work per record and O(keys) work per query, instead
+// of a full O(n) rescan.
+//
+// Dummy records are skipped at Observe time, mirroring the Appendix-B
+// rewrite that filters them inside the engine: AnswerFor therefore matches
+// Evaluate over dummy-bearing tables and Truth over dummy-free ones. The
+// zero value is not usable; call NewAggregates. Not safe for concurrent use;
+// callers (enclave, owner, simulator) serialize behind their own locks.
+type Aggregates struct {
+	prov map[record.Provider]*providerAgg
+}
+
+// providerAgg holds one table's statistics over real records only.
+type providerAgg struct {
+	real  int64                 // COUNT(*)
+	ids   map[uint16]int64      // COUNT(*) GROUP BY pickupID
+	fares map[uint16]int64      // SUM(fareCents) GROUP BY pickupID
+	times map[record.Tick]int64 // COUNT(*) GROUP BY pickupTime (join key)
+}
+
+// NewAggregates returns an empty statistic.
+func NewAggregates() *Aggregates {
+	return &Aggregates{prov: map[record.Provider]*providerAgg{}}
+}
+
+// Observe folds one stored record into the statistic. Dummy records are
+// ignored — they never contribute to rewritten-plan answers.
+func (a *Aggregates) Observe(r record.Record) {
+	if r.Dummy {
+		return
+	}
+	pa := a.prov[r.Provider]
+	if pa == nil {
+		pa = &providerAgg{
+			ids:   map[uint16]int64{},
+			fares: map[uint16]int64{},
+			times: map[record.Tick]int64{},
+		}
+		a.prov[r.Provider] = pa
+	}
+	pa.real++
+	pa.ids[r.PickupID]++
+	pa.fares[r.PickupID] += int64(r.FareCents)
+	pa.times[r.PickupTime]++
+}
+
+// ObserveAll folds a batch.
+func (a *Aggregates) ObserveAll(rs []record.Record) {
+	for _, r := range rs {
+		a.Observe(r)
+	}
+}
+
+// Real returns the number of real records observed for provider p.
+func (a *Aggregates) Real(p record.Provider) int64 {
+	if pa := a.prov[p]; pa != nil {
+		return pa.real
+	}
+	return 0
+}
+
+// AnswerFor evaluates q from the maintained statistics. The answer equals
+// Evaluate(q, tables) over the observed records for every bundled query
+// kind; unknown kinds error exactly as plan compilation would.
+func (a *Aggregates) AnswerFor(q Query) (Answer, error) {
+	if err := q.Validate(); err != nil {
+		return Answer{}, err
+	}
+	switch q.Kind {
+	case RangeCount:
+		return Answer{Scalar: float64(a.rangeSum(q.Provider, q.Lo, q.Hi, false))}, nil
+	case SumFare:
+		return Answer{Scalar: float64(a.rangeSum(q.Provider, q.Lo, q.Hi, true))}, nil
+	case GroupCount:
+		groups := make([]float64, record.NumLocations)
+		if pa := a.prov[q.Provider]; pa != nil {
+			for id, c := range pa.ids {
+				if id >= 1 && id <= record.NumLocations {
+					groups[id-1] = float64(c)
+				}
+			}
+		}
+		return Answer{Groups: groups}, nil
+	case JoinCount:
+		return Answer{Scalar: float64(a.joinCount(q.Provider, q.JoinWith))}, nil
+	default:
+		return Answer{}, fmt.Errorf("query: cannot answer kind %v incrementally", q.Kind)
+	}
+}
+
+// rangeSum adds the per-pickupID counters (or fare totals) over lo..hi,
+// iterating whichever is smaller: the range or the set of occupied keys.
+func (a *Aggregates) rangeSum(p record.Provider, lo, hi uint16, fares bool) int64 {
+	pa := a.prov[p]
+	if pa == nil {
+		return 0
+	}
+	m := pa.ids
+	if fares {
+		m = pa.fares
+	}
+	var sum int64
+	if int(hi-lo)+1 <= len(m) {
+		for id := int(lo); id <= int(hi); id++ {
+			sum += m[uint16(id)]
+		}
+		return sum
+	}
+	for id, v := range m {
+		if id >= lo && id <= hi {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// joinCount returns |T_left ⋈ T_right| on pickupTime: the sum over join
+// keys of the per-table multiplicity product (for a self-join, small and
+// big alias the same map and the product squares each multiplicity).
+func (a *Aggregates) joinCount(left, right record.Provider) int64 {
+	la, ra := a.prov[left], a.prov[right]
+	if la == nil || ra == nil {
+		return 0
+	}
+	// Iterate the smaller key set.
+	small, big := la.times, ra.times
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	var total int64
+	for k, c := range small {
+		total += c * big[k]
+	}
+	return total
+}

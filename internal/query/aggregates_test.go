@@ -1,0 +1,199 @@
+package query
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"dpsync/internal/record"
+)
+
+// allQueries covers every bundled kind plus shape variants the paper's
+// queries never pose: swapped join sides, a self-join, off-domain ranges.
+func allQueries() []Query {
+	return []Query{
+		Q1(), Q2(), Q3(), Q4(),
+		{Kind: RangeCount, Provider: record.GreenTaxi, Lo: 1, Hi: record.NumLocations},
+		{Kind: RangeCount, Provider: record.YellowCab, Lo: 200, Hi: 400}, // straddles the domain edge
+		{Kind: GroupCount, Provider: record.GreenTaxi},
+		{Kind: JoinCount, Provider: record.GreenTaxi, JoinWith: record.YellowCab},
+		{Kind: JoinCount, Provider: record.YellowCab, JoinWith: record.YellowCab}, // self-join
+		{Kind: SumFare, Provider: record.GreenTaxi, Lo: 10, Hi: 40},
+	}
+}
+
+// randomRecords draws a store with colliding pickup times (exercising join
+// multiplicities), occasional out-of-domain pickupIDs, and the given dummy
+// fraction.
+func randomRecords(rng *rand.Rand, n int, dummyFrac float64) []record.Record {
+	rs := make([]record.Record, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < dummyFrac {
+			p := record.YellowCab
+			if rng.IntN(2) == 0 {
+				p = record.GreenTaxi
+			}
+			rs = append(rs, record.NewDummy(p))
+			continue
+		}
+		r := record.Record{
+			PickupTime: record.Tick(rng.IntN(n / 4)), // forced collisions
+			PickupID:   uint16(rng.IntN(300) + 1),    // sometimes past NumLocations
+			Provider:   record.YellowCab,
+			FareCents:  uint32(rng.IntN(record.MaxFareCents + 1)),
+		}
+		if rng.IntN(3) == 0 {
+			r.Provider = record.GreenTaxi
+		}
+		rs = append(rs, r)
+	}
+	return rs
+}
+
+func tablesOf(rs []record.Record) Tables {
+	t := Tables{}
+	for _, r := range rs {
+		t[r.Provider] = append(t[r.Provider], r)
+	}
+	return t
+}
+
+func answersEqual(a, b Answer) bool {
+	if a.Scalar != b.Scalar || len(a.Groups) != len(b.Groups) {
+		return false
+	}
+	for i := range a.Groups {
+		if a.Groups[i] != b.Groups[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAggregatesMatchNaive is the differential pin for the incremental
+// engine: over randomized stores (with and without dummies) and randomized
+// ingest orders, AnswerFor must be bit-identical to evaluating the naive
+// (for dummy-free stores) or Appendix-B-rewritten (for dummy-bearing
+// stores) plan over the full tables.
+func TestAggregatesMatchNaive(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(uint64(trial), 0xa66))
+			dummyFrac := float64(trial%4) * 0.2 // 0, 0.2, 0.4, 0.6
+			rs := randomRecords(rng, 400, dummyFrac)
+			rng.Shuffle(len(rs), func(i, j int) { rs[i], rs[j] = rs[j], rs[i] })
+
+			agg := NewAggregates()
+			agg.ObserveAll(rs)
+			tables := tablesOf(rs)
+			for _, q := range allQueries() {
+				got, err := agg.AnswerFor(q)
+				if err != nil {
+					t.Fatalf("%v: %v", q.Kind, err)
+				}
+				// Evaluate applies the dummy-eliminating rewrite, matching
+				// Observe's dummy skip; on dummy-free stores it coincides
+				// with Truth (pinned separately below).
+				want, err := Evaluate(q, tables)
+				if err != nil {
+					t.Fatalf("%v naive: %v", q.Kind, err)
+				}
+				if !answersEqual(got, want) {
+					t.Errorf("%v over %+v: incremental %+v != naive %+v", q.Kind, q, got, want)
+				}
+				if dummyFrac == 0 {
+					truth, err := Truth(q, tables)
+					if err != nil {
+						t.Fatalf("%v truth: %v", q.Kind, err)
+					}
+					if !answersEqual(got, truth) {
+						t.Errorf("%v: incremental %+v != Truth %+v", q.Kind, got, truth)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAggregatesOrderInvariant pins that ingest order cannot perturb any
+// answer: counts and fare sums are integers below 2^53, so float64 exactness
+// holds regardless of accumulation order.
+func TestAggregatesOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	rs := randomRecords(rng, 300, 0.25)
+	a, b := NewAggregates(), NewAggregates()
+	a.ObserveAll(rs)
+	shuffled := append([]record.Record(nil), rs...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	b.ObserveAll(shuffled)
+	for _, q := range allQueries() {
+		x, err := a.AnswerFor(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := b.AnswerFor(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !answersEqual(x, y) {
+			t.Errorf("%v: order-dependent answers %+v vs %+v", q.Kind, x, y)
+		}
+	}
+}
+
+func TestAggregatesEmptyAndErrors(t *testing.T) {
+	agg := NewAggregates()
+	for _, q := range allQueries() {
+		ans, err := agg.AnswerFor(q)
+		if err != nil {
+			t.Fatalf("%v on empty: %v", q.Kind, err)
+		}
+		if ans.Total() != 0 {
+			t.Errorf("%v on empty = %v, want 0", q.Kind, ans.Total())
+		}
+	}
+	if _, err := agg.AnswerFor(Query{Kind: Kind(99), Provider: record.YellowCab}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := agg.AnswerFor(Query{Kind: RangeCount, Provider: record.YellowCab, Lo: 9, Hi: 1}); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if agg.Real(record.YellowCab) != 0 {
+		t.Error("empty aggregates report records")
+	}
+	agg.Observe(record.NewDummy(record.YellowCab))
+	if agg.Real(record.YellowCab) != 0 {
+		t.Error("dummy counted as real")
+	}
+}
+
+// TestJoinCountNoMaterialization pins that counting a join runs in
+// O(|L|+|R|) — a store whose join output would be ~10^8 rows must still
+// count instantly (materializing it would OOM or time out the suite).
+func TestJoinCountNoMaterialization(t *testing.T) {
+	const side = 10_000 // all records share one tick → 10^8 join output rows
+	rs := make([]record.Record, 0, 2*side)
+	for i := 0; i < side; i++ {
+		rs = append(rs,
+			record.Record{PickupTime: 1, PickupID: 1, Provider: record.YellowCab},
+			record.Record{PickupTime: 1, PickupID: 1, Provider: record.GreenTaxi})
+	}
+	tables := tablesOf(rs)
+	want := float64(side) * float64(side)
+	ans, err := Truth(Q3(), tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Scalar != want {
+		t.Errorf("join count = %v, want %v", ans.Scalar, want)
+	}
+	agg := NewAggregates()
+	agg.ObserveAll(rs)
+	inc, err := agg.AnswerFor(Q3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Scalar != want {
+		t.Errorf("incremental join count = %v, want %v", inc.Scalar, want)
+	}
+}

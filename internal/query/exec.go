@@ -16,11 +16,11 @@ type Tables map[record.Provider][]record.Record
 func Execute(p *Plan, tables Tables) (Answer, error) {
 	switch p.Op {
 	case OpCount:
-		rows, err := rows(p.Children[0], tables)
+		n, err := cardinality(p.Children[0], tables, Predicate{})
 		if err != nil {
 			return Answer{}, err
 		}
-		return Answer{Scalar: float64(len(rows))}, nil
+		return Answer{Scalar: float64(n)}, nil
 	case OpSum:
 		rows, err := rows(p.Children[0], tables)
 		if err != nil {
@@ -53,11 +53,119 @@ func Execute(p *Plan, tables Tables) (Answer, error) {
 		}
 		return Answer{Groups: groups}, nil
 	default:
-		rs, err := rows(p, tables)
+		n, err := cardinality(p, tables, Predicate{})
 		if err != nil {
 			return Answer{}, err
 		}
-		return Answer{Scalar: float64(len(rs))}, nil
+		return Answer{Scalar: float64(n)}, nil
+	}
+}
+
+// cardinality counts the rows p produces without materializing them. pred
+// accumulates filters seen on the way down; at a join it applies to the
+// *left* record, which is sound because join output rows reuse the left
+// record verbatim (see equiJoin). The join itself is counted as
+// Σ_l |{r : key(r) = key(l)}| from a right-side multiplicity map — O(|L|+|R|)
+// instead of the O(output) row materialization the naive path pays.
+func cardinality(p *Plan, tables Tables, pred Predicate) (int64, error) {
+	if p == nil {
+		return 0, fmt.Errorf("query: nil plan node")
+	}
+	switch p.Op {
+	case OpScan:
+		var n int64
+		for _, r := range tables[p.Table] {
+			if pred.Matches(r) {
+				n++
+			}
+		}
+		return n, nil
+	case OpFilter:
+		return cardinality(p.Children[0], tables, pred.And(p.Pred))
+	case OpProject:
+		return cardinality(p.Children[0], tables, pred)
+	case OpJoin:
+		if len(p.Children) != 2 {
+			return 0, fmt.Errorf("query: join needs 2 children, has %d", len(p.Children))
+		}
+		keyOf, err := joinKey(p.Attrs)
+		if err != nil {
+			return 0, err
+		}
+		index := make(map[int64]int64)
+		if err := forEachRow(p.Children[1], tables, func(r record.Record) {
+			index[keyOf(r)]++
+		}); err != nil {
+			return 0, err
+		}
+		var total int64
+		if err := forEachRow(p.Children[0], tables, func(r record.Record) {
+			if pred.Matches(r) {
+				total += index[keyOf(r)]
+			}
+		}); err != nil {
+			return 0, err
+		}
+		return total, nil
+	default:
+		rs, err := rows(p, tables)
+		if err != nil {
+			return 0, err
+		}
+		var n int64
+		for _, r := range rs {
+			if pred.Matches(r) {
+				n++
+			}
+		}
+		return n, nil
+	}
+}
+
+// forEachRow streams the rows of a filter/project/scan fragment to fn
+// without building intermediate slices; other operators fall back to rows().
+func forEachRow(p *Plan, tables Tables, fn func(record.Record)) error {
+	if p == nil {
+		return fmt.Errorf("query: nil plan node")
+	}
+	switch p.Op {
+	case OpScan:
+		for _, r := range tables[p.Table] {
+			fn(r)
+		}
+		return nil
+	case OpFilter:
+		return forEachRow(p.Children[0], tables, func(r record.Record) {
+			if p.Pred.Matches(r) {
+				fn(r)
+			}
+		})
+	case OpProject:
+		return forEachRow(p.Children[0], tables, fn)
+	default:
+		rs, err := rows(p, tables)
+		if err != nil {
+			return err
+		}
+		for _, r := range rs {
+			fn(r)
+		}
+		return nil
+	}
+}
+
+// joinKey resolves the key extractor for a single-attribute equi-join.
+func joinKey(attrs []Attr) (func(r record.Record) int64, error) {
+	if len(attrs) != 1 {
+		return nil, fmt.Errorf("query: join supports exactly one key, got %d", len(attrs))
+	}
+	switch attrs[0] {
+	case AttrPickupTime:
+		return func(r record.Record) int64 { return int64(r.PickupTime) }, nil
+	case AttrPickupID:
+		return func(r record.Record) int64 { return int64(r.PickupID) }, nil
+	default:
+		return nil, fmt.Errorf("query: unsupported join key %v", attrs[0])
 	}
 }
 
@@ -107,20 +215,14 @@ func rows(p *Plan, tables Tables) ([]record.Record, error) {
 
 // equiJoin hash-joins left and right on the given key attribute. The result
 // rows reuse the left record with the understanding that only cardinality is
-// consumed downstream (all evaluation queries count).
+// consumed downstream (all evaluation queries count). Counting consumers
+// never reach this path — Execute's cardinality() counts joins from the
+// right-side multiplicity map without materializing the output — so this
+// O(output) expansion only runs for row-producing plans.
 func equiJoin(left, right []record.Record, attrs []Attr) ([]record.Record, error) {
-	if len(attrs) != 1 {
-		return nil, fmt.Errorf("query: join supports exactly one key, got %d", len(attrs))
-	}
-	key := attrs[0]
-	var keyOf func(r record.Record) int64
-	switch key {
-	case AttrPickupTime:
-		keyOf = func(r record.Record) int64 { return int64(r.PickupTime) }
-	case AttrPickupID:
-		keyOf = func(r record.Record) int64 { return int64(r.PickupID) }
-	default:
-		return nil, fmt.Errorf("query: unsupported join key %v", key)
+	keyOf, err := joinKey(attrs)
+	if err != nil {
+		return nil, err
 	}
 	index := make(map[int64]int, len(right))
 	for _, r := range right {

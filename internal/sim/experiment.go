@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"dpsync/internal/query"
 	"dpsync/internal/record"
@@ -57,6 +59,13 @@ func PaperConfig(s System, k StrategyKind, seed uint64, scale float64) (Config, 
 	if err != nil {
 		return Config{}, err
 	}
+	return paperConfigWithTraces(s, k, seed, scale, traces)
+}
+
+// paperConfigWithTraces is PaperConfig over pre-generated traces, so grids
+// and sweeps generate each workload once and share it read-only across
+// cells (traces are immutable after generation).
+func paperConfigWithTraces(s System, k StrategyKind, seed uint64, scale float64, traces []*workload.Trace) (Config, error) {
 	p := DefaultParams()
 	queryEvery := record.Tick(float64(360) * scale)
 	if queryEvery < 1 {
@@ -81,13 +90,59 @@ func PaperConfig(s System, k StrategyKind, seed uint64, scale float64) (Config, 
 	}, nil
 }
 
+// runCells executes one independent Run per key on a bounded worker pool
+// (at most GOMAXPROCS cells in flight). Every cell owns its full stack —
+// traces are the only shared state, and they are read-only after
+// generation — and every noise stream is derived from the cell's Config
+// alone, so results are bit-identical to running the cells serially; only
+// wall-clock changes. On failure the error of the earliest key (in keys
+// order) is returned, again matching the serial driver.
+func runCells[K comparable](keys []K, run func(K) (*Result, error)) (map[K]*Result, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]*Result, len(keys))
+	errs := make([]error, len(keys))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, k := range keys {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, k K) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = run(k)
+		}(i, k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[K]*Result, len(keys))
+	for i, k := range keys {
+		out[k] = results[i]
+	}
+	return out, nil
+}
+
 // RunGrid executes the full (strategy × system) grid of the end-to-end
 // comparison (§8.1) and returns results keyed by strategy in AllStrategies
-// order.
+// order. Cells run concurrently on a bounded worker pool over one shared
+// workload generation; per-cell seeding is unchanged, so the results are
+// bit-identical to the serial driver's.
 func RunGrid(s System, seed uint64, scale float64) (map[StrategyKind]*Result, error) {
-	out := make(map[StrategyKind]*Result, 5)
-	for _, k := range AllStrategies() {
-		cfg, err := PaperConfig(s, k, seed, scale)
+	traces, err := PaperTraces(s, seed, scale)
+	if err != nil {
+		return nil, err
+	}
+	return runCells(AllStrategies(), func(k StrategyKind) (*Result, error) {
+		cfg, err := paperConfigWithTraces(s, k, seed, scale, traces)
 		if err != nil {
 			return nil, err
 		}
@@ -95,16 +150,19 @@ func RunGrid(s System, seed uint64, scale float64) (map[StrategyKind]*Result, er
 		if err != nil {
 			return nil, fmt.Errorf("sim: %s/%s: %w", s, k, err)
 		}
-		out[k] = res
-	}
-	return out, nil
+		return res, nil
+	})
 }
 
-// SweepEpsilon reruns a DP strategy across the Figure 5 privacy grid.
+// SweepEpsilon reruns a DP strategy across the Figure 5 privacy grid,
+// one concurrent cell per ε over a shared workload generation.
 func SweepEpsilon(s System, k StrategyKind, epsilons []float64, seed uint64, scale float64) (map[float64]*Result, error) {
-	out := make(map[float64]*Result, len(epsilons))
-	for _, eps := range epsilons {
-		cfg, err := PaperConfig(s, k, seed, scale)
+	traces, err := PaperTraces(s, seed, scale)
+	if err != nil {
+		return nil, err
+	}
+	return runCells(epsilons, func(eps float64) (*Result, error) {
+		cfg, err := paperConfigWithTraces(s, k, seed, scale, traces)
 		if err != nil {
 			return nil, err
 		}
@@ -113,16 +171,19 @@ func SweepEpsilon(s System, k StrategyKind, epsilons []float64, seed uint64, sca
 		if err != nil {
 			return nil, fmt.Errorf("sim: eps=%v: %w", eps, err)
 		}
-		out[eps] = res
-	}
-	return out, nil
+		return res, nil
+	})
 }
 
-// SweepPeriod reruns DP-Timer across Figure 6's T grid.
+// SweepPeriod reruns DP-Timer across Figure 6's T grid, one concurrent cell
+// per T over a shared workload generation.
 func SweepPeriod(s System, periods []record.Tick, seed uint64, scale float64) (map[record.Tick]*Result, error) {
-	out := make(map[record.Tick]*Result, len(periods))
-	for _, T := range periods {
-		cfg, err := PaperConfig(s, DPTimer, seed, scale)
+	traces, err := PaperTraces(s, seed, scale)
+	if err != nil {
+		return nil, err
+	}
+	return runCells(periods, func(T record.Tick) (*Result, error) {
+		cfg, err := paperConfigWithTraces(s, DPTimer, seed, scale, traces)
 		if err != nil {
 			return nil, err
 		}
@@ -131,16 +192,19 @@ func SweepPeriod(s System, periods []record.Tick, seed uint64, scale float64) (m
 		if err != nil {
 			return nil, fmt.Errorf("sim: T=%v: %w", T, err)
 		}
-		out[T] = res
-	}
-	return out, nil
+		return res, nil
+	})
 }
 
-// SweepThreshold reruns DP-ANT across Figure 6's θ grid.
+// SweepThreshold reruns DP-ANT across Figure 6's θ grid, one concurrent
+// cell per θ over a shared workload generation.
 func SweepThreshold(s System, thetas []float64, seed uint64, scale float64) (map[float64]*Result, error) {
-	out := make(map[float64]*Result, len(thetas))
-	for _, th := range thetas {
-		cfg, err := PaperConfig(s, DPANT, seed, scale)
+	traces, err := PaperTraces(s, seed, scale)
+	if err != nil {
+		return nil, err
+	}
+	return runCells(thetas, func(th float64) (*Result, error) {
+		cfg, err := paperConfigWithTraces(s, DPANT, seed, scale, traces)
 		if err != nil {
 			return nil, err
 		}
@@ -149,9 +213,8 @@ func SweepThreshold(s System, thetas []float64, seed uint64, scale float64) (map
 		if err != nil {
 			return nil, fmt.Errorf("sim: theta=%v: %w", th, err)
 		}
-		out[th] = res
-	}
-	return out, nil
+		return res, nil
+	})
 }
 
 // Figure5Epsilons is the paper's plotted privacy grid (10⁻² – 10¹,

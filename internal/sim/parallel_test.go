@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"testing"
+
+	"dpsync/internal/metrics"
+)
+
+// aggEqual compares two Table-5 aggregates for bit-identity.
+func aggEqual(t *testing.T, label string, a, b metrics.Aggregate) {
+	t.Helper()
+	if len(a.MeanL1) != len(b.MeanL1) {
+		t.Errorf("%s: query-kind sets differ", label)
+	}
+	for k := range a.MeanL1 {
+		if a.MeanL1[k] != b.MeanL1[k] || a.MaxL1[k] != b.MaxL1[k] || a.MeanQET[k] != b.MeanQET[k] {
+			t.Errorf("%s %v: L1/QET diverge: (%v,%v,%v) vs (%v,%v,%v)", label, k,
+				a.MeanL1[k], a.MaxL1[k], a.MeanQET[k], b.MeanL1[k], b.MaxL1[k], b.MeanQET[k])
+		}
+	}
+	if a.MeanGap != b.MeanGap || a.TotalMb != b.TotalMb || a.DummyMb != b.DummyMb {
+		t.Errorf("%s: gap/storage diverge: (%v,%v,%v) vs (%v,%v,%v)", label,
+			a.MeanGap, a.TotalMb, a.DummyMb, b.MeanGap, b.TotalMb, b.DummyMb)
+	}
+}
+
+func resultsEqual(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	aggEqual(t, label, a.Aggregate(), b.Aggregate())
+	if a.FinalStats != b.FinalStats {
+		t.Errorf("%s: final stats diverge: %+v vs %+v", label, a.FinalStats, b.FinalStats)
+	}
+	if a.FinalGap != b.FinalGap {
+		t.Errorf("%s: final gap %d vs %d", label, a.FinalGap, b.FinalGap)
+	}
+	if len(a.Patterns) != len(b.Patterns) {
+		t.Fatalf("%s: pattern counts diverge", label)
+	}
+	for i := range a.Patterns {
+		if *a.Patterns[i] != *b.Patterns[i] {
+			t.Errorf("%s: owner %d pattern %+v vs %+v", label, i, a.Patterns[i], b.Patterns[i])
+		}
+	}
+}
+
+// TestRunGridMatchesSerial pins the parallel driver's contract: cells run
+// concurrently over a shared trace generation, yet every number — query
+// errors, modeled QETs, gaps, storage, update patterns — is bit-identical
+// to building each cell serially from scratch with the same seed. This test
+// (and the whole package) also runs under -race in CI, exercising the
+// worker pool for data races.
+func TestRunGridMatchesSerial(t *testing.T) {
+	for _, system := range []System{ObliDB, Crypteps} {
+		parallel, err := RunGrid(system, 11, smallScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range AllStrategies() {
+			cfg, err := PaperConfig(system, k, 11, smallScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resultsEqual(t, string(system)+"/"+string(k), parallel[k], serial)
+		}
+	}
+}
+
+// TestSweepMatchesSerial does the same for the ε sweep driver.
+func TestSweepMatchesSerial(t *testing.T) {
+	eps := []float64{0.1, 1, 5}
+	parallel, err := SweepEpsilon(ObliDB, DPTimer, eps, 13, smallScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range eps {
+		cfg, err := PaperConfig(ObliDB, DPTimer, 13, smallScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Params.Epsilon = e
+		serial, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsEqual(t, "eps-sweep", parallel[e], serial)
+	}
+}
+
+// TestTruthMatchesNaiveEvaluation pins the simulator's incremental ground
+// truth against naive plan evaluation over the replayed logical history.
+func TestTruthMatchesNaiveEvaluation(t *testing.T) {
+	cfg, err := PaperConfig(ObliDB, SUR, 17, smallScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under SUR + ObliDB the store answer is exact and the gap is zero, so
+	// recorded L1 errors are zero iff the incremental truth agrees with the
+	// (equally exact) store-side answers at every cadence point.
+	for kind, s := range res.Collector.QueryError {
+		for i, sample := range s.Samples {
+			if sample.Value != 0 {
+				t.Errorf("%v sample %d: nonzero L1 %v under SUR/ObliDB", kind, i, sample.Value)
+			}
+		}
+	}
+}

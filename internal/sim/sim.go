@@ -218,7 +218,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	col := metrics.NewCollector()
-	logical := query.Tables{} // combined ground truth across tables
+	// Combined ground truth across tables, maintained incrementally so the
+	// per-cadence Truth evaluation stops replaying the whole logical history.
+	truth := query.NewAggregates()
 
 	for t := record.Tick(1); t <= horizon; t++ {
 		for i, tr := range cfg.Traces {
@@ -226,7 +228,7 @@ func Run(cfg Config) (*Result, error) {
 				if err := owners[i].Tick(r); err != nil {
 					return nil, fmt.Errorf("sim: tick %d owner %d: %w", t, i, err)
 				}
-				logical[r.Provider] = append(logical[r.Provider], r)
+				truth.Observe(r)
 			} else {
 				if err := owners[i].Tick(); err != nil {
 					return nil, fmt.Errorf("sim: tick %d owner %d: %w", t, i, err)
@@ -247,7 +249,7 @@ func Run(cfg Config) (*Result, error) {
 				if err != nil {
 					return nil, fmt.Errorf("sim: query %v at %d: %w", q.Kind, t, err)
 				}
-				want, err := query.Truth(q, logical)
+				want, err := truth.AnswerFor(q)
 				if err != nil {
 					return nil, err
 				}
