@@ -18,6 +18,8 @@ import (
 
 	"dpsync/internal/ahe"
 	"dpsync/internal/core"
+	"dpsync/internal/crypte"
+	"dpsync/internal/dp"
 	"dpsync/internal/oblidb"
 	"dpsync/internal/query"
 	"dpsync/internal/record"
@@ -26,14 +28,26 @@ import (
 
 // Baseline is the emitted document. NsPerOp entries are testing.Benchmark
 // measurements of real substrate operations; GridSeconds is one parallel
-// RunGrid wall-clock at the recorded scale.
+// RunGrid wall-clock at the recorded scale; RealAHESeconds is one
+// scaled-down end-to-end run of the true-crypto Cryptε mode.
+//
+// GOMAXPROCS is sampled from inside a benchmark body, so it records the
+// value the measurements actually ran under (an earlier revision sampled it
+// at startup, which records the wrong thing if anything — a future
+// GOMAXPROCS-setting flag, a runtime that adjusts it — changes it before
+// the benchmarks execute). NumCPU records the machine itself.
 type Baseline struct {
 	GeneratedAt time.Time          `json:"generated_at"`
 	GoVersion   string             `json:"go_version"`
+	NumCPU      int                `json:"num_cpu"`
 	GOMAXPROCS  int                `json:"gomaxprocs"`
 	NsPerOp     map[string]float64 `json:"ns_per_op"`
 	GridScale   float64            `json:"grid_scale"`
 	GridSeconds float64            `json:"grid_seconds"`
+	// RealAHESeconds is the wall-clock of the scaled-down true-crypto run
+	// (two ingest batches + Q1/Q2/Q4 through genuine Paillier aggregates,
+	// 384-bit keys), mirroring BenchmarkMicroRealAHE.
+	RealAHESeconds float64 `json:"real_ahe_seconds"`
 }
 
 func obliWithRecords(n int) (*oblidb.DB, error) {
@@ -58,15 +72,19 @@ func obliWithRecords(n int) (*oblidb.DB, error) {
 func main() {
 	out := flag.String("out", "BENCH_baseline.json", "output path, or - for stdout")
 	scale := flag.Float64("scale", 0.05, "grid scale for the wall-clock sample")
+	quick := flag.Bool("quick", false, "skip the slower 1024/2048-bit AHE micro-ops (CI smoke)")
 	flag.Parse()
 
 	b := Baseline{
 		GeneratedAt: time.Now().UTC(),
 		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 		NsPerOp:     map[string]float64{},
 		GridScale:   *scale,
 	}
+	// Sampled from inside the benchmark bodies: the recorded value must be
+	// what the measurements ran under, not what main saw at startup.
+	captureProcs := func() { b.GOMAXPROCS = runtime.GOMAXPROCS(0) }
 
 	for _, n := range []int{1000, 10_000, 50_000} {
 		db, err := obliWithRecords(n)
@@ -74,6 +92,7 @@ func main() {
 			fatal(err)
 		}
 		r := testing.Benchmark(func(bb *testing.B) {
+			captureProcs()
 			for i := 0; i < bb.N; i++ {
 				if _, _, err := db.Query(query.Q2()); err != nil {
 					bb.Fatal(err)
@@ -136,35 +155,97 @@ func main() {
 		b.NsPerOp["owner_tick_dptimer"] = float64(r.NsPerOp())
 	}
 
-	{
-		key, err := ahe.GenerateKey(512)
+	// AHE micro-ops: each fast path is recorded next to its reference
+	// implementation, so the perf trajectory shows the pairs the rebuilt
+	// pipeline is judged on — CRT vs textbook decryption, pooled-online vs
+	// unpooled encryption — at the test key size and (unless -quick) at
+	// production-representative sizes, where the CRT advantage grows with
+	// the operand width.
+	aheSizes := []int{512, 1024, 2048}
+	if *quick {
+		aheSizes = aheSizes[:1]
+	}
+	for _, bits := range aheSizes {
+		key, err := ahe.GenerateKey(bits)
 		if err != nil {
 			fatal(err)
 		}
-		vecs := make([][]ahe.Ciphertext, 4)
-		for i := range vecs {
-			v := make([]ahe.Ciphertext, 32)
-			for j := range v {
-				m := int64(0)
-				if j == i {
-					m = 1
+		bench := func(name string, fn func()) {
+			r := testing.Benchmark(func(bb *testing.B) {
+				captureProcs()
+				for i := 0; i < bb.N; i++ {
+					fn()
 				}
-				ct, err := key.Encrypt(m)
-				if err != nil {
-					fatal(err)
-				}
-				v[j] = ct
-			}
-			vecs[i] = v
+			})
+			b.NsPerOp[fmt.Sprintf("%s_%d", name, bits)] = float64(r.NsPerOp())
 		}
-		r := testing.Benchmark(func(bb *testing.B) {
-			for i := 0; i < bb.N; i++ {
-				if _, err := key.SumVector(vecs...); err != nil {
-					bb.Fatal(err)
-				}
+		bench("ahe_encrypt", func() {
+			if _, err := key.PublicKey.Encrypt(42); err != nil {
+				fatal(err)
 			}
 		})
-		b.NsPerOp["ahe_sumvector_w32x4"] = float64(r.NsPerOp())
+		bench("ahe_encrypt_owner_crt", func() {
+			if _, err := key.EncryptOwner(42); err != nil {
+				fatal(err)
+			}
+		})
+		// The online half of the offline/online split: one precomputed
+		// randomizer power recycled across iterations isolates the
+		// single-mulmod assembly cost a warm RandomizerPool delivers.
+		zero, err := key.EncryptZero()
+		if err != nil {
+			fatal(err)
+		}
+		bench("ahe_encrypt_pooled", func() {
+			if _, err := key.EncryptPrecomputed(42, zero.C); err != nil {
+				fatal(err)
+			}
+		})
+		ct, err := key.Encrypt(123456789)
+		if err != nil {
+			fatal(err)
+		}
+		bench("ahe_decrypt_textbook", func() {
+			if _, err := key.DecryptTextbook(ct); err != nil {
+				fatal(err)
+			}
+		})
+		bench("ahe_decrypt_crt", func() {
+			if _, err := key.Decrypt(ct); err != nil {
+				fatal(err)
+			}
+		})
+
+		if bits == 512 {
+			// The aggregation shape recorded since PR 1: 4 encodings of
+			// width 32. Randomizers are recycled in setup (the summation
+			// cost being measured doesn't depend on them).
+			vecs := make([][]ahe.Ciphertext, 4)
+			for i := range vecs {
+				v := make([]ahe.Ciphertext, 32)
+				for j := range v {
+					m := int64(0)
+					if j == i {
+						m = 1
+					}
+					ct, err := key.EncryptPrecomputed(m, zero.C)
+					if err != nil {
+						fatal(err)
+					}
+					v[j] = ct
+				}
+				vecs[i] = v
+			}
+			r := testing.Benchmark(func(bb *testing.B) {
+				captureProcs()
+				for i := 0; i < bb.N; i++ {
+					if _, err := key.SumVector(vecs...); err != nil {
+						bb.Fatal(err)
+					}
+				}
+			})
+			b.NsPerOp["ahe_sumvector_w32x4"] = float64(r.NsPerOp())
+		}
 	}
 
 	start := time.Now()
@@ -172,6 +253,13 @@ func main() {
 		fatal(err)
 	}
 	b.GridSeconds = time.Since(start).Seconds()
+
+	// Scaled-down true-crypto run, mirroring BenchmarkMicroRealAHE: the
+	// whole encode → ciphertext-aggregate → re-randomize → CRT-decrypt
+	// pipeline under a real Paillier key.
+	if err := realAHERun(&b); err != nil {
+		fatal(err)
+	}
 
 	enc, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
@@ -186,6 +274,50 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// realAHERun times one scaled-down end-to-end pass of the true-crypto
+// Cryptε mode: two ingest batches and the three linear queries, every
+// answer produced by genuine Paillier arithmetic. The workload is similar
+// in shape to BenchmarkMicroRealAHE but intentionally decoupled from it —
+// this is a wall-clock sample for the recorded trajectory, not the same
+// measurement.
+func realAHERun(b *Baseline) error {
+	pipe, err := crypte.NewAHEPipeline(384)
+	if err != nil {
+		return err
+	}
+	defer pipe.Close()
+	db, err := crypte.New(crypte.WithRealAHE(pipe), crypte.WithNoiseSource(dp.NewSeededSource(1)))
+	if err != nil {
+		return err
+	}
+	batch := func(base int) []record.Record {
+		rs := make([]record.Record, 0, 6)
+		for i := 0; i < 5; i++ {
+			rs = append(rs, record.Record{
+				PickupTime: record.Tick(base + i + 1),
+				PickupID:   uint16((base*37+i*53)%record.NumLocations + 1),
+				Provider:   record.YellowCab,
+				FareCents:  uint32(100 * (i + 1)),
+			})
+		}
+		return append(rs, record.NewDummy(record.YellowCab))
+	}
+	start := time.Now()
+	if err := db.Setup(batch(0)); err != nil {
+		return err
+	}
+	if err := db.Update(batch(10)); err != nil {
+		return err
+	}
+	for _, q := range []query.Query{query.Q1(), query.Q2(), query.Q4()} {
+		if _, _, err := db.Query(q); err != nil {
+			return err
+		}
+	}
+	b.RealAHESeconds = time.Since(start).Seconds()
+	return nil
 }
 
 func fatal(err error) {

@@ -99,4 +99,28 @@
 // rather than once per cell. Because every noise source derives from the
 // cell's own config, parallel results are bit-identical to the serial
 // driver's, which tests pin under -race.
+//
+// Paper-scale Paillier. The Cryptε substrate's cryptographic core
+// (internal/ahe, internal/crypte) runs the standard fast paths rather than
+// textbook arithmetic: decryption works modulo p² and q² and recombines by
+// CRT (~3–4× at production key sizes, pinned bit-identical to the textbook
+// reference); the owner encodes records with factorization-assisted r^n;
+// and encryption is split offline/online — an ahe.RandomizerPool
+// pre-generates randomizer powers in the background so the online cost of
+// a ciphertext is one modular multiplication (two to three orders of
+// magnitude below a full exponentiation). Slot-parallel operations
+// (SumVector, record encoding, histogram decryption) fan out across a
+// shared GOMAXPROCS-bounded worker pool. The re-randomization rule follows
+// the same trust-boundary argument as the SumVector note above: fresh
+// randomness is spent exactly once per *released* slot, never per
+// intermediate sum — the crypte.DB release boundary re-randomizes the
+// slots a query reveals (drawing pre-generated zeros from a
+// public-key-only pool, since that boundary lives on the untrusted
+// aggregation server) and interior homomorphic sums stay deterministic.
+// On top of this, crypte.WithRealAHE switches a Cryptε instance into
+// true-crypto mode: ingest maintains genuine per-provider ciphertext
+// aggregates and queries decrypt through the pipeline, differentially
+// tested bit-identical (pre-noise) to the clear-text incremental engine,
+// with a scaled-down end-to-end pass (BenchmarkMicroRealAHE) completing in
+// well under a second.
 package dpsync

@@ -1,0 +1,104 @@
+package ahe
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+// TestDecryptCRTMatchesTextbook is the load-bearing differential test of
+// the CRT fast path: for every ciphertext, Decrypt (CRT) and
+// DecryptTextbook must agree bit-identically, across plaintext edge cases
+// and both encryption paths.
+func TestDecryptCRTMatchesTextbook(t *testing.T) {
+	plaintexts := []int64{0, 1, 2, 42, 1 << 20, 1<<53 - 1, 1<<62 - 1}
+	for _, m := range plaintexts {
+		for name, enc := range map[string]func(int64) (Ciphertext, error){
+			"public": testKey.Encrypt,
+			"owner":  testKey.EncryptOwner,
+		} {
+			ct, err := enc(m)
+			if err != nil {
+				t.Fatalf("%s encrypt %d: %v", name, m, err)
+			}
+			crt, err := testKey.Decrypt(ct)
+			if err != nil {
+				t.Fatalf("CRT decrypt %d: %v", m, err)
+			}
+			textbook, err := testKey.DecryptTextbook(ct)
+			if err != nil {
+				t.Fatalf("textbook decrypt %d: %v", m, err)
+			}
+			if crt != textbook || crt != m {
+				t.Errorf("%s m=%d: CRT=%d textbook=%d", name, m, crt, textbook)
+			}
+		}
+	}
+	// Homomorphically combined ciphertexts go through both decryptors too.
+	a, _ := testKey.Encrypt(1000)
+	b, _ := testKey.EncryptOwner(2345)
+	sum := testKey.AddPlain(testKey.MulPlain(testKey.Add(a, b), 3), 7)
+	crt, err1 := testKey.Decrypt(sum)
+	textbook, err2 := testKey.DecryptTextbook(sum)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if crt != textbook || crt != 3*(1000+2345)+7 {
+		t.Errorf("combined: CRT=%d textbook=%d want %d", crt, textbook, 3*(1000+2345)+7)
+	}
+}
+
+// TestPowNCRTMatchesPublic pins the owner-side encryption primitive: the
+// CRT computation of r^n mod n² must equal the public-key exponentiation
+// for random r, so owner-side ciphertexts are indistinguishable from
+// public-path ones.
+func TestPowNCRTMatchesPublic(t *testing.T) {
+	for i := 0; i < 16; i++ {
+		r, err := rand.Int(rand.Reader, testKey.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Sign() == 0 {
+			continue
+		}
+		got := testKey.powN(new(big.Int).Set(r))
+		want := testKey.PublicKey.powN(r)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("powN CRT mismatch for r=%v", r)
+		}
+	}
+}
+
+// TestDecryptCRTRejectsGarbage mirrors the textbook garbage checks on the
+// default (CRT) path.
+func TestDecryptCRTRejectsGarbage(t *testing.T) {
+	for _, ct := range []Ciphertext{{}, {C: big.NewInt(0)}, {C: testKey.N2}} {
+		if _, err := testKey.Decrypt(ct); err == nil {
+			t.Errorf("garbage ciphertext %v accepted", ct.C)
+		}
+	}
+}
+
+// TestGenerateKeySmallestPermitted exercises keygen and both fast paths at
+// the 256-bit floor, where the CRT halves are narrowest.
+func TestGenerateKeySmallestPermitted(t *testing.T) {
+	k, err := GenerateKey(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := k.EncryptOwner(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := k.DecryptTextbook(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 99 || tb != 99 {
+		t.Errorf("CRT=%d textbook=%d, want 99", got, tb)
+	}
+}

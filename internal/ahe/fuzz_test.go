@@ -1,0 +1,104 @@
+package ahe
+
+import (
+	"sync"
+	"testing"
+)
+
+// fuzzKeys lazily generates one key per permitted size class so the fuzzer
+// exercises narrow and wide CRT halves without paying keygen per input
+// (mirroring the shared-corpus style of internal/record/fuzz_test.go).
+var (
+	fuzzKeyOnce sync.Once
+	fuzzKeySet  []*PrivateKey
+)
+
+func fuzzKeys(t testing.TB) []*PrivateKey {
+	fuzzKeyOnce.Do(func() {
+		for _, bits := range []int{256, 384, 512} {
+			k, err := GenerateKey(bits)
+			if err != nil {
+				t.Errorf("keygen %d: %v", bits, err)
+				return
+			}
+			fuzzKeySet = append(fuzzKeySet, k)
+		}
+	})
+	// The Once runs at most once; if it failed, every subsequent input must
+	// keep reporting the root cause rather than indexing an empty set.
+	if len(fuzzKeySet) == 0 {
+		t.Fatal("fuzz key generation failed; see first failure")
+	}
+	return fuzzKeySet
+}
+
+// FuzzEncryptDecryptRoundTrip feeds arbitrary plaintexts and key choices
+// through both encryption paths and both decryptors: every accepted
+// plaintext must round-trip, and the CRT decryption must agree bit-for-bit
+// with the textbook path on every ciphertext the fuzzer can construct.
+func FuzzEncryptDecryptRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint64(0))
+	f.Add(uint8(1), uint64(1))
+	f.Add(uint8(2), uint64(1<<53))
+	f.Add(uint8(3), ^uint64(0))
+	f.Fuzz(func(t *testing.T, keyPick uint8, raw uint64) {
+		keys := fuzzKeys(t)
+		sk := keys[int(keyPick)%len(keys)]
+		m := int64(raw >> 1) // non-negative, any int64 < every permitted n
+		for name, enc := range map[string]func(int64) (Ciphertext, error){
+			"public": sk.Encrypt,
+			"owner":  sk.EncryptOwner,
+		} {
+			ct, err := enc(m)
+			if err != nil {
+				t.Fatalf("%s encrypt %d: %v", name, m, err)
+			}
+			crt, err := sk.Decrypt(ct)
+			if err != nil {
+				t.Fatalf("%s CRT decrypt %d: %v", name, m, err)
+			}
+			textbook, err := sk.DecryptTextbook(ct)
+			if err != nil {
+				t.Fatalf("%s textbook decrypt %d: %v", name, m, err)
+			}
+			if crt != m || textbook != m {
+				t.Fatalf("%s m=%d: CRT=%d textbook=%d", name, m, crt, textbook)
+			}
+		}
+	})
+}
+
+// FuzzHomomorphicAgreement drives random additive combinations through the
+// blind-aggregation algebra and checks the two decryptors agree on the
+// (possibly overflowing-mod-n) result.
+func FuzzHomomorphicAgreement(f *testing.F) {
+	f.Add(uint8(0), uint64(3), uint64(4), uint8(2))
+	f.Add(uint8(2), uint64(1)<<40, uint64(1)<<41, uint8(9))
+	f.Fuzz(func(t *testing.T, keyPick uint8, a, b uint64, k uint8) {
+		keys := fuzzKeys(t)
+		sk := keys[int(keyPick)%len(keys)]
+		// Keep k·(a+b)+k within int64 so Decrypt's range check accepts it.
+		ma, mb := int64(a>>3), int64(b>>3)
+		ca, err := sk.Encrypt(ma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := sk.EncryptOwner(mb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := sk.AddPlain(sk.Add(ca, cb), int64(k))
+		want := ma + mb + int64(k)
+		crt, err := sk.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		textbook, err := sk.DecryptTextbook(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if crt != want || textbook != want {
+			t.Fatalf("a=%d b=%d k=%d: CRT=%d textbook=%d want=%d", ma, mb, k, crt, textbook, want)
+		}
+	})
+}

@@ -1,6 +1,8 @@
 package ahe
 
 import (
+	"errors"
+	"math/big"
 	"testing"
 	"testing/quick"
 )
@@ -124,8 +126,15 @@ func TestDecryptRejectsGarbage(t *testing.T) {
 }
 
 func TestEncryptRejectsBadPlaintext(t *testing.T) {
-	if _, err := testKey.Encrypt(-1); err == nil {
-		t.Error("negative plaintext accepted")
+	if _, err := testKey.Encrypt(-1); !errors.Is(err, ErrPlaintextRange) {
+		t.Errorf("negative plaintext: err = %v, want ErrPlaintextRange", err)
+	}
+	if _, err := testKey.EncryptOwner(-7); !errors.Is(err, ErrPlaintextRange) {
+		t.Errorf("negative owner-side plaintext: err = %v, want ErrPlaintextRange", err)
+	}
+	rn := testKey.powN(big.NewInt(12345))
+	if _, err := testKey.EncryptPrecomputed(-1, rn); !errors.Is(err, ErrPlaintextRange) {
+		t.Errorf("negative precomputed plaintext: err = %v, want ErrPlaintextRange", err)
 	}
 }
 
@@ -154,6 +163,55 @@ func TestQuickAdditivity(t *testing.T) {
 func BenchmarkEncrypt(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := testKey.Encrypt(int64(i % 1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncryptOwner pins the owner-side CRT win for r^n (~2×: the
+// half-width moduli make each of the two exponentiations ~4× cheaper).
+func BenchmarkEncryptOwner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := testKey.EncryptOwner(int64(i % 1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncryptPooledOnline measures the online half of the
+// offline/online split in isolation: assembling a ciphertext from a
+// precomputed randomizer power is a single modular multiplication. The
+// randomizer is reused across iterations — cryptographically forbidden, but
+// exactly the right measurement of the online arithmetic.
+func BenchmarkEncryptPooledOnline(b *testing.B) {
+	rn, err := testKey.EncryptZero()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := testKey.EncryptPrecomputed(int64(i%1000), rn.C); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecryptTextbook(b *testing.B) {
+	ct, _ := testKey.Encrypt(123456789)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := testKey.DecryptTextbook(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecryptCRT(b *testing.B) {
+	ct, _ := testKey.Encrypt(123456789)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := testKey.Decrypt(ct); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,166 @@
+package ahe
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPoolEncryptRoundTrip: pooled ciphertexts decrypt like any others, for
+// both generator flavors (public textbook, owner CRT).
+func TestPoolEncryptRoundTrip(t *testing.T) {
+	pools := map[string]*RandomizerPool{
+		"public": testKey.PublicKey.NewRandomizerPool(1, 16),
+		"owner":  testKey.NewRandomizerPool(1, 16),
+	}
+	for name, pool := range pools {
+		for _, m := range []int64{0, 1, 77, 1 << 40} {
+			ct, err := pool.Encrypt(m)
+			if err != nil {
+				t.Fatalf("%s pool encrypt %d: %v", name, m, err)
+			}
+			got, err := testKey.Decrypt(ct)
+			if err != nil {
+				t.Fatalf("%s pool decrypt %d: %v", name, m, err)
+			}
+			if got != m {
+				t.Errorf("%s pool round trip %d -> %d", name, m, got)
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestPoolEncryptionIsRandomized: two pooled encryptions of the same value
+// must differ — every Get hands out a distinct randomizer.
+func TestPoolEncryptionIsRandomized(t *testing.T) {
+	pool := testKey.NewRandomizerPool(0, 8)
+	if _, err := pool.Prefill(8); err != nil {
+		t.Fatal(err)
+	}
+	a, err := pool.Encrypt(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pool.Encrypt(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.C.Cmp(b.C) == 0 {
+		t.Error("two pooled encryptions of 7 are identical")
+	}
+}
+
+// TestPoolPrefillHitsMisses: a manual pool (workers=0) serves exactly the
+// prefilled count from the buffer, then falls back inline.
+func TestPoolPrefillHitsMisses(t *testing.T) {
+	pool := testKey.NewRandomizerPool(0, 4)
+	n, err := pool.Prefill(10) // capacity-limited
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("prefill added %d, want 4", n)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := pool.Encrypt(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pool.Hits() != 4 || pool.Misses() != 2 {
+		t.Errorf("hits=%d misses=%d, want 4/2", pool.Hits(), pool.Misses())
+	}
+	pool.Close()
+}
+
+// TestPoolRerandomize: the release-boundary operation preserves the
+// plaintext while producing an unlinkable ciphertext.
+func TestPoolRerandomize(t *testing.T) {
+	pool := testKey.NewRandomizerPool(1, 8)
+	defer pool.Close()
+	ct, err := testKey.Encrypt(321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := pool.Rerandomize(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.C.Cmp(ct.C) == 0 {
+		t.Error("re-randomized ciphertext identical to input")
+	}
+	got, err := testKey.Decrypt(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 321 {
+		t.Errorf("re-randomized plaintext = %d, want 321", got)
+	}
+}
+
+// TestPoolZeroEncryptsToZero: pooled zero encryptions are genuine
+// encryptions of 0 under both decryptors.
+func TestPoolZeroEncryptsToZero(t *testing.T) {
+	pool := testKey.NewRandomizerPool(1, 8)
+	defer pool.Close()
+	z, err := pool.EncryptZero()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := testKey.Decrypt(z); err != nil || got != 0 {
+		t.Errorf("Decrypt(zero) = %d, %v", got, err)
+	}
+	if got, err := testKey.DecryptTextbook(z); err != nil || got != 0 {
+		t.Errorf("DecryptTextbook(zero) = %d, %v", got, err)
+	}
+}
+
+// TestPoolConcurrentUse hammers one pool from several goroutines; run with
+// -race this pins the pool's thread safety.
+func TestPoolConcurrentUse(t *testing.T) {
+	pool := testKey.NewRandomizerPool(2, 32)
+	defer pool.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				m := int64(g*100 + i)
+				ct, err := pool.Encrypt(m)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := testKey.Decrypt(ct)
+				if err != nil || got != m {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolUsableAfterClose: Close only stops background generation (and is
+// idempotent); the inline fallback keeps Encrypt working.
+func TestPoolUsableAfterClose(t *testing.T) {
+	pool := testKey.NewRandomizerPool(1, 4)
+	pool.Close()
+	pool.Close() // double close must not panic
+	// Drain whatever was buffered, then one more to force the fallback.
+	for i := 0; i < 6; i++ {
+		ct, err := pool.Encrypt(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, err := testKey.Decrypt(ct); err != nil || got != 5 {
+			t.Fatalf("after close: %d, %v", got, err)
+		}
+	}
+}

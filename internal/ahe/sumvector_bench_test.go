@@ -6,8 +6,20 @@ import (
 )
 
 // benchVectors encrypts n one-hot vectors of the given width under testKey.
+// Setup-only shortcut: randomizer powers are drawn from a small recycled
+// set so building thousands of benchmark ciphertexts doesn't cost one
+// exponentiation each — the summation being measured is oblivious to how
+// the inputs were randomized.
 func benchVectors(b *testing.B, n, width int) [][]Ciphertext {
 	b.Helper()
+	rns := make([]Ciphertext, 8)
+	for i := range rns {
+		z, err := testKey.EncryptZero()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rns[i] = z
+	}
 	vecs := make([][]Ciphertext, n)
 	for i := range vecs {
 		v := make([]Ciphertext, width)
@@ -16,7 +28,7 @@ func benchVectors(b *testing.B, n, width int) [][]Ciphertext {
 			if j == i%width {
 				m = 1
 			}
-			ct, err := testKey.Encrypt(m)
+			ct, err := testKey.EncryptPrecomputed(m, rns[(i*width+j)%len(rns)].C)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -28,8 +40,10 @@ func benchVectors(b *testing.B, n, width int) [][]Ciphertext {
 }
 
 // BenchmarkSumVector pins the accumulator seeding win: the per-call cost is
-// now the homomorphic additions alone (cheap modular multiplications), not
-// width× EncryptZero modular exponentiations.
+// the homomorphic additions alone (cheap modular multiplications), not
+// width× EncryptZero modular exponentiations. Slots fan out across the
+// shared worker pool, so wide sums scale with GOMAXPROCS, and the per-slot
+// chain reuses one scratch big.Int instead of allocating two per addition.
 func BenchmarkSumVector(b *testing.B) {
 	for _, width := range []int{16, 64} {
 		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
@@ -43,4 +57,16 @@ func BenchmarkSumVector(b *testing.B) {
 			}
 		})
 	}
+	// The Cryptε shape: full one-hot record encodings (265 zones + fare
+	// slot) over a long aggregation window.
+	b.Run("width=266/records=32", func(b *testing.B) {
+		vecs := benchVectors(b, 32, 266)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := testKey.SumVector(vecs...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -1,0 +1,102 @@
+package ahe
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workerTokens is the parallelism budget for slot-parallel vector
+// operations (SumVector, and crypte's record encoder which fans out
+// through ParallelSlots). The channel capacity is NumCPU-1 — the most
+// helper goroutines that can ever be useful on this machine — while each
+// ParallelSlots call additionally bounds its own borrowing by the *current*
+// GOMAXPROCS-1, so runtime adjustments to GOMAXPROCS take effect per call
+// rather than being frozen at package init. Every caller works in its own
+// goroutine too, so the goroutines ParallelSlots contributes stay bounded
+// by min(NumCPU, GOMAXPROCS) no matter how many pipelines or databases
+// share the process. The bound is scoped to ParallelSlots callers:
+// RandomizerPool generators are budgeted separately (per pool, at
+// construction) and park on a full buffer, but a drained pool refilling
+// during a slot-parallel burst can briefly oversubscribe the CPU. On a
+// single-CPU box the budget is zero and every call degrades to an inline
+// loop with no goroutine or channel overhead.
+var workerTokens = make(chan struct{}, maxHelpers(runtime.NumCPU()))
+
+func maxHelpers(procs int) int {
+	if procs < 1 {
+		return 0
+	}
+	return procs - 1
+}
+
+// minChunk is the smallest slot range worth a goroutine; below it the
+// spawn/synchronization overhead rivals the modular arithmetic itself.
+const minChunk = 4
+
+// ParallelSlots splits [0, n) into contiguous chunks and runs fn over them,
+// borrowing helper goroutines from the shared token budget. Acquisition is
+// non-blocking: when the budget is exhausted (or GOMAXPROCS is 1) the whole
+// range runs inline on the caller's goroutine, so nested or concurrent
+// callers degrade gracefully instead of deadlocking. fn must be safe to run
+// concurrently on disjoint ranges.
+func ParallelSlots(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	want := n/minChunk - 1
+	if budget := maxHelpers(runtime.GOMAXPROCS(0)); want > budget {
+		want = budget
+	}
+	helpers := 0
+acquire:
+	for helpers < want {
+		select {
+		case workerTokens <- struct{}{}:
+			helpers++
+		default:
+			break acquire
+		}
+	}
+	if helpers == 0 {
+		fn(0, n)
+		return
+	}
+	parts := helpers + 1
+	chunk := (n + parts - 1) / parts
+	var wg sync.WaitGroup
+	for w := 1; w < parts; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			<-workerTokens // fewer chunks than helpers; return the token
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer func() { <-workerTokens; wg.Done() }()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	fn(0, chunk)
+	wg.Wait()
+}
+
+// ParallelSlotsErr is ParallelSlots for fallible per-chunk work: it runs fn
+// over contiguous chunks of [0, n) and returns the first error any chunk
+// reported (other chunks still run to completion). The happens-before edge
+// from the internal wait makes reading the error race-free.
+func ParallelSlotsErr(n int, fn func(lo, hi int) error) error {
+	var (
+		once  sync.Once
+		first error
+	)
+	ParallelSlots(n, func(lo, hi int) {
+		if err := fn(lo, hi); err != nil {
+			once.Do(func() { first = err })
+		}
+	})
+	return first
+}

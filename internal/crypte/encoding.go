@@ -2,11 +2,16 @@ package crypte
 
 import (
 	"fmt"
+	"runtime"
 
 	"dpsync/internal/ahe"
 	"dpsync/internal/query"
 	"dpsync/internal/record"
 )
+
+// encWidth is the slot count of one record encoding: a one-hot histogram
+// over the pickup-location domain plus one fare slot for the Q4 extension.
+const encWidth = record.NumLocations + 1
 
 // AHEPipeline is the real cryptographic core of Cryptε: records become
 // one-hot vectors of Paillier ciphertexts over the pickup-location domain,
@@ -15,21 +20,52 @@ import (
 // all-zero vector, which is why they vanish from every linear query — the
 // algebraic counterpart of the Appendix-B rewrite.
 //
+// The pipeline runs the owner side of the offline/online split: a
+// CRT-backed ahe.RandomizerPool pre-generates randomizer powers in the
+// background (the owner holds the private key, so each costs two half-size
+// exponentiations), and EncodeRecord assembles its 266 ciphertexts with one
+// modular multiplication per slot, fanned out across the shared worker
+// pool. Call Close when the pipeline is no longer needed to release the
+// generator goroutines.
+//
 // The fast simulation path in DB evaluates the same linear algebra in
 // plaintext; TestAHEPipelineMatchesPlaintext pins the two paths to each
 // other, so the performance shortcut cannot drift from the construction.
+// WithRealAHE (crypte.go) flips a DB onto this pipeline for real.
 type AHEPipeline struct {
-	sk *ahe.PrivateKey
+	sk   *ahe.PrivateKey
+	pool *ahe.RandomizerPool
+	// releasePool pre-generates the zero encryptions spent re-randomizing
+	// released aggregates. It is built from the public key only, because
+	// release re-randomization runs on the untrusted aggregation server —
+	// the owner-side CRT pool must never cross that boundary. It lives on
+	// the pipeline (not per-DB) so the pipeline's creator owns every
+	// background goroutine through one Close.
+	releasePool *ahe.RandomizerPool
 }
 
-// NewAHEPipeline generates a key pair. 512-bit keys keep tests fast;
-// production deployments would use ≥2048.
+// NewAHEPipeline generates a key pair and starts the owner-side randomizer
+// pool plus the server-side release pool. 384–512-bit keys keep tests
+// fast; production deployments would use ≥2048.
 func NewAHEPipeline(bits int) (*AHEPipeline, error) {
 	sk, err := ahe.GenerateKey(bits)
 	if err != nil {
 		return nil, err
 	}
-	return &AHEPipeline{sk: sk}, nil
+	return &AHEPipeline{
+		sk:          sk,
+		pool:        sk.NewRandomizerPool(runtime.GOMAXPROCS(0), 2*encWidth),
+		releasePool: sk.PublicKey.NewRandomizerPool(runtime.GOMAXPROCS(0), 2*encWidth),
+	}, nil
+}
+
+// Close stops the pipeline's background randomizer generation (both the
+// owner-side pool and the release pool). It is idempotent, and the
+// pipeline remains usable afterwards — encryption and re-randomization
+// fall back to computing randomizers inline.
+func (p *AHEPipeline) Close() {
+	p.pool.Close()
+	p.releasePool.Close()
 }
 
 // PublicKey returns the encryption key, the only material the encoder and
@@ -40,30 +76,39 @@ func (p *AHEPipeline) PublicKey() *ahe.PublicKey { return &p.sk.PublicKey }
 // NumLocations Paillier ciphertexts, all encrypting 0 except a 1 at the
 // record's pickup zone. Dummy records encode all zeros. Every vector also
 // carries one extra slot encrypting the (bounded) fare, supporting the Q4
-// SUM extension.
+// SUM extension. Slots are encrypted concurrently on the shared worker
+// pool, each online-assembled from a pooled randomizer power.
 func (p *AHEPipeline) EncodeRecord(r record.Record) ([]ahe.Ciphertext, error) {
-	pk := p.PublicKey()
-	out := make([]ahe.Ciphertext, record.NumLocations+1)
-	for i := 0; i < record.NumLocations; i++ {
-		m := int64(0)
-		if !r.Dummy && int(r.PickupID) == i+1 {
-			m = 1
+	out := make([]ahe.Ciphertext, encWidth)
+	err := ahe.ParallelSlotsErr(encWidth, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			m := int64(0)
+			if !r.Dummy {
+				if i == record.NumLocations {
+					// The fare is keyed by pickup zone in the clear engine's
+					// per-ID totals, so a record whose PickupID falls outside
+					// the domain (ingest does not Validate) must contribute
+					// nothing here either — otherwise full-range SumFare
+					// would diverge from the clear path the differential
+					// tests pin against.
+					if r.PickupID >= 1 && int(r.PickupID) <= record.NumLocations {
+						m = int64(r.FareCents)
+					}
+				} else if int(r.PickupID) == i+1 {
+					m = 1
+				}
+			}
+			ct, err := p.pool.Encrypt(m)
+			if err != nil {
+				return fmt.Errorf("crypte: encode slot %d: %w", i, err)
+			}
+			out[i] = ct
 		}
-		ct, err := pk.Encrypt(m)
-		if err != nil {
-			return nil, fmt.Errorf("crypte: encode bin %d: %w", i, err)
-		}
-		out[i] = ct
-	}
-	fare := int64(0)
-	if !r.Dummy {
-		fare = int64(r.FareCents)
-	}
-	ct, err := pk.Encrypt(fare)
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("crypte: encode fare: %w", err)
+		return nil, err
 	}
-	out[record.NumLocations] = ct
 	return out, nil
 }
 
@@ -75,60 +120,130 @@ func (p *AHEPipeline) EncodeRecord(r record.Record) ([]ahe.Ciphertext, error) {
 // them — including the degenerate one-record window, where the raw sum
 // would alias the upload outright.
 func Aggregate(pk *ahe.PublicKey, encodings ...[]ahe.Ciphertext) ([]ahe.Ciphertext, error) {
+	return AggregatePooled(pk, nil, encodings...)
+}
+
+// AggregatePooled is Aggregate drawing its release-boundary zero
+// encryptions from a pre-generated pool instead of computing one
+// exponentiation per slot inline — the aggregation service's half of the
+// offline/online split. The pool MUST be built from the public key
+// (pk.NewRandomizerPool): re-randomization happens on the untrusted server,
+// which never holds private-key material, so handing it an owner-side CRT
+// pool would cross the trust boundary the construction is about. A nil pool
+// falls back to inline zero encryptions.
+func AggregatePooled(pk *ahe.PublicKey, pool *ahe.RandomizerPool, encodings ...[]ahe.Ciphertext) ([]ahe.Ciphertext, error) {
 	sum, err := pk.SumVector(encodings...)
 	if err != nil {
 		return nil, err
 	}
-	for i := range sum {
-		z, err := pk.EncryptZero()
-		if err != nil {
-			return nil, err
+	if err := ahe.ParallelSlotsErr(len(sum), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if pool != nil {
+				ct, err := pool.Rerandomize(sum[i])
+				if err != nil {
+					return err
+				}
+				sum[i] = ct
+			} else {
+				z, err := pk.EncryptZero()
+				if err != nil {
+					return err
+				}
+				sum[i] = pk.Add(sum[i], z)
+			}
 		}
-		sum[i] = pk.Add(sum[i], z)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return sum, nil
 }
 
-// DecryptAnswer turns an aggregated encoding into the exact answer of q
-// (before DP noise): histogram bins for GroupCount, bin-range sums for
-// RangeCount, the fare slot for SumFare.
-func (p *AHEPipeline) DecryptAnswer(q query.Query, agg []ahe.Ciphertext) (query.Answer, error) {
-	if len(agg) != record.NumLocations+1 {
-		return query.Answer{}, fmt.Errorf("crypte: aggregate width %d, want %d", len(agg), record.NumLocations+1)
-	}
+// releaseSlots lists the aggregate-vector slots whose plaintexts query q's
+// release reveals — the single source of truth shared by DecryptAnswer
+// (which decrypts exactly these) and the real-crypto DB's release boundary
+// (which re-randomizes exactly these before publishing).
+func releaseSlots(q query.Query) ([]int, error) {
 	switch q.Kind {
 	case query.GroupCount:
-		groups := make([]float64, record.NumLocations)
-		for i := 0; i < record.NumLocations; i++ {
-			v, err := p.sk.Decrypt(agg[i])
-			if err != nil {
-				return query.Answer{}, fmt.Errorf("crypte: bin %d: %w", i, err)
-			}
-			groups[i] = float64(v)
+		s := make([]int, record.NumLocations)
+		for i := range s {
+			s[i] = i
 		}
-		return query.Answer{Groups: groups}, nil
+		return s, nil
 	case query.RangeCount:
-		var sum float64
 		lo := int(q.Lo)
 		if lo < 1 {
 			lo = 1 // zone IDs are 1-based; bin 0 does not exist
 		}
-		for i := lo; i <= int(q.Hi) && i <= record.NumLocations; i++ {
-			v, err := p.sk.Decrypt(agg[i-1])
+		hi := int(q.Hi)
+		if hi > record.NumLocations {
+			hi = record.NumLocations
+		}
+		var s []int
+		for i := lo; i <= hi; i++ {
+			s = append(s, i-1)
+		}
+		return s, nil
+	case query.SumFare:
+		return []int{record.NumLocations}, nil
+	default:
+		return nil, fmt.Errorf("%w: %v on the AHE pipeline", ErrUnsupportedAHE, q.Kind)
+	}
+}
+
+// zeroAnswer returns the exact answer of q over an empty table, shaped the
+// way DecryptAnswer (and the clear engine) shape it — Groups for histogram
+// kinds, Scalar otherwise. It lives next to releaseSlots/DecryptAnswer so
+// the per-kind answer shape stays decided in one place.
+func zeroAnswer(q query.Query) (query.Answer, error) {
+	if _, err := releaseSlots(q); err != nil {
+		return query.Answer{}, err
+	}
+	if q.Kind == query.GroupCount {
+		return query.Answer{Groups: make([]float64, record.NumLocations)}, nil
+	}
+	return query.Answer{}, nil
+}
+
+// DecryptAnswer turns an aggregated encoding into the exact answer of q
+// (before DP noise): histogram bins for GroupCount, bin-range sums for
+// RangeCount, the fare slot for SumFare. Bin decryptions run concurrently
+// on the shared worker pool via the CRT fast path.
+func (p *AHEPipeline) DecryptAnswer(q query.Query, agg []ahe.Ciphertext) (query.Answer, error) {
+	if len(agg) != encWidth {
+		return query.Answer{}, fmt.Errorf("crypte: aggregate width %d, want %d", len(agg), encWidth)
+	}
+	slots, err := releaseSlots(q)
+	if err != nil {
+		return query.Answer{}, err
+	}
+	vals := make([]int64, len(slots))
+	if err := ahe.ParallelSlotsErr(len(slots), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			v, err := p.sk.Decrypt(agg[slots[i]])
 			if err != nil {
-				return query.Answer{}, fmt.Errorf("crypte: bin %d: %w", i, err)
+				return fmt.Errorf("crypte: slot %d: %w", slots[i], err)
 			}
+			vals[i] = v
+		}
+		return nil
+	}); err != nil {
+		return query.Answer{}, err
+	}
+	switch q.Kind {
+	case query.GroupCount:
+		groups := make([]float64, record.NumLocations)
+		for i, v := range vals {
+			groups[slots[i]] = float64(v)
+		}
+		return query.Answer{Groups: groups}, nil
+	default: // RangeCount sums its bins; SumFare has exactly one slot
+		var sum float64
+		for _, v := range vals {
 			sum += float64(v)
 		}
 		return query.Answer{Scalar: sum}, nil
-	case query.SumFare:
-		v, err := p.sk.Decrypt(agg[record.NumLocations])
-		if err != nil {
-			return query.Answer{}, fmt.Errorf("crypte: fare slot: %w", err)
-		}
-		return query.Answer{Scalar: float64(v)}, nil
-	default:
-		return query.Answer{}, fmt.Errorf("%w: %v on the AHE pipeline", ErrUnsupportedAHE, q.Kind)
 	}
 }
 

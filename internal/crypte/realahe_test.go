@@ -1,0 +1,254 @@
+package crypte
+
+import (
+	"errors"
+	"testing"
+
+	"dpsync/internal/dp"
+	"dpsync/internal/edb"
+	"dpsync/internal/query"
+	"dpsync/internal/record"
+)
+
+// realPipeline is shared across the true-crypto tests; 384-bit keys keep
+// the many per-record exponentiations affordable in CI.
+var realPipeline = mustRealPipeline()
+
+func mustRealPipeline() *AHEPipeline {
+	p, err := NewAHEPipeline(384)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func realBatches() [][]record.Record {
+	return [][]record.Record{
+		{
+			{PickupTime: 1, PickupID: 60, Provider: record.YellowCab, FareCents: 1200},
+			{PickupTime: 2, PickupID: 60, Provider: record.YellowCab, FareCents: 800},
+			record.NewDummy(record.YellowCab),
+			{PickupTime: 3, PickupID: 120, Provider: record.YellowCab, FareCents: 2000},
+			{PickupTime: 3, PickupID: 9, Provider: record.GreenTaxi, FareCents: 350},
+		},
+		{
+			{PickupTime: 7, PickupID: 75, Provider: record.YellowCab, FareCents: 450},
+			record.NewDummy(record.GreenTaxi),
+			{PickupTime: 9, PickupID: 60, Provider: record.GreenTaxi, FareCents: 150},
+			{PickupTime: 11, PickupID: 265, Provider: record.YellowCab, FareCents: 99},
+			// Out-of-domain pickup: ingest never calls record.Validate, and
+			// the clear engine keys this record's fare outside the 1..265
+			// range every query reads — the encoder must exclude it too.
+			{PickupTime: 12, PickupID: 300, Provider: record.YellowCab, FareCents: 500},
+		},
+	}
+}
+
+func sameAnswer(a, b query.Answer) bool {
+	if a.Scalar != b.Scalar || len(a.Groups) != len(b.Groups) {
+		return false
+	}
+	for i := range a.Groups {
+		if a.Groups[i] != b.Groups[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRealAHEMatchesClearDifferential is the acceptance test of true-crypto
+// mode: a real-AHE DB and a clear-text DB fed the same batches and the same
+// seeded noise stream must release bit-identical answers — which can only
+// happen if the pre-noise decrypted aggregates equal the incremental
+// plaintext aggregates exactly. Pre-noise equality is additionally checked
+// directly against the clear engine.
+func TestRealAHEMatchesClearDifferential(t *testing.T) {
+	const seed = 20260727
+	realDB, err := New(WithRealAHE(realPipeline), WithNoiseSource(dp.NewSeededSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clearDB, err := New(WithNoiseSource(dp.NewSeededSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !realDB.RealAHE() || clearDB.RealAHE() {
+		t.Fatal("RealAHE flags wrong")
+	}
+
+	batches := realBatches()
+	if err := realDB.Setup(batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := clearDB.Setup(batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := realDB.Update(batches[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := clearDB.Update(batches[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []query.Query{
+		query.Q1(),
+		query.Q2(),
+		query.Q4(),
+		{Kind: query.RangeCount, Provider: record.GreenTaxi, Lo: 1, Hi: 80},
+		{Kind: query.GroupCount, Provider: record.GreenTaxi},
+		// A window past every ingested pickup probes the all-zero-bins edge.
+		{Kind: query.RangeCount, Provider: record.YellowCab, Lo: 200, Hi: 265},
+	}
+	for _, q := range queries {
+		// Pre-noise: the decrypted release must equal the clear-text
+		// incremental statistic bit-for-bit.
+		exactReal, err := realDB.real.answer(q)
+		if err != nil {
+			t.Fatalf("%v: real exact: %v", q, err)
+		}
+		exactClear, err := clearDB.agg.AnswerFor(q)
+		if err != nil {
+			t.Fatalf("%v: clear exact: %v", q, err)
+		}
+		if !sameAnswer(exactReal, exactClear) {
+			t.Fatalf("%v: pre-noise answers differ: real %+v clear %+v", q, exactReal, exactClear)
+		}
+		// Post-noise: identical noise streams must produce identical
+		// releases.
+		ansReal, _, err := realDB.Query(q)
+		if err != nil {
+			t.Fatalf("%v: real query: %v", q, err)
+		}
+		ansClear, _, err := clearDB.Query(q)
+		if err != nil {
+			t.Fatalf("%v: clear query: %v", q, err)
+		}
+		if !sameAnswer(ansReal, ansClear) {
+			t.Fatalf("%v: noisy answers differ: real %+v clear %+v", q, ansReal, ansClear)
+		}
+	}
+	if realDB.ReleasesSoFar() != len(queries) {
+		t.Errorf("releases = %d, want %d", realDB.ReleasesSoFar(), len(queries))
+	}
+}
+
+// TestRealAHEEmptyProviderShapes pins the zeroAnswer path: a provider with
+// no ciphertext aggregate must answer every supported kind with exactly the
+// clear engine's shape and values — Groups of domain width for histograms,
+// zero Scalar otherwise.
+func TestRealAHEEmptyProviderShapes(t *testing.T) {
+	realDB, err := New(WithRealAHE(realPipeline), WithNoiseSource(dp.NewSeededSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clearDB, err := New(WithNoiseSource(dp.NewSeededSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := realDB.Setup(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := clearDB.Setup(nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []query.Query{query.Q1(), query.Q2(), query.Q4()} {
+		exactReal, err := realDB.real.answer(q)
+		if err != nil {
+			t.Fatalf("%v: real exact: %v", q, err)
+		}
+		exactClear, err := clearDB.agg.AnswerFor(q)
+		if err != nil {
+			t.Fatalf("%v: clear exact: %v", q, err)
+		}
+		if !sameAnswer(exactReal, exactClear) {
+			t.Fatalf("%v: empty-provider answers differ: real %+v clear %+v", q, exactReal, exactClear)
+		}
+		if q.Kind == query.GroupCount && len(exactReal.Groups) != record.NumLocations {
+			t.Fatalf("%v: groups len %d, want %d", q, len(exactReal.Groups), record.NumLocations)
+		}
+	}
+}
+
+// TestRealAHEStorageAccounting: true-crypto mode reports the same
+// outsourced widths as the simulation (the encodings ARE the 6.4 KiB the
+// model charges for).
+func TestRealAHEStorageAccounting(t *testing.T) {
+	db, err := New(WithRealAHE(realPipeline), WithNoiseSource(dp.NewSeededSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Setup(realBatches()[0]); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.Records != 5 || s.DummyRecords != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Bytes != 5*EncodingBytes || s.DummyBytes != 1*EncodingBytes {
+		t.Errorf("byte accounting = %+v", s)
+	}
+}
+
+// TestRealAHESubrangeSumFareUnsupported: the single fare slot cannot
+// express a sub-range fare sum, so true-crypto mode must refuse rather
+// than silently answer with the full-range total.
+func TestRealAHESubrangeSumFareUnsupported(t *testing.T) {
+	db, err := New(WithRealAHE(realPipeline), WithNoiseSource(dp.NewSeededSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Setup(nil); err != nil {
+		t.Fatal(err)
+	}
+	sub := query.Query{Kind: query.SumFare, Provider: record.YellowCab, Lo: 10, Hi: 20}
+	if db.Supports(sub) {
+		t.Error("sub-range SumFare must be unsupported in true-crypto mode")
+	}
+	if _, _, err := db.Query(sub); !errors.Is(err, edb.ErrUnsupportedQuery) {
+		t.Errorf("sub-range SumFare error = %v", err)
+	}
+	if !db.Supports(query.Q4()) {
+		t.Error("full-range SumFare must stay supported")
+	}
+	// Queries reaching outside the 1..NumLocations slot domain are also
+	// inexpressible: the clear engine would count out-of-domain IDs from
+	// never-validated ingests, which no encoding slot exists for.
+	for _, q := range []query.Query{
+		{Kind: query.RangeCount, Provider: record.YellowCab, Lo: 200, Hi: 400},
+		{Kind: query.RangeCount, Provider: record.YellowCab, Lo: 0, Hi: 100},
+		{Kind: query.SumFare, Provider: record.YellowCab, Lo: 1, Hi: 400},
+	} {
+		if db.Supports(q) {
+			t.Errorf("out-of-domain query %+v must be unsupported in true-crypto mode", q)
+		}
+	}
+	if !db.Supports(query.Q1()) {
+		t.Error("in-domain RangeCount must stay supported")
+	}
+	// The clear simulation path is unaffected.
+	clear, err := New(WithNoiseSource(dp.NewSeededSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clear.Supports(sub) {
+		t.Error("clear path must keep supporting sub-range SumFare")
+	}
+}
+
+// TestRealAHEJoinStillRejected: the operator repertoire does not grow with
+// the crypto.
+func TestRealAHEJoinStillRejected(t *testing.T) {
+	db, err := New(WithRealAHE(realPipeline), WithNoiseSource(dp.NewSeededSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Setup(nil); err != nil {
+		t.Fatal(err)
+	}
+	if db.Supports(query.Q3()) {
+		t.Error("join must stay unsupported")
+	}
+	if _, _, err := db.Query(query.Q3()); !errors.Is(err, edb.ErrUnsupportedQuery) {
+		t.Errorf("join error = %v", err)
+	}
+}
