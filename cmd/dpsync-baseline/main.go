@@ -20,6 +20,7 @@ import (
 	"dpsync/internal/core"
 	"dpsync/internal/crypte"
 	"dpsync/internal/dp"
+	"dpsync/internal/loadgen"
 	"dpsync/internal/oblidb"
 	"dpsync/internal/query"
 	"dpsync/internal/record"
@@ -48,6 +49,19 @@ type Baseline struct {
 	// (two ingest batches + Q1/Q2/Q4 through genuine Paillier aggregates,
 	// 384-bit keys), mirroring BenchmarkMicroRealAHE.
 	RealAHESeconds float64 `json:"real_ahe_seconds"`
+	// Gateway serving-layer measurements (internal/loadgen): GatewayOwners
+	// × GatewayTicks driven through an in-process multi-tenant gateway over
+	// the binary codec. cmd/dpsync-loadgen -baseline merges the same keys,
+	// so a standalone load run can refresh them without re-measuring the
+	// crypto micro-ops.
+	GatewayOwners       int     `json:"gateway_owners"`
+	GatewayTicks        int     `json:"gateway_ticks"`
+	GatewayCodec        string  `json:"gateway_codec"`
+	GatewaySyncs        int64   `json:"gateway_syncs"`
+	GatewaySyncsPerSec  float64 `json:"gateway_syncs_per_sec"`
+	GatewayP50Ms        float64 `json:"gateway_p50_ms"`
+	GatewayP99Ms        float64 `json:"gateway_p99_ms"`
+	GatewayBytesPerSync float64 `json:"gateway_bytes_per_sync"`
 }
 
 func obliWithRecords(n int) (*oblidb.DB, error) {
@@ -260,6 +274,26 @@ func main() {
 	if err := realAHERun(&b); err != nil {
 		fatal(err)
 	}
+
+	// Gateway serving layer: N owners × T ticks against an in-process
+	// multi-tenant gateway (the acceptance scale, or a small smoke under
+	// -quick).
+	gwOwners, gwTicks := 1000, 100
+	if *quick {
+		gwOwners, gwTicks = 32, 30
+	}
+	rep, err := loadgen.Run(loadgen.Config{Owners: gwOwners, Ticks: gwTicks, Seed: 1})
+	if err != nil {
+		fatal(err)
+	}
+	b.GatewayOwners = rep.Owners
+	b.GatewayTicks = rep.Ticks
+	b.GatewayCodec = rep.Codec
+	b.GatewaySyncs = rep.Syncs
+	b.GatewaySyncsPerSec = rep.SyncsPerSec
+	b.GatewayP50Ms = rep.P50Ms
+	b.GatewayP99Ms = rep.P99Ms
+	b.GatewayBytesPerSync = rep.BytesPerSync
 
 	enc, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {

@@ -1,0 +1,135 @@
+// Command dpsync-loadgen drives N simulated data owners × T ticks against a
+// multi-tenant DP-Sync gateway and reports serving-layer measurements: sync
+// throughput, p50/p99 per-sync round-trip latency, and wire bytes per sync.
+//
+// With no -addr it starts an in-process gateway on a loopback port — the
+// self-contained benchmark mode used by CI and the recorded baseline:
+//
+//	go run ./cmd/dpsync-loadgen -owners 1000 -ticks 100
+//	go run ./cmd/dpsync-loadgen -owners 16 -ticks 50 -quick   # CI smoke
+//
+// Against a live gateway (started elsewhere with the same key file):
+//
+//	go run ./cmd/dpsync-loadgen -addr 127.0.0.1:7701 -key-file shared.key -owners 200 -ticks 100
+//
+// With -baseline the gateway_* keys are merged into an existing
+// BENCH_baseline.json, preserving its other entries:
+//
+//	go run ./cmd/dpsync-loadgen -owners 1000 -ticks 100 -baseline BENCH_baseline.json
+package main
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dpsync/internal/loadgen"
+	"dpsync/internal/wire"
+)
+
+func main() {
+	var (
+		owners   = flag.Int("owners", 100, "number of concurrent data owners")
+		ticks    = flag.Int("ticks", 100, "logical ticks per owner")
+		addr     = flag.String("addr", "", "external gateway address (empty: start one in-process)")
+		keyFile  = flag.String("key-file", "", "hex-encoded shared data key (required with -addr)")
+		conns    = flag.Int("conns", 4, "multiplexed TCP connections to spread owners over")
+		window   = flag.Int("window", 0, "per-connection in-flight window (0: default)")
+		codec    = flag.String("codec", "binary", "wire codec: binary or json")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		workers  = flag.Int("workers", 0, "concurrent owner drivers (0: default)")
+		shards   = flag.Int("shards", 0, "in-process gateway shards (0: GOMAXPROCS)")
+		verify   = flag.Bool("verify", false, "cross-check per-owner transcripts after the run")
+		quick    = flag.Bool("quick", false, "CI smoke mode: verify transcripts, print one line")
+		baseline = flag.String("baseline", "", "merge gateway_* metrics into this BENCH_baseline.json")
+	)
+	flag.Parse()
+
+	cfg := loadgen.Config{
+		Owners:  *owners,
+		Ticks:   *ticks,
+		Addr:    *addr,
+		Conns:   *conns,
+		Window:  *window,
+		Workers: *workers,
+		Shards:  *shards,
+		Seed:    *seed,
+		Verify:  *verify || *quick,
+	}
+	switch strings.ToLower(*codec) {
+	case "binary":
+		cfg.Codec = wire.CodecBinary
+	case "json":
+		cfg.Codec = wire.CodecJSON
+	default:
+		fatal(fmt.Errorf("unknown codec %q", *codec))
+	}
+	if *keyFile != "" {
+		raw, err := os.ReadFile(*keyFile)
+		if err != nil {
+			fatal(err)
+		}
+		key, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+		if err != nil {
+			fatal(fmt.Errorf("decoding key file: %w", err))
+		}
+		cfg.Key = key
+	}
+
+	rep, err := loadgen.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *quick {
+		fmt.Printf("ok: %d owners × %d ticks, %d syncs (%d verified), %.0f syncs/sec, p50 %.2fms p99 %.2fms, %.0f bytes/sync\n",
+			rep.Owners, rep.Ticks, rep.Syncs, rep.Verified, rep.SyncsPerSec, rep.P50Ms, rep.P99Ms, rep.BytesPerSync)
+	} else {
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(enc))
+	}
+
+	if *baseline != "" {
+		if err := mergeBaseline(*baseline, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dpsync-loadgen: merged gateway metrics into %s\n", *baseline)
+	}
+}
+
+// mergeBaseline folds the gateway measurements into an existing baseline
+// document without disturbing its other keys.
+func mergeBaseline(path string, rep loadgen.Report) error {
+	doc := map[string]any{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	doc["gateway_owners"] = rep.Owners
+	doc["gateway_ticks"] = rep.Ticks
+	doc["gateway_codec"] = rep.Codec
+	doc["gateway_syncs"] = rep.Syncs
+	doc["gateway_syncs_per_sec"] = rep.SyncsPerSec
+	doc["gateway_p50_ms"] = rep.P50Ms
+	doc["gateway_p99_ms"] = rep.P99Ms
+	doc["gateway_bytes_per_sync"] = rep.BytesPerSync
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dpsync-loadgen: %v\n", err)
+	os.Exit(1)
+}

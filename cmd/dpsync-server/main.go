@@ -6,10 +6,16 @@
 // Usage:
 //
 //	dpsync-server -listen 127.0.0.1:7700 -key-file shared.key [-gen-key]
+//	dpsync-server -multi -listen 127.0.0.1:7701 -key-file shared.key [-shards 8]
 //
 // With -gen-key the server creates the shared data key and writes it to
 // -key-file (hex); owners and analysts load the same file, standing in for
 // enclave attestation and key provisioning.
+//
+// With -multi it serves the multi-tenant gateway protocol instead of the
+// single-owner one: many owners, each in its own namespace, over pipelined
+// multiplexed connections (see internal/gateway; drive it with
+// cmd/dpsync-loadgen -addr).
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"strings"
 	"syscall"
 
+	"dpsync/internal/gateway"
 	"dpsync/internal/seal"
 	"dpsync/internal/server"
 )
@@ -31,6 +38,8 @@ func main() {
 		listen  = flag.String("listen", "127.0.0.1:7700", "listen address")
 		keyFile = flag.String("key-file", "dpsync.key", "hex-encoded shared data key")
 		genKey  = flag.Bool("gen-key", false, "generate a fresh key and write it to -key-file")
+		multi   = flag.Bool("multi", false, "serve the multi-tenant gateway protocol")
+		shards  = flag.Int("shards", 0, "gateway shard workers (0: GOMAXPROCS; -multi only)")
 	)
 	flag.Parse()
 
@@ -39,14 +48,31 @@ func main() {
 		log.Fatalf("dpsync-server: %v", err)
 	}
 	logger := log.New(os.Stderr, "dpsync-server: ", log.LstdFlags)
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+
+	if *multi {
+		gw, err := gateway.New(*listen, gateway.Config{Key: key, Shards: *shards, Logger: logger})
+		if err != nil {
+			log.Fatalf("dpsync-server: %v", err)
+		}
+		logger.Printf("gateway listening on %s", gw.Addr())
+		go func() {
+			<-done
+			logger.Printf("shutting down; %d owner namespaces served", gw.Owners())
+			_ = gw.Close()
+		}()
+		if err := gw.Serve(); err != nil {
+			log.Fatalf("dpsync-server: serve: %v", err)
+		}
+		return
+	}
+
 	srv, err := server.New(*listen, key, logger)
 	if err != nil {
 		log.Fatalf("dpsync-server: %v", err)
 	}
 	logger.Printf("listening on %s", srv.Addr())
-
-	done := make(chan os.Signal, 1)
-	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-done
 		pat := srv.ObservedPattern()

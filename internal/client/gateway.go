@@ -1,0 +1,384 @@
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"dpsync/internal/edb"
+	"dpsync/internal/query"
+	"dpsync/internal/record"
+	"dpsync/internal/seal"
+	"dpsync/internal/wire"
+)
+
+// DefaultWindow is the default in-flight request window per gateway
+// connection: how many requests may be awaiting responses before senders
+// block. It is the client-side backpressure valve — a saturated gateway
+// slows its clients instead of accumulating unbounded in-flight state.
+const DefaultWindow = 64
+
+// GatewayConn is a pipelined, multiplexed connection to a multi-tenant
+// gateway. Unlike Client (one request per round trip under one mutex), many
+// goroutines — and many owners — share one GatewayConn concurrently: each
+// request carries a fresh ID, responses are matched back by ID, and frame
+// writes are serialized so the gateway observes each owner's requests in
+// send order (per-owner FIFO).
+//
+// Obtain per-owner edb.Database handles with Owner.
+type GatewayConn struct {
+	codec  wire.Codec
+	conn   net.Conn
+	sealer *seal.Sealer
+
+	wmu    sync.Mutex    // serializes frame writes; write order = gateway arrival order
+	window chan struct{} // in-flight cap (backpressure)
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan wire.Response
+	err     error // first connection-level failure; latched
+
+	bytesOut atomic.Int64
+	bytesIn  atomic.Int64
+}
+
+// GatewayOption tunes a GatewayConn.
+type GatewayOption func(*gatewayOpts)
+
+type gatewayOpts struct {
+	codec  wire.Codec
+	window int
+}
+
+// WithCodec proposes a payload codec (default: binary). The gateway may
+// downgrade; Codec reports the negotiated result.
+func WithCodec(c wire.Codec) GatewayOption {
+	return func(o *gatewayOpts) { o.codec = c }
+}
+
+// WithWindow sets the in-flight request window (default DefaultWindow).
+func WithWindow(n int) GatewayOption {
+	return func(o *gatewayOpts) {
+		if n > 0 {
+			o.window = n
+		}
+	}
+}
+
+// DialGateway connects to a gateway, negotiates the codec, and starts the
+// demultiplexing reader.
+func DialGateway(addr string, key []byte, opts ...GatewayOption) (*GatewayConn, error) {
+	o := gatewayOpts{codec: wire.CodecBinary, window: DefaultWindow}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s, err := seal.NewSealer(key)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial gateway %s: %w", addr, err)
+	}
+	if err := wire.WriteHello(conn, o.codec); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	accepted, err := wire.ReadHelloAck(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: gateway hello: %w", err)
+	}
+	c := &GatewayConn{
+		codec:   accepted,
+		conn:    conn,
+		sealer:  s,
+		window:  make(chan struct{}, o.window),
+		pending: map[uint64]chan wire.Response{},
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Codec returns the negotiated payload codec.
+func (c *GatewayConn) Codec() wire.Codec { return c.codec }
+
+// Close terminates the connection; in-flight requests fail.
+func (c *GatewayConn) Close() error {
+	err := c.conn.Close()
+	c.fail(fmt.Errorf("client: gateway connection closed"))
+	return err
+}
+
+// BytesOut and BytesIn report total frame bytes (including the 4-byte
+// length prefixes) sent and received — the load generator's bytes/sync
+// numerator.
+func (c *GatewayConn) BytesOut() int64 { return c.bytesOut.Load() }
+
+// BytesIn reports total frame bytes received.
+func (c *GatewayConn) BytesIn() int64 { return c.bytesIn.Load() }
+
+// readLoop demultiplexes responses to their waiting senders by request ID.
+func (c *GatewayConn) readLoop() {
+	for {
+		payload, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("client: gateway read: %w", err))
+			return
+		}
+		c.bytesIn.Add(int64(len(payload)) + 4)
+		gr, err := c.codec.DecodeGatewayResponse(payload)
+		if err != nil {
+			// A framing-level lie from the server: the stream can no longer
+			// be trusted to demultiplex correctly.
+			c.fail(err)
+			c.conn.Close()
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[gr.ID]
+		delete(c.pending, gr.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- gr.Resp
+		}
+	}
+}
+
+// fail latches the first connection error and releases every waiter.
+func (c *GatewayConn) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+}
+
+// send transmits one request without waiting for its response: it acquires
+// a window slot, registers the request ID, and writes the frame. The
+// returned channel yields the response (or closes on connection failure);
+// release must be called after the response is consumed to free the window
+// slot. roundTrip composes send+receive; tests use send directly to pin
+// pipelining semantics.
+func (c *GatewayConn) send(owner string, req wire.Request) (ch <-chan wire.Response, release func(), err error) {
+	c.window <- struct{}{}
+	release = func() { <-c.window }
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		release()
+		return nil, nil, err
+	}
+	id := c.nextID.Add(1)
+	rch := make(chan wire.Response, 1)
+	c.pending[id] = rch
+	c.mu.Unlock()
+
+	forget := func() {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+	}
+	payload, err := c.codec.EncodeGatewayRequest(wire.GatewayRequest{ID: id, Owner: owner, Req: req})
+	if err != nil {
+		forget()
+		release()
+		return nil, nil, err
+	}
+	c.wmu.Lock()
+	err = wire.WriteFrame(c.conn, payload)
+	c.wmu.Unlock()
+	if err != nil {
+		forget()
+		release()
+		c.fail(err)
+		return nil, nil, err
+	}
+	c.bytesOut.Add(int64(len(payload)) + 4)
+	return rch, release, nil
+}
+
+// roundTrip sends one request and waits for its response.
+func (c *GatewayConn) roundTrip(owner string, req wire.Request) (wire.Response, error) {
+	ch, release, err := c.send(owner, req)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	defer release()
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("client: gateway connection lost")
+		}
+		return wire.Response{}, err
+	}
+	if !resp.OK {
+		return wire.Response{}, fmt.Errorf("client: gateway error: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Owner returns this owner namespace's database handle on the shared
+// connection. Handles are independent: each keeps its own owner-side
+// real/dummy accounting, and any number may be in flight concurrently.
+func (c *GatewayConn) Owner(name string) *OwnerSession {
+	return &OwnerSession{conn: c, owner: name}
+}
+
+// OwnerSession is one owner's view of a multi-tenant gateway. It implements
+// edb.Database, so core.Owner and the whole strategy stack run unchanged
+// against a shared remote server. Safe for concurrent use.
+type OwnerSession struct {
+	conn  *GatewayConn
+	owner string
+
+	mu       sync.Mutex
+	stats    edb.StorageStats
+	infoDone bool
+	scheme   string
+	leak     edb.LeakageClass
+	width    int64
+}
+
+// OwnerID returns the owner namespace this session addresses.
+func (s *OwnerSession) OwnerID() string { return s.owner }
+
+// info returns the backend's identity (scheme name, §6 leakage class,
+// outsourced record width), fetched from the gateway via a stats round
+// trip and cached on first success. A failed fetch is NOT cached — the
+// next call retries — and, failing closed, reports leakage class L2
+// (incompatible): an unidentified backend must never pass the §6 gate as
+// leak-free by default. Concurrent first calls may race to duplicate the
+// round trip; both cache the same answer.
+func (s *OwnerSession) info() (scheme string, leak edb.LeakageClass, width int64) {
+	s.mu.Lock()
+	if s.infoDone {
+		defer s.mu.Unlock()
+		return s.scheme, s.leak, s.width
+	}
+	s.mu.Unlock()
+	resp, err := s.conn.roundTrip(s.owner, wire.Request{Type: wire.MsgStats})
+	if err != nil || resp.Stats == nil {
+		return "remote", edb.L2, obliBlockBytes
+	}
+	scheme, leak, width = "remote", edb.LeakageClass(resp.Stats.Leakage), obliBlockBytes
+	if resp.Stats.Scheme != "" {
+		scheme = resp.Stats.Scheme
+	}
+	if w := outsourcedWidth(resp.Stats.Scheme); w > 0 {
+		width = w
+	}
+	s.mu.Lock()
+	s.scheme, s.leak, s.width, s.infoDone = scheme, leak, width, true
+	s.mu.Unlock()
+	return scheme, leak, width
+}
+
+// outsourcedWidth maps a backend scheme to its per-record outsourced width
+// for owner-side storage accounting (see edb.StorageStats). Mirrored
+// constants, like obliBlockBytes, to keep the client free of server-side
+// imports.
+func outsourcedWidth(scheme string) int64 {
+	switch scheme {
+	case "ObliDB":
+		return obliBlockBytes
+	case "Crypteps":
+		return 6400 // crypte.EncodingBytes
+	default:
+		return 0
+	}
+}
+
+// Name implements edb.Database.
+func (s *OwnerSession) Name() string {
+	scheme, _, _ := s.info()
+	return scheme + "-gateway"
+}
+
+// Leakage implements edb.Database: the backend's §6 class, reported by the
+// gateway (L2 — fail-closed — while the gateway is unreachable).
+func (s *OwnerSession) Leakage() edb.LeakageClass {
+	_, leak, _ := s.info()
+	return leak
+}
+
+// Supports implements edb.Database. Structural validity is checked locally;
+// backend-specific operator gaps (Cryptε has no join) surface as server
+// errors at Query time, exactly as they would for a misrouted analyst.
+func (s *OwnerSession) Supports(q query.Query) bool { return q.Validate() == nil }
+
+func (s *OwnerSession) upload(t wire.MsgType, rs []record.Record) error {
+	sealedBatch, err := s.conn.sealer.SealAll(rs)
+	if err != nil {
+		return err
+	}
+	raw := make([][]byte, len(sealedBatch))
+	for i, ct := range sealedBatch {
+		raw[i] = ct
+	}
+	if _, err := s.conn.roundTrip(s.owner, wire.Request{Type: t, Sealed: raw}); err != nil {
+		return err
+	}
+	// Identity is fetched after the first successful upload (the namespace
+	// certainly exists by then), so storage accounting uses the backend's
+	// real outsourced width.
+	_, _, width := s.info()
+	dummies := len(rs) - record.CountReal(rs)
+	s.mu.Lock()
+	s.stats.Add(len(rs), dummies, width)
+	s.mu.Unlock()
+	return nil
+}
+
+// Setup implements edb.Database: seals rs locally and runs the remote setup
+// protocol in this owner's namespace.
+func (s *OwnerSession) Setup(rs []record.Record) error { return s.upload(wire.MsgSetup, rs) }
+
+// Update implements edb.Database.
+func (s *OwnerSession) Update(rs []record.Record) error { return s.upload(wire.MsgUpdate, rs) }
+
+// Query implements edb.Database.
+func (s *OwnerSession) Query(q query.Query) (query.Answer, edb.Cost, error) {
+	spec := wire.FromQuery(q)
+	resp, err := s.conn.roundTrip(s.owner, wire.Request{Type: wire.MsgQuery, Query: &spec})
+	if err != nil {
+		return query.Answer{}, edb.Cost{}, err
+	}
+	if resp.Answer == nil || resp.Cost == nil {
+		return query.Answer{}, edb.Cost{}, fmt.Errorf("client: malformed query response")
+	}
+	return resp.Answer.ToAnswer(), resp.Cost.ToCost(), nil
+}
+
+// Stats implements edb.Database: the owner-side accounting, which knows the
+// real/dummy split the gateway cannot see.
+func (s *OwnerSession) Stats() edb.StorageStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// RemoteStats asks the gateway for its split-blind view of this owner's
+// namespace.
+func (s *OwnerSession) RemoteStats() (wire.StatsSpec, error) {
+	resp, err := s.conn.roundTrip(s.owner, wire.Request{Type: wire.MsgStats})
+	if err != nil {
+		return wire.StatsSpec{}, err
+	}
+	if resp.Stats == nil {
+		return wire.StatsSpec{}, fmt.Errorf("client: malformed stats response")
+	}
+	return *resp.Stats, nil
+}
+
+var _ edb.Database = (*OwnerSession)(nil)

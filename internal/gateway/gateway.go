@@ -1,0 +1,411 @@
+// Package gateway implements the multi-tenant DP-Sync serving layer: one
+// TCP endpoint hosting thousands of concurrent data owners, each with its
+// own namespace — a private encrypted store, a private update-pattern
+// transcript, and a private logical clock — against a single honest-but-
+// curious operator, the deployment shape of the paper's §3 three-party
+// model at "heavy traffic" scale.
+//
+// # Architecture
+//
+// Owner state is sharded: owner IDs hash onto a fixed set of shard workers
+// (bounded by GOMAXPROCS), and each shard worker goroutine *owns* its
+// tenants' state outright — tenant maps are touched by exactly one
+// goroutine, so unrelated owners never contend on a lock and per-owner
+// request order is the order frames arrived in. Connections are decoupled
+// from owners: a connection reader decodes multiplexed envelopes
+// (wire.GatewayRequest: request ID + owner namespace + EDB message) and
+// hands them to the owning shard; a per-connection writer streams the
+// shards' responses back, matched by request ID, so one pipelined
+// connection can carry many owners' sync batches concurrently.
+//
+// # Isolation invariant
+//
+// Each tenant's update-pattern transcript is exactly what the single-owner
+// internal/server would have observed for that owner's request stream: the
+// per-owner logical clock advances only on that owner's uploads, and no
+// other tenant's traffic can perturb it. The differential test in this
+// package pins the transcripts bit-identical. This is the property that
+// makes per-owner DP accounting meaningful on shared infrastructure — the
+// adversary (the gateway operator) sees the union of per-owner transcripts,
+// and each one independently carries its owner's ε guarantee.
+//
+// # Substrates
+//
+// Tenants are backed by any edb.Database. Backends that ingest sealed
+// ciphertexts directly (the ObliDB enclave: SetupSealed/UpdateSealed) get
+// them verbatim — the gateway never opens records destined for an enclave.
+// Backends without a sealed path (the Cryptε aggregation service, including
+// WithRealAHE true-crypto instances) receive records through the gateway's
+// ingress sealer, standing in for the aggregation service's transport
+// decryption boundary.
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpsync/internal/edb"
+	"dpsync/internal/leakage"
+	"dpsync/internal/oblidb"
+	"dpsync/internal/seal"
+	"dpsync/internal/wire"
+)
+
+// Defaults mirroring internal/server's connection hardening, plus the
+// gateway-specific knobs.
+const (
+	// DefaultMaxOwners bounds distinct tenant namespaces so a hostile
+	// client cannot allocate unbounded backend state.
+	DefaultMaxOwners = 1 << 20
+	// DefaultWriteTimeout bounds one response frame's write, so a client
+	// that stops reading cannot stall a shard worker behind a full response
+	// queue forever.
+	DefaultWriteTimeout = 30 * time.Second
+	// shardQueueLen is the per-shard task buffer. When a shard saturates,
+	// connection readers block on the send — backpressure propagates to the
+	// TCP receive window instead of growing a queue.
+	shardQueueLen = 128
+	// respQueueLen is the per-connection response buffer between shard
+	// workers and the connection writer.
+	respQueueLen = 64
+	// maxErrorLogs bounds per-connection error logging.
+	maxErrorLogs = 3
+)
+
+// Config assembles a Gateway.
+type Config struct {
+	// Key is the 32-byte shared data key (the attestation/provisioning
+	// stand-in) used by the default ObliDB backend and by the ingress
+	// sealer for record-level backends. Required unless NewBackend is set
+	// AND every backend ingests sealed ciphertexts.
+	Key []byte
+	// Shards is the number of shard workers; 0 means GOMAXPROCS.
+	Shards int
+	// NewBackend constructs the encrypted database for a new owner
+	// namespace. Nil means a per-owner ObliDB instance under Key.
+	NewBackend func(owner string) (edb.Database, error)
+	// Logger receives bounded per-connection diagnostics; nil discards.
+	Logger *log.Logger
+	// ReadTimeout is the per-connection read deadline (0 = default,
+	// negative = disabled); MaxFrameErrors bounds malformed frames per
+	// connection (0 = default).
+	ReadTimeout    time.Duration
+	WriteTimeout   time.Duration
+	MaxFrameErrors int
+	// MaxOwners bounds distinct namespaces (0 = DefaultMaxOwners).
+	MaxOwners int
+}
+
+// Gateway is the multi-tenant server. Create with New, drive with Serve,
+// stop with Close.
+type Gateway struct {
+	cfg    Config
+	lis    net.Listener
+	log    *log.Logger
+	sealer *seal.Sealer // ingress for record-level backends; nil without Key
+
+	shards     []*shard
+	quit       chan struct{}
+	ownerCount atomic.Int64
+
+	connWG  sync.WaitGroup
+	shardWG sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+}
+
+type logDiscard struct{}
+
+func (logDiscard) Write(p []byte) (int, error) { return len(p), nil }
+
+// New creates a gateway listening on addr (port 0 picks a free port).
+func New(addr string, cfg Config) (*Gateway, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = 2 * time.Minute
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	if cfg.MaxFrameErrors <= 0 {
+		cfg.MaxFrameErrors = 8
+	}
+	if cfg.MaxOwners <= 0 {
+		cfg.MaxOwners = DefaultMaxOwners
+	}
+	g := &Gateway{cfg: cfg, quit: make(chan struct{})}
+	if cfg.Logger != nil {
+		g.log = cfg.Logger
+	} else {
+		g.log = log.New(logDiscard{}, "", 0)
+	}
+	if len(cfg.Key) > 0 {
+		s, err := seal.NewSealer(cfg.Key)
+		if err != nil {
+			return nil, fmt.Errorf("gateway: %w", err)
+		}
+		g.sealer = s
+	}
+	if cfg.NewBackend == nil {
+		if g.sealer == nil {
+			return nil, fmt.Errorf("gateway: default ObliDB backend requires Key")
+		}
+		g.cfg.NewBackend = func(string) (edb.Database, error) {
+			return oblidb.NewWithKey(cfg.Key)
+		}
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: listen: %w", err)
+	}
+	g.lis = lis
+	g.shards = make([]*shard, cfg.Shards)
+	for i := range g.shards {
+		sh := &shard{id: i, tasks: make(chan task, shardQueueLen), owners: map[string]*tenant{}}
+		g.shards[i] = sh
+		g.shardWG.Add(1)
+		go g.runShard(sh)
+	}
+	return g, nil
+}
+
+// Addr returns the bound listen address.
+func (g *Gateway) Addr() string { return g.lis.Addr().String() }
+
+// Serve accepts connections until Close. It blocks; run it in a goroutine.
+// Transient accept failures (fd exhaustion under thousands of owners,
+// aborted handshakes) are retried with backoff — one bad accept must not
+// tear down every tenant.
+func (g *Gateway) Serve() error {
+	var delay time.Duration
+	for {
+		conn, err := g.lis.Accept()
+		if err != nil {
+			g.mu.Lock()
+			closed := g.closed
+			g.mu.Unlock()
+			if closed {
+				return nil
+			}
+			if ne, ok := err.(net.Error); ok && ne.Temporary() {
+				if delay == 0 {
+					delay = 5 * time.Millisecond
+				} else if delay *= 2; delay > time.Second {
+					delay = time.Second
+				}
+				g.log.Printf("accept: %v; retrying in %v", err, delay)
+				time.Sleep(delay)
+				continue
+			}
+			return err
+		}
+		delay = 0
+		g.connWG.Add(1)
+		go func() {
+			defer g.connWG.Done()
+			g.handle(conn)
+		}()
+	}
+}
+
+// Close stops the listener, waits for in-flight connections, then stops the
+// shard workers.
+func (g *Gateway) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	g.mu.Unlock()
+	err := g.lis.Close()
+	g.connWG.Wait()
+	close(g.quit)
+	g.shardWG.Wait()
+	return err
+}
+
+// Owners returns the number of tenant namespaces created so far.
+func (g *Gateway) Owners() int { return int(g.ownerCount.Load()) }
+
+// shardFor routes an owner ID to its shard. The hash is stable for the
+// gateway's lifetime, so one owner's requests always execute on one worker
+// — that is what serializes a tenant without a tenant lock. FNV-1a is
+// inlined because this runs once per frame and hash.Hash32 allocates.
+func (g *Gateway) shardFor(owner string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(owner); i++ {
+		h ^= uint32(owner[i])
+		h *= 16777619
+	}
+	return g.shards[h%uint32(len(g.shards))]
+}
+
+// ObservedPattern returns a copy of one owner's update-pattern transcript —
+// the per-tenant leakage DP-Sync bounds. Unknown owners return an empty
+// pattern. The read executes on the owner's shard worker, ordered with that
+// owner's traffic. Racing a concurrent Close returns an empty pattern
+// rather than blocking: the worker drains its queue on shutdown, and the
+// receive below also selects on quit in case the task was never enqueued.
+func (g *Gateway) ObservedPattern(owner string) leakage.Pattern {
+	done := make(chan leakage.Pattern, 1) // buffered: the worker never blocks on it
+	t := task{owner: owner, peek: true, run: func(tn *tenant, _ error) {
+		var out leakage.Pattern
+		if tn != nil {
+			out.Events = make([]leakage.Event, len(tn.observed.Events))
+			copy(out.Events, tn.observed.Events)
+		}
+		done <- out
+	}}
+	sh := g.shardFor(owner)
+	select {
+	case sh.tasks <- t:
+	case <-g.quit:
+		return leakage.Pattern{}
+	}
+	select {
+	case p := <-done:
+		return p
+	case <-g.quit:
+		// The worker may still drain the task; prefer its answer if so.
+		select {
+		case p := <-done:
+			return p
+		default:
+			return leakage.Pattern{}
+		}
+	}
+}
+
+// handle speaks the gateway protocol on one connection: hello negotiation,
+// then pipelined multiplexed frames until the peer hangs up, stalls past
+// the read deadline, or exceeds the malformed-frame bound.
+func (g *Gateway) handle(conn net.Conn) {
+	defer conn.Close()
+	logged := 0
+	logf := func(format string, args ...any) {
+		if logged < maxErrorLogs {
+			g.log.Printf("conn %s: "+format, append([]any{conn.RemoteAddr()}, args...)...)
+			logged++
+		}
+	}
+
+	if g.cfg.ReadTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(g.cfg.ReadTimeout))
+	}
+	codec, err := wire.ReadHello(conn)
+	if err != nil {
+		logf("rejecting connection: %v", err)
+		return
+	}
+	if !codec.Valid() {
+		// Unknown proposal: downgrade to the compat codec rather than
+		// refusing a newer client.
+		codec = wire.CodecJSON
+	}
+	if err := wire.WriteHelloAck(conn, codec); err != nil {
+		return
+	}
+
+	// The writer goroutine serializes responses onto the connection.
+	// Responses arrive from shard workers out of order (that is the point
+	// of pipelining); request IDs let the client re-match them. Once a
+	// write fails or times out, the writer turns into a drain so shard
+	// workers never block on a dead connection.
+	respCh := make(chan wire.GatewayResponse, respQueueLen)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		dead := false
+		for r := range respCh {
+			if dead {
+				continue
+			}
+			out, err := codec.EncodeGatewayResponse(r)
+			if err != nil {
+				g.log.Printf("conn %s: encoding response: %v", conn.RemoteAddr(), err)
+				dead = true
+				continue
+			}
+			_ = conn.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout))
+			if err := wire.WriteFrame(conn, out); err != nil {
+				dead = true
+			}
+		}
+	}()
+
+	var pending sync.WaitGroup
+	reply := func(r wire.GatewayResponse) {
+		respCh <- r
+		pending.Done()
+	}
+
+	frameErrs := 0
+	for {
+		if g.cfg.ReadTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(g.cfg.ReadTimeout))
+		}
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				if errors.Is(err, os.ErrDeadlineExceeded) {
+					logf("closing idle connection: no complete frame within %v", g.cfg.ReadTimeout)
+				} else {
+					logf("closing connection: %v", err)
+				}
+			}
+			break
+		}
+		greq, err := codec.DecodeGatewayRequest(payload)
+		if err != nil {
+			frameErrs++
+			logf("malformed frame (%d/%d): %v", frameErrs, g.cfg.MaxFrameErrors, err)
+			pending.Add(1)
+			reply(wire.GatewayResponse{ID: greq.ID, Resp: wire.Response{Error: err.Error()}})
+			if frameErrs >= g.cfg.MaxFrameErrors {
+				logf("closing connection after %d malformed frames", frameErrs)
+				break
+			}
+			continue
+		}
+		if greq.Owner == "" {
+			pending.Add(1)
+			reply(wire.GatewayResponse{ID: greq.ID, Resp: wire.Response{Error: "gateway: missing owner id"}})
+			continue
+		}
+		pending.Add(1)
+		id, req, owner := greq.ID, greq.Req, greq.Owner
+		// Only the setup protocol creates a namespace (peek otherwise):
+		// queries, updates, and stats probes against unknown owners must
+		// not let a read-only request stream allocate backend state.
+		t := task{owner: owner, peek: req.Type != wire.MsgSetup, run: func(tn *tenant, terr error) {
+			var resp wire.Response
+			if terr != nil {
+				resp = wire.Response{Error: terr.Error()}
+			} else {
+				resp = g.dispatch(tn, owner, req)
+			}
+			reply(wire.GatewayResponse{ID: id, Resp: resp})
+		}}
+		select {
+		case g.shardFor(greq.Owner).tasks <- t:
+		case <-g.quit:
+			reply(wire.GatewayResponse{ID: id, Resp: wire.Response{Error: "gateway: shutting down"}})
+		}
+	}
+	// In-flight tasks still owe responses; wait for them before tearing the
+	// response channel down, then let the writer flush.
+	pending.Wait()
+	close(respCh)
+	<-writerDone
+}

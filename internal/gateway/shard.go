@@ -1,0 +1,200 @@
+package gateway
+
+import (
+	"fmt"
+
+	"dpsync/internal/edb"
+	"dpsync/internal/leakage"
+	"dpsync/internal/record"
+	"dpsync/internal/seal"
+	"dpsync/internal/wire"
+)
+
+// task is one unit of shard work: resolve the owner's tenant and run the
+// closure on the shard worker goroutine. Tasks for one owner execute in the
+// order they were enqueued — the shard worker is the serialization point
+// that replaces the single-owner server's global mutex.
+type task struct {
+	owner string
+	// peek makes tenant resolution non-creating. Everything except the
+	// setup protocol peeks: transcript reads, queries, updates, and stats
+	// probes must not allocate a namespace for an owner that never ran
+	// setup (MaxOwners bounds *established* tenants, and a hostile
+	// read-only request stream must not be able to reach it).
+	peek bool
+	run  func(tn *tenant, err error)
+}
+
+// shard is one worker's state: its task queue and the tenants hashed onto
+// it. owners is touched only by the shard's goroutine — no lock.
+type shard struct {
+	id     int
+	tasks  chan task
+	owners map[string]*tenant
+}
+
+// tenant is one owner's namespace: its private encrypted store, its private
+// update-pattern transcript, and its private logical clock. Nothing in here
+// is shared across owners; the per-owner-transcript isolation invariant is
+// structural.
+type tenant struct {
+	db     edb.Database
+	sealed sealedStore // non-nil when the backend ingests ciphertexts directly
+	// observed is this owner's adversary-view transcript; ticks is the
+	// owner's server-side logical clock, advanced once per upload exactly
+	// like the single-owner server's (the differential test pins the two
+	// transcripts bit-identical).
+	observed leakage.Pattern
+	ticks    int
+}
+
+// sealedStore is the optional backend fast path for substrates that accept
+// sealed ciphertexts without opening them (the ObliDB enclave boundary).
+type sealedStore interface {
+	SetupSealed([]seal.Sealed) error
+	UpdateSealed([]seal.Sealed) error
+}
+
+// runShard is the worker loop. It exits when the gateway closes; by then
+// every connection has drained (Close waits for handlers before signaling
+// quit), so only transcript peeks from a racing ObservedPattern can still
+// be queued — the drain below serves them instead of stranding the caller.
+func (g *Gateway) runShard(sh *shard) {
+	defer g.shardWG.Done()
+	serve := func(t task) {
+		tn, err := g.tenantFor(sh, t.owner, t.peek)
+		t.run(tn, err)
+	}
+	for {
+		select {
+		case t := <-sh.tasks:
+			serve(t)
+		case <-g.quit:
+			for {
+				select {
+				case t := <-sh.tasks:
+					serve(t)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// tenantFor resolves (and unless peeking, creates) the owner's tenant. Runs
+// on the shard worker only.
+func (g *Gateway) tenantFor(sh *shard, owner string, peek bool) (*tenant, error) {
+	if tn, ok := sh.owners[owner]; ok {
+		return tn, nil
+	}
+	if peek {
+		return nil, nil
+	}
+	if int(g.ownerCount.Load()) >= g.cfg.MaxOwners {
+		return nil, fmt.Errorf("gateway: owner limit %d reached", g.cfg.MaxOwners)
+	}
+	db, err := g.cfg.NewBackend(owner)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: backend for %q: %w", owner, err)
+	}
+	tn := &tenant{db: db}
+	if ss, ok := db.(sealedStore); ok {
+		tn.sealed = ss
+	} else if g.sealer == nil {
+		return nil, fmt.Errorf("gateway: backend %q has no sealed-ingest path and gateway has no ingress key", db.Name())
+	}
+	sh.owners[owner] = tn
+	g.ownerCount.Add(1)
+	return tn, nil
+}
+
+// dispatch executes one EDB protocol message against a tenant. It mirrors
+// the single-owner server's dispatch exactly, per namespace. tn is nil for
+// owners that never ran setup (see task.peek); those requests are answered
+// without materializing the namespace.
+func (g *Gateway) dispatch(tn *tenant, owner string, req wire.Request) wire.Response {
+	if tn == nil {
+		return g.dispatchUnknown(owner, req)
+	}
+	switch req.Type {
+	case wire.MsgSetup, wire.MsgUpdate:
+		cts := make([]seal.Sealed, len(req.Sealed))
+		for i, b := range req.Sealed {
+			cts[i] = seal.Sealed(b)
+		}
+		var err error
+		if tn.sealed != nil {
+			// Enclave-style backend: ciphertexts pass through verbatim; the
+			// gateway never opens records destined for an enclave.
+			if req.Type == wire.MsgSetup {
+				err = tn.sealed.SetupSealed(cts)
+			} else {
+				err = tn.sealed.UpdateSealed(cts)
+			}
+		} else {
+			// Aggregation-service-style backend: the transport sealing ends
+			// here (the ingress boundary) and the records continue into the
+			// substrate, which applies its own encoding/encryption.
+			var rs []record.Record
+			rs, err = g.sealer.OpenAll(cts)
+			if err == nil {
+				if req.Type == wire.MsgSetup {
+					err = tn.db.Setup(rs)
+				} else {
+					err = tn.db.Update(rs)
+				}
+			}
+		}
+		if err != nil {
+			return wire.Response{Error: err.Error()}
+		}
+		// The owner's logical clock advances per successful upload and the
+		// observed (tick, volume) event lands on this owner's transcript
+		// only — bit-identical to what the single-owner server records.
+		tn.ticks++
+		tn.observed.Record(record.Tick(tn.ticks), len(cts), false)
+		return wire.Response{OK: true}
+
+	case wire.MsgQuery:
+		if req.Query == nil {
+			return wire.Response{Error: "query missing"}
+		}
+		q := req.Query.ToQuery()
+		ans, cost, err := tn.db.Query(q)
+		if err != nil {
+			return wire.Response{Error: err.Error()}
+		}
+		return wire.NewQueryResponse(ans, cost)
+
+	case wire.MsgStats:
+		return wire.NewStatsResponse(tn.db.Stats(), tn.db.Name(), int(tn.db.Leakage()))
+
+	default:
+		return wire.Response{Error: fmt.Sprintf("unknown message type %q", req.Type)}
+	}
+}
+
+// dispatchUnknown answers requests addressed to a namespace that does not
+// exist yet. Updates and queries fail exactly as an un-setup database
+// would; stats probes report the backend's identity (scheme, leakage
+// class, zero storage) from a throwaway instance so clients can learn what
+// they would be talking to — without the probe allocating tenant state.
+func (g *Gateway) dispatchUnknown(owner string, req wire.Request) wire.Response {
+	switch req.Type {
+	case wire.MsgSetup:
+		// Unreachable: setup tasks resolve with peek=false, which creates
+		// the tenant (or reports the creation error) before dispatch.
+		return wire.Response{Error: "gateway: internal: setup routed to unknown-owner path"}
+	case wire.MsgUpdate, wire.MsgQuery:
+		return wire.Response{Error: edb.ErrNotSetup.Error()}
+	case wire.MsgStats:
+		db, err := g.cfg.NewBackend(owner)
+		if err != nil {
+			return wire.Response{Error: fmt.Sprintf("gateway: backend for %q: %v", owner, err)}
+		}
+		return wire.NewStatsResponse(db.Stats(), db.Name(), int(db.Leakage()))
+	default:
+		return wire.Response{Error: fmt.Sprintf("unknown message type %q", req.Type)}
+	}
+}

@@ -1,0 +1,332 @@
+// Package loadgen drives synthetic multi-owner DP-Sync traffic against a
+// live gateway and measures the serving layer: sync throughput, per-sync
+// round-trip latency quantiles, and wire bytes per sync. It is the
+// measurement harness behind cmd/dpsync-loadgen and the gateway entries in
+// BENCH_baseline.json.
+//
+// Each simulated owner is a full core.Owner stack — local cache, real
+// synchronization strategy (the mix cycles SUR, DP-Timer, DP-ANT), dummy
+// padding, client-side sealing — running against its own namespace of a
+// shared gateway over pipelined multiplexed connections. The load is
+// therefore shaped like the paper's deployment (§3, §7): many independent
+// owners, each hiding its own update pattern, one outsourced server.
+package loadgen
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"dpsync/internal/client"
+	"dpsync/internal/core"
+	"dpsync/internal/dp"
+	"dpsync/internal/edb"
+	"dpsync/internal/gateway"
+	"dpsync/internal/metrics"
+	"dpsync/internal/query"
+	"dpsync/internal/record"
+	"dpsync/internal/seal"
+	"dpsync/internal/strategy"
+	"dpsync/internal/wire"
+)
+
+// Config parameterizes a load run.
+type Config struct {
+	// Owners is the number of concurrent data owners (namespaces); Ticks is
+	// how many logical ticks each owner lives.
+	Owners int
+	Ticks  int
+	// Addr targets an external gateway; empty starts an in-process one on a
+	// loopback port (the self-contained benchmark mode). Key is the shared
+	// data key — required with Addr, generated otherwise.
+	Addr string
+	Key  []byte
+	// Conns is how many multiplexed TCP connections the owners share
+	// (default 4, capped at Owners). Window is the per-connection in-flight
+	// cap (default client.DefaultWindow). Codec defaults to binary.
+	Conns  int
+	Window int
+	Codec  wire.Codec
+	// Workers bounds concurrent owner drivers (default 4×GOMAXPROCS,
+	// clamped to [8, 64]: drivers spend their time blocked on round trips,
+	// so oversubscribing cores is the point).
+	Workers int
+	// Shards configures the in-process gateway (0 = GOMAXPROCS).
+	Shards int
+	// Seed derives every owner's noise stream and arrival phase; a fixed
+	// seed makes the workload (though not scheduling) reproducible.
+	Seed uint64
+	// Verify cross-checks, per owner, that the gateway-observed transcript
+	// length matches the owner's own pattern bookkeeping (in-process only).
+	Verify bool
+}
+
+// Report is the measurement result.
+type Report struct {
+	Owners  int    `json:"owners"`
+	Ticks   int    `json:"ticks"`
+	Conns   int    `json:"conns"`
+	Workers int    `json:"workers"`
+	Codec   string `json:"codec"`
+	// Syncs counts EDB update-protocol runs (setup + strategy-driven
+	// uploads) across all owners; SyncRecords the sealed records they
+	// carried (real + dummy).
+	Syncs       int64   `json:"syncs"`
+	SyncRecords int64   `json:"sync_records"`
+	Elapsed     float64 `json:"elapsed_seconds"`
+	SyncsPerSec float64 `json:"syncs_per_sec"`
+	// P50Ms / P99Ms are per-sync round-trip latencies (seal + frame +
+	// gateway dispatch + backend ingest + response).
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// BytesPerSync is total protocol bytes (both directions, all message
+	// types) divided by Syncs.
+	BytesPerSync float64 `json:"bytes_per_sync"`
+	BytesOut     int64   `json:"bytes_out"`
+	BytesIn      int64   `json:"bytes_in"`
+	Verified     int     `json:"verified_owners,omitempty"`
+}
+
+// timedDB wraps an owner's database handle and records the round-trip
+// latency of every sync (Setup/Update) in milliseconds.
+type timedDB struct {
+	edb.Database
+	latencies []float64
+	records   int64
+}
+
+func (t *timedDB) time(op func() error, n int) error {
+	start := time.Now()
+	err := op()
+	if err == nil {
+		t.latencies = append(t.latencies, float64(time.Since(start).Nanoseconds())/1e6)
+		t.records += int64(n)
+	}
+	return err
+}
+
+func (t *timedDB) Setup(rs []record.Record) error {
+	return t.time(func() error { return t.Database.Setup(rs) }, len(rs))
+}
+
+func (t *timedDB) Update(rs []record.Record) error {
+	return t.time(func() error { return t.Database.Update(rs) }, len(rs))
+}
+
+// ownerStrategy builds owner i's strategy: the mix cycles the paper's
+// always-on baseline and the two DP strategies, seeded per owner.
+func ownerStrategy(i int, seed uint64) (strategy.Strategy, error) {
+	switch i % 3 {
+	case 0:
+		return strategy.NewSUR(), nil
+	case 1:
+		return strategy.NewTimer(strategy.TimerConfig{
+			Epsilon: 0.5, Period: 10, FlushInterval: 60, FlushSize: 4,
+			Source: dp.NewSeededSource(seed + uint64(i)*2654435761),
+		})
+	default:
+		return strategy.NewANT(strategy.ANTConfig{
+			Epsilon: 0.5, Threshold: 5, FlushInterval: 60, FlushSize: 4,
+			Source: dp.NewSeededSource(seed + uint64(i)*2654435761 + 1),
+		})
+	}
+}
+
+// Run executes the load and returns the measurements.
+func Run(cfg Config) (Report, error) {
+	if cfg.Owners <= 0 || cfg.Ticks <= 0 {
+		return Report{}, fmt.Errorf("loadgen: owners and ticks must be positive")
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 4
+	}
+	if cfg.Conns > cfg.Owners {
+		cfg.Conns = cfg.Owners
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = client.DefaultWindow
+	}
+	if !cfg.Codec.Valid() {
+		cfg.Codec = wire.CodecBinary
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4 * runtime.GOMAXPROCS(0)
+		if cfg.Workers < 8 {
+			cfg.Workers = 8
+		}
+		if cfg.Workers > 64 {
+			cfg.Workers = 64
+		}
+	}
+	if cfg.Workers > cfg.Owners {
+		cfg.Workers = cfg.Owners
+	}
+
+	// Target gateway: external or in-process.
+	var gw *gateway.Gateway
+	addr, key := cfg.Addr, cfg.Key
+	if addr == "" {
+		if key == nil {
+			var err error
+			key, err = seal.NewRandomKey()
+			if err != nil {
+				return Report{}, err
+			}
+		}
+		var err error
+		gw, err = gateway.New("127.0.0.1:0", gateway.Config{Key: key, Shards: cfg.Shards})
+		if err != nil {
+			return Report{}, err
+		}
+		go func() { _ = gw.Serve() }()
+		defer gw.Close()
+		addr = gw.Addr()
+	} else if key == nil {
+		return Report{}, fmt.Errorf("loadgen: external gateway requires a key")
+	}
+
+	conns := make([]*client.GatewayConn, cfg.Conns)
+	for i := range conns {
+		c, err := client.DialGateway(addr, key, client.WithCodec(cfg.Codec), client.WithWindow(cfg.Window))
+		if err != nil {
+			return Report{}, err
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+
+	// driveOwner lives one owner's whole life: setup, Ticks ticks with a
+	// deterministic arrival phase, through a timing wrapper.
+	driveOwner := func(i int) (*timedDB, error) {
+		strat, err := ownerStrategy(i, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		session := conns[i%len(conns)].Owner(fmt.Sprintf("owner-%06d", i))
+		tdb := &timedDB{Database: session}
+		owner, err := core.New(core.Config{Strategy: strat, Database: tdb})
+		if err != nil {
+			return nil, err
+		}
+		if err := owner.Setup([]record.Record{{
+			PickupTime: 0, PickupID: uint16(i%record.NumLocations + 1), Provider: record.YellowCab,
+		}}); err != nil {
+			return nil, fmt.Errorf("owner %d setup: %w", i, err)
+		}
+		phase := i % 3
+		for t := 1; t <= cfg.Ticks; t++ {
+			var terr error
+			if (t+phase)%3 == 0 {
+				terr = owner.Tick(record.Record{
+					PickupTime: record.Tick(t),
+					PickupID:   uint16((i+t)%record.NumLocations + 1),
+					Provider:   record.YellowCab,
+				})
+			} else {
+				terr = owner.Tick()
+			}
+			if terr != nil {
+				return nil, fmt.Errorf("owner %d tick %d: %w", i, t, terr)
+			}
+		}
+		if cfg.Verify {
+			if gw != nil {
+				got := gw.ObservedPattern(session.OwnerID()).Updates()
+				if want := owner.Pattern().Updates(); got != want {
+					return nil, fmt.Errorf("owner %d: gateway observed %d updates, owner posted %d", i, got, want)
+				}
+			} else {
+				// External gateway: its transcript is out of reach, but its
+				// split-blind stats must agree with the owner's bookkeeping.
+				remote, err := session.RemoteStats()
+				if err != nil {
+					return nil, fmt.Errorf("owner %d remote stats: %w", i, err)
+				}
+				if want := owner.Pattern().Updates(); remote.Updates != want {
+					return nil, fmt.Errorf("owner %d: gateway counted %d updates, owner posted %d", i, remote.Updates, want)
+				}
+			}
+			if _, _, err := owner.Query(query.Q1()); err != nil {
+				return nil, fmt.Errorf("owner %d query: %w", i, err)
+			}
+		}
+		return tdb, nil
+	}
+
+	type result struct {
+		tdb *timedDB
+		err error
+	}
+	jobs := make(chan int)
+	results := make(chan result)
+	for w := 0; w < cfg.Workers; w++ {
+		go func() {
+			for i := range jobs {
+				tdb, err := driveOwner(i)
+				results <- result{tdb, err}
+			}
+		}()
+	}
+
+	start := time.Now()
+	go func() {
+		for i := 0; i < cfg.Owners; i++ {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+
+	lat := metrics.NewSeries("sync_rtt_ms")
+	var syncs, syncRecords int64
+	var firstErr error
+	verified := 0
+	for done := 0; done < cfg.Owners; done++ {
+		r := <-results
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		for _, ms := range r.tdb.latencies {
+			lat.Add(record.Tick(lat.Len()), ms)
+		}
+		syncs += int64(len(r.tdb.latencies))
+		syncRecords += r.tdb.records
+		if cfg.Verify {
+			verified++
+		}
+	}
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return Report{}, firstErr
+	}
+
+	var bytesOut, bytesIn int64
+	for _, c := range conns {
+		bytesOut += c.BytesOut()
+		bytesIn += c.BytesIn()
+	}
+	rep := Report{
+		Owners:      cfg.Owners,
+		Ticks:       cfg.Ticks,
+		Conns:       cfg.Conns,
+		Workers:     cfg.Workers,
+		Codec:       cfg.Codec.String(),
+		Syncs:       syncs,
+		SyncRecords: syncRecords,
+		Elapsed:     elapsed.Seconds(),
+		BytesOut:    bytesOut,
+		BytesIn:     bytesIn,
+		Verified:    verified,
+	}
+	if elapsed > 0 {
+		rep.SyncsPerSec = float64(syncs) / elapsed.Seconds()
+	}
+	if syncs > 0 {
+		rep.P50Ms = lat.Quantile(0.50)
+		rep.P99Ms = lat.Quantile(0.99)
+		rep.BytesPerSync = float64(bytesOut+bytesIn) / float64(syncs)
+	}
+	return rep, nil
+}

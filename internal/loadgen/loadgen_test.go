@@ -1,0 +1,55 @@
+package loadgen
+
+import (
+	"testing"
+
+	"dpsync/internal/wire"
+)
+
+func TestRunSmallLoad(t *testing.T) {
+	rep, err := Run(Config{Owners: 9, Ticks: 40, Conns: 2, Seed: 1, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verified != 9 {
+		t.Errorf("verified = %d, want 9", rep.Verified)
+	}
+	// Every owner syncs at least once (setup), SUR owners far more.
+	if rep.Syncs < 9 {
+		t.Errorf("syncs = %d, want >= 9", rep.Syncs)
+	}
+	if rep.SyncsPerSec <= 0 {
+		t.Errorf("syncs/sec = %v", rep.SyncsPerSec)
+	}
+	if rep.P99Ms < rep.P50Ms || rep.P50Ms <= 0 {
+		t.Errorf("quantiles p50=%v p99=%v", rep.P50Ms, rep.P99Ms)
+	}
+	if rep.BytesPerSync <= 0 || rep.BytesOut <= 0 || rep.BytesIn <= 0 {
+		t.Errorf("bytes: per-sync=%v out=%d in=%d", rep.BytesPerSync, rep.BytesOut, rep.BytesIn)
+	}
+	if rep.Codec != "binary" {
+		t.Errorf("codec = %q", rep.Codec)
+	}
+}
+
+func TestRunJSONCodec(t *testing.T) {
+	rep, err := Run(Config{Owners: 3, Ticks: 15, Codec: wire.CodecJSON, Seed: 2, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Codec != "json" {
+		t.Errorf("codec = %q", rep.Codec)
+	}
+	if rep.Syncs < 3 {
+		t.Errorf("syncs = %d", rep.Syncs)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Owners: 0, Ticks: 10}); err == nil {
+		t.Error("zero owners accepted")
+	}
+	if _, err := Run(Config{Owners: 1, Ticks: 1, Addr: "127.0.0.1:9", Key: nil}); err == nil {
+		t.Error("external gateway without key accepted")
+	}
+}

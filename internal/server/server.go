@@ -8,9 +8,12 @@ package server
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"os"
 	"sync"
+	"time"
 
 	"dpsync/internal/leakage"
 	"dpsync/internal/oblidb"
@@ -19,11 +22,50 @@ import (
 	"dpsync/internal/wire"
 )
 
+// Connection-hardening defaults. A handler goroutine must never be pinned
+// forever by a stalled peer (half-open TCP connection, client that wrote a
+// partial frame and died) or spammed into unbounded log growth by a
+// malformed one.
+const (
+	// DefaultReadTimeout is the per-connection read deadline: a connection
+	// that sends nothing (not even a keepalive request) for this long is
+	// closed.
+	DefaultReadTimeout = 2 * time.Minute
+	// DefaultMaxFrameErrors is how many malformed frames a connection may
+	// send before the server hangs up on it.
+	DefaultMaxFrameErrors = 8
+	// maxErrorLogs bounds per-connection error logging: the first few
+	// malformed frames are logged, the rest only counted.
+	maxErrorLogs = 3
+)
+
+// Option tunes connection handling.
+type Option func(*Server)
+
+// WithReadTimeout sets the per-connection read deadline; d <= 0 disables it
+// (tests that hold idle connections open across long pauses).
+func WithReadTimeout(d time.Duration) Option {
+	return func(s *Server) { s.readTimeout = d }
+}
+
+// WithMaxFrameErrors sets how many malformed frames a connection may send
+// before being closed; n <= 0 restores the default.
+func WithMaxFrameErrors(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxFrameErrs = n
+		}
+	}
+}
+
 // Server is a DP-Sync storage server backed by the ObliDB substrate.
 type Server struct {
 	db  *oblidb.DB
 	lis net.Listener
 	log *log.Logger
+
+	readTimeout  time.Duration
+	maxFrameErrs int
 
 	mu       sync.Mutex
 	observed leakage.Pattern // the adversary's view: (tick, volume) per upload
@@ -35,7 +77,7 @@ type Server struct {
 // New creates a server holding the given 32-byte data key (standing in for
 // enclave attestation/provisioning) and starts listening on addr
 // (e.g. "127.0.0.1:7700"; port 0 picks a free port).
-func New(addr string, key []byte, logger *log.Logger) (*Server, error) {
+func New(addr string, key []byte, logger *log.Logger, opts ...Option) (*Server, error) {
 	db, err := oblidb.NewWithKey(key)
 	if err != nil {
 		return nil, err
@@ -47,7 +89,15 @@ func New(addr string, key []byte, logger *log.Logger) (*Server, error) {
 	if logger == nil {
 		logger = log.New(logDiscard{}, "", 0)
 	}
-	return &Server{db: db, lis: lis, log: logger}, nil
+	s := &Server{
+		db: db, lis: lis, log: logger,
+		readTimeout:  DefaultReadTimeout,
+		maxFrameErrs: DefaultMaxFrameErrors,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
 }
 
 type logDiscard struct{}
@@ -58,7 +108,10 @@ func (logDiscard) Write(p []byte) (int, error) { return len(p), nil }
 func (s *Server) Addr() string { return s.lis.Addr().String() }
 
 // Serve accepts connections until Close. It blocks; run it in a goroutine.
+// Transient accept failures (fd exhaustion, aborted handshakes) are retried
+// with backoff rather than tearing the server down.
 func (s *Server) Serve() error {
+	var delay time.Duration
 	for {
 		conn, err := s.lis.Accept()
 		if err != nil {
@@ -68,8 +121,19 @@ func (s *Server) Serve() error {
 			if closed {
 				return nil
 			}
+			if ne, ok := err.(net.Error); ok && ne.Temporary() {
+				if delay == 0 {
+					delay = 5 * time.Millisecond
+				} else if delay *= 2; delay > time.Second {
+					delay = time.Second
+				}
+				s.log.Printf("accept: %v; retrying in %v", err, delay)
+				time.Sleep(delay)
+				continue
+			}
 			return err
 		}
+		delay = 0
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -100,14 +164,38 @@ func (s *Server) ObservedPattern() leakage.Pattern {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	frameErrs, logged := 0, 0
+	logf := func(format string, args ...any) {
+		// Bounded error logging: a malformed or hostile peer must not be
+		// able to grow the log without limit.
+		if logged < maxErrorLogs {
+			s.log.Printf("conn %s: "+format, append([]any{conn.RemoteAddr()}, args...)...)
+			logged++
+		}
+	}
 	for {
+		if s.readTimeout > 0 {
+			// Refreshed before every frame: the deadline bounds *idleness*,
+			// not connection lifetime. A half-open peer (or one that wrote a
+			// partial frame and stalled) trips it and frees this goroutine.
+			_ = conn.SetReadDeadline(time.Now().Add(s.readTimeout))
+		}
 		payload, err := wire.ReadFrame(conn)
 		if err != nil {
-			return // client hung up (io.EOF) or broke framing
+			if !errors.Is(err, io.EOF) {
+				if errors.Is(err, os.ErrDeadlineExceeded) {
+					logf("closing idle connection: no complete frame within %v", s.readTimeout)
+				} else {
+					logf("closing connection: %v", err)
+				}
+			}
+			return
 		}
 		req, err := wire.DecodeRequest(payload)
 		var resp wire.Response
 		if err != nil {
+			frameErrs++
+			logf("malformed request (%d/%d): %v", frameErrs, s.maxFrameErrs, err)
 			resp = wire.Response{Error: err.Error()}
 		} else {
 			resp = s.dispatch(req)
@@ -117,6 +205,10 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		if err := wire.WriteFrame(conn, out); err != nil {
+			return
+		}
+		if frameErrs >= s.maxFrameErrs {
+			logf("closing connection after %d malformed frames", frameErrs)
 			return
 		}
 	}
@@ -150,21 +242,10 @@ func (s *Server) dispatch(req wire.Request) wire.Response {
 		if err != nil {
 			return wire.Response{Error: err.Error()}
 		}
-		return wire.Response{
-			OK:     true,
-			Answer: &wire.AnswerSpec{Scalar: ans.Scalar, Groups: ans.Groups},
-			Cost: &wire.CostSpec{
-				Seconds:        cost.Seconds,
-				RecordsScanned: cost.RecordsScanned,
-				PairsCompared:  cost.PairsCompared,
-			},
-		}
+		return wire.NewQueryResponse(ans, cost)
 
 	case wire.MsgStats:
-		st := s.db.Stats()
-		return wire.Response{OK: true, Stats: &wire.StatsSpec{
-			Records: st.Records, Bytes: st.Bytes, Updates: st.Updates,
-		}}
+		return wire.NewStatsResponse(s.db.Stats(), "", 0)
 
 	default:
 		return wire.Response{Error: fmt.Sprintf("unknown message type %q", req.Type)}

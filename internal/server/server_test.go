@@ -1,8 +1,12 @@
 package server_test
 
 import (
+	"errors"
+	"net"
+	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"dpsync/internal/client"
 	"dpsync/internal/core"
@@ -12,6 +16,7 @@ import (
 	"dpsync/internal/seal"
 	"dpsync/internal/server"
 	"dpsync/internal/strategy"
+	"dpsync/internal/wire"
 )
 
 func startServer(t *testing.T) (*server.Server, []byte) {
@@ -208,6 +213,127 @@ func TestMultipleClients(t *testing.T) {
 	}
 	if ans.Total() != 1 { // one yellow record
 		t.Errorf("Q2 total = %v", ans.Total())
+	}
+}
+
+// TestHalfOpenConnectionReleasesHandler pins the read-deadline fix: a client
+// that writes a partial frame header and then stalls must not pin a handler
+// goroutine forever. Before the fix, ReadFrame blocked indefinitely and
+// srv.Close hung in wg.Wait.
+func TestHalfOpenConnectionReleasesHandler(t *testing.T) {
+	key, err := seal.NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New("127.0.0.1:0", key, nil, server.WithReadTimeout(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Two bytes of a four-byte frame header, then silence: a half-open
+	// client from the server's perspective.
+	if _, err := conn.Write([]byte{0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	// The server must hang up on its own; the read on our side observes it.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server answered a half frame")
+	} else if errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatal("server did not close the half-open connection within its read deadline")
+	}
+
+	// And Close must complete without waiting on a pinned handler.
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung: handler goroutine still pinned")
+	}
+}
+
+// TestMalformedFrameFloodClosesConnection pins the bounded-error handling: a
+// client spewing garbage gets per-frame error responses up to the bound,
+// then the server hangs up instead of serving it forever.
+func TestMalformedFrameFloodClosesConnection(t *testing.T) {
+	key, err := seal.NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New("127.0.0.1:0", key, nil, server.WithMaxFrameErrors(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 3; i++ {
+		if err := wire.WriteFrame(conn, []byte("{garbage")); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := wire.ReadFrame(conn)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		resp, err := wire.DecodeResponse(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.OK || resp.Error == "" {
+			t.Fatalf("frame %d: expected error response, got %+v", i, resp)
+		}
+	}
+	// The bound is reached: the connection must now be closed server-side.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := wire.ReadFrame(conn); err == nil {
+		t.Fatal("connection still serving after malformed-frame bound")
+	} else if errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatal("server kept the flooding connection open")
+	}
+	// Zero-length frames count as malformed too (wire.ErrBadFrame), and the
+	// server stays up for legitimate clients throughout.
+	conn2, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if err := wire.WriteFrame(conn2, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := wire.ReadFrame(conn2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.DecodeResponse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || !strings.Contains(resp.Error, "empty request frame") {
+		t.Errorf("zero-length frame: got %+v, want empty-request error", resp)
+	}
+	cl, err := client.Dial(srv.Addr(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Setup(nil); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,513 @@
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Codec identifies a frame-payload encoding, negotiated per connection by
+// the hello exchange. The value doubles as the protocol version byte.
+type Codec byte
+
+const (
+	// CodecJSON is the original debug/compat encoding: human-readable,
+	// schema-tolerant, slow. Version byte 1.
+	CodecJSON Codec = 1
+	// CodecBinary is the hot-path encoding: hand-rolled length-prefixed
+	// fields, no reflection, no base64 expansion of sealed ciphertexts.
+	// Version byte 2.
+	CodecBinary Codec = 2
+)
+
+// Valid reports whether c names a codec this build understands.
+func (c Codec) Valid() bool { return c == CodecJSON || c == CodecBinary }
+
+// String implements fmt.Stringer.
+func (c Codec) String() string {
+	switch c {
+	case CodecJSON:
+		return "json"
+	case CodecBinary:
+		return "binary"
+	default:
+		return fmt.Sprintf("Codec(%d)", byte(c))
+	}
+}
+
+// MaxOwnerLen bounds an owner-namespace identifier. Owner IDs are routing
+// keys, not payload; one byte of length is plenty and keeps the binary
+// header fixed-cost.
+const MaxOwnerLen = 255
+
+// helloMagic opens every gateway connection. The single-owner server's
+// legacy protocol has no hello (it is implicitly JSON), so the magic lets a
+// gateway reject a legacy client with a clear error instead of misparsing
+// its first frame.
+var helloMagic = [4]byte{'D', 'P', 'S', 'G'}
+
+// WriteHello sends the 5-byte client hello: magic then the proposed codec
+// version byte.
+func WriteHello(w io.Writer, proposed Codec) error {
+	var buf [5]byte
+	copy(buf[:4], helloMagic[:])
+	buf[4] = byte(proposed)
+	if _, err := w.Write(buf[:]); err != nil {
+		return fmt.Errorf("wire: hello: %w", err)
+	}
+	return nil
+}
+
+// ReadHello consumes a client hello and returns the proposed codec. A bad
+// magic is a protocol violation (ErrBadFrame); an unknown codec byte is NOT
+// an error — the server downgrades, so a newer client proposing a codec this
+// build lacks still gets a connection (the returned codec is what was
+// proposed; callers check Valid and pick their answer).
+func ReadHello(r io.Reader) (Codec, error) {
+	var buf [5]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("wire: reading hello: %w", err)
+	}
+	if buf[0] != helloMagic[0] || buf[1] != helloMagic[1] || buf[2] != helloMagic[2] || buf[3] != helloMagic[3] {
+		return 0, fmt.Errorf("%w: bad hello magic %q", ErrBadFrame, buf[:4])
+	}
+	return Codec(buf[4]), nil
+}
+
+// WriteHelloAck sends the server's 1-byte answer: the codec version the
+// connection will speak.
+func WriteHelloAck(w io.Writer, accepted Codec) error {
+	if _, err := w.Write([]byte{byte(accepted)}); err != nil {
+		return fmt.Errorf("wire: hello ack: %w", err)
+	}
+	return nil
+}
+
+// ReadHelloAck consumes the server's answer. An invalid codec byte means
+// the two ends share no encoding — a hard error.
+func ReadHelloAck(r io.Reader) (Codec, error) {
+	var buf [1]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("wire: reading hello ack: %w", err)
+	}
+	c := Codec(buf[0])
+	if !c.Valid() {
+		return 0, fmt.Errorf("%w: server accepted unknown codec %d", ErrBadFrame, buf[0])
+	}
+	return c, nil
+}
+
+// GatewayRequest is the multiplexing envelope for client→gateway messages:
+// the EDB protocol request plus a request ID (responses may come back out of
+// order; the client matches them by ID) and the owner namespace the request
+// targets.
+type GatewayRequest struct {
+	ID    uint64  `json:"id"`
+	Owner string  `json:"owner"`
+	Req   Request `json:"req"`
+}
+
+// GatewayResponse is the gateway→client envelope.
+type GatewayResponse struct {
+	ID   uint64   `json:"id"`
+	Resp Response `json:"resp"`
+}
+
+// Binary message-type bytes. 0 is deliberately unused so an all-zero frame
+// cannot decode as a valid message.
+const (
+	binSetup  = 1
+	binUpdate = 2
+	binQuery  = 3
+	binStats  = 4
+)
+
+func msgTypeByte(t MsgType) (byte, error) {
+	switch t {
+	case MsgSetup:
+		return binSetup, nil
+	case MsgUpdate:
+		return binUpdate, nil
+	case MsgQuery:
+		return binQuery, nil
+	case MsgStats:
+		return binStats, nil
+	default:
+		return 0, fmt.Errorf("wire: message type %q has no binary encoding", t)
+	}
+}
+
+func msgTypeFromByte(b byte) (MsgType, error) {
+	switch b {
+	case binSetup:
+		return MsgSetup, nil
+	case binUpdate:
+		return MsgUpdate, nil
+	case binQuery:
+		return MsgQuery, nil
+	case binStats:
+		return MsgStats, nil
+	default:
+		return "", fmt.Errorf("%w: unknown message type byte %d", ErrBadFrame, b)
+	}
+}
+
+// Response flag bits (binary codec).
+const (
+	flagOK = 1 << iota
+	flagError
+	flagAnswer
+	flagCost
+	flagStats
+)
+
+// binReader is a bounds-checked cursor over a frame payload. The first
+// failed read latches err; subsequent reads return zero values, so decoders
+// read a whole struct and check err once.
+type binReader struct {
+	b   []byte
+	err error
+}
+
+func (r *binReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated %s", ErrBadFrame, what)
+	}
+}
+
+func (r *binReader) u8(what string) byte {
+	if r.err != nil || len(r.b) < 1 {
+		r.fail(what)
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *binReader) u16(what string) uint16 {
+	if r.err != nil || len(r.b) < 2 {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b)
+	r.b = r.b[2:]
+	return v
+}
+
+func (r *binReader) u32(what string) uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *binReader) u64(what string) uint64 {
+	if r.err != nil || len(r.b) < 8 {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *binReader) f64(what string) float64 { return math.Float64frombits(r.u64(what)) }
+
+func (r *binReader) bytes(n int, what string) []byte {
+	if r.err != nil || n < 0 || len(r.b) < n {
+		r.fail(what)
+		return nil
+	}
+	v := r.b[:n:n]
+	r.b = r.b[n:]
+	return v
+}
+
+// remaining returns how many bytes are left — decoders use it to sanity-
+// check claimed element counts before allocating.
+func (r *binReader) remaining() int { return len(r.b) }
+
+func (r *binReader) done(what string) error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after %s", ErrBadFrame, len(r.b), what)
+	}
+	return nil
+}
+
+func appendU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+func appendF64(b []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// EncodeGatewayRequest serializes the envelope under codec c.
+func (c Codec) EncodeGatewayRequest(g GatewayRequest) ([]byte, error) {
+	switch c {
+	case CodecJSON:
+		b, err := json.Marshal(g)
+		if err != nil {
+			return nil, fmt.Errorf("wire: encode gateway request: %w", err)
+		}
+		return b, nil
+	case CodecBinary:
+		return encodeGatewayRequestBinary(g)
+	default:
+		return nil, fmt.Errorf("wire: encode with unknown codec %d", byte(c))
+	}
+}
+
+func encodeGatewayRequestBinary(g GatewayRequest) ([]byte, error) {
+	if len(g.Owner) > MaxOwnerLen {
+		return nil, fmt.Errorf("wire: owner id %d bytes exceeds %d", len(g.Owner), MaxOwnerLen)
+	}
+	t, err := msgTypeByte(g.Req.Type)
+	if err != nil {
+		return nil, err
+	}
+	size := 8 + 1 + len(g.Owner) + 1
+	for _, ct := range g.Req.Sealed {
+		size += 4 + len(ct)
+	}
+	b := make([]byte, 0, size+16)
+	b = appendU64(b, g.ID)
+	b = append(b, byte(len(g.Owner)))
+	b = append(b, g.Owner...)
+	b = append(b, t)
+	switch t {
+	case binSetup, binUpdate:
+		b = appendU32(b, uint32(len(g.Req.Sealed)))
+		for _, ct := range g.Req.Sealed {
+			b = appendU32(b, uint32(len(ct)))
+			b = append(b, ct...)
+		}
+	case binQuery:
+		if g.Req.Query == nil {
+			return nil, fmt.Errorf("wire: query request without query spec")
+		}
+		q := g.Req.Query
+		if q.Kind < 0 || q.Kind > 255 {
+			return nil, fmt.Errorf("wire: query kind %d outside binary range", q.Kind)
+		}
+		b = append(b, byte(q.Kind), q.Provider, q.JoinWith)
+		b = appendU16(b, q.Lo)
+		b = appendU16(b, q.Hi)
+	case binStats:
+	}
+	return b, nil
+}
+
+// DecodeGatewayRequest parses an envelope under codec c. Malformed input —
+// including zero-length frames — returns an error wrapping ErrBadFrame and
+// never panics or over-allocates, no matter what the bytes claim.
+func (c Codec) DecodeGatewayRequest(b []byte) (GatewayRequest, error) {
+	if len(b) == 0 {
+		return GatewayRequest{}, fmt.Errorf("%w: empty gateway request frame", ErrBadFrame)
+	}
+	switch c {
+	case CodecJSON:
+		var g GatewayRequest
+		if err := json.Unmarshal(b, &g); err != nil {
+			return GatewayRequest{}, fmt.Errorf("%w: decode gateway request: %v", ErrBadFrame, err)
+		}
+		return g, nil
+	case CodecBinary:
+		return decodeGatewayRequestBinary(b)
+	default:
+		return GatewayRequest{}, fmt.Errorf("wire: decode with unknown codec %d", byte(c))
+	}
+}
+
+func decodeGatewayRequestBinary(b []byte) (GatewayRequest, error) {
+	r := &binReader{b: b}
+	var g GatewayRequest
+	g.ID = r.u64("request id")
+	ownerLen := int(r.u8("owner length"))
+	g.Owner = string(r.bytes(ownerLen, "owner id"))
+	t := r.u8("message type")
+	if r.err != nil {
+		return GatewayRequest{}, r.err
+	}
+	mt, err := msgTypeFromByte(t)
+	if err != nil {
+		return GatewayRequest{}, err
+	}
+	g.Req.Type = mt
+	switch t {
+	case binSetup, binUpdate:
+		n := int(r.u32("sealed count"))
+		// Each entry costs at least its 4-byte length prefix: a claimed
+		// count larger than remaining/4 is a lie, reject before allocating.
+		if n > r.remaining()/4 {
+			return GatewayRequest{}, fmt.Errorf("%w: sealed count %d exceeds frame", ErrBadFrame, n)
+		}
+		if n > 0 {
+			g.Req.Sealed = make([][]byte, n)
+			for i := 0; i < n; i++ {
+				ctLen := int(r.u32("ciphertext length"))
+				g.Req.Sealed[i] = r.bytes(ctLen, "ciphertext")
+			}
+		}
+	case binQuery:
+		var q QuerySpec
+		q.Kind = int(r.u8("query kind"))
+		q.Provider = r.u8("query provider")
+		q.JoinWith = r.u8("query join table")
+		q.Lo = r.u16("query lo")
+		q.Hi = r.u16("query hi")
+		g.Req.Query = &q
+	}
+	if err := r.done("gateway request"); err != nil {
+		return GatewayRequest{}, err
+	}
+	return g, nil
+}
+
+// EncodeGatewayResponse serializes the envelope under codec c.
+func (c Codec) EncodeGatewayResponse(g GatewayResponse) ([]byte, error) {
+	switch c {
+	case CodecJSON:
+		b, err := json.Marshal(g)
+		if err != nil {
+			return nil, fmt.Errorf("wire: encode gateway response: %w", err)
+		}
+		return b, nil
+	case CodecBinary:
+		return encodeGatewayResponseBinary(g)
+	default:
+		return nil, fmt.Errorf("wire: encode with unknown codec %d", byte(c))
+	}
+}
+
+func encodeGatewayResponseBinary(g GatewayResponse) ([]byte, error) {
+	var flags byte
+	resp := g.Resp
+	if resp.OK {
+		flags |= flagOK
+	}
+	if resp.Error != "" {
+		flags |= flagError
+	}
+	if resp.Answer != nil {
+		flags |= flagAnswer
+	}
+	if resp.Cost != nil {
+		flags |= flagCost
+	}
+	if resp.Stats != nil {
+		flags |= flagStats
+	}
+	b := make([]byte, 0, 64)
+	b = appendU64(b, g.ID)
+	b = append(b, flags)
+	if flags&flagError != 0 {
+		if len(resp.Error) > math.MaxUint16 {
+			resp.Error = resp.Error[:math.MaxUint16]
+		}
+		b = appendU16(b, uint16(len(resp.Error)))
+		b = append(b, resp.Error...)
+	}
+	if flags&flagAnswer != 0 {
+		b = appendF64(b, resp.Answer.Scalar)
+		b = appendU32(b, uint32(len(resp.Answer.Groups)))
+		for _, v := range resp.Answer.Groups {
+			b = appendF64(b, v)
+		}
+	}
+	if flags&flagCost != 0 {
+		b = appendF64(b, resp.Cost.Seconds)
+		b = appendU64(b, uint64(resp.Cost.RecordsScanned))
+		b = appendU64(b, uint64(resp.Cost.PairsCompared))
+	}
+	if flags&flagStats != 0 {
+		st := resp.Stats
+		b = appendU32(b, uint32(st.Records))
+		b = appendU64(b, uint64(st.Bytes))
+		b = appendU32(b, uint32(st.Updates))
+		scheme := st.Scheme
+		if len(scheme) > MaxOwnerLen {
+			scheme = scheme[:MaxOwnerLen]
+		}
+		b = append(b, byte(len(scheme)))
+		b = append(b, scheme...)
+		b = append(b, byte(st.Leakage))
+	}
+	return b, nil
+}
+
+// DecodeGatewayResponse parses an envelope under codec c (zero-length and
+// malformed input rejected with ErrBadFrame).
+func (c Codec) DecodeGatewayResponse(b []byte) (GatewayResponse, error) {
+	if len(b) == 0 {
+		return GatewayResponse{}, fmt.Errorf("%w: empty gateway response frame", ErrBadFrame)
+	}
+	switch c {
+	case CodecJSON:
+		var g GatewayResponse
+		if err := json.Unmarshal(b, &g); err != nil {
+			return GatewayResponse{}, fmt.Errorf("%w: decode gateway response: %v", ErrBadFrame, err)
+		}
+		return g, nil
+	case CodecBinary:
+		return decodeGatewayResponseBinary(b)
+	default:
+		return GatewayResponse{}, fmt.Errorf("wire: decode with unknown codec %d", byte(c))
+	}
+}
+
+func decodeGatewayResponseBinary(b []byte) (GatewayResponse, error) {
+	r := &binReader{b: b}
+	var g GatewayResponse
+	g.ID = r.u64("response id")
+	flags := r.u8("response flags")
+	g.Resp.OK = flags&flagOK != 0
+	if flags&flagError != 0 {
+		n := int(r.u16("error length"))
+		g.Resp.Error = string(r.bytes(n, "error text"))
+	}
+	if flags&flagAnswer != 0 {
+		var a AnswerSpec
+		a.Scalar = r.f64("answer scalar")
+		n := int(r.u32("group count"))
+		if n > r.remaining()/8 {
+			return GatewayResponse{}, fmt.Errorf("%w: group count %d exceeds frame", ErrBadFrame, n)
+		}
+		if n > 0 {
+			a.Groups = make([]float64, n)
+			for i := range a.Groups {
+				a.Groups[i] = r.f64("group value")
+			}
+		}
+		g.Resp.Answer = &a
+	}
+	if flags&flagCost != 0 {
+		var cs CostSpec
+		cs.Seconds = r.f64("cost seconds")
+		cs.RecordsScanned = int64(r.u64("cost records"))
+		cs.PairsCompared = int64(r.u64("cost pairs"))
+		g.Resp.Cost = &cs
+	}
+	if flags&flagStats != 0 {
+		var st StatsSpec
+		st.Records = int(r.u32("stats records"))
+		st.Bytes = int64(r.u64("stats bytes"))
+		st.Updates = int(r.u32("stats updates"))
+		n := int(r.u8("scheme length"))
+		st.Scheme = string(r.bytes(n, "scheme"))
+		st.Leakage = int(r.u8("leakage class"))
+		g.Resp.Stats = &st
+	}
+	if err := r.done("gateway response"); err != nil {
+		return GatewayResponse{}, err
+	}
+	return g, nil
+}

@@ -1,0 +1,201 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func sampleRequests() []GatewayRequest {
+	return []GatewayRequest{
+		{ID: 1, Owner: "owner-a", Req: Request{Type: MsgSetup, Sealed: [][]byte{{1, 2, 3}, {}, {0xFF}}}},
+		{ID: 2, Owner: "o", Req: Request{Type: MsgUpdate, Sealed: [][]byte{{9, 9, 9, 9}}}},
+		{ID: 1 << 60, Owner: "owner-b", Req: Request{Type: MsgUpdate}},
+		{ID: 3, Owner: "q", Req: Request{Type: MsgQuery, Query: &QuerySpec{Kind: 2, Provider: 1, JoinWith: 2, Lo: 7, Hi: 99}}},
+		{ID: 4, Owner: "", Req: Request{Type: MsgStats}},
+	}
+}
+
+func sampleResponses() []GatewayResponse {
+	return []GatewayResponse{
+		{ID: 1, Resp: Response{OK: true}},
+		{ID: 2, Resp: Response{Error: "edb: database not set up"}},
+		{ID: 3, Resp: Response{OK: true, Answer: &AnswerSpec{Scalar: 42.5, Groups: []float64{1, 2, 3}},
+			Cost: &CostSpec{Seconds: 0.25, RecordsScanned: 1000, PairsCompared: -1}}},
+		{ID: 4, Resp: Response{OK: true, Stats: &StatsSpec{Records: 12, Bytes: 12288, Updates: 3, Scheme: "ObliDB", Leakage: 0}}},
+		{ID: 5, Resp: Response{OK: true, Stats: &StatsSpec{Records: 1, Bytes: 6400, Updates: 1, Scheme: "Crypteps", Leakage: 1}}},
+	}
+}
+
+func TestGatewayRequestRoundTripBothCodecs(t *testing.T) {
+	for _, codec := range []Codec{CodecJSON, CodecBinary} {
+		for _, g := range sampleRequests() {
+			b, err := codec.EncodeGatewayRequest(g)
+			if err != nil {
+				t.Fatalf("%v encode %+v: %v", codec, g, err)
+			}
+			got, err := codec.DecodeGatewayRequest(b)
+			if err != nil {
+				t.Fatalf("%v decode: %v", codec, err)
+			}
+			// JSON decodes empty ciphertexts to nil slices; normalize before
+			// comparing (the sealed bytes themselves are what matters).
+			if !reflect.DeepEqual(normalizeReq(got), normalizeReq(g)) {
+				t.Errorf("%v round trip: got %+v want %+v", codec, got, g)
+			}
+		}
+	}
+}
+
+func normalizeReq(g GatewayRequest) GatewayRequest {
+	for i, ct := range g.Req.Sealed {
+		if len(ct) == 0 {
+			g.Req.Sealed[i] = nil
+		}
+	}
+	return g
+}
+
+func TestGatewayResponseRoundTripBothCodecs(t *testing.T) {
+	for _, codec := range []Codec{CodecJSON, CodecBinary} {
+		for _, g := range sampleResponses() {
+			b, err := codec.EncodeGatewayResponse(g)
+			if err != nil {
+				t.Fatalf("%v encode: %v", codec, err)
+			}
+			got, err := codec.DecodeGatewayResponse(b)
+			if err != nil {
+				t.Fatalf("%v decode: %v", codec, err)
+			}
+			if !reflect.DeepEqual(got, g) {
+				t.Errorf("%v round trip: got %+v want %+v", codec, got, g)
+			}
+		}
+	}
+}
+
+func TestBinarySmallerThanJSONForSealedBatches(t *testing.T) {
+	// The point of the binary codec: no base64 expansion of ciphertexts.
+	ct := bytes.Repeat([]byte{0xAB}, 600)
+	g := GatewayRequest{ID: 7, Owner: "owner-1", Req: Request{
+		Type: MsgUpdate, Sealed: [][]byte{ct, ct, ct},
+	}}
+	jb, err := CodecJSON.EncodeGatewayRequest(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := CodecBinary.EncodeGatewayRequest(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bb) >= len(jb) {
+		t.Errorf("binary frame (%d bytes) not smaller than JSON (%d bytes)", len(bb), len(jb))
+	}
+}
+
+func TestDecodeRejectsZeroLengthFrames(t *testing.T) {
+	if _, err := DecodeRequest(nil); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("DecodeRequest(nil) = %v, want ErrBadFrame", err)
+	}
+	if _, err := DecodeResponse(nil); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("DecodeResponse(nil) = %v, want ErrBadFrame", err)
+	}
+	for _, codec := range []Codec{CodecJSON, CodecBinary} {
+		if _, err := codec.DecodeGatewayRequest(nil); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%v DecodeGatewayRequest(nil) = %v, want ErrBadFrame", codec, err)
+		}
+		if _, err := codec.DecodeGatewayResponse(nil); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%v DecodeGatewayResponse(nil) = %v, want ErrBadFrame", codec, err)
+		}
+	}
+}
+
+func TestBinaryDecodeTypedErrors(t *testing.T) {
+	valid, err := CodecBinary.EncodeGatewayRequest(sampleRequests()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"truncated header":   valid[:5],
+		"truncated sealed":   valid[:len(valid)-2],
+		"trailing bytes":     append(append([]byte{}, valid...), 0xEE),
+		"unknown msg type":   {0, 0, 0, 0, 0, 0, 0, 1, 0, 0xCC},
+		"lying sealed count": {0, 0, 0, 0, 0, 0, 0, 1, 0, binSetup, 0xFF, 0xFF, 0xFF, 0xFF},
+	}
+	for name, b := range cases {
+		if _, err := CodecBinary.DecodeGatewayRequest(b); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: err = %v, want ErrBadFrame", name, err)
+		}
+	}
+	if _, err := CodecBinary.DecodeGatewayResponse([]byte{1, 2, 3}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short response: err = %v, want ErrBadFrame", err)
+	}
+	// Claimed group count far beyond the frame must be rejected pre-alloc.
+	huge := []byte{0, 0, 0, 0, 0, 0, 0, 9, flagOK | flagAnswer,
+		0, 0, 0, 0, 0, 0, 0, 0, // scalar
+		0xFF, 0xFF, 0xFF, 0xFF} // group count
+	if _, err := CodecBinary.DecodeGatewayResponse(huge); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("lying group count: err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestEncodeGuards(t *testing.T) {
+	long := make([]byte, MaxOwnerLen+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if _, err := CodecBinary.EncodeGatewayRequest(GatewayRequest{Owner: string(long), Req: Request{Type: MsgStats}}); err == nil {
+		t.Error("over-long owner id accepted")
+	}
+	if _, err := CodecBinary.EncodeGatewayRequest(GatewayRequest{Req: Request{Type: "bogus"}}); err == nil {
+		t.Error("unknown message type encoded")
+	}
+	if _, err := CodecBinary.EncodeGatewayRequest(GatewayRequest{Req: Request{Type: MsgQuery}}); err == nil {
+		t.Error("query without spec encoded")
+	}
+	if _, err := CodecBinary.EncodeGatewayRequest(GatewayRequest{Req: Request{
+		Type: MsgQuery, Query: &QuerySpec{Kind: 1000, Provider: 1},
+	}}); err == nil {
+		t.Error("out-of-range kind encoded")
+	}
+}
+
+func TestHelloNegotiation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHello(&buf, CodecBinary); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHello(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != CodecBinary {
+		t.Errorf("hello codec = %v", got)
+	}
+	// Unknown codec byte passes through ReadHello (the server downgrades).
+	buf.Reset()
+	_ = WriteHello(&buf, Codec(77))
+	got, err = ReadHello(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Valid() {
+		t.Errorf("codec 77 reported valid")
+	}
+	// Bad magic is a protocol violation.
+	if _, err := ReadHello(bytes.NewReader([]byte("HTTP/1.1 blah"))); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("bad magic: err = %v, want ErrBadFrame", err)
+	}
+	// Ack round trip; invalid ack rejected.
+	buf.Reset()
+	if err := WriteHelloAck(&buf, CodecJSON); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadHelloAck(&buf); err != nil || got != CodecJSON {
+		t.Errorf("ack = %v, %v", got, err)
+	}
+	if _, err := ReadHelloAck(bytes.NewReader([]byte{0x7F})); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("invalid ack: err = %v, want ErrBadFrame", err)
+	}
+}

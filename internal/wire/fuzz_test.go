@@ -47,3 +47,110 @@ func FuzzDecodeRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeGatewayRequest throws arbitrary bytes at both codecs' envelope
+// decoders: they must never panic or over-allocate, and whatever they accept
+// must survive an encode→decode round trip unchanged (the binary decoder is
+// strict, so acceptance means every byte was accounted for).
+func FuzzDecodeGatewayRequest(f *testing.F) {
+	for _, g := range []GatewayRequest{
+		{ID: 1, Owner: "owner-a", Req: Request{Type: MsgSetup, Sealed: [][]byte{{1, 2, 3}}}},
+		{ID: 2, Owner: "o", Req: Request{Type: MsgQuery, Query: &QuerySpec{Kind: 2, Provider: 1}}},
+		{ID: 3, Owner: "s", Req: Request{Type: MsgStats}},
+	} {
+		for _, codec := range []Codec{CodecJSON, CodecBinary} {
+			if b, err := codec.EncodeGatewayRequest(g); err == nil {
+				f.Add(byte(codec), b)
+			}
+		}
+	}
+	f.Add(byte(CodecBinary), []byte{0, 0, 0, 0, 0, 0, 0, 1, 0, binSetup, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(byte(CodecBinary), []byte{})
+	f.Fuzz(func(t *testing.T, codecByte byte, data []byte) {
+		codec := Codec(codecByte)
+		if !codec.Valid() {
+			codec = CodecBinary
+		}
+		g, err := codec.DecodeGatewayRequest(data)
+		if err != nil {
+			return
+		}
+		reenc, err := codec.EncodeGatewayRequest(g)
+		if err != nil {
+			t.Fatalf("accepted envelope cannot be re-encoded: %v", err)
+		}
+		g2, err := codec.DecodeGatewayRequest(reenc)
+		if err != nil {
+			t.Fatalf("re-encoded envelope rejected: %v", err)
+		}
+		if g2.ID != g.ID || g2.Owner != g.Owner || g2.Req.Type != g.Req.Type ||
+			len(g2.Req.Sealed) != len(g.Req.Sealed) {
+			t.Fatalf("round trip changed envelope: %+v vs %+v", g2, g)
+		}
+	})
+}
+
+// FuzzDecodeGatewayResponse mirrors the request fuzzer for the response
+// direction (the client's attack surface).
+func FuzzDecodeGatewayResponse(f *testing.F) {
+	for _, g := range []GatewayResponse{
+		{ID: 1, Resp: Response{OK: true}},
+		{ID: 2, Resp: Response{Error: "boom"}},
+		{ID: 3, Resp: Response{OK: true, Answer: &AnswerSpec{Scalar: 4, Groups: []float64{1, 2}},
+			Cost: &CostSpec{Seconds: 1, RecordsScanned: 2}}},
+		{ID: 4, Resp: Response{OK: true, Stats: &StatsSpec{Records: 5, Scheme: "ObliDB"}}},
+	} {
+		for _, codec := range []Codec{CodecJSON, CodecBinary} {
+			if b, err := codec.EncodeGatewayResponse(g); err == nil {
+				f.Add(byte(codec), b)
+			}
+		}
+	}
+	f.Add(byte(CodecBinary), []byte{0, 0, 0, 0, 0, 0, 0, 9, flagOK | flagAnswer, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, codecByte byte, data []byte) {
+		codec := Codec(codecByte)
+		if !codec.Valid() {
+			codec = CodecBinary
+		}
+		g, err := codec.DecodeGatewayResponse(data)
+		if err != nil {
+			return
+		}
+		reenc, err := codec.EncodeGatewayResponse(g)
+		if err != nil {
+			t.Fatalf("accepted envelope cannot be re-encoded: %v", err)
+		}
+		g2, err := codec.DecodeGatewayResponse(reenc)
+		if err != nil {
+			t.Fatalf("re-encoded envelope rejected: %v", err)
+		}
+		if g2.ID != g.ID || g2.Resp.OK != g.Resp.OK || g2.Resp.Error != g.Resp.Error {
+			t.Fatalf("round trip changed envelope: %+v vs %+v", g2, g)
+		}
+	})
+}
+
+// FuzzReadHello exercises the version-negotiation byte parsing: arbitrary
+// prefixes must never panic, and an accepted hello must round-trip.
+func FuzzReadHello(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteHello(&buf, CodecBinary)
+	f.Add(buf.Bytes())
+	f.Add([]byte("DPSG\x01"))
+	f.Add([]byte("DPSG\xFF"))
+	f.Add([]byte("GET / HTTP/1.1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		codec, err := ReadHello(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteHello(&out, codec); err != nil {
+			t.Fatalf("accepted hello cannot be rewritten: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:5]) {
+			t.Fatal("hello round trip changed bytes")
+		}
+	})
+}

@@ -1,6 +1,14 @@
 // Package wire defines the client/server protocol for the networked
-// three-party deployment: length-prefixed JSON frames over TCP carrying the
-// EDB protocol messages (setup, update, query, stats).
+// three-party deployment: length-prefixed frames over TCP carrying the EDB
+// protocol messages (setup, update, query, stats).
+//
+// Two payload codecs share the framing. The original JSON codec remains the
+// debug/compat encoding; the binary codec (binary.go) is the hot-path
+// encoding used by the multi-tenant gateway, where each frame additionally
+// carries a request ID and an owner namespace (GatewayRequest /
+// GatewayResponse) so one connection can multiplex many owners' pipelined
+// sync batches. Which codec a connection speaks is negotiated by a version
+// byte in the connection hello (WriteHello / ReadHello).
 //
 // Records cross the wire only as sealed ciphertexts — the owner encrypts
 // locally and the server never sees plaintexts or the real/dummy split. The
@@ -27,6 +35,13 @@ const MaxFrame = 16 << 20
 
 // ErrFrameTooLarge is returned for frames exceeding MaxFrame.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds limit")
+
+// ErrBadFrame is the typed error wrapping every payload-decoding failure:
+// zero-length frames where a message is required, malformed JSON, truncated
+// or trailing bytes in the binary codec. Servers match it with errors.Is to
+// tell protocol violations (count them, hang up after a bound) apart from
+// application errors (report them, keep serving).
+var ErrBadFrame = errors.New("wire: malformed frame")
 
 // WriteFrame writes one length-prefixed frame.
 func WriteFrame(w io.Writer, payload []byte) error {
@@ -145,10 +160,43 @@ func (c CostSpec) ToCost() edb.Cost {
 }
 
 // StatsSpec is the wire form of edb.StorageStats (server view: no split).
+// The gateway additionally fills Scheme and Leakage so a remote owner
+// session can report its backend's identity and §6 leakage class without a
+// dedicated info message; the single-owner server leaves them zero.
 type StatsSpec struct {
 	Records int   `json:"records"`
 	Bytes   int64 `json:"bytes"`
 	Updates int   `json:"updates"`
+	// Scheme is the backend's edb.Database Name ("ObliDB", "Crypteps", ...).
+	Scheme string `json:"scheme,omitempty"`
+	// Leakage is the backend's edb.LeakageClass as an int.
+	Leakage int `json:"leakage,omitempty"`
+}
+
+// NewQueryResponse builds the success response for a query evaluation —
+// shared by the single-owner server and the gateway so the answer/cost wire
+// shape cannot diverge between them.
+func NewQueryResponse(ans query.Answer, cost edb.Cost) Response {
+	return Response{
+		OK:     true,
+		Answer: &AnswerSpec{Scalar: ans.Scalar, Groups: ans.Groups},
+		Cost: &CostSpec{
+			Seconds:        cost.Seconds,
+			RecordsScanned: cost.RecordsScanned,
+			PairsCompared:  cost.PairsCompared,
+		},
+	}
+}
+
+// NewStatsResponse builds the success response for a stats request (the
+// server view: record/byte/update totals, never the real/dummy split).
+// scheme and leakage identify the backend; the single-owner server passes
+// zero values.
+func NewStatsResponse(st edb.StorageStats, scheme string, leakage int) Response {
+	return Response{OK: true, Stats: &StatsSpec{
+		Records: st.Records, Bytes: st.Bytes, Updates: st.Updates,
+		Scheme: scheme, Leakage: leakage,
+	}}
 }
 
 // Encode serializes any protocol message to a frame payload.
@@ -160,20 +208,29 @@ func Encode(v any) ([]byte, error) {
 	return b, nil
 }
 
-// DecodeRequest parses a request frame.
+// DecodeRequest parses a request frame. A zero-length frame is rejected: the
+// framing layer permits empty payloads, but every slot where a request is
+// expected requires an actual message.
 func DecodeRequest(b []byte) (Request, error) {
+	if len(b) == 0 {
+		return Request{}, fmt.Errorf("%w: empty request frame", ErrBadFrame)
+	}
 	var req Request
 	if err := json.Unmarshal(b, &req); err != nil {
-		return Request{}, fmt.Errorf("wire: decode request: %w", err)
+		return Request{}, fmt.Errorf("%w: decode request: %v", ErrBadFrame, err)
 	}
 	return req, nil
 }
 
-// DecodeResponse parses a response frame.
+// DecodeResponse parses a response frame (zero-length rejected, see
+// DecodeRequest).
 func DecodeResponse(b []byte) (Response, error) {
+	if len(b) == 0 {
+		return Response{}, fmt.Errorf("%w: empty response frame", ErrBadFrame)
+	}
 	var resp Response
 	if err := json.Unmarshal(b, &resp); err != nil {
-		return Response{}, fmt.Errorf("wire: decode response: %w", err)
+		return Response{}, fmt.Errorf("%w: decode response: %v", ErrBadFrame, err)
 	}
 	return resp, nil
 }
