@@ -62,6 +62,17 @@ type Baseline struct {
 	GatewayP50Ms        float64 `json:"gateway_p50_ms"`
 	GatewayP99Ms        float64 `json:"gateway_p99_ms"`
 	GatewayBytesPerSync float64 `json:"gateway_bytes_per_sync"`
+	// Durable serving layer (internal/store under the same gateway): mean
+	// WAL append→commit latency, the group-commit factor (entries per
+	// flush/fsync round), durable sync throughput at the same scale as the
+	// in-memory gateway run, and the close→reopen crash-recovery
+	// wall-clock. cmd/dpsync-loadgen -durable -baseline merges the same
+	// keys.
+	WALAppendUs        float64 `json:"wal_append_us"`
+	WALGroupFactor     float64 `json:"wal_group_factor"`
+	DurableSyncsPerSec float64 `json:"durable_syncs_per_sec"`
+	RecoveryMs         float64 `json:"recovery_ms"`
+	RecoveryOwners     int     `json:"recovery_owners"`
 }
 
 func obliWithRecords(n int) (*oblidb.DB, error) {
@@ -294,6 +305,21 @@ func main() {
 	b.GatewayP50Ms = rep.P50Ms
 	b.GatewayP99Ms = rep.P99Ms
 	b.GatewayBytesPerSync = rep.BytesPerSync
+
+	// Durable serving layer: the same scale on the WAL+snapshot store, plus
+	// the close→reopen recovery wall-clock (transcripts verified).
+	drep, err := loadgen.Run(loadgen.Config{
+		Owners: gwOwners, Ticks: gwTicks, Seed: 1,
+		Durable: true, SyncEpsilon: 0.5, Verify: true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	b.WALAppendUs = drep.WALAppendUs
+	b.WALGroupFactor = drep.WALGroupFactor
+	b.DurableSyncsPerSec = drep.SyncsPerSec
+	b.RecoveryMs = drep.RecoveryMs
+	b.RecoveryOwners = drep.RecoveredOwners
 
 	enc, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {

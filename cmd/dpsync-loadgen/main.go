@@ -12,8 +12,24 @@
 //
 //	go run ./cmd/dpsync-loadgen -addr 127.0.0.1:7701 -key-file shared.key -owners 200 -ticks 100
 //
-// With -baseline the gateway_* keys are merged into an existing
-// BENCH_baseline.json, preserving its other entries:
+// With -durable the in-process gateway runs on the internal/store
+// durability subsystem (per-shard WAL + snapshots in a temp dir, or -store
+// DIR): the run measures the durable hot path, then closes the gateway and
+// reopens it from disk to measure recovery — verifying, with -verify or
+// -quick, that every owner's recovered transcript is bit-identical:
+//
+//	go run ./cmd/dpsync-loadgen -owners 16 -ticks 50 -durable -quick   # CI durable smoke
+//
+// With -crash N the crash-injection harness runs N seeds: each kills the
+// durable gateway at a seed-derived tick (no flush, no drain), restarts it
+// from disk, finishes the trace, and fails unless transcripts and ε
+// ledgers are continuous with an uninterrupted reference run:
+//
+//	go run ./cmd/dpsync-loadgen -owners 8 -ticks 30 -crash 3
+//
+// With -baseline the gateway_* (or, with -durable, the wal_*/durable_*/
+// recovery_*) keys are merged into an existing BENCH_baseline.json,
+// preserving its other entries:
 //
 //	go run ./cmd/dpsync-loadgen -owners 1000 -ticks 100 -baseline BENCH_baseline.json
 package main
@@ -45,19 +61,45 @@ func main() {
 		verify   = flag.Bool("verify", false, "cross-check per-owner transcripts after the run")
 		quick    = flag.Bool("quick", false, "CI smoke mode: verify transcripts, print one line")
 		baseline = flag.String("baseline", "", "merge gateway_* metrics into this BENCH_baseline.json")
+		durable  = flag.Bool("durable", false, "run the in-process gateway on the WAL+snapshot store and measure recovery")
+		storeDir = flag.String("store", "", "durability directory for -durable (empty: temp dir)")
+		fsync    = flag.Bool("fsync", false, "fsync durable group commits")
+		syncEps  = flag.Float64("sync-epsilon", 0.5, "epsilon charged per sync in durable/crash modes")
+		crash    = flag.Int("crash", 0, "run the crash-injection harness over N seeds instead of a load run")
 	)
 	flag.Parse()
 
+	if *crash > 0 {
+		// The crash harness owns its gateways (reference + durable, fresh
+		// temp dirs per seed) and produces pass/fail evidence, not baseline
+		// metrics — flags that would silently mean something else are
+		// refused rather than ignored.
+		switch {
+		case *addr != "":
+			fatal(fmt.Errorf("-crash drives in-process gateways; drop -addr"))
+		case *storeDir != "":
+			fatal(fmt.Errorf("-crash uses a fresh temp store per seed; drop -store"))
+		case *baseline != "":
+			fatal(fmt.Errorf("-crash produces verification evidence, not baseline metrics; drop -baseline"))
+		}
+		runCrash(*owners, *ticks, *crash, *seed, *shards, *syncEps, *fsync, *quick)
+		return
+	}
+
 	cfg := loadgen.Config{
-		Owners:  *owners,
-		Ticks:   *ticks,
-		Addr:    *addr,
-		Conns:   *conns,
-		Window:  *window,
-		Workers: *workers,
-		Shards:  *shards,
-		Seed:    *seed,
-		Verify:  *verify || *quick,
+		Owners:      *owners,
+		Ticks:       *ticks,
+		Addr:        *addr,
+		Conns:       *conns,
+		Window:      *window,
+		Workers:     *workers,
+		Shards:      *shards,
+		Seed:        *seed,
+		Verify:      *verify || *quick,
+		Durable:     *durable,
+		StoreDir:    *storeDir,
+		Fsync:       *fsync,
+		SyncEpsilon: *syncEps,
 	}
 	switch strings.ToLower(*codec) {
 	case "binary":
@@ -87,6 +129,10 @@ func main() {
 	if *quick {
 		fmt.Printf("ok: %d owners × %d ticks, %d syncs (%d verified), %.0f syncs/sec, p50 %.2fms p99 %.2fms, %.0f bytes/sync\n",
 			rep.Owners, rep.Ticks, rep.Syncs, rep.Verified, rep.SyncsPerSec, rep.P50Ms, rep.P99Ms, rep.BytesPerSync)
+		if rep.Durable {
+			fmt.Printf("durable: wal append %.1fµs (group ×%.1f, %d snapshots), recovery %.1fms for %d owners (transcripts verified)\n",
+				rep.WALAppendUs, rep.WALGroupFactor, rep.WALSnapshots, rep.RecoveryMs, rep.RecoveredOwners)
+		}
 	} else {
 		enc, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -103,8 +149,36 @@ func main() {
 	}
 }
 
+// runCrash drives the crash-injection harness and reports per-seed results.
+func runCrash(owners, ticks, seeds int, seed uint64, shards int, syncEps float64, fsync, quick bool) {
+	cfg := loadgen.CrashConfig{
+		Owners: owners, Ticks: ticks, SyncEpsilon: syncEps, Fsync: fsync, Shards: shards,
+	}
+	for i := 0; i < seeds; i++ {
+		cfg.Seeds = append(cfg.Seeds, seed+uint64(i)*7919)
+	}
+	rep, err := loadgen.RunCrash(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if quick {
+		for _, run := range rep.Runs {
+			fmt.Printf("crash ok: seed %d killed at tick %d/%d, recovered %d owners in %.1fms, transcripts+ledgers continuous\n",
+				run.Seed, run.CrashTick, rep.Ticks, run.RecoveredOwners, run.RecoveryMs)
+		}
+		return
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(enc))
+}
+
 // mergeBaseline folds the gateway measurements into an existing baseline
-// document without disturbing its other keys.
+// document without disturbing its other keys. Durable runs refresh the
+// wal_*/durable_*/recovery_* trio instead of the in-memory gateway keys, so
+// the two serving modes keep independent trajectories.
 func mergeBaseline(path string, rep loadgen.Report) error {
 	doc := map[string]any{}
 	if raw, err := os.ReadFile(path); err == nil {
@@ -114,14 +188,22 @@ func mergeBaseline(path string, rep loadgen.Report) error {
 	} else if !os.IsNotExist(err) {
 		return err
 	}
-	doc["gateway_owners"] = rep.Owners
-	doc["gateway_ticks"] = rep.Ticks
-	doc["gateway_codec"] = rep.Codec
-	doc["gateway_syncs"] = rep.Syncs
-	doc["gateway_syncs_per_sec"] = rep.SyncsPerSec
-	doc["gateway_p50_ms"] = rep.P50Ms
-	doc["gateway_p99_ms"] = rep.P99Ms
-	doc["gateway_bytes_per_sync"] = rep.BytesPerSync
+	if rep.Durable {
+		doc["wal_append_us"] = rep.WALAppendUs
+		doc["wal_group_factor"] = rep.WALGroupFactor
+		doc["durable_syncs_per_sec"] = rep.SyncsPerSec
+		doc["recovery_ms"] = rep.RecoveryMs
+		doc["recovery_owners"] = rep.RecoveredOwners
+	} else {
+		doc["gateway_owners"] = rep.Owners
+		doc["gateway_ticks"] = rep.Ticks
+		doc["gateway_codec"] = rep.Codec
+		doc["gateway_syncs"] = rep.Syncs
+		doc["gateway_syncs_per_sec"] = rep.SyncsPerSec
+		doc["gateway_p50_ms"] = rep.P50Ms
+		doc["gateway_p99_ms"] = rep.P99Ms
+		doc["gateway_bytes_per_sync"] = rep.BytesPerSync
+	}
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -16,6 +16,14 @@
 // single-owner one: many owners, each in its own namespace, over pipelined
 // multiplexed connections (see internal/gateway; drive it with
 // cmd/dpsync-loadgen -addr).
+//
+// With -store DIR (gateway mode only) tenant state is durable: per-shard
+// write-ahead logs and snapshots under DIR carry every namespace's sealed
+// store, update-pattern transcript, logical clock, and ε ledger across
+// restarts — the server opens with crash recovery and SIGINT/SIGTERM drain
+// in-flight shard work and flush the WAL before exiting:
+//
+//	dpsync-server -multi -store /var/lib/dpsync -fsync -listen 127.0.0.1:7701 -key-file shared.key
 package main
 
 import (
@@ -35,11 +43,15 @@ import (
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:7700", "listen address")
-		keyFile = flag.String("key-file", "dpsync.key", "hex-encoded shared data key")
-		genKey  = flag.Bool("gen-key", false, "generate a fresh key and write it to -key-file")
-		multi   = flag.Bool("multi", false, "serve the multi-tenant gateway protocol")
-		shards  = flag.Int("shards", 0, "gateway shard workers (0: GOMAXPROCS; -multi only)")
+		listen   = flag.String("listen", "127.0.0.1:7700", "listen address")
+		keyFile  = flag.String("key-file", "dpsync.key", "hex-encoded shared data key")
+		genKey   = flag.Bool("gen-key", false, "generate a fresh key and write it to -key-file")
+		multi    = flag.Bool("multi", false, "serve the multi-tenant gateway protocol")
+		shards   = flag.Int("shards", 0, "gateway shard workers (0: GOMAXPROCS; -multi only)")
+		storeDir = flag.String("store", "", "durability directory: WAL + snapshots, open with crash recovery (-multi only)")
+		fsync    = flag.Bool("fsync", false, "fsync every durable group commit (with -store)")
+		snapN    = flag.Int("snapshot-every", 0, "per-shard WAL entries between snapshots (0: default; with -store)")
+		syncEps  = flag.Float64("sync-epsilon", 0, "epsilon charged to a tenant's ledger per sync (with -store)")
 	)
 	flag.Parse()
 
@@ -51,20 +63,43 @@ func main() {
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
 
+	if *storeDir != "" && !*multi {
+		log.Fatalf("dpsync-server: -store requires -multi (the single-owner server keeps no durable tenant state)")
+	}
+
 	if *multi {
-		gw, err := gateway.New(*listen, gateway.Config{Key: key, Shards: *shards, Logger: logger})
+		gw, err := gateway.New(*listen, gateway.Config{
+			Key: key, Shards: *shards, Logger: logger,
+			StoreDir: *storeDir, Fsync: *fsync, SnapshotEvery: *snapN, SyncEpsilon: *syncEps,
+		})
 		if err != nil {
 			log.Fatalf("dpsync-server: %v", err)
 		}
+		if *storeDir != "" {
+			info := gw.Recovery()
+			logger.Printf("durable store %s: recovered %d owners (%d snapshots, %d WAL entries)",
+				*storeDir, info.Owners, info.Snapshots, info.Entries)
+		}
 		logger.Printf("gateway listening on %s", gw.Addr())
+		closed := make(chan struct{})
 		go func() {
+			defer close(closed)
 			<-done
-			logger.Printf("shutting down; %d owner namespaces served", gw.Owners())
-			_ = gw.Close()
+			logger.Printf("draining: %d owner namespaces served", gw.Owners())
+			// Close waits for in-flight connections and shard work, then
+			// flushes and closes the WAL — the graceful-drain contract the
+			// in-process gateway regression test pins.
+			if err := gw.Close(); err != nil {
+				logger.Printf("shutdown: %v", err)
+			}
+			if m, ok := gw.StoreMetrics(); ok {
+				logger.Printf("WAL flushed: %d entries in %d commits, %d snapshot rotations", m.Appends, m.Commits, m.Snapshots)
+			}
 		}()
 		if err := gw.Serve(); err != nil {
 			log.Fatalf("dpsync-server: serve: %v", err)
 		}
+		<-closed
 		return
 	}
 

@@ -159,4 +159,60 @@
 // records sync throughput, p50/p99 sync latency, and bytes per sync into
 // the committed baseline (1,000 owners × 100 ticks complete in well under a
 // second on one core).
+//
+// # Durability architecture
+//
+// DP-Sync's guarantee is only as strong as its accounting: a gateway crash
+// that loses a tenant's ε ledger forgets spend, and a naive replay that
+// re-applies syncs double-spends it and re-emits transcript events —
+// distorting the very update pattern the mechanism hides. internal/store
+// makes tenant state durable and crash-consistent; gateway.Config.StoreDir
+// (cmd/dpsync-server -multi -store) turns it on.
+//
+// Spend before sync. Every sync writes one WAL entry — the sealed
+// ciphertexts, the owner's upload tick, and the ledger charge, together —
+// and the entry must group-commit before the sync is acknowledged to the
+// client or becomes observable in the tenant's transcript. The charge is
+// validated before the batch touches the backend (a refused charge refuses
+// the sync with nothing ingested) and spent at commit in the same step
+// that records the transcript event, so no observable event can exist
+// whose charge might be lost and the in-memory ledger always equals the
+// committed history's spend. Each entry carries its charge explicitly, so
+// recovery re-spends exactly what the original run spent, even across
+// configuration changes. A sync whose durability is indeterminate (its
+// group commit failed) suspends the whole tenant — syncs, queries, and
+// stats — until a restart re-derives the provable committed prefix from
+// the log.
+//
+// Group commit. Each shard worker owns one WAL segment and never blocks on
+// it: appends are enqueued and the shard continues serving while the log
+// writer commits the accumulated batch with one buffered write + flush
+// (+ optional fsync), then hops the completion callbacks back onto the
+// shard worker — acknowledgments and transcript events stay
+// single-goroutine, and the commit cost amortizes across every entry that
+// arrived during the previous flush (the wal_group_factor baseline key).
+//
+// Snapshots and truncation. Past a per-shard entry threshold the worker
+// quiesces (drains its in-flight commits), writes all its tenants —
+// clock, transcript, ledger, and full ingest history — as an atomic
+// (tmp+rename, with a directory fsync in fsync mode) snapshot, and
+// truncates the segment. A snapshot rewrites the shard's whole history, so
+// the threshold grows geometrically with that history — rotation I/O stays
+// amortized for long-lived shards instead of going quadratic. Recovery merges
+// whatever the directory holds: snapshots from any era or shard count
+// (highest clock wins per owner), then WAL entries in tick order, applying
+// exactly those past the recovered clock — idempotent replay, torn tails
+// treated as the normal crash shape, CRC damage stopping a segment at its
+// longest valid prefix. Backends are rebuilt by re-ingesting the logged
+// ciphertext history (verbatim for enclave-style stores, through the
+// ingress sealer for record-level ones), and the directory is compacted
+// under the current shard mapping before serving resumes.
+//
+// The differential acceptance test kills a live durable gateway mid-run (no
+// flush, no drain), restarts it from disk, finishes the trace, and pins
+// every tenant's transcript bit-identical to an uninterrupted single-owner
+// run — with the recovered ledger equal to the uninterrupted one.
+// cmd/dpsync-loadgen -durable measures the layer (wal_append_us,
+// durable_syncs_per_sec, recovery_ms in the baseline) and -crash N runs the
+// same kill/restart/verify cycle across N seeds.
 package dpsync

@@ -62,14 +62,37 @@ func NewBudget() *Budget {
 // Charges with the same name must keep the same rule and epsilon; mixing is a
 // programming error and returns an error so strategies fail loudly.
 func (b *Budget) Charge(name string, eps float64, rule CompositionRule) error {
-	if !(eps >= 0) || math.IsInf(eps, 1) {
-		return fmt.Errorf("dp: budget charge %q: invalid epsilon %v", name, eps)
-	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if err := b.checkLocked(name, eps, rule); err != nil {
+		return err
+	}
 	c, ok := b.charges[name]
 	if !ok {
 		b.charges[name] = &charge{eps: eps, rule: rule, uses: 1}
+		return nil
+	}
+	c.uses++
+	return nil
+}
+
+// CanCharge reports whether a Charge with these parameters would be
+// accepted, without spending anything. Callers that must refuse an
+// operation *before* taking irreversible steps (the gateway refuses a sync
+// before ingesting it into the backend) validate here and spend later, when
+// the operation commits.
+func (b *Budget) CanCharge(name string, eps float64, rule CompositionRule) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.checkLocked(name, eps, rule)
+}
+
+func (b *Budget) checkLocked(name string, eps float64, rule CompositionRule) error {
+	if !(eps >= 0) || math.IsInf(eps, 1) {
+		return fmt.Errorf("dp: budget charge %q: invalid epsilon %v", name, eps)
+	}
+	c, ok := b.charges[name]
+	if !ok {
 		return nil
 	}
 	if c.rule != rule {
@@ -78,7 +101,6 @@ func (b *Budget) Charge(name string, eps float64, rule CompositionRule) error {
 	if c.eps != eps {
 		return fmt.Errorf("dp: budget charge %q: epsilon changed from %v to %v", name, c.eps, eps)
 	}
-	c.uses++
 	return nil
 }
 

@@ -48,14 +48,17 @@ import (
 	"net"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dpsync/internal/dp"
 	"dpsync/internal/edb"
 	"dpsync/internal/leakage"
 	"dpsync/internal/oblidb"
 	"dpsync/internal/seal"
+	"dpsync/internal/store"
 	"dpsync/internal/wire"
 )
 
@@ -76,6 +79,14 @@ const (
 	// respQueueLen is the per-connection response buffer between shard
 	// workers and the connection writer.
 	respQueueLen = 64
+	// completionQueueLen is the per-shard buffer for WAL commit callbacks
+	// hopping from the log writer back onto the shard worker. The worker
+	// always drains it (it never blocks on sends), so the WAL writer cannot
+	// deadlock against it; the buffer just decouples commit bursts.
+	completionQueueLen = 256
+	// DefaultSnapshotEvery is the per-shard WAL entry count between
+	// snapshot rotations in durable mode.
+	DefaultSnapshotEvery = 1024
 	// maxErrorLogs bounds per-connection error logging.
 	maxErrorLogs = 3
 )
@@ -102,6 +113,24 @@ type Config struct {
 	MaxFrameErrors int
 	// MaxOwners bounds distinct namespaces (0 = DefaultMaxOwners).
 	MaxOwners int
+	// StoreDir enables the durability subsystem (internal/store): every
+	// tenant's sealed store, transcript, logical clock, and ε ledger are
+	// carried by per-shard write-ahead logs and snapshots under this
+	// directory, and New recovers whatever a previous process left there.
+	// Empty keeps today's in-memory behavior.
+	StoreDir string
+	// Fsync makes every durable group commit fsync (machine-crash safety);
+	// off, commits are flushed to the OS (process-crash safety).
+	Fsync bool
+	// SnapshotEvery is the per-shard WAL entry count between snapshot
+	// rotations (0 = DefaultSnapshotEvery).
+	SnapshotEvery int
+	// SyncEpsilon is the ε charged to a tenant's ledger per sync (setup or
+	// update), recorded inside the sync's WAL entry so recovery re-spends
+	// exactly what was spent. Changing it against an existing store makes
+	// recovered tenants refuse further syncs (the ledger rejects a charge
+	// whose epsilon drifted) — by design, accounting drift is loud.
+	SyncEpsilon float64
 }
 
 // Gateway is the multi-tenant server. Create with New, drive with Serve,
@@ -111,6 +140,7 @@ type Gateway struct {
 	lis    net.Listener
 	log    *log.Logger
 	sealer *seal.Sealer // ingress for record-level backends; nil without Key
+	store  *store.Store // durability subsystem; nil without StoreDir
 
 	shards     []*shard
 	quit       chan struct{}
@@ -119,7 +149,9 @@ type Gateway struct {
 	connWG  sync.WaitGroup
 	shardWG sync.WaitGroup
 	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
 	closed  bool
+	abandon bool
 }
 
 type logDiscard struct{}
@@ -143,7 +175,10 @@ func New(addr string, cfg Config) (*Gateway, error) {
 	if cfg.MaxOwners <= 0 {
 		cfg.MaxOwners = DefaultMaxOwners
 	}
-	g := &Gateway{cfg: cfg, quit: make(chan struct{})}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
+	g := &Gateway{cfg: cfg, quit: make(chan struct{}), conns: map[net.Conn]struct{}{}}
 	if cfg.Logger != nil {
 		g.log = cfg.Logger
 	} else {
@@ -164,19 +199,78 @@ func New(addr string, cfg Config) (*Gateway, error) {
 			return oblidb.NewWithKey(cfg.Key)
 		}
 	}
+	g.shards = make([]*shard, cfg.Shards)
+	for i := range g.shards {
+		g.shards[i] = &shard{
+			id:            i,
+			tasks:         make(chan task, shardQueueLen),
+			completions:   make(chan func(), completionQueueLen),
+			owners:        map[string]*tenant{},
+			snapThreshold: cfg.SnapshotEvery,
+		}
+	}
+	if cfg.StoreDir != "" {
+		if err := g.openStore(); err != nil {
+			return nil, err
+		}
+	}
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
+		if g.store != nil {
+			g.store.Close()
+		}
 		return nil, fmt.Errorf("gateway: listen: %w", err)
 	}
 	g.lis = lis
-	g.shards = make([]*shard, cfg.Shards)
-	for i := range g.shards {
-		sh := &shard{id: i, tasks: make(chan task, shardQueueLen), owners: map[string]*tenant{}}
-		g.shards[i] = sh
+	for _, sh := range g.shards {
 		g.shardWG.Add(1)
 		go g.runShard(sh)
 	}
 	return g, nil
+}
+
+// openStore opens the durability directory and rebuilds every recovered
+// tenant — backend (by re-ingesting the batch history), transcript, clock,
+// and ledger — onto its shard, before any worker or connection exists.
+func (g *Gateway) openStore() error {
+	s, states, err := store.Open(store.Options{
+		Dir:    g.cfg.StoreDir,
+		Shards: g.cfg.Shards,
+		Fsync:  g.cfg.Fsync,
+	})
+	if err != nil {
+		return fmt.Errorf("gateway: %w", err)
+	}
+	g.store = s
+	owners := make([]string, 0, len(states))
+	for owner := range states {
+		owners = append(owners, owner)
+	}
+	sort.Strings(owners) // deterministic rebuild order
+	for _, owner := range owners {
+		tn, err := g.replayOwner(states[owner])
+		if err != nil {
+			s.Close()
+			return err
+		}
+		g.shards[store.ShardFor(owner, g.cfg.Shards)].owners[owner] = tn
+		g.ownerCount.Add(1)
+	}
+	// Re-derive each shard's rotation threshold from its recovered history
+	// so a mature store does not immediately re-snapshot at the configured
+	// minimum interval.
+	for _, sh := range g.shards {
+		total := 0
+		for _, tn := range sh.owners {
+			total += len(tn.history)
+		}
+		sh.snapThreshold = max(g.cfg.SnapshotEvery, total/4)
+	}
+	if info := s.Info(); info.Owners > 0 || info.CorruptSegments > 0 {
+		g.log.Printf("recovered %d owners (%d snapshots, %d WAL entries, %d duplicates skipped, %d torn tails, %d corrupt segments)",
+			info.Owners, info.Snapshots, info.Entries, info.SkippedEntries, info.TornTails, info.CorruptSegments)
+	}
+	return nil
 }
 
 // Addr returns the bound listen address.
@@ -218,20 +312,58 @@ func (g *Gateway) Serve() error {
 	}
 }
 
-// Close stops the listener, waits for in-flight connections, then stops the
-// shard workers.
+// Close stops the listener, waits for in-flight connections (each of which
+// waits for its pending replies — so every acknowledged durable sync has
+// group-committed by then), stops the shard workers, and flushes and closes
+// the WAL. This is the graceful-drain path cmd/dpsync-server runs on
+// SIGINT/SIGTERM.
 func (g *Gateway) Close() error {
+	return g.shutdown(false)
+}
+
+// Kill stops the gateway the way a crash would: connections are severed,
+// pending (un-acknowledged) durable syncs are abandoned, nothing further is
+// flushed. State already acknowledged is durable; everything in memory is
+// lost until the next New recovers it. The crash-injection harness uses it;
+// production code wants Close.
+func (g *Gateway) Kill() {
+	_ = g.shutdown(true)
+}
+
+func (g *Gateway) shutdown(abandon bool) error {
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
 		return nil
 	}
 	g.closed = true
+	g.abandon = abandon
+	var open []net.Conn
+	if abandon {
+		for c := range g.conns {
+			open = append(open, c)
+		}
+	}
 	g.mu.Unlock()
 	err := g.lis.Close()
+	if abandon {
+		for _, c := range open {
+			_ = c.Close()
+		}
+		if g.store != nil {
+			// Fail the in-flight appends now, so handlers waiting on their
+			// deferred replies get error completions instead of hanging.
+			g.store.Kill()
+		}
+	}
 	g.connWG.Wait()
 	close(g.quit)
 	g.shardWG.Wait()
+	if g.store != nil && !abandon {
+		if cerr := g.store.Close(); err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
@@ -240,15 +372,11 @@ func (g *Gateway) Owners() int { return int(g.ownerCount.Load()) }
 
 // shardFor routes an owner ID to its shard. The hash is stable for the
 // gateway's lifetime, so one owner's requests always execute on one worker
-// — that is what serializes a tenant without a tenant lock. FNV-1a is
-// inlined because this runs once per frame and hash.Hash32 allocates.
+// — that is what serializes a tenant without a tenant lock. The mapping is
+// store.ShardFor so the durability layer's compaction homes each owner's
+// recovered state with the worker that will serve it.
 func (g *Gateway) shardFor(owner string) *shard {
-	h := uint32(2166136261)
-	for i := 0; i < len(owner); i++ {
-		h ^= uint32(owner[i])
-		h *= 16777619
-	}
-	return g.shards[h%uint32(len(g.shards))]
+	return g.shards[store.ShardFor(owner, len(g.shards))]
 }
 
 // ObservedPattern returns a copy of one owner's update-pattern transcript —
@@ -287,11 +415,78 @@ func (g *Gateway) ObservedPattern(owner string) leakage.Pattern {
 	}
 }
 
+// ObservedLedger returns a copy of one owner's privacy-budget ledger — the
+// crash-consistent ε accounting the durability subsystem protects. Unknown
+// owners return an empty ledger. The read executes on the owner's shard
+// worker (same ordering and Close-race rules as ObservedPattern). Charges
+// are spent at commit, in the same completion that records the transcript
+// event, so the ledger always matches the transcript it is read next to.
+func (g *Gateway) ObservedLedger(owner string) *dp.Budget {
+	done := make(chan *dp.Budget, 1)
+	t := task{owner: owner, peek: true, run: func(tn *tenant, _ error) {
+		if tn == nil {
+			done <- dp.NewBudget()
+			return
+		}
+		done <- tn.budget.Clone()
+	}}
+	sh := g.shardFor(owner)
+	select {
+	case sh.tasks <- t:
+	case <-g.quit:
+		return dp.NewBudget()
+	}
+	select {
+	case b := <-done:
+		return b
+	case <-g.quit:
+		select {
+		case b := <-done:
+			return b
+		default:
+			return dp.NewBudget()
+		}
+	}
+}
+
+// StoreMetrics reports the durability subsystem's counters; ok is false in
+// in-memory mode.
+func (g *Gateway) StoreMetrics() (m store.Metrics, ok bool) {
+	if g.store == nil {
+		return store.Metrics{}, false
+	}
+	return g.store.Metrics(), true
+}
+
+// Recovery reports what New's recovery pass reconstructed (zero value in
+// in-memory mode).
+func (g *Gateway) Recovery() store.RecoveryInfo {
+	if g.store == nil {
+		return store.RecoveryInfo{}
+	}
+	return g.store.Info()
+}
+
 // handle speaks the gateway protocol on one connection: hello negotiation,
 // then pipelined multiplexed frames until the peer hangs up, stalls past
 // the read deadline, or exceeds the malformed-frame bound.
 func (g *Gateway) handle(conn net.Conn) {
 	defer conn.Close()
+	// Register for forced teardown (Kill severs live connections the way a
+	// crash would); a connection accepted while an abandon is in progress
+	// is dropped immediately.
+	g.mu.Lock()
+	if g.closed && g.abandon {
+		g.mu.Unlock()
+		return
+	}
+	g.conns[conn] = struct{}{}
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		delete(g.conns, conn)
+		g.mu.Unlock()
+	}()
 	logged := 0
 	logf := func(format string, args ...any) {
 		if logged < maxErrorLogs {
@@ -385,20 +580,21 @@ func (g *Gateway) handle(conn net.Conn) {
 		}
 		pending.Add(1)
 		id, req, owner := greq.ID, greq.Req, greq.Owner
+		sh := g.shardFor(owner)
 		// Only the setup protocol creates a namespace (peek otherwise):
 		// queries, updates, and stats probes against unknown owners must
 		// not let a read-only request stream allocate backend state.
 		t := task{owner: owner, peek: req.Type != wire.MsgSetup, run: func(tn *tenant, terr error) {
-			var resp wire.Response
 			if terr != nil {
-				resp = wire.Response{Error: terr.Error()}
-			} else {
-				resp = g.dispatch(tn, owner, req)
+				reply(wire.GatewayResponse{ID: id, Resp: wire.Response{Error: terr.Error()}})
+				return
 			}
-			reply(wire.GatewayResponse{ID: id, Resp: resp})
+			g.dispatch(sh, tn, owner, req, func(resp wire.Response) {
+				reply(wire.GatewayResponse{ID: id, Resp: resp})
+			})
 		}}
 		select {
-		case g.shardFor(greq.Owner).tasks <- t:
+		case sh.tasks <- t:
 		case <-g.quit:
 			reply(wire.GatewayResponse{ID: id, Resp: wire.Response{Error: "gateway: shutting down"}})
 		}

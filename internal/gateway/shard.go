@@ -3,10 +3,12 @@ package gateway
 import (
 	"fmt"
 
+	"dpsync/internal/dp"
 	"dpsync/internal/edb"
 	"dpsync/internal/leakage"
 	"dpsync/internal/record"
 	"dpsync/internal/seal"
+	"dpsync/internal/store"
 	"dpsync/internal/wire"
 )
 
@@ -25,27 +27,96 @@ type task struct {
 	run  func(tn *tenant, err error)
 }
 
-// shard is one worker's state: its task queue and the tenants hashed onto
-// it. owners is touched only by the shard's goroutine — no lock.
+// shard is one worker's state: its task queue, its commit-completion queue,
+// and the tenants hashed onto it. owners and the WAL bookkeeping fields are
+// touched only by the shard's goroutine — no lock.
 type shard struct {
-	id     int
-	tasks  chan task
-	owners map[string]*tenant
+	id          int
+	tasks       chan task
+	completions chan func()
+	owners      map[string]*tenant
+
+	// pendingWAL counts this shard's appended-but-uncommitted entries;
+	// sinceSnap counts appends since the last snapshot; snapWanted asks the
+	// worker to quiesce and rotate. snapThreshold is the rotation trigger:
+	// it starts at Config.SnapshotEvery and grows with the shard's total
+	// history (a snapshot rewrites the whole history, so a fixed interval
+	// would cost O(n²) I/O over a long-lived shard; a geometric interval
+	// keeps the rewrite amortized). Durable mode only.
+	pendingWAL    int
+	sinceSnap     int
+	snapWanted    bool
+	snapThreshold int
 }
 
 // tenant is one owner's namespace: its private encrypted store, its private
-// update-pattern transcript, and its private logical clock. Nothing in here
-// is shared across owners; the per-owner-transcript isolation invariant is
-// structural.
+// update-pattern transcript, its private logical clock, and its private
+// privacy-budget ledger. Nothing in here is shared across owners; the
+// per-owner-transcript isolation invariant is structural.
 type tenant struct {
 	db     edb.Database
 	sealed sealedStore // non-nil when the backend ingests ciphertexts directly
 	// observed is this owner's adversary-view transcript; ticks is the
-	// owner's server-side logical clock, advanced once per upload exactly
-	// like the single-owner server's (the differential test pins the two
-	// transcripts bit-identical).
+	// owner's *committed* server-side logical clock. In durable mode both
+	// advance only when the sync's WAL entry has group-committed — the
+	// sync-observable half of the spend-before-sync invariant. Without a
+	// store they advance at apply time, exactly like the single-owner
+	// server (the differential test pins the two transcripts bit-identical
+	// either way).
 	observed leakage.Pattern
 	ticks    int
+	// seq is the apply-time upload counter: it assigns each ingest its
+	// logical tick before the WAL entry is built, so pipelined syncs of one
+	// owner get consecutive ticks while earlier commits are still in
+	// flight. seq == ticks whenever the shard is quiesced.
+	seq uint64
+	// budget is the owner's ε ledger. A sync's charge is validated
+	// (CanCharge) before the batch touches the backend and spent at commit
+	// together with the transcript event — the charge rides inside the WAL
+	// entry, so it is durable before the sync is observable, and the
+	// in-memory ledger always equals the committed history's spend.
+	budget *dp.Budget
+	// history is the full ingest history in tick order, appended at commit
+	// time; it is what snapshots persist so log truncation loses nothing.
+	// Durable mode only (nil otherwise).
+	history []store.Batch
+	// failed latches after a durable sync's group commit reports an error:
+	// the outcome of that sync is indeterminate (its frame may or may not
+	// have reached disk), so accepting further syncs would let the live
+	// clock run past a possible gap and diverge from what recovery can
+	// prove. A failed tenant refuses syncs until a restart re-derives its
+	// state from the log.
+	failed bool
+	// deferred holds reads (queries, stats) that arrived while this
+	// owner's earlier syncs were applied but not yet committed. The
+	// backend already contains those batches, so answering immediately
+	// would (a) expose state a crash could make unrecoverable and (b) let
+	// the read's response overtake the earlier sync's ack, breaking
+	// per-owner FIFO. Each entry waits for the commit of the syncs that
+	// preceded it (waitSeq) and runs on the shard worker from the commit
+	// completion.
+	deferred []deferredRead
+}
+
+// deferredRead is one parked read: run(false) executes it, run(true)
+// refuses it because the tenant failed while it waited.
+type deferredRead struct {
+	waitSeq uint64
+	run     func(failed bool)
+}
+
+// flushDeferred runs every parked read whose awaited syncs have committed
+// (all of them if the tenant failed — they must still be answered, with
+// the failure). Runs on the shard worker.
+func (tn *tenant) flushDeferred() {
+	for len(tn.deferred) > 0 {
+		d := tn.deferred[0]
+		if !tn.failed && d.waitSeq > uint64(tn.ticks) {
+			return
+		}
+		tn.deferred = tn.deferred[1:]
+		d.run(tn.failed)
+	}
 }
 
 // sealedStore is the optional backend fast path for substrates that accept
@@ -55,9 +126,15 @@ type sealedStore interface {
 	UpdateSealed([]seal.Sealed) error
 }
 
-// runShard is the worker loop. It exits when the gateway closes; by then
-// every connection has drained (Close waits for handlers before signaling
-// quit), so only transcript peeks from a racing ObservedPattern can still
+// runShard is the worker loop. Completions (commit callbacks from the WAL
+// writer) and tasks are served from one goroutine, so every tenant mutation
+// — apply-time and commit-time alike — stays single-threaded. When a
+// snapshot is due the worker quiesces: it stops taking new tasks, drains
+// its in-flight commits, rotates the log, then resumes.
+//
+// The loop exits when the gateway closes; by then every connection has
+// drained (Close waits for handlers before signaling quit), so only
+// transcript peeks from a racing ObservedPattern/ObservedLedger can still
 // be queued — the drain below serves them instead of stranding the caller.
 func (g *Gateway) runShard(sh *shard) {
 	defer g.shardWG.Done()
@@ -66,18 +143,54 @@ func (g *Gateway) runShard(sh *shard) {
 		t.run(tn, err)
 	}
 	for {
+		if sh.snapWanted && sh.pendingWAL == 0 {
+			g.snapshotShard(sh)
+			sh.snapWanted, sh.sinceSnap = false, 0
+		}
+		if sh.snapWanted {
+			// Quiesce: only commit completions until in-flight appends
+			// drain. New tasks wait in the queue; backpressure propagates
+			// through the bounded channel to the connection readers.
+			select {
+			case f := <-sh.completions:
+				f()
+			case <-g.quit:
+				g.drainShard(sh, serve)
+				return
+			}
+			continue
+		}
 		select {
+		case f := <-sh.completions:
+			f()
 		case t := <-sh.tasks:
 			serve(t)
 		case <-g.quit:
-			for {
-				select {
-				case t := <-sh.tasks:
-					serve(t)
-				default:
-					return
-				}
+			g.drainShard(sh, serve)
+			return
+		}
+	}
+}
+
+// drainShard serves whatever is still queued at shutdown and waits out the
+// shard's in-flight WAL commits, so no caller is stranded mid-reply. On the
+// graceful path the queues are already empty (Close waited for every
+// connection, and every connection waited for its replies); on the Kill
+// path the store has already failed the pending entries, so the completions
+// arrive promptly with errors.
+func (g *Gateway) drainShard(sh *shard, serve func(task)) {
+	for {
+		select {
+		case f := <-sh.completions:
+			f()
+		case t := <-sh.tasks:
+			serve(t)
+		default:
+			if sh.pendingWAL == 0 {
+				return
 			}
+			f := <-sh.completions
+			f()
 		}
 	}
 }
@@ -94,85 +207,224 @@ func (g *Gateway) tenantFor(sh *shard, owner string, peek bool) (*tenant, error)
 	if int(g.ownerCount.Load()) >= g.cfg.MaxOwners {
 		return nil, fmt.Errorf("gateway: owner limit %d reached", g.cfg.MaxOwners)
 	}
-	db, err := g.cfg.NewBackend(owner)
+	tn, err := g.newTenant(owner)
 	if err != nil {
-		return nil, fmt.Errorf("gateway: backend for %q: %w", owner, err)
-	}
-	tn := &tenant{db: db}
-	if ss, ok := db.(sealedStore); ok {
-		tn.sealed = ss
-	} else if g.sealer == nil {
-		return nil, fmt.Errorf("gateway: backend %q has no sealed-ingest path and gateway has no ingress key", db.Name())
+		return nil, err
 	}
 	sh.owners[owner] = tn
 	g.ownerCount.Add(1)
 	return tn, nil
 }
 
-// dispatch executes one EDB protocol message against a tenant. It mirrors
-// the single-owner server's dispatch exactly, per namespace. tn is nil for
-// owners that never ran setup (see task.peek); those requests are answered
-// without materializing the namespace.
-func (g *Gateway) dispatch(tn *tenant, owner string, req wire.Request) wire.Response {
+// newTenant builds a namespace around a fresh backend (shared by live setup
+// and crash recovery).
+func (g *Gateway) newTenant(owner string) (*tenant, error) {
+	db, err := g.cfg.NewBackend(owner)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: backend for %q: %w", owner, err)
+	}
+	tn := &tenant{db: db, budget: dp.NewBudget()}
+	if ss, ok := db.(sealedStore); ok {
+		tn.sealed = ss
+	} else if g.sealer == nil {
+		return nil, fmt.Errorf("gateway: backend %q has no sealed-ingest path and gateway has no ingress key", db.Name())
+	}
+	return tn, nil
+}
+
+// ingest lands one sealed batch in the tenant's backend: verbatim for
+// enclave-style backends, through the ingress sealer for record-level ones.
+// Shared by live dispatch and recovery replay, so the two paths cannot
+// diverge.
+func (g *Gateway) ingest(tn *tenant, setup bool, cts []seal.Sealed) error {
+	if tn.sealed != nil {
+		// Enclave-style backend: ciphertexts pass through verbatim; the
+		// gateway never opens records destined for an enclave.
+		if setup {
+			return tn.sealed.SetupSealed(cts)
+		}
+		return tn.sealed.UpdateSealed(cts)
+	}
+	// Aggregation-service-style backend: the transport sealing ends here
+	// (the ingress boundary) and the records continue into the substrate,
+	// which applies its own encoding/encryption.
+	rs, err := g.sealer.OpenAll(cts)
+	if err != nil {
+		return err
+	}
+	if setup {
+		return tn.db.Setup(rs)
+	}
+	return tn.db.Update(rs)
+}
+
+// chargeFor names the ledger expenditure one sync incurs. The charge is
+// carried inside the sync's WAL entry, so recovery re-spends what the
+// original run spent even if the configured epsilon has since changed.
+func (g *Gateway) chargeFor(setup bool) store.Charge {
+	name := "m_update"
+	if setup {
+		name = "m_setup"
+	}
+	return store.Charge{Name: name, Eps: g.cfg.SyncEpsilon, Rule: dp.Sequential}
+}
+
+// dispatch executes one EDB protocol message against a tenant and delivers
+// the response through respond — synchronously for queries, stats, and
+// in-memory syncs; deferred to the WAL group commit for durable syncs
+// (spend-before-sync: the charge and the entry are durable before the ack
+// and the transcript event exist). respond is invoked exactly once. tn is
+// nil for owners that never ran setup (see task.peek); those requests are
+// answered without materializing the namespace.
+func (g *Gateway) dispatch(sh *shard, tn *tenant, owner string, req wire.Request, respond func(wire.Response)) {
 	if tn == nil {
-		return g.dispatchUnknown(owner, req)
+		respond(g.dispatchUnknown(owner, req))
+		return
+	}
+	if tn.failed {
+		// The tenant's backend may hold a batch whose durability is
+		// indeterminate; serving *anything* from it (queries and stats
+		// included) would expose state a restart may not reconstruct.
+		respond(wire.Response{Error: "gateway: a durable sync failed for this owner; restart to recover"})
+		return
 	}
 	switch req.Type {
 	case wire.MsgSetup, wire.MsgUpdate:
+		setup := req.Type == wire.MsgSetup
+		// Validate the ledger charge before any irreversible step: a
+		// refused charge (epsilon/rule drift against a recovered ledger)
+		// must refuse the sync while the backend is still untouched. The
+		// spend itself happens at commit, alongside the transcript event —
+		// both are carried by the WAL entry, so the durable order is still
+		// spend-with-sync-record before observability.
+		charge := g.chargeFor(setup)
+		if err := tn.budget.CanCharge(charge.Name, charge.Eps, charge.Rule); err != nil {
+			respond(wire.Response{Error: err.Error()})
+			return
+		}
 		cts := make([]seal.Sealed, len(req.Sealed))
 		for i, b := range req.Sealed {
 			cts[i] = seal.Sealed(b)
 		}
-		var err error
-		if tn.sealed != nil {
-			// Enclave-style backend: ciphertexts pass through verbatim; the
-			// gateway never opens records destined for an enclave.
-			if req.Type == wire.MsgSetup {
-				err = tn.sealed.SetupSealed(cts)
-			} else {
-				err = tn.sealed.UpdateSealed(cts)
+		if err := g.ingest(tn, setup, cts); err != nil {
+			respond(wire.Response{Error: err.Error()})
+			return
+		}
+		tn.seq++
+		tick, volume := tn.seq, len(cts)
+		if g.store == nil {
+			// In-memory mode: commit is immediate, like internal/server.
+			tn.ticks = int(tick)
+			tn.observed.Record(record.Tick(tick), volume, false)
+			if err := tn.budget.Charge(charge.Name, charge.Eps, charge.Rule); err != nil {
+				g.log.Printf("owner %q tick %d: ledger charge failed after validation: %v", owner, tick, err)
 			}
-		} else {
-			// Aggregation-service-style backend: the transport sealing ends
-			// here (the ingress boundary) and the records continue into the
-			// substrate, which applies its own encoding/encryption.
-			var rs []record.Record
-			rs, err = g.sealer.OpenAll(cts)
-			if err == nil {
-				if req.Type == wire.MsgSetup {
-					err = tn.db.Setup(rs)
-				} else {
-					err = tn.db.Update(rs)
+			respond(wire.Response{OK: true})
+			return
+		}
+		entry := store.Entry{Owner: owner, Batch: store.Batch{
+			Tick:   tick,
+			Setup:  setup,
+			Sealed: req.Sealed,
+			Charge: charge,
+		}}
+		sh.pendingWAL++
+		sh.sinceSnap++
+		if sh.sinceSnap >= sh.snapThreshold {
+			sh.snapWanted = true
+		}
+		err := g.store.Append(sh.id, entry, func(werr error) {
+			// Runs on the WAL writer; hop back to the shard worker so every
+			// tenant mutation stays single-goroutine.
+			sh.completions <- func() {
+				sh.pendingWAL--
+				if werr != nil || tn.failed {
+					// A commit failure poisons the tenant: this sync's
+					// durability is indeterminate, so recording later
+					// (even successfully committed) syncs would advance
+					// the live clock past a possible gap that recovery's
+					// contiguity rule will stop at. Freeze the committed
+					// prefix instead — it is exactly what a restart will
+					// reconstruct.
+					if werr != nil && !tn.failed {
+						g.log.Printf("owner tick %d: durable sync failed, suspending tenant: %v", entry.Batch.Tick, werr)
+					}
+					tn.failed = true
+					if werr == nil {
+						werr = fmt.Errorf("an earlier sync's durability is unknown")
+					}
+					respond(wire.Response{Error: fmt.Sprintf("gateway: durable sync failed; restart to recover (%v)", werr)})
+					tn.flushDeferred()
+					return
 				}
+				// Commit: the sync becomes observable — and its charge
+				// spent — only now, so the in-memory ledger, transcript,
+				// clock, and history always describe the same committed
+				// prefix (what snapshots persist and recovery rebuilds).
+				tn.ticks = int(entry.Batch.Tick)
+				tn.observed.Record(record.Tick(entry.Batch.Tick), volume, false)
+				if cerr := tn.budget.Charge(charge.Name, charge.Eps, charge.Rule); cerr != nil {
+					g.log.Printf("tick %d: ledger charge failed after validation: %v", entry.Batch.Tick, cerr)
+				}
+				tn.history = append(tn.history, entry.Batch)
+				respond(wire.Response{OK: true})
+				// Reads parked behind this sync can answer now.
+				tn.flushDeferred()
 			}
-		}
+		})
 		if err != nil {
-			return wire.Response{Error: err.Error()}
+			// Never enqueued (store closed / unencodable). The backend
+			// already holds the batch, so the tenant is poisoned like any
+			// other post-ingest durability failure; no completion will
+			// arrive for this entry.
+			sh.pendingWAL--
+			sh.sinceSnap--
+			tn.failed = true
+			respond(wire.Response{Error: fmt.Sprintf("gateway: durable sync: %v", err)})
+			tn.flushDeferred()
 		}
-		// The owner's logical clock advances per successful upload and the
-		// observed (tick, volume) event lands on this owner's transcript
-		// only — bit-identical to what the single-owner server records.
-		tn.ticks++
-		tn.observed.Record(record.Tick(tn.ticks), len(cts), false)
-		return wire.Response{OK: true}
 
 	case wire.MsgQuery:
 		if req.Query == nil {
-			return wire.Response{Error: "query missing"}
+			respond(wire.Response{Error: "query missing"})
+			return
 		}
-		q := req.Query.ToQuery()
-		ans, cost, err := tn.db.Query(q)
-		if err != nil {
-			return wire.Response{Error: err.Error()}
-		}
-		return wire.NewQueryResponse(ans, cost)
+		g.serveRead(tn, respond, func() wire.Response {
+			ans, cost, err := tn.db.Query(req.Query.ToQuery())
+			if err != nil {
+				return wire.Response{Error: err.Error()}
+			}
+			return wire.NewQueryResponse(ans, cost)
+		})
 
 	case wire.MsgStats:
-		return wire.NewStatsResponse(tn.db.Stats(), tn.db.Name(), int(tn.db.Leakage()))
+		g.serveRead(tn, respond, func() wire.Response {
+			return wire.NewStatsResponse(tn.db.Stats(), tn.db.Name(), int(tn.db.Leakage()))
+		})
 
 	default:
-		return wire.Response{Error: fmt.Sprintf("unknown message type %q", req.Type)}
+		respond(wire.Response{Error: fmt.Sprintf("unknown message type %q", req.Type)})
 	}
+}
+
+// serveRead answers a read (query or stats) immediately when the tenant's
+// backend holds only committed syncs; otherwise it parks the read until the
+// in-flight syncs that precede it commit. This keeps reads from exposing
+// applied-but-uncommitted state (which a crash could make unrecoverable)
+// and preserves per-owner FIFO: a pipelined read's response never overtakes
+// the ack of a sync sent before it.
+func (g *Gateway) serveRead(tn *tenant, respond func(wire.Response), exec func() wire.Response) {
+	if g.store == nil || tn.seq == uint64(tn.ticks) {
+		respond(exec())
+		return
+	}
+	tn.deferred = append(tn.deferred, deferredRead{waitSeq: tn.seq, run: func(failed bool) {
+		if failed {
+			respond(wire.Response{Error: "gateway: a durable sync failed for this owner; restart to recover"})
+			return
+		}
+		respond(exec())
+	}})
 }
 
 // dispatchUnknown answers requests addressed to a namespace that does not
@@ -197,4 +449,58 @@ func (g *Gateway) dispatchUnknown(owner string, req wire.Request) wire.Response 
 	default:
 		return wire.Response{Error: fmt.Sprintf("unknown message type %q", req.Type)}
 	}
+}
+
+// snapshotShard rotates the shard's log: its tenants' committed state is
+// written as the shard's snapshot and the segment is truncated. Runs on the
+// shard worker with zero in-flight appends, so clocks, transcripts,
+// ledgers, and histories are mutually consistent. Afterwards the rotation
+// threshold is re-derived from the history size (geometric, so total
+// snapshot I/O stays amortized-linear-ish); a failed rotation doubles the
+// threshold instead, so the shard does not hot-loop a rotation that keeps
+// failing — the WAL keeps growing and keeps everything recoverable.
+func (g *Gateway) snapshotShard(sh *shard) {
+	total := 0
+	states := make([]store.OwnerState, 0, len(sh.owners))
+	for owner, tn := range sh.owners {
+		total += len(tn.history)
+		states = append(states, store.OwnerState{
+			Owner:   owner,
+			Clock:   uint64(tn.ticks),
+			Events:  tn.observed.Events,
+			Budget:  tn.budget,
+			Batches: tn.history,
+		})
+	}
+	if err := g.store.Rotate(sh.id, states); err != nil {
+		g.log.Printf("shard %d: snapshot: %v", sh.id, err)
+		sh.snapThreshold *= 2
+		return
+	}
+	sh.snapThreshold = max(g.cfg.SnapshotEvery, total/4)
+}
+
+// replayOwner rebuilds one recovered tenant: the backend is reconstructed
+// by re-ingesting the durable batch history, and the committed transcript,
+// clock, and ledger are installed verbatim.
+func (g *Gateway) replayOwner(st *store.OwnerState) (*tenant, error) {
+	tn, err := g.newTenant(st.Owner)
+	if err != nil {
+		return nil, err
+	}
+	for _, bt := range st.Batches {
+		cts := make([]seal.Sealed, len(bt.Sealed))
+		for i, b := range bt.Sealed {
+			cts[i] = seal.Sealed(b)
+		}
+		if err := g.ingest(tn, bt.Setup, cts); err != nil {
+			return nil, fmt.Errorf("gateway: replaying owner %q tick %d: %w", st.Owner, bt.Tick, err)
+		}
+	}
+	tn.ticks = int(st.Clock)
+	tn.seq = st.Clock
+	tn.observed = leakage.Pattern{Events: st.Events}
+	tn.budget = st.Budget
+	tn.history = st.Batches
+	return tn, nil
 }

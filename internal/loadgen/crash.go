@@ -1,0 +1,264 @@
+package loadgen
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"dpsync/internal/client"
+	"dpsync/internal/core"
+	"dpsync/internal/edb"
+	"dpsync/internal/gateway"
+	"dpsync/internal/record"
+	"dpsync/internal/seal"
+)
+
+// CrashConfig parameterizes the crash-injection harness: for each seed, the
+// same owner traces are driven through an uninterrupted in-memory reference
+// gateway and through a durable gateway that is killed (no flush, no drain)
+// at a seed-derived tick and restarted from disk. The run fails unless
+// every owner's post-recovery transcript is bit-identical to the reference
+// and every recovered ε ledger equals the reference ledger.
+type CrashConfig struct {
+	Owners int
+	Ticks  int
+	// Seeds drive the workload and the crash tick; each seed is one full
+	// reference+crash experiment.
+	Seeds []uint64
+	// SyncEpsilon is the per-sync ledger charge (see gateway.Config).
+	SyncEpsilon float64
+	// Fsync passes through to the durable gateway's store.
+	Fsync bool
+	// Shards configures both gateways (0 = GOMAXPROCS).
+	Shards int
+}
+
+// CrashRun is one seed's outcome.
+type CrashRun struct {
+	Seed            uint64  `json:"seed"`
+	CrashTick       int     `json:"crash_tick"`
+	RecoveryMs      float64 `json:"recovery_ms"`
+	RecoveredOwners int     `json:"recovered_owners"`
+}
+
+// CrashReport is the harness result; Runs has one entry per seed, all
+// verified (RunCrash errors instead of reporting an unverified run).
+type CrashReport struct {
+	Owners int        `json:"owners"`
+	Ticks  int        `json:"ticks"`
+	Runs   []CrashRun `json:"runs"`
+}
+
+// crashSwapDB lets a client-side owner survive the gateway crash: its
+// strategy stack keeps running while the session underneath (the embedded
+// edb.Database) is swapped for one dialed to the recovered gateway.
+type crashSwapDB struct{ edb.Database }
+
+// crashFleet is one run's client side: the owners, their swappable session
+// indirections, and the live connection.
+type crashFleet struct {
+	owners []*core.Owner
+	swaps  []*crashSwapDB
+	conn   *client.GatewayConn
+}
+
+// dial connects the fleet (or re-connects it after a crash) to addr.
+func (f *crashFleet) dial(addr string, key []byte) error {
+	conn, err := client.DialGateway(addr, key)
+	if err != nil {
+		return err
+	}
+	f.conn = conn
+	for i, sw := range f.swaps {
+		sw.Database = conn.Owner(ownerName(i))
+	}
+	return nil
+}
+
+// setup builds the owners (strategy mix and initial batch identical to the
+// main load generator's) and runs their setup protocol.
+func (f *crashFleet) setup(n int, seed uint64) error {
+	f.owners = make([]*core.Owner, n)
+	f.swaps = make([]*crashSwapDB, n)
+	for i := 0; i < n; i++ {
+		strat, err := ownerStrategy(i, seed)
+		if err != nil {
+			return err
+		}
+		f.swaps[i] = &crashSwapDB{Database: f.conn.Owner(ownerName(i))}
+		owner, err := core.New(core.Config{Strategy: strat, Database: f.swaps[i]})
+		if err != nil {
+			return err
+		}
+		if err := owner.Setup([]record.Record{{
+			PickupTime: 0, PickupID: uint16(i%record.NumLocations + 1), Provider: record.YellowCab,
+		}}); err != nil {
+			return fmt.Errorf("owner %d setup: %w", i, err)
+		}
+		f.owners[i] = owner
+	}
+	return nil
+}
+
+// drive interleaves ticks from..to across all owners — tick-by-tick, so at
+// every tick boundary the fleet is quiesced (each sync acknowledged, hence
+// group-committed, before the next request).
+func (f *crashFleet) drive(from, to int) error {
+	for t := from; t <= to; t++ {
+		for i, owner := range f.owners {
+			phase := i % 3
+			var err error
+			if (t+phase)%3 == 0 {
+				err = owner.Tick(record.Record{
+					PickupTime: record.Tick(t),
+					PickupID:   uint16((i+t)%record.NumLocations + 1),
+					Provider:   record.YellowCab,
+				})
+			} else {
+				err = owner.Tick()
+			}
+			if err != nil {
+				return fmt.Errorf("owner %d tick %d: %w", i, t, err)
+			}
+		}
+	}
+	return nil
+}
+
+// RunCrash executes the crash-injection experiment for every seed.
+func RunCrash(cfg CrashConfig) (CrashReport, error) {
+	if cfg.Owners <= 0 || cfg.Ticks < 3 {
+		return CrashReport{}, fmt.Errorf("loadgen: crash harness needs owners > 0 and ticks >= 3")
+	}
+	if len(cfg.Seeds) == 0 {
+		cfg.Seeds = []uint64{1, 2, 3}
+	}
+	rep := CrashReport{Owners: cfg.Owners, Ticks: cfg.Ticks}
+	for _, seed := range cfg.Seeds {
+		run, err := runCrashSeed(cfg, seed)
+		if err != nil {
+			return CrashReport{}, fmt.Errorf("loadgen: seed %d: %w", seed, err)
+		}
+		rep.Runs = append(rep.Runs, run)
+	}
+	return rep, nil
+}
+
+func runCrashSeed(cfg CrashConfig, seed uint64) (CrashRun, error) {
+	key, err := seal.NewRandomKey()
+	if err != nil {
+		return CrashRun{}, err
+	}
+
+	// Uninterrupted reference: the same traces through an in-memory gateway.
+	refGW, err := gateway.New("127.0.0.1:0", gateway.Config{
+		Key: key, Shards: cfg.Shards, SyncEpsilon: cfg.SyncEpsilon,
+	})
+	if err != nil {
+		return CrashRun{}, err
+	}
+	go func() { _ = refGW.Serve() }()
+	ref := &crashFleet{}
+	if err := ref.dial(refGW.Addr(), key); err != nil {
+		refGW.Close()
+		return CrashRun{}, err
+	}
+	if err := ref.setup(cfg.Owners, seed); err == nil {
+		err = ref.drive(1, cfg.Ticks)
+	}
+	if err != nil {
+		ref.conn.Close()
+		refGW.Close()
+		return CrashRun{}, err
+	}
+	wantPattern := make([]string, cfg.Owners)
+	wantLedger := make([]string, cfg.Owners)
+	for i := 0; i < cfg.Owners; i++ {
+		wantPattern[i] = refGW.ObservedPattern(ownerName(i)).String()
+		b, err := refGW.ObservedLedger(ownerName(i)).MarshalBinary()
+		if err != nil {
+			ref.conn.Close()
+			refGW.Close()
+			return CrashRun{}, err
+		}
+		wantLedger[i] = string(b)
+	}
+	ref.conn.Close()
+	if err := refGW.Close(); err != nil {
+		return CrashRun{}, err
+	}
+
+	// Crash run: durable gateway, killed at a seed-derived tick boundary.
+	crashTick := 1 + int(seed%uint64(cfg.Ticks-1))
+	dir, err := os.MkdirTemp("", "dpsync-crash-*")
+	if err != nil {
+		return CrashRun{}, err
+	}
+	defer os.RemoveAll(dir)
+	mkDurable := func() (*gateway.Gateway, error) {
+		gw, err := gateway.New("127.0.0.1:0", gateway.Config{
+			Key: key, Shards: cfg.Shards, SyncEpsilon: cfg.SyncEpsilon,
+			StoreDir: dir, Fsync: cfg.Fsync, SnapshotEvery: 64,
+		})
+		if err != nil {
+			return nil, err
+		}
+		go func() { _ = gw.Serve() }()
+		return gw, nil
+	}
+	gw, err := mkDurable()
+	if err != nil {
+		return CrashRun{}, err
+	}
+	fleet := &crashFleet{}
+	if err := fleet.dial(gw.Addr(), key); err != nil {
+		gw.Kill()
+		return CrashRun{}, err
+	}
+	if err := fleet.setup(cfg.Owners, seed); err == nil {
+		err = fleet.drive(1, crashTick)
+	}
+	if err != nil {
+		fleet.conn.Close()
+		gw.Kill()
+		return CrashRun{}, err
+	}
+	fleet.conn.Close()
+	gw.Kill()
+
+	start := time.Now()
+	gw2, err := mkDurable()
+	if err != nil {
+		return CrashRun{}, fmt.Errorf("recovery: %w", err)
+	}
+	recoveryMs := float64(time.Since(start).Nanoseconds()) / 1e6
+	defer gw2.Close()
+	recovered := gw2.Recovery().Owners
+	if recovered != cfg.Owners {
+		return CrashRun{}, fmt.Errorf("recovered %d owners, want %d", recovered, cfg.Owners)
+	}
+	if err := fleet.dial(gw2.Addr(), key); err != nil {
+		return CrashRun{}, err
+	}
+	defer fleet.conn.Close()
+	if err := fleet.drive(crashTick+1, cfg.Ticks); err != nil {
+		return CrashRun{}, err
+	}
+
+	// Continuity: transcript bit-identical, ledger equal — per owner.
+	for i := 0; i < cfg.Owners; i++ {
+		if got := gw2.ObservedPattern(ownerName(i)).String(); got != wantPattern[i] {
+			return CrashRun{}, fmt.Errorf("%s transcript diverged at crash tick %d:\n got: %s\nwant: %s",
+				ownerName(i), crashTick, got, wantPattern[i])
+		}
+		b, err := gw2.ObservedLedger(ownerName(i)).MarshalBinary()
+		if err != nil {
+			return CrashRun{}, err
+		}
+		if string(b) != wantLedger[i] {
+			return CrashRun{}, fmt.Errorf("%s ledger diverged at crash tick %d (double spend or lost charge)",
+				ownerName(i), crashTick)
+		}
+	}
+	return CrashRun{Seed: seed, CrashTick: crashTick, RecoveryMs: recoveryMs, RecoveredOwners: recovered}, nil
+}

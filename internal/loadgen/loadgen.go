@@ -14,6 +14,7 @@ package loadgen
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"time"
 
@@ -59,6 +60,18 @@ type Config struct {
 	// Verify cross-checks, per owner, that the gateway-observed transcript
 	// length matches the owner's own pattern bookkeeping (in-process only).
 	Verify bool
+	// Durable runs the in-process gateway with the internal/store
+	// durability subsystem (WAL + snapshots) and, after the drive, closes
+	// the gateway and reopens it from disk to measure recovery — with
+	// Verify, every owner's recovered transcript is checked bit-identical
+	// to the pre-close one. In-process mode only.
+	Durable bool
+	// StoreDir is the durability directory (empty: a fresh temp dir,
+	// removed when Run returns). Fsync and SyncEpsilon pass through to the
+	// gateway's store configuration.
+	StoreDir    string
+	Fsync       bool
+	SyncEpsilon float64
 }
 
 // Report is the measurement result.
@@ -85,6 +98,16 @@ type Report struct {
 	BytesOut     int64   `json:"bytes_out"`
 	BytesIn      int64   `json:"bytes_in"`
 	Verified     int     `json:"verified_owners,omitempty"`
+	// Durable-mode measurements: mean WAL append→commit latency, the group
+	// commit factor (entries per flush/fsync round), snapshot rotations,
+	// and the close→reopen recovery wall-clock with the owner count the
+	// recovery reconstructed.
+	Durable         bool    `json:"durable,omitempty"`
+	WALAppendUs     float64 `json:"wal_append_us,omitempty"`
+	WALGroupFactor  float64 `json:"wal_group_factor,omitempty"`
+	WALSnapshots    int64   `json:"wal_snapshots,omitempty"`
+	RecoveryMs      float64 `json:"recovery_ms,omitempty"`
+	RecoveredOwners int     `json:"recovered_owners,omitempty"`
 }
 
 // timedDB wraps an owner's database handle and records the round-trip
@@ -165,6 +188,7 @@ func Run(cfg Config) (Report, error) {
 	// Target gateway: external or in-process.
 	var gw *gateway.Gateway
 	addr, key := cfg.Addr, cfg.Key
+	storeDir := cfg.StoreDir
 	if addr == "" {
 		if key == nil {
 			var err error
@@ -173,8 +197,22 @@ func Run(cfg Config) (Report, error) {
 				return Report{}, err
 			}
 		}
+		if cfg.Durable && storeDir == "" {
+			dir, err := os.MkdirTemp("", "dpsync-loadgen-*")
+			if err != nil {
+				return Report{}, err
+			}
+			defer os.RemoveAll(dir)
+			storeDir = dir
+		}
+		gwCfg := gateway.Config{Key: key, Shards: cfg.Shards}
+		if cfg.Durable {
+			gwCfg.StoreDir = storeDir
+			gwCfg.Fsync = cfg.Fsync
+			gwCfg.SyncEpsilon = cfg.SyncEpsilon
+		}
 		var err error
-		gw, err = gateway.New("127.0.0.1:0", gateway.Config{Key: key, Shards: cfg.Shards})
+		gw, err = gateway.New("127.0.0.1:0", gwCfg)
 		if err != nil {
 			return Report{}, err
 		}
@@ -183,6 +221,8 @@ func Run(cfg Config) (Report, error) {
 		addr = gw.Addr()
 	} else if key == nil {
 		return Report{}, fmt.Errorf("loadgen: external gateway requires a key")
+	} else if cfg.Durable {
+		return Report{}, fmt.Errorf("loadgen: durable mode drives an in-process gateway (drop -addr)")
 	}
 
 	conns := make([]*client.GatewayConn, cfg.Conns)
@@ -202,7 +242,7 @@ func Run(cfg Config) (Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		session := conns[i%len(conns)].Owner(fmt.Sprintf("owner-%06d", i))
+		session := conns[i%len(conns)].Owner(ownerName(i))
 		tdb := &timedDB{Database: session}
 		owner, err := core.New(core.Config{Strategy: strat, Database: tdb})
 		if err != nil {
@@ -328,5 +368,57 @@ func Run(cfg Config) (Report, error) {
 		rep.P99Ms = lat.Quantile(0.99)
 		rep.BytesPerSync = float64(bytesOut+bytesIn) / float64(syncs)
 	}
+
+	// Durable mode: harvest the WAL measurements, then close the gateway
+	// and reopen it from disk — recovery wall-clock plus (with Verify) a
+	// bit-identical transcript check per owner.
+	if cfg.Durable && gw != nil {
+		rep.Durable = true
+		if m, ok := gw.StoreMetrics(); ok {
+			rep.WALAppendUs = m.AvgAppendUs()
+			if m.Commits > 0 {
+				rep.WALGroupFactor = float64(m.Appends) / float64(m.Commits)
+			}
+			rep.WALSnapshots = m.Snapshots
+		}
+		var want map[string]string
+		if cfg.Verify {
+			want = make(map[string]string, cfg.Owners)
+			for i := 0; i < cfg.Owners; i++ {
+				want[ownerName(i)] = gw.ObservedPattern(ownerName(i)).String()
+			}
+		}
+		for _, c := range conns {
+			c.Close()
+		}
+		if err := gw.Close(); err != nil {
+			return Report{}, fmt.Errorf("loadgen: graceful close: %w", err)
+		}
+		start := time.Now()
+		gw2, err := gateway.New("127.0.0.1:0", gateway.Config{
+			Key: key, Shards: cfg.Shards,
+			StoreDir: storeDir, Fsync: cfg.Fsync, SyncEpsilon: cfg.SyncEpsilon,
+		})
+		if err != nil {
+			return Report{}, fmt.Errorf("loadgen: recovery: %w", err)
+		}
+		rep.RecoveryMs = float64(time.Since(start).Nanoseconds()) / 1e6
+		defer gw2.Close()
+		rep.RecoveredOwners = gw2.Recovery().Owners
+		if rep.RecoveredOwners != cfg.Owners {
+			return Report{}, fmt.Errorf("loadgen: recovered %d owners, want %d", rep.RecoveredOwners, cfg.Owners)
+		}
+		if cfg.Verify {
+			for name, w := range want {
+				if got := gw2.ObservedPattern(name).String(); got != w {
+					return Report{}, fmt.Errorf("loadgen: %s transcript diverged after recovery:\n got: %s\nwant: %s", name, got, w)
+				}
+			}
+		}
+	}
 	return rep, nil
 }
+
+// ownerName is the canonical namespace ID for owner i, shared by the drive
+// loop and the durable-recovery verification.
+func ownerName(i int) string { return fmt.Sprintf("owner-%06d", i) }

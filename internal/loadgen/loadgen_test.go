@@ -52,4 +52,60 @@ func TestRunValidation(t *testing.T) {
 	if _, err := Run(Config{Owners: 1, Ticks: 1, Addr: "127.0.0.1:9", Key: nil}); err == nil {
 		t.Error("external gateway without key accepted")
 	}
+	if _, err := Run(Config{Owners: 1, Ticks: 1, Addr: "127.0.0.1:9", Key: make([]byte, 32), Durable: true}); err == nil {
+		t.Error("durable mode against an external gateway accepted")
+	}
+}
+
+func TestRunDurable(t *testing.T) {
+	rep, err := Run(Config{
+		Owners: 8, Ticks: 25, Conns: 2, Seed: 3,
+		Verify: true, Durable: true, SyncEpsilon: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Durable || rep.Verified != 8 {
+		t.Errorf("durable=%v verified=%d", rep.Durable, rep.Verified)
+	}
+	if rep.WALAppendUs <= 0 || rep.WALGroupFactor < 1 {
+		t.Errorf("WAL metrics: append_us=%v group=%v", rep.WALAppendUs, rep.WALGroupFactor)
+	}
+	if rep.RecoveryMs <= 0 || rep.RecoveredOwners != 8 {
+		t.Errorf("recovery: %vms, %d owners", rep.RecoveryMs, rep.RecoveredOwners)
+	}
+	if rep.Syncs < 8 || rep.SyncsPerSec <= 0 {
+		t.Errorf("throughput: %d syncs, %v/sec", rep.Syncs, rep.SyncsPerSec)
+	}
+}
+
+// TestRunCrashSeeds is the crash-injection coverage the durability
+// subsystem is accepted on: ≥3 seeds, each killing the gateway at a
+// different tick and verifying transcript + ledger continuity end to end.
+func TestRunCrashSeeds(t *testing.T) {
+	rep, err := RunCrash(CrashConfig{
+		Owners: 6, Ticks: 24, Seeds: []uint64{7, 19, 40}, SyncEpsilon: 0.5, Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 3 {
+		t.Fatalf("runs = %d", len(rep.Runs))
+	}
+	ticksSeen := map[int]bool{}
+	for _, run := range rep.Runs {
+		if run.RecoveredOwners != 6 {
+			t.Errorf("seed %d: recovered %d owners", run.Seed, run.RecoveredOwners)
+		}
+		if run.CrashTick < 1 || run.CrashTick >= 24 {
+			t.Errorf("seed %d: crash tick %d out of range", run.Seed, run.CrashTick)
+		}
+		if run.RecoveryMs <= 0 {
+			t.Errorf("seed %d: recovery not measured", run.Seed)
+		}
+		ticksSeen[run.CrashTick] = true
+	}
+	if len(ticksSeen) < 2 {
+		t.Errorf("crash ticks not spread across seeds: %v", ticksSeen)
+	}
 }

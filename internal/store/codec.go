@@ -1,0 +1,512 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+
+	"dpsync/internal/dp"
+	"dpsync/internal/leakage"
+	"dpsync/internal/record"
+)
+
+// On-disk formats. Both files open with a 5-byte header (magic + version);
+// every payload after the header travels in a CRC-checked frame:
+//
+//	WAL segment:   "DPSW" ver ( [u32 len][u32 crc32c][entry payload] )*
+//	Snapshot file: "DPSS" ver   [u32 len][u32 crc32c][snapshot payload]
+//
+// The frame layout deliberately mirrors internal/wire's length-prefixed
+// binary codec (bounds-checked cursor, typed errors, count-vs-remaining
+// sanity checks before allocation); the added CRC is what lets recovery
+// tell a torn tail from silent corruption.
+
+const (
+	// formatVersion is the current on-disk version byte for both file kinds.
+	formatVersion = 1
+	// maxEntrySize bounds one WAL entry frame. A sync batch is bounded by
+	// the wire layer's 16 MiB frame cap; the entry adds small metadata.
+	maxEntrySize = 20 << 20
+	// maxSnapshotSize bounds one snapshot payload (a whole shard's tenants).
+	maxSnapshotSize = 1 << 30
+	// maxOwnerLen mirrors wire.MaxOwnerLen: owner IDs are one-byte-length
+	// routing keys everywhere in the system.
+	maxOwnerLen = 255
+)
+
+var (
+	walMagic  = [4]byte{'D', 'P', 'S', 'W'}
+	snapMagic = [4]byte{'D', 'P', 'S', 'S'}
+)
+
+// crcTable is Castagnoli, the polynomial with hardware support on the
+// platforms this serves from.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptSegment wraps every decoding failure that is *not* a plain torn
+// tail: CRC mismatches, impossible lengths, malformed payloads. Recovery
+// stops at the longest valid prefix and reports the segment.
+var ErrCorruptSegment = errors.New("store: corrupt segment")
+
+// ErrTornTail marks a segment that ends mid-frame — the expected shape of a
+// crash during an uncommitted write. Recovery treats it as a clean end of
+// log (the lost suffix was never acknowledged to any client).
+var ErrTornTail = errors.New("store: torn segment tail")
+
+// ErrStoreClosed is returned for appends and rotations against a closed (or
+// killed) store; pending entries abandoned by Kill report it too.
+var ErrStoreClosed = errors.New("store: closed")
+
+// Charge names one dp.Budget expenditure carried by a sync entry, so crash
+// recovery can re-spend exactly what the original run spent — never what a
+// later configuration would charge.
+type Charge struct {
+	Name string
+	Eps  float64
+	Rule dp.CompositionRule
+}
+
+// Batch is one durable ingest: the sealed ciphertexts an owner uploaded at
+// logical tick Tick (the owner's upload sequence number), plus the budget
+// charge the sync incurred. Batches are the unit of both WAL entries and
+// snapshot history — replaying them in tick order reconstructs the tenant's
+// sealed store, transcript, clock, and ledger.
+type Batch struct {
+	Tick   uint64
+	Setup  bool
+	Flush  bool
+	Sealed [][]byte
+	Charge Charge
+}
+
+// Entry is one WAL record: a batch tagged with its owner namespace.
+type Entry struct {
+	Owner string
+	Batch Batch
+}
+
+// OwnerState is one tenant's recovered (or snapshot-bound) durable state.
+type OwnerState struct {
+	Owner string
+	// Clock is the committed logical clock: the tick of the last applied
+	// batch, equal to len(Batches).
+	Clock uint64
+	// Events is the committed adversary-view transcript.
+	Events []leakage.Event
+	// Budget is the committed privacy ledger.
+	Budget *dp.Budget
+	// Batches is the full ingest history, in tick order.
+	Batches []Batch
+}
+
+// Batch flag bits.
+const (
+	batchFlagSetup = 1 << iota
+	batchFlagFlush
+)
+
+// binReader is the bounds-checked cursor over a frame payload, mirroring
+// internal/wire: the first failed read latches err, subsequent reads return
+// zero values, decoders check once.
+type binReader struct {
+	b   []byte
+	err error
+}
+
+func (r *binReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated %s", ErrCorruptSegment, what)
+	}
+}
+
+func (r *binReader) u8(what string) byte {
+	if r.err != nil || len(r.b) < 1 {
+		r.fail(what)
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *binReader) u16(what string) uint16 {
+	if r.err != nil || len(r.b) < 2 {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b)
+	r.b = r.b[2:]
+	return v
+}
+
+func (r *binReader) u32(what string) uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *binReader) u64(what string) uint64 {
+	if r.err != nil || len(r.b) < 8 {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *binReader) f64(what string) float64 { return math.Float64frombits(r.u64(what)) }
+
+func (r *binReader) bytes(n int, what string) []byte {
+	if r.err != nil || n < 0 || len(r.b) < n {
+		r.fail(what)
+		return nil
+	}
+	v := r.b[:n:n]
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *binReader) remaining() int { return len(r.b) }
+
+func (r *binReader) done(what string) error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after %s", ErrCorruptSegment, len(r.b), what)
+	}
+	return nil
+}
+
+func appendU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+func appendF64(b []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// appendBatch serializes a batch (shared by entries and snapshots).
+func appendBatch(b []byte, bt Batch) ([]byte, error) {
+	if len(bt.Charge.Name) > math.MaxUint16 {
+		return nil, fmt.Errorf("store: charge name %d bytes exceeds %d", len(bt.Charge.Name), math.MaxUint16)
+	}
+	var flags byte
+	if bt.Setup {
+		flags |= batchFlagSetup
+	}
+	if bt.Flush {
+		flags |= batchFlagFlush
+	}
+	b = appendU64(b, bt.Tick)
+	b = append(b, flags)
+	b = appendU16(b, uint16(len(bt.Charge.Name)))
+	b = append(b, bt.Charge.Name...)
+	b = appendF64(b, bt.Charge.Eps)
+	b = append(b, byte(bt.Charge.Rule))
+	b = appendU32(b, uint32(len(bt.Sealed)))
+	for _, ct := range bt.Sealed {
+		b = appendU32(b, uint32(len(ct)))
+		b = append(b, ct...)
+	}
+	return b, nil
+}
+
+func readBatch(r *binReader) Batch {
+	var bt Batch
+	bt.Tick = r.u64("batch tick")
+	flags := r.u8("batch flags")
+	if r.err == nil && flags&^(batchFlagSetup|batchFlagFlush) != 0 {
+		r.err = fmt.Errorf("%w: unknown batch flag bits %#x", ErrCorruptSegment, flags)
+	}
+	bt.Setup = flags&batchFlagSetup != 0
+	bt.Flush = flags&batchFlagFlush != 0
+	nameLen := int(r.u16("charge name length"))
+	bt.Charge.Name = string(r.bytes(nameLen, "charge name"))
+	bt.Charge.Eps = r.f64("charge epsilon")
+	if r.err == nil && (!(bt.Charge.Eps >= 0) || math.IsInf(bt.Charge.Eps, 1)) {
+		// A charge the ledger would refuse is corruption, not data: reject
+		// here so recovery never fails halfway through a replay.
+		r.err = fmt.Errorf("%w: invalid charge epsilon", ErrCorruptSegment)
+	}
+	bt.Charge.Rule = dp.CompositionRule(r.u8("charge rule"))
+	if r.err == nil && bt.Charge.Rule != dp.Sequential && bt.Charge.Rule != dp.Parallel {
+		r.err = fmt.Errorf("%w: unknown composition rule %d", ErrCorruptSegment, int(bt.Charge.Rule))
+	}
+	n := int(r.u32("sealed count"))
+	// Each ciphertext costs at least its 4-byte length prefix: a claimed
+	// count larger than remaining/4 is a lie — reject before allocating.
+	if n > r.remaining()/4 {
+		r.fail("sealed count")
+		return bt
+	}
+	if n > 0 {
+		bt.Sealed = make([][]byte, n)
+		for i := 0; i < n; i++ {
+			ctLen := int(r.u32("ciphertext length"))
+			bt.Sealed[i] = r.bytes(ctLen, "ciphertext")
+		}
+	}
+	return bt
+}
+
+// entryKind bytes. 0 is deliberately unused so an all-zero frame cannot
+// decode as a valid entry.
+const entryKindSync = 1
+
+// encodeEntryFrame renders one WAL entry as a complete CRC frame, ready to
+// append to a segment.
+func encodeEntryFrame(e Entry) ([]byte, error) {
+	if len(e.Owner) == 0 || len(e.Owner) > maxOwnerLen {
+		return nil, fmt.Errorf("store: owner id length %d outside [1, %d]", len(e.Owner), maxOwnerLen)
+	}
+	payload := make([]byte, 0, 64+batchSealedSize(e.Batch))
+	payload = append(payload, entryKindSync)
+	payload = append(payload, byte(len(e.Owner)))
+	payload = append(payload, e.Owner...)
+	payload, err := appendBatch(payload, e.Batch)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) > maxEntrySize {
+		return nil, fmt.Errorf("store: entry payload %d bytes exceeds %d", len(payload), maxEntrySize)
+	}
+	frame := make([]byte, 0, 8+len(payload))
+	frame = appendU32(frame, uint32(len(payload)))
+	frame = appendU32(frame, crc32.Checksum(payload, crcTable))
+	return append(frame, payload...), nil
+}
+
+func batchSealedSize(bt Batch) int {
+	n := 0
+	for _, ct := range bt.Sealed {
+		n += 4 + len(ct)
+	}
+	return n
+}
+
+// decodeEntry parses one entry payload. Malformed input returns an error
+// wrapping ErrCorruptSegment and never panics or over-allocates.
+func decodeEntry(payload []byte) (Entry, error) {
+	if len(payload) == 0 {
+		return Entry{}, fmt.Errorf("%w: empty entry payload", ErrCorruptSegment)
+	}
+	r := &binReader{b: payload}
+	kind := r.u8("entry kind")
+	if r.err == nil && kind != entryKindSync {
+		return Entry{}, fmt.Errorf("%w: unknown entry kind %d", ErrCorruptSegment, kind)
+	}
+	var e Entry
+	ownerLen := int(r.u8("owner length"))
+	e.Owner = string(r.bytes(ownerLen, "owner id"))
+	e.Batch = readBatch(r)
+	if err := r.done("wal entry"); err != nil {
+		return Entry{}, err
+	}
+	if e.Owner == "" {
+		return Entry{}, fmt.Errorf("%w: empty owner id", ErrCorruptSegment)
+	}
+	if e.Batch.Tick == 0 {
+		return Entry{}, fmt.Errorf("%w: zero batch tick", ErrCorruptSegment)
+	}
+	return e, nil
+}
+
+// decodeSegment parses a whole WAL segment image: header, then frames until
+// the bytes run out. It always returns the longest valid prefix of entries;
+// err is nil for a clean end, ErrTornTail for a mid-frame end (the normal
+// post-crash shape), and ErrCorruptSegment for a bad header, CRC mismatch,
+// or malformed payload. It never panics, whatever the bytes claim.
+func decodeSegment(data []byte) (entries []Entry, err error) {
+	if len(data) < len(walMagic)+1 {
+		if len(data) == 0 {
+			// A zero-byte file is a segment created but never written — a
+			// crash between create and header flush. Treat as empty.
+			return nil, nil
+		}
+		return nil, fmt.Errorf("%w: short segment header", ErrTornTail)
+	}
+	if string(data[:4]) != string(walMagic[:]) {
+		return nil, fmt.Errorf("%w: bad segment magic %q", ErrCorruptSegment, data[:4])
+	}
+	if data[4] != formatVersion {
+		return nil, fmt.Errorf("%w: unknown segment version %d", ErrCorruptSegment, data[4])
+	}
+	rest := data[5:]
+	for len(rest) > 0 {
+		if len(rest) < 8 {
+			return entries, fmt.Errorf("%w: %d trailing bytes", ErrTornTail, len(rest))
+		}
+		n := binary.BigEndian.Uint32(rest)
+		crc := binary.BigEndian.Uint32(rest[4:])
+		if n == 0 || n > maxEntrySize {
+			return entries, fmt.Errorf("%w: frame length %d outside (0, %d]", ErrCorruptSegment, n, maxEntrySize)
+		}
+		if len(rest) < 8+int(n) {
+			return entries, fmt.Errorf("%w: frame claims %d bytes, %d remain", ErrTornTail, n, len(rest)-8)
+		}
+		payload := rest[8 : 8+int(n)]
+		if crc32.Checksum(payload, crcTable) != crc {
+			return entries, fmt.Errorf("%w: frame CRC mismatch", ErrCorruptSegment)
+		}
+		e, derr := decodeEntry(payload)
+		if derr != nil {
+			return entries, derr
+		}
+		entries = append(entries, e)
+		rest = rest[8+int(n):]
+	}
+	return entries, nil
+}
+
+// segmentHeader returns the 5-byte header opening every WAL segment.
+func segmentHeader() []byte {
+	return append(append([]byte(nil), walMagic[:]...), formatVersion)
+}
+
+// encodeSnapshot renders a shard's tenants as one snapshot file image
+// (header + single CRC frame). Owners are emitted in sorted order so equal
+// states produce equal bytes.
+func encodeSnapshot(owners []OwnerState) ([]byte, error) {
+	sorted := make([]OwnerState, len(owners))
+	copy(sorted, owners)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Owner < sorted[j].Owner })
+	payload := make([]byte, 0, 1024)
+	payload = appendU32(payload, uint32(len(sorted)))
+	for _, st := range sorted {
+		if len(st.Owner) == 0 || len(st.Owner) > maxOwnerLen {
+			return nil, fmt.Errorf("store: owner id length %d outside [1, %d]", len(st.Owner), maxOwnerLen)
+		}
+		payload = append(payload, byte(len(st.Owner)))
+		payload = append(payload, st.Owner...)
+		payload = appendU64(payload, st.Clock)
+		budget := st.Budget
+		if budget == nil {
+			budget = dp.NewBudget()
+		}
+		ledger, err := budget.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot ledger for %q: %w", st.Owner, err)
+		}
+		payload = appendU32(payload, uint32(len(ledger)))
+		payload = append(payload, ledger...)
+		payload = appendU32(payload, uint32(len(st.Events)))
+		for _, ev := range st.Events {
+			payload = appendU64(payload, uint64(ev.Tick))
+			payload = appendU32(payload, uint32(ev.Volume))
+			var f byte
+			if ev.Flush {
+				f = 1
+			}
+			payload = append(payload, f)
+		}
+		payload = appendU32(payload, uint32(len(st.Batches)))
+		for _, bt := range st.Batches {
+			payload, err = appendBatch(payload, bt)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(payload) > maxSnapshotSize {
+		return nil, fmt.Errorf("store: snapshot payload %d bytes exceeds %d", len(payload), maxSnapshotSize)
+	}
+	out := make([]byte, 0, 13+len(payload))
+	out = append(out, snapMagic[:]...)
+	out = append(out, formatVersion)
+	out = appendU32(out, uint32(len(payload)))
+	out = appendU32(out, crc32.Checksum(payload, crcTable))
+	return append(out, payload...), nil
+}
+
+// decodeSnapshot parses a snapshot file image. Any malformation — including
+// a CRC mismatch from a torn snapshot write that escaped the tmp+rename
+// discipline — rejects the whole file (snapshots are atomic units; a half
+// snapshot must not load as a smaller state).
+func decodeSnapshot(data []byte) ([]OwnerState, error) {
+	if len(data) < 13 {
+		return nil, fmt.Errorf("%w: short snapshot header", ErrCorruptSegment)
+	}
+	if string(data[:4]) != string(snapMagic[:]) {
+		return nil, fmt.Errorf("%w: bad snapshot magic %q", ErrCorruptSegment, data[:4])
+	}
+	if data[4] != formatVersion {
+		return nil, fmt.Errorf("%w: unknown snapshot version %d", ErrCorruptSegment, data[4])
+	}
+	n := binary.BigEndian.Uint32(data[5:9])
+	crc := binary.BigEndian.Uint32(data[9:13])
+	if int(n) != len(data)-13 {
+		return nil, fmt.Errorf("%w: snapshot claims %d payload bytes, has %d", ErrCorruptSegment, n, len(data)-13)
+	}
+	payload := data[13:]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, fmt.Errorf("%w: snapshot CRC mismatch", ErrCorruptSegment)
+	}
+	r := &binReader{b: payload}
+	count := int(r.u32("owner count"))
+	// Each owner costs ≥ 22 bytes (lengths + clock + empty sections).
+	if count > r.remaining()/22 {
+		return nil, fmt.Errorf("%w: owner count %d exceeds snapshot", ErrCorruptSegment, count)
+	}
+	out := make([]OwnerState, 0, count)
+	for i := 0; i < count; i++ {
+		var st OwnerState
+		ownerLen := int(r.u8("owner length"))
+		st.Owner = string(r.bytes(ownerLen, "owner id"))
+		st.Clock = r.u64("owner clock")
+		ledgerLen := int(r.u32("ledger length"))
+		ledger := r.bytes(ledgerLen, "ledger")
+		nEvents := int(r.u32("event count"))
+		if nEvents > r.remaining()/13 {
+			r.fail("event count")
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		st.Budget = dp.NewBudget()
+		if err := st.Budget.UnmarshalBinary(ledger); err != nil {
+			return nil, fmt.Errorf("%w: owner %q ledger: %v", ErrCorruptSegment, st.Owner, err)
+		}
+		if nEvents > 0 {
+			st.Events = make([]leakage.Event, nEvents)
+			for j := range st.Events {
+				st.Events[j] = leakage.Event{
+					Tick:   record.Tick(r.u64("event tick")),
+					Volume: int(r.u32("event volume")),
+					Flush:  r.u8("event flush") != 0,
+				}
+			}
+		}
+		nBatches := int(r.u32("batch count"))
+		if nBatches > r.remaining()/18 {
+			r.fail("batch count")
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		if nBatches > 0 {
+			st.Batches = make([]Batch, nBatches)
+			for j := range st.Batches {
+				st.Batches[j] = readBatch(r)
+			}
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		if st.Owner == "" {
+			return nil, fmt.Errorf("%w: empty owner id in snapshot", ErrCorruptSegment)
+		}
+		out = append(out, st)
+	}
+	if err := r.done("snapshot"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

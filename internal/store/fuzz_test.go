@@ -1,0 +1,143 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dpsync/internal/dp"
+)
+
+// fuzzSeedSegment builds a valid two-entry segment image for seeding.
+func fuzzSeedSegment(t interface{ Fatal(...any) }) []byte {
+	seg := segmentHeader()
+	for tick := uint64(1); tick <= 2; tick++ {
+		frame, err := encodeEntryFrame(Entry{Owner: "owner-a", Batch: Batch{
+			Tick:   tick,
+			Setup:  tick == 1,
+			Sealed: [][]byte{[]byte("ciphertext")},
+			Charge: Charge{Name: "m_update", Eps: 0.5, Rule: dp.Sequential},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg = append(seg, frame...)
+	}
+	return seg
+}
+
+// FuzzDecodeSegment throws arbitrary bytes at the WAL segment decoder: it
+// must never panic or over-allocate, always return the longest valid prefix
+// of entries, and classify every failure as a typed error (torn tail or
+// corruption) — mirroring internal/wire/fuzz_test.go for the on-disk codec.
+func FuzzDecodeSegment(f *testing.F) {
+	valid := fuzzSeedSegment(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])             // torn tail
+	f.Add(segmentHeader())                  // empty log
+	f.Add([]byte{})                         // zero-byte file
+	f.Add([]byte("DPSW"))                   // header cut short
+	f.Add([]byte("JUNKJUNKJUNK"))           // wrong magic
+	f.Add(append(segmentHeader(), 0, 0, 0)) // partial frame header
+	corrupted := append([]byte(nil), valid...)
+	corrupted[len(corrupted)-2] ^= 0xFF
+	f.Add(corrupted)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := decodeSegment(data)
+		if err != nil && !errors.Is(err, ErrTornTail) && !errors.Is(err, ErrCorruptSegment) {
+			t.Fatalf("untyped error: %v", err)
+		}
+		// Whatever was accepted must be well-formed enough to re-encode,
+		// and re-encoding must reproduce the consumed prefix bit for bit.
+		reenc := segmentHeader()
+		for _, e := range entries {
+			frame, ferr := encodeEntryFrame(e)
+			if ferr != nil {
+				t.Fatalf("accepted entry cannot be re-encoded: %v", ferr)
+			}
+			reenc = append(reenc, frame...)
+		}
+		if len(entries) > 0 && !bytes.Equal(reenc, data[:len(reenc)]) {
+			t.Fatal("decoded prefix does not round-trip")
+		}
+		// And the prefix property: a valid segment truncated anywhere must
+		// yield a prefix of the full decode, never different entries.
+		if err == nil && len(entries) > 0 {
+			again, aerr := decodeSegment(reenc)
+			if aerr != nil || len(again) != len(entries) {
+				t.Fatalf("re-decode of accepted segment: %d entries, %v", len(again), aerr)
+			}
+		}
+	})
+}
+
+// FuzzDecodeEntry exercises the per-entry payload decoder directly.
+func FuzzDecodeEntry(f *testing.F) {
+	frame, err := encodeEntryFrame(Entry{Owner: "o", Batch: Batch{
+		Tick: 1, Setup: true, Sealed: [][]byte{{1, 2, 3}},
+		Charge: Charge{Name: "m_setup", Eps: 0.25, Rule: dp.Sequential},
+	}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(frame[8:]) // the payload inside the frame
+	f.Add([]byte{})
+	f.Add([]byte{entryKindSync})
+	f.Add([]byte{entryKindSync, 1, 'o'})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := decodeEntry(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptSegment) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		reenc, err := encodeEntryFrame(e)
+		if err != nil {
+			t.Fatalf("accepted entry cannot be re-encoded: %v", err)
+		}
+		if !bytes.Equal(reenc[8:], data) {
+			t.Fatal("entry round trip changed bytes")
+		}
+	})
+}
+
+// FuzzDecodeSnapshot exercises the snapshot decoder: all-or-nothing
+// acceptance, typed rejection, no panics.
+func FuzzDecodeSnapshot(f *testing.F) {
+	b := dp.NewBudget()
+	_ = b.Charge("m_update", 0.5, dp.Sequential)
+	st := OwnerState{Owner: "owner-a", Clock: 1, Budget: b}
+	if err := applyBatch(&st, Batch{Tick: 2, Sealed: [][]byte{[]byte("x")},
+		Charge: Charge{Name: "m_update", Eps: 0.5, Rule: dp.Sequential}}); err != nil {
+		f.Fatal(err)
+	}
+	img, err := encodeSnapshot([]OwnerState{st})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(img)
+	f.Add(img[:len(img)-1])
+	f.Add([]byte{})
+	f.Add([]byte("DPSS"))
+	corrupted := append([]byte(nil), img...)
+	corrupted[len(corrupted)/2] ^= 0x01
+	f.Add(corrupted)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		owners, err := decodeSnapshot(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptSegment) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		reenc, err := encodeSnapshot(owners)
+		if err != nil {
+			t.Fatalf("accepted snapshot cannot be re-encoded: %v", err)
+		}
+		if !bytes.Equal(reenc, data) {
+			t.Fatal("snapshot round trip changed bytes")
+		}
+	})
+}

@@ -1,0 +1,165 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dpsync/internal/dp"
+	"dpsync/internal/leakage"
+	"dpsync/internal/record"
+)
+
+// isSegmentName / isSnapshotName match the store's file naming from any
+// shard count ("shard-0007.wal"), so recovery sees every era's files.
+func isSegmentName(name string) bool {
+	return strings.HasPrefix(name, "shard-") && strings.HasSuffix(name, ".wal")
+}
+
+func isSnapshotName(name string) bool {
+	return strings.HasPrefix(name, "shard-") && strings.HasSuffix(name, ".snap")
+}
+
+// recoverDir reconstructs per-owner durable state from every snapshot and
+// segment in dir.
+//
+// Merge rules, in order:
+//
+//  1. Snapshots: for an owner appearing in several snapshot files (possible
+//     after a crash mid-compaction or a shard-count change), the version
+//     with the highest clock wins — tenant state only grows, so the larger
+//     clock strictly supersedes the smaller.
+//  2. Entries: per owner, sorted by tick, applied only while consecutive
+//     from clock+1. A tick at or below the clock is a duplicate already
+//     covered by a snapshot (or an earlier file) and is skipped — this is
+//     what makes replay idempotent and prevents ledger double-spend. A gap
+//     ends that owner's replay: everything past a hole could reorder the
+//     transcript, so recovery keeps the longest provably-contiguous prefix.
+//
+// The third result names the files (by base name) that recovery found
+// damaged; compaction quarantines those instead of deleting them, so the
+// bytes past a corrupt frame stay available for manual inspection.
+func recoverDir(dir string) (map[string]*OwnerState, RecoveryInfo, map[string]bool, error) {
+	var info RecoveryInfo
+	corrupt := map[string]bool{}
+	dirents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, info, nil, fmt.Errorf("store: %w", err)
+	}
+	var segNames, snapNames []string
+	for _, de := range dirents {
+		if de.IsDir() {
+			continue
+		}
+		switch name := de.Name(); {
+		case isSegmentName(name):
+			segNames = append(segNames, name)
+		case isSnapshotName(name):
+			snapNames = append(snapNames, name)
+		}
+	}
+	sort.Strings(segNames)
+	sort.Strings(snapNames)
+
+	states := make(map[string]*OwnerState)
+	for _, name := range snapNames {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, info, nil, fmt.Errorf("store: %w", err)
+		}
+		owners, err := decodeSnapshot(data)
+		if err != nil {
+			// A damaged snapshot is skipped whole; its owners' state may
+			// still be covered by other files (compaction crash windows) or
+			// is lost to corruption — either way, loading half a snapshot
+			// would be worse.
+			info.CorruptSegments++
+			corrupt[name] = true
+			continue
+		}
+		info.Snapshots++
+		for i := range owners {
+			st := owners[i]
+			if prev, ok := states[st.Owner]; ok && prev.Clock >= st.Clock {
+				continue
+			}
+			states[st.Owner] = &st
+		}
+	}
+
+	perOwner := make(map[string][]Batch)
+	for _, name := range segNames {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, info, nil, fmt.Errorf("store: %w", err)
+		}
+		entries, err := decodeSegment(data)
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrTornTail):
+			info.TornTails++
+		default:
+			info.CorruptSegments++
+			corrupt[name] = true
+		}
+		for _, e := range entries {
+			perOwner[e.Owner] = append(perOwner[e.Owner], e.Batch)
+		}
+	}
+
+	for owner, batches := range perOwner {
+		st := states[owner]
+		if st == nil {
+			st = &OwnerState{Owner: owner, Budget: dp.NewBudget()}
+			states[owner] = st
+		}
+		sort.SliceStable(batches, func(i, j int) bool { return batches[i].Tick < batches[j].Tick })
+		for _, bt := range batches {
+			switch {
+			case bt.Tick <= st.Clock:
+				info.SkippedEntries++
+			case bt.Tick == st.Clock+1:
+				if err := applyBatch(st, bt); err != nil {
+					return nil, info, nil, fmt.Errorf("store: replaying owner %q tick %d: %w", owner, bt.Tick, err)
+				}
+				info.Entries++
+			default:
+				info.GapOwners++
+				// Conservative stop: the prefix up to the hole is provably
+				// the committed history; past it, ordering is unknown.
+				goto nextOwner
+			}
+		}
+	nextOwner:
+	}
+
+	for _, st := range states {
+		if st.Budget == nil {
+			st.Budget = dp.NewBudget()
+		}
+	}
+	info.Owners = len(states)
+	return states, info, corrupt, nil
+}
+
+// applyBatch folds one replayed batch into an owner's state: clock,
+// transcript event, ledger charge, and history — the same four mutations
+// the gateway makes at commit time.
+func applyBatch(st *OwnerState, bt Batch) error {
+	st.Clock = bt.Tick
+	st.Events = append(st.Events, leakage.Event{
+		Tick:   record.Tick(bt.Tick),
+		Volume: len(bt.Sealed),
+		Flush:  bt.Flush,
+	})
+	if bt.Charge.Name != "" {
+		if err := st.Budget.Charge(bt.Charge.Name, bt.Charge.Eps, bt.Charge.Rule); err != nil {
+			return err
+		}
+	}
+	st.Batches = append(st.Batches, bt)
+	return nil
+}

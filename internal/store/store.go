@@ -1,0 +1,583 @@
+// Package store is the durability subsystem under the multi-tenant gateway:
+// a per-shard, length-prefixed, CRC-checked write-ahead log with group
+// commit on the hot path, periodic per-shard snapshots with log truncation,
+// and crash recovery that reconstructs every tenant's sealed store, leakage
+// transcript, logical clock, and dp.Budget ledger.
+//
+// # Why the WAL guards the privacy guarantee
+//
+// DP-Sync's ε accounting is only meaningful if it survives the server: a
+// crash that loses the ledger forgets spend, and a naive replay that
+// re-applies syncs double-spends it and re-emits transcript events that
+// distort the very update pattern the mechanism hides. The store pins the
+// spend-before-sync invariant: a sync's WAL entry — ciphertexts, transcript
+// event, and budget charge together — is appended and group-committed
+// *before* the sync is acknowledged or becomes observable in the tenant's
+// transcript. Recovery replay is therefore idempotent: every entry carries
+// the owner's upload tick, snapshots carry the committed clock, and replay
+// applies exactly the entries past the clock, once.
+//
+// # Write path
+//
+// Each shard owns one segment file and one writer goroutine. Appends from
+// the shard worker are enqueued without blocking; the writer drains the
+// queue in batches — one buffered write + flush (+ optional fsync) commits
+// every entry that accumulated while the previous batch was in flight
+// (classic pipelined group commit), then completion callbacks fire. The
+// caller (the gateway shard worker) defers acknowledgment and transcript
+// observation to those callbacks.
+//
+// # Snapshots and truncation
+//
+// When a shard's log grows past the caller's threshold, the caller quiesces
+// (waits for its in-flight appends to commit) and calls Rotate with the
+// shard's tenant states: the snapshot is written tmp+rename-atomically and
+// the segment is truncated back to its header. Entries superseded by a
+// snapshot are skipped on replay by the clock rule, so a crash anywhere in
+// the rotate sequence stays recoverable.
+//
+// # Recovery
+//
+// Open scans the whole directory — all snapshot and segment files, from any
+// previous shard count — merges snapshots per owner (highest clock wins),
+// replays segment entries in tick order, then compacts: fresh snapshots are
+// written under the current shard mapping, old files are removed, and new
+// empty segments are opened. Torn segment tails (the normal post-crash
+// shape) end replay silently; CRC mismatches stop a segment at its longest
+// valid prefix and are reported in RecoveryInfo.
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the durability directory (created if absent).
+	Dir string
+	// Shards is the number of segment files / writer goroutines. It should
+	// match the caller's shard-worker count; recovery accepts directories
+	// written under any other value.
+	Shards int
+	// Fsync makes every group commit fsync the segment (crash-safe against
+	// machine failure). Off, commits are flushed to the OS (crash-safe
+	// against process failure) — the mode benchmarks and tests use.
+	Fsync bool
+}
+
+// Metrics is the store's cumulative instrumentation.
+type Metrics struct {
+	// Appends counts committed WAL entries; Commits counts group-commit
+	// batches (flush/fsync rounds). Appends/Commits is the group factor.
+	Appends int64
+	Commits int64
+	// Bytes is total segment bytes written (excluding snapshots).
+	Bytes int64
+	// AppendNs is cumulative append→commit latency over all entries.
+	AppendNs int64
+	// Snapshots counts rotate operations.
+	Snapshots int64
+}
+
+// AvgAppendUs returns the mean append→commit latency in microseconds.
+func (m Metrics) AvgAppendUs() float64 {
+	if m.Appends == 0 {
+		return 0
+	}
+	return float64(m.AppendNs) / float64(m.Appends) / 1e3
+}
+
+// RecoveryInfo summarizes what Open reconstructed.
+type RecoveryInfo struct {
+	// Owners is the number of tenant namespaces recovered.
+	Owners int
+	// Snapshots is the number of snapshot files merged; Entries the number
+	// of WAL entries applied on top of them; SkippedEntries the duplicates
+	// ignored by the clock rule (the idempotence counter).
+	Snapshots      int
+	Entries        int
+	SkippedEntries int
+	// TornTails counts segments ending mid-frame (normal after a crash);
+	// CorruptSegments counts segments or snapshots stopped by CRC or
+	// format damage; GapOwners counts owners whose replay stopped early at
+	// a missing tick.
+	TornTails       int
+	CorruptSegments int
+	GapOwners       int
+}
+
+// Store is an open durability directory. Create with Open, append from
+// exactly one goroutine per shard, stop with Close (graceful: flush
+// everything) or Kill (crash simulation: abandon pending work).
+type Store struct {
+	dir    string
+	fsync  bool
+	shards []*walShard
+	info   RecoveryInfo
+
+	appends   atomic.Int64
+	commits   atomic.Int64
+	bytes     atomic.Int64
+	appendNs  atomic.Int64
+	snapshots atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// walShard is one segment file plus its writer goroutine.
+type walShard struct {
+	id    int
+	path  string
+	store *Store
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []pendingEntry
+	rotate  *rotateReq
+	closing bool
+	killing bool
+
+	f          *os.File
+	w          *bufio.Writer
+	writerDone chan struct{}
+}
+
+type pendingEntry struct {
+	frame []byte
+	start time.Time
+	done  func(error)
+}
+
+type rotateReq struct {
+	snap []byte
+	done chan error
+}
+
+// ShardFor maps an owner ID onto one of n shards with the FNV-1a hash the
+// gateway routes by. Store and gateway must agree so compaction groups each
+// owner's state with the shard worker that will serve it.
+func ShardFor(owner string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(owner); i++ {
+		h ^= uint32(owner[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// Open recovers dir and prepares it for appends: every tenant's durable
+// state is reconstructed (returned for the caller to rebuild backends
+// from), the directory is compacted under the current shard mapping, and
+// fresh segments are opened.
+func Open(opts Options) (*Store, map[string]*OwnerState, error) {
+	if opts.Dir == "" {
+		return nil, nil, fmt.Errorf("store: empty directory")
+	}
+	if opts.Shards <= 0 {
+		return nil, nil, fmt.Errorf("store: shard count %d must be positive", opts.Shards)
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	states, info, corrupt, err := recoverDir(opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &Store{dir: opts.Dir, fsync: opts.Fsync, info: info}
+	if err := s.compact(opts.Shards, states, corrupt); err != nil {
+		return nil, nil, err
+	}
+	s.shards = make([]*walShard, opts.Shards)
+	for i := range s.shards {
+		sh := &walShard{
+			id:         i,
+			path:       segmentPath(opts.Dir, i),
+			store:      s,
+			writerDone: make(chan struct{}),
+		}
+		sh.cond = sync.NewCond(&sh.mu)
+		if err := sh.openSegment(); err != nil {
+			// Tear down the shards already opened.
+			for j := 0; j < i; j++ {
+				s.shards[j].f.Close()
+			}
+			return nil, nil, err
+		}
+		s.shards[i] = sh
+	}
+	if opts.Fsync {
+		// The fresh segments' directory entries must survive power loss
+		// before any commit is acknowledged out of them.
+		if err := syncDir(opts.Dir); err != nil {
+			for _, sh := range s.shards {
+				sh.f.Close()
+			}
+			return nil, nil, err
+		}
+	}
+	for _, sh := range s.shards {
+		go sh.run()
+	}
+	return s, states, nil
+}
+
+func segmentPath(dir string, id int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.wal", id))
+}
+
+func snapshotPath(dir string, id int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.snap", id))
+}
+
+// compact rewrites the recovered state as fresh snapshots under the current
+// shard mapping and removes every superseded file. Crash-safe by the clock
+// rule: new snapshots land first (tmp+rename), so any old file that
+// survives an interrupted removal only contributes already-covered state.
+// Files recovery found damaged are quarantined (renamed aside), never
+// deleted — a corrupt frame truncates replay at its position, but the
+// bytes after it may hold committed entries an operator can still salvage.
+func (s *Store) compact(shards int, states map[string]*OwnerState, corrupt map[string]bool) error {
+	byShard := make([][]OwnerState, shards)
+	for owner, st := range states {
+		sid := ShardFor(owner, shards)
+		byShard[sid] = append(byShard[sid], *st)
+	}
+	written := make(map[string]bool, shards)
+	for sid, owners := range byShard {
+		path := snapshotPath(s.dir, sid)
+		if len(owners) == 0 {
+			continue
+		}
+		img, err := encodeSnapshot(owners)
+		if err != nil {
+			return err
+		}
+		if err := writeFileAtomic(path, img, s.fsync); err != nil {
+			return err
+		}
+		written[filepath.Base(path)] = true
+	}
+	// Remove everything the compaction superseded: all segments, and any
+	// snapshot (stale shard numbering, previous era) not just written.
+	dirents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, de := range dirents {
+		name := de.Name()
+		if written[name] {
+			continue
+		}
+		if isSegmentName(name) || isSnapshotName(name) || filepath.Ext(name) == ".tmp" {
+			path := filepath.Join(s.dir, name)
+			if corrupt[name] {
+				// Quarantined names no longer match is{Segment,Snapshot}Name,
+				// so later opens ignore them; their recovered prefix is in
+				// the fresh snapshots, and the damaged suffix stays on disk.
+				// Never overwrite an earlier quarantine of the same name.
+				q := path + ".quarantined"
+				for i := 1; ; i++ {
+					if _, err := os.Stat(q); os.IsNotExist(err) {
+						break
+					}
+					q = fmt.Sprintf("%s.quarantined-%d", path, i)
+				}
+				if err := os.Rename(path, q); err != nil {
+					return fmt.Errorf("store: quarantine: %w", err)
+				}
+				continue
+			}
+			if err := os.Remove(path); err != nil {
+				return fmt.Errorf("store: compact: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// writeFileAtomic writes data via tmp+rename so readers only ever see whole
+// files.
+func writeFileAtomic(path string, data []byte, fsync bool) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if fsync {
+		// The rename itself must be durable before callers rely on the new
+		// file superseding old state (doRotate truncates the segment right
+		// after this; compact removes superseded files): fsync the parent
+		// directory so power loss cannot resurrect the pre-rename view.
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory, making recent renames/creates in it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("store: fsync %s: %w", dir, serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("store: %w", cerr)
+	}
+	return nil
+}
+
+// openSegment creates a fresh segment with its header.
+func (sh *walShard) openSegment() error {
+	f, err := os.OpenFile(sh.path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	sh.f = f
+	sh.w = bufio.NewWriterSize(f, 1<<16)
+	if _, err := sh.w.Write(segmentHeader()); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := sh.w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Append enqueues one entry on shard sid. It returns immediately; done is
+// invoked exactly once — from the shard's writer goroutine — after the
+// entry's group commit (nil) or its failure. A non-nil return means the
+// entry was never enqueued and done will not be called.
+//
+// Concurrency contract: one producer goroutine per shard (the gateway's
+// shard worker); done callbacks must not block the writer indefinitely.
+func (s *Store) Append(sid int, e Entry, done func(error)) error {
+	frame, err := encodeEntryFrame(e)
+	if err != nil {
+		return err
+	}
+	sh := s.shards[sid]
+	sh.mu.Lock()
+	if sh.closing {
+		sh.mu.Unlock()
+		return ErrStoreClosed
+	}
+	sh.queue = append(sh.queue, pendingEntry{frame: frame, start: time.Now(), done: done})
+	sh.cond.Signal()
+	sh.mu.Unlock()
+	return nil
+}
+
+// Rotate snapshots shard sid's tenants and truncates its segment. The
+// caller must be quiesced: no in-flight appends on this shard (the write
+// queue may only contain entries the snapshot already covers — they would
+// be skipped on replay, but the entries' durability window would silently
+// widen, so the contract forbids it). Blocks until the rotation is durable.
+func (s *Store) Rotate(sid int, owners []OwnerState) error {
+	img, err := encodeSnapshot(owners)
+	if err != nil {
+		return err
+	}
+	sh := s.shards[sid]
+	req := &rotateReq{snap: img, done: make(chan error, 1)}
+	sh.mu.Lock()
+	if sh.closing {
+		sh.mu.Unlock()
+		return ErrStoreClosed
+	}
+	if sh.rotate != nil {
+		sh.mu.Unlock()
+		return fmt.Errorf("store: concurrent rotate on shard %d", sid)
+	}
+	sh.rotate = req
+	sh.cond.Signal()
+	sh.mu.Unlock()
+	return <-req.done
+}
+
+// run is the writer loop: batch, commit, notify, repeat.
+func (sh *walShard) run() {
+	defer close(sh.writerDone)
+	for {
+		sh.mu.Lock()
+		for len(sh.queue) == 0 && sh.rotate == nil && !sh.closing {
+			sh.cond.Wait()
+		}
+		batch, rot := sh.queue, sh.rotate
+		sh.queue, sh.rotate = nil, nil
+		closing, killing := sh.closing, sh.killing
+		sh.mu.Unlock()
+
+		if killing {
+			// Crash simulation: abandon everything un-committed. Entries
+			// already committed were flushed by their own batch; nothing
+			// here reached an acknowledgment.
+			for _, p := range batch {
+				p.done(ErrStoreClosed)
+			}
+			if rot != nil {
+				rot.done <- ErrStoreClosed
+			}
+			return
+		}
+		if len(batch) > 0 {
+			err := sh.commit(batch)
+			for _, p := range batch {
+				p.done(err)
+			}
+		}
+		if rot != nil {
+			rot.done <- sh.doRotate(rot.snap)
+		}
+		if closing && len(batch) == 0 && rot == nil {
+			return
+		}
+	}
+}
+
+// commit writes one group of entries and makes them durable: buffered
+// writes, one flush, one optional fsync — the group-commit hot path.
+func (sh *walShard) commit(batch []pendingEntry) error {
+	var n int64
+	for _, p := range batch {
+		if _, err := sh.w.Write(p.frame); err != nil {
+			return fmt.Errorf("store: shard %d append: %w", sh.id, err)
+		}
+		n += int64(len(p.frame))
+	}
+	if err := sh.w.Flush(); err != nil {
+		return fmt.Errorf("store: shard %d flush: %w", sh.id, err)
+	}
+	if sh.store.fsync {
+		if err := sh.f.Sync(); err != nil {
+			return fmt.Errorf("store: shard %d fsync: %w", sh.id, err)
+		}
+	}
+	now := time.Now()
+	var lat int64
+	for _, p := range batch {
+		lat += now.Sub(p.start).Nanoseconds()
+	}
+	sh.store.appends.Add(int64(len(batch)))
+	sh.store.commits.Add(1)
+	sh.store.bytes.Add(n)
+	sh.store.appendNs.Add(lat)
+	return nil
+}
+
+// doRotate writes the snapshot atomically, then truncates the segment back
+// to its header. Runs on the writer goroutine, serialized with commits.
+func (sh *walShard) doRotate(img []byte) error {
+	if err := writeFileAtomic(snapshotPath(sh.store.dir, sh.id), img, sh.store.fsync); err != nil {
+		return err
+	}
+	if err := sh.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: shard %d truncate: %w", sh.id, err)
+	}
+	if _, err := sh.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("store: shard %d seek: %w", sh.id, err)
+	}
+	sh.w.Reset(sh.f)
+	if _, err := sh.w.Write(segmentHeader()); err != nil {
+		return fmt.Errorf("store: shard %d header: %w", sh.id, err)
+	}
+	if err := sh.w.Flush(); err != nil {
+		return fmt.Errorf("store: shard %d flush: %w", sh.id, err)
+	}
+	if sh.store.fsync {
+		if err := sh.f.Sync(); err != nil {
+			return fmt.Errorf("store: shard %d fsync: %w", sh.id, err)
+		}
+	}
+	sh.store.snapshots.Add(1)
+	return nil
+}
+
+// Close drains every shard's queue, commits it, and closes the files — the
+// graceful-shutdown path. Safe to call twice.
+func (s *Store) Close() error {
+	return s.shutdown(false)
+}
+
+// Kill abandons the store the way a crash would: pending (un-committed)
+// entries fail with ErrStoreClosed and nothing further is flushed. Entries
+// whose commit already completed remain durable. Tests use it to exercise
+// recovery; production code wants Close.
+func (s *Store) Kill() {
+	_ = s.shutdown(true)
+}
+
+func (s *Store) shutdown(kill bool) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.closing = true
+		if kill {
+			sh.killing = true
+		}
+		sh.cond.Signal()
+		sh.mu.Unlock()
+	}
+	var firstErr error
+	for _, sh := range s.shards {
+		<-sh.writerDone
+		if err := sh.f.Close(); err != nil && firstErr == nil && !kill {
+			firstErr = fmt.Errorf("store: shard %d close: %w", sh.id, err)
+		}
+	}
+	return firstErr
+}
+
+// Metrics returns the cumulative instrumentation counters.
+func (s *Store) Metrics() Metrics {
+	return Metrics{
+		Appends:   s.appends.Load(),
+		Commits:   s.commits.Load(),
+		Bytes:     s.bytes.Load(),
+		AppendNs:  s.appendNs.Load(),
+		Snapshots: s.snapshots.Load(),
+	}
+}
+
+// Info returns what Open's recovery pass reconstructed.
+func (s *Store) Info() RecoveryInfo { return s.info }
