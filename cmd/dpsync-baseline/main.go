@@ -73,6 +73,15 @@ type Baseline struct {
 	DurableSyncsPerSec float64 `json:"durable_syncs_per_sec"`
 	RecoveryMs         float64 `json:"recovery_ms"`
 	RecoveryOwners     int     `json:"recovery_owners"`
+	// Tiered history (internal/store spill tier under the same durable
+	// run): the in-RAM window the measurement used, batches/bytes spilled
+	// out of gateway RAM, and history segment files created.
+	// cmd/dpsync-loadgen -durable -history-window N -baseline merges the
+	// same keys.
+	HistoryWindow int   `json:"history_window"`
+	SpillBatches  int64 `json:"spill_batches"`
+	SpillBytes    int64 `json:"spill_bytes"`
+	SpillSegments int64 `json:"spill_segments"`
 }
 
 func obliWithRecords(n int) (*oblidb.DB, error) {
@@ -306,11 +315,16 @@ func main() {
 	b.GatewayP99Ms = rep.P99Ms
 	b.GatewayBytesPerSync = rep.BytesPerSync
 
-	// Durable serving layer: the same scale on the WAL+snapshot store, plus
-	// the close→reopen recovery wall-clock (transcripts verified).
+	// Durable serving layer: the same scale on the WAL+snapshot store with
+	// a finite history window (batches past it spill to history segments;
+	// snapshots are manifests), plus the close→reopen recovery wall-clock
+	// (transcripts verified, spilled history streamed). The window is 16 —
+	// small enough that the busiest owners (~T/3 syncs) actually spill at
+	// this tick count, so the spill_* keys measure real spill traffic.
 	drep, err := loadgen.Run(loadgen.Config{
 		Owners: gwOwners, Ticks: gwTicks, Seed: 1,
 		Durable: true, SyncEpsilon: 0.5, Verify: true,
+		HistoryWindow: 16,
 	})
 	if err != nil {
 		fatal(err)
@@ -320,6 +334,10 @@ func main() {
 	b.DurableSyncsPerSec = drep.SyncsPerSec
 	b.RecoveryMs = drep.RecoveryMs
 	b.RecoveryOwners = drep.RecoveredOwners
+	b.HistoryWindow = drep.HistoryWindow
+	b.SpillBatches = drep.SpillBatches
+	b.SpillBytes = drep.SpillBytes
+	b.SpillSegments = drep.SpillSegments
 
 	enc, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {

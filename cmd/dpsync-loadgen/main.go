@@ -20,16 +20,24 @@
 //
 //	go run ./cmd/dpsync-loadgen -owners 16 -ticks 50 -durable -quick   # CI durable smoke
 //
+// With -history-window N each tenant keeps only the most recent N committed
+// batches in gateway RAM; older history spills to on-disk history segments,
+// snapshots become manifests, and the recovery measurement streams the
+// spilled tier back (the tiered-history mode production runs at):
+//
+//	go run ./cmd/dpsync-loadgen -owners 16 -ticks 50 -durable -history-window 8 -quick
+//
 // With -crash N the crash-injection harness runs N seeds: each kills the
 // durable gateway at a seed-derived tick (no flush, no drain), restarts it
 // from disk, finishes the trace, and fails unless transcripts and ε
-// ledgers are continuous with an uninterrupted reference run:
+// ledgers are continuous with an uninterrupted reference run
+// (-history-window applies here too, exercising spill across the crash):
 //
 //	go run ./cmd/dpsync-loadgen -owners 8 -ticks 30 -crash 3
 //
 // With -baseline the gateway_* (or, with -durable, the wal_*/durable_*/
-// recovery_*) keys are merged into an existing BENCH_baseline.json,
-// preserving its other entries:
+// recovery_*/spill_*/history_window) keys are merged into an existing
+// BENCH_baseline.json, preserving its other entries:
 //
 //	go run ./cmd/dpsync-loadgen -owners 1000 -ticks 100 -baseline BENCH_baseline.json
 package main
@@ -65,6 +73,7 @@ func main() {
 		storeDir = flag.String("store", "", "durability directory for -durable (empty: temp dir)")
 		fsync    = flag.Bool("fsync", false, "fsync durable group commits")
 		syncEps  = flag.Float64("sync-epsilon", 0.5, "epsilon charged per sync in durable/crash modes")
+		histWin  = flag.Int("history-window", 0, "per-tenant in-RAM history batches before spilling to history segments (0: keep all in RAM; durable/crash modes)")
 		crash    = flag.Int("crash", 0, "run the crash-injection harness over N seeds instead of a load run")
 	)
 	flag.Parse()
@@ -82,24 +91,25 @@ func main() {
 		case *baseline != "":
 			fatal(fmt.Errorf("-crash produces verification evidence, not baseline metrics; drop -baseline"))
 		}
-		runCrash(*owners, *ticks, *crash, *seed, *shards, *syncEps, *fsync, *quick)
+		runCrash(*owners, *ticks, *crash, *seed, *shards, *syncEps, *histWin, *fsync, *quick)
 		return
 	}
 
 	cfg := loadgen.Config{
-		Owners:      *owners,
-		Ticks:       *ticks,
-		Addr:        *addr,
-		Conns:       *conns,
-		Window:      *window,
-		Workers:     *workers,
-		Shards:      *shards,
-		Seed:        *seed,
-		Verify:      *verify || *quick,
-		Durable:     *durable,
-		StoreDir:    *storeDir,
-		Fsync:       *fsync,
-		SyncEpsilon: *syncEps,
+		Owners:        *owners,
+		Ticks:         *ticks,
+		Addr:          *addr,
+		Conns:         *conns,
+		Window:        *window,
+		Workers:       *workers,
+		Shards:        *shards,
+		Seed:          *seed,
+		Verify:        *verify || *quick,
+		Durable:       *durable,
+		StoreDir:      *storeDir,
+		Fsync:         *fsync,
+		SyncEpsilon:   *syncEps,
+		HistoryWindow: *histWin,
 	}
 	switch strings.ToLower(*codec) {
 	case "binary":
@@ -132,6 +142,10 @@ func main() {
 		if rep.Durable {
 			fmt.Printf("durable: wal append %.1fµs (group ×%.1f, %d snapshots), recovery %.1fms for %d owners (transcripts verified)\n",
 				rep.WALAppendUs, rep.WALGroupFactor, rep.WALSnapshots, rep.RecoveryMs, rep.RecoveredOwners)
+			if rep.HistoryWindow > 0 {
+				fmt.Printf("spill: window %d, %d batches (%d bytes) across %d history segments\n",
+					rep.HistoryWindow, rep.SpillBatches, rep.SpillBytes, rep.SpillSegments)
+			}
 		}
 	} else {
 		enc, err := json.MarshalIndent(rep, "", "  ")
@@ -150,9 +164,10 @@ func main() {
 }
 
 // runCrash drives the crash-injection harness and reports per-seed results.
-func runCrash(owners, ticks, seeds int, seed uint64, shards int, syncEps float64, fsync, quick bool) {
+func runCrash(owners, ticks, seeds int, seed uint64, shards int, syncEps float64, histWin int, fsync, quick bool) {
 	cfg := loadgen.CrashConfig{
 		Owners: owners, Ticks: ticks, SyncEpsilon: syncEps, Fsync: fsync, Shards: shards,
+		HistoryWindow: histWin,
 	}
 	for i := 0; i < seeds; i++ {
 		cfg.Seeds = append(cfg.Seeds, seed+uint64(i)*7919)
@@ -163,8 +178,12 @@ func runCrash(owners, ticks, seeds int, seed uint64, shards int, syncEps float64
 	}
 	if quick {
 		for _, run := range rep.Runs {
-			fmt.Printf("crash ok: seed %d killed at tick %d/%d, recovered %d owners in %.1fms, transcripts+ledgers continuous\n",
-				run.Seed, run.CrashTick, rep.Ticks, run.RecoveredOwners, run.RecoveryMs)
+			spill := ""
+			if histWin > 0 {
+				spill = fmt.Sprintf(", %d batches spilled", run.SpillBatches)
+			}
+			fmt.Printf("crash ok: seed %d killed at tick %d/%d, recovered %d owners in %.1fms%s, transcripts+ledgers continuous\n",
+				run.Seed, run.CrashTick, rep.Ticks, run.RecoveredOwners, run.RecoveryMs, spill)
 		}
 		return
 	}
@@ -194,6 +213,10 @@ func mergeBaseline(path string, rep loadgen.Report) error {
 		doc["durable_syncs_per_sec"] = rep.SyncsPerSec
 		doc["recovery_ms"] = rep.RecoveryMs
 		doc["recovery_owners"] = rep.RecoveredOwners
+		doc["history_window"] = rep.HistoryWindow
+		doc["spill_batches"] = rep.SpillBatches
+		doc["spill_bytes"] = rep.SpillBytes
+		doc["spill_segments"] = rep.SpillSegments
 	} else {
 		doc["gateway_owners"] = rep.Owners
 		doc["gateway_ticks"] = rep.Ticks

@@ -21,9 +21,12 @@
 // write-ahead logs and snapshots under DIR carry every namespace's sealed
 // store, update-pattern transcript, logical clock, and ε ledger across
 // restarts — the server opens with crash recovery and SIGINT/SIGTERM drain
-// in-flight shard work and flush the WAL before exiting:
+// in-flight shard work and flush the WAL before exiting. Add
+// -history-window N to bound each tenant's in-RAM ingest history: older
+// batches spill to history segments under DIR, snapshots reference them by
+// manifest, and server RSS stops growing with total bytes ever ingested:
 //
-//	dpsync-server -multi -store /var/lib/dpsync -fsync -listen 127.0.0.1:7701 -key-file shared.key
+//	dpsync-server -multi -store /var/lib/dpsync -fsync -history-window 64 -listen 127.0.0.1:7701 -key-file shared.key
 package main
 
 import (
@@ -52,6 +55,7 @@ func main() {
 		fsync    = flag.Bool("fsync", false, "fsync every durable group commit (with -store)")
 		snapN    = flag.Int("snapshot-every", 0, "per-shard WAL entries between snapshots (0: default; with -store)")
 		syncEps  = flag.Float64("sync-epsilon", 0, "epsilon charged to a tenant's ledger per sync (with -store)")
+		histWin  = flag.Int("history-window", 0, "per-tenant in-RAM history batches before spilling to history segments (0: keep all in RAM; with -store)")
 	)
 	flag.Parse()
 
@@ -71,6 +75,7 @@ func main() {
 		gw, err := gateway.New(*listen, gateway.Config{
 			Key: key, Shards: *shards, Logger: logger,
 			StoreDir: *storeDir, Fsync: *fsync, SnapshotEvery: *snapN, SyncEpsilon: *syncEps,
+			HistoryWindow: *histWin,
 		})
 		if err != nil {
 			log.Fatalf("dpsync-server: %v", err)

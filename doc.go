@@ -192,27 +192,50 @@
 // single-goroutine, and the commit cost amortizes across every entry that
 // arrived during the previous flush (the wal_group_factor baseline key).
 //
+// Tiered history. Gateway memory is independent of ingest history:
+// gateway.Config.HistoryWindow bounds the committed batches a tenant keeps
+// in RAM, and everything older is spilled to append-only, CRC-framed
+// history segments shared by the shard (the same frame layout as the WAL).
+// Only a manifest ref — segment id, byte offset, run length, run checksum,
+// tick range — stays in memory per spilled run; spills fire at twice the
+// window and extend the owner's previous ref in place when contiguous, so
+// ref counts stay sublinear in history and RSS scales with the live window
+// while total ingest grows without bound (pinned by a ReadMemStats
+// regression test against a 10×-window ingest). Spilled bytes
+// are flushed (and in fsync mode fsynced) before any snapshot manifest
+// references them; until then the WAL still covers them, so a crash can
+// only orphan a spill, never lose one.
+//
 // Snapshots and truncation. Past a per-shard entry threshold the worker
 // quiesces (drains its in-flight commits), writes all its tenants —
-// clock, transcript, ledger, and full ingest history — as an atomic
-// (tmp+rename, with a directory fsync in fsync mode) snapshot, and
-// truncates the segment. A snapshot rewrites the shard's whole history, so
-// the threshold grows geometrically with that history — rotation I/O stays
-// amortized for long-lived shards instead of going quadratic. Recovery merges
-// whatever the directory holds: snapshots from any era or shard count
-// (highest clock wins per owner), then WAL entries in tick order, applying
-// exactly those past the recovered clock — idempotent replay, torn tails
-// treated as the normal crash shape, CRC damage stopping a segment at its
-// longest valid prefix. Backends are rebuilt by re-ingesting the logged
-// ciphertext history (verbatim for enclave-style stores, through the
-// ingress sealer for record-level ones), and the directory is compacted
-// under the current shard mapping before serving resumes.
+// clock, transcript, ledger, and history manifest (segment refs + the
+// inline tail) — as an atomic (tmp+rename, with a directory fsync in fsync
+// mode) snapshot, and truncates the segment. With a history window the
+// snapshot is O(delta since the last rotation) and the cadence stays fixed
+// (which also bounds WAL length, and with it recovery's replay memory);
+// without one the snapshot re-serializes the whole inline history, so the
+// threshold grows geometrically with the committed entry count — derived
+// from the durable clocks, never from the in-RAM tail — to keep rotation
+// I/O amortized. Recovery merges whatever the directory holds: snapshots
+// from any era or shard count (highest clock whose manifest still checks
+// out against the history segments wins per owner), then WAL entries in
+// tick order, applying exactly those past the recovered clock — idempotent
+// replay, torn tails treated as the normal crash shape, CRC damage
+// stopping a segment at its longest valid prefix. Backends are rebuilt by
+// *streaming* the logged ciphertext history through the shared ingest path
+// (verbatim for enclave-style stores, through the ingress sealer for
+// record-level ones) — spilled runs are validated (per-frame CRC, run CRC,
+// owner, tick chain) and re-ingested frame by frame, never materialized —
+// and the directory is compacted under the current shard mapping (tails
+// re-spilled past the window, orphan history segments collected) before
+// serving resumes.
 //
-// The differential acceptance test kills a live durable gateway mid-run (no
-// flush, no drain), restarts it from disk, finishes the trace, and pins
-// every tenant's transcript bit-identical to an uninterrupted single-owner
-// run — with the recovered ledger equal to the uninterrupted one.
-// cmd/dpsync-loadgen -durable measures the layer (wal_append_us,
-// durable_syncs_per_sec, recovery_ms in the baseline) and -crash N runs the
-// same kill/restart/verify cycle across N seeds.
+// The differential acceptance tests kill a live durable gateway mid-run (no
+// flush, no drain), restart it from disk, finish the trace, and pin every
+// tenant's transcript bit-identical to an uninterrupted single-owner run —
+// with the recovered ledger equal to the uninterrupted one — across the
+// history-window matrix {disabled, 1, 64}. cmd/dpsync-loadgen -durable
+// measures the layer (wal_append_us, durable_syncs_per_sec, recovery_ms,
+// and with -history-window the spill_* keys in the baseline) and -crash N
+// runs the same kill/restart/verify cycle across N seeds.
 package dpsync

@@ -2,6 +2,7 @@ package gateway_test
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"path/filepath"
 	"strings"
@@ -240,6 +241,217 @@ func TestDurableCrashDifferential(t *testing.T) {
 	}
 }
 
+// TestDurableCrashMatrixDifferential is the tiered-history acceptance
+// matrix: the same three-strategy owner mix is killed at a seeded-random
+// tick and recovered under each history-window configuration — spill
+// disabled, the pathological window=1 (nearly everything spilled, a spill
+// on almost every commit), and a production-shaped window=64 — and every
+// cell must recover by *streaming* whatever history was spilled (recovery
+// never materializes the cold tier) to a per-owner transcript and ε ledger
+// bit-identical to an uninterrupted single-owner internal/server run.
+func TestDurableCrashMatrixDifferential(t *testing.T) {
+	key, err := seal.NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := durableOwnerSpecs(t)
+	// Spill triggers when a tenant's committed history reaches 2× the
+	// window (hysteresis amortizes the per-spill ref); 400 ticks puts the
+	// busiest owner (SUR syncs every arrival, one arrival per 3 ticks,
+	// ~134 syncs) past 2×64, so even the largest matrix window genuinely
+	// spills by the end of the trace.
+	const (
+		ticks   = 400
+		syncEps = 0.25
+	)
+
+	// Uninterrupted single-owner references, computed once and shared by
+	// every matrix cell (the reference does not depend on the window).
+	wantPatterns := map[string]string{}
+	wantLedgers := map[string]*dp.Budget{}
+	for i, spec := range specs {
+		srv, err := server.New("127.0.0.1:0", key, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = srv.Serve() }()
+		cl, err := client.Dial(srv.Addr(), key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner, err := core.New(core.Config{Strategy: spec.mk(), Database: cl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := owner.Setup([]record.Record{yellow(0, 10), yellow(0, 20)}); err != nil {
+			t.Fatal(err)
+		}
+		for tick := 1; tick <= ticks; tick++ {
+			var terr error
+			if (tick+i)%3 == 0 {
+				terr = owner.Tick(yellow(tick, uint16(tick%record.NumLocations+1)))
+			} else {
+				terr = owner.Tick()
+			}
+			if terr != nil {
+				t.Fatal(terr)
+			}
+		}
+		pat := srv.ObservedPattern()
+		wantPatterns[spec.name] = pat.String()
+		ledger := dp.NewBudget()
+		if err := ledger.Charge("m_setup", syncEps, dp.Sequential); err != nil {
+			t.Fatal(err)
+		}
+		for u := 1; u < pat.Updates(); u++ {
+			if err := ledger.Charge("m_update", syncEps, dp.Sequential); err != nil {
+				t.Fatal(err)
+			}
+		}
+		wantLedgers[spec.name] = ledger
+		cl.Close()
+		srv.Close()
+	}
+
+	rng := rand.New(rand.NewSource(0xD5717C))
+	for _, window := range []int{0, 1, 64} {
+		window := window
+		crashTick := 20 + rng.Intn(ticks-40)
+		t.Run(fmt.Sprintf("window=%d", window), func(t *testing.T) {
+			dir := t.TempDir()
+			mkGateway := func() *gateway.Gateway {
+				gw, err := gateway.New("127.0.0.1:0", gateway.Config{
+					Key: key, Shards: 2,
+					StoreDir: dir, SnapshotEvery: 16, SyncEpsilon: syncEps,
+					HistoryWindow: window,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				go func() { _ = gw.Serve() }()
+				return gw
+			}
+			gw := mkGateway()
+			conn, err := client.DialGateway(gw.Addr(), key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			owners := make([]*core.Owner, len(specs))
+			swaps := make([]*swapDB, len(specs))
+			for i, spec := range specs {
+				swaps[i] = &swapDB{Database: conn.Owner(spec.name)}
+				owner, err := core.New(core.Config{Strategy: spec.mk(), Database: swaps[i]})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := owner.Setup([]record.Record{yellow(0, 10), yellow(0, 20)}); err != nil {
+					t.Fatal(err)
+				}
+				owners[i] = owner
+			}
+			interleave := func(from, to int) {
+				for tick := from; tick <= to; tick++ {
+					for j, owner := range owners {
+						var terr error
+						if (tick+j)%3 == 0 {
+							terr = owner.Tick(yellow(tick, uint16(tick%record.NumLocations+1)))
+						} else {
+							terr = owner.Tick()
+						}
+						if terr != nil {
+							t.Fatal(terr)
+						}
+					}
+				}
+			}
+			interleave(1, crashTick)
+			// Spill happens exactly when some owner's committed history
+			// reaches twice the window — assert both directions.
+			preMetrics, _ := gw.StoreMetrics()
+			expectSpill := false
+			for _, owner := range owners {
+				if window > 0 && owner.Pattern().Updates() >= 2*window {
+					expectSpill = true
+				}
+			}
+			if expectSpill && preMetrics.SpillBatches == 0 {
+				t.Fatalf("window=%d crashTick=%d: nothing spilled before the crash", window, crashTick)
+			}
+			if window == 0 && preMetrics.SpillBatches != 0 {
+				t.Fatalf("window=0 spilled %d batches", preMetrics.SpillBatches)
+			}
+
+			// Crash: sever clients, abandon un-flushed state.
+			conn.Close()
+			gw.Kill()
+
+			gw2 := mkGateway()
+			t.Cleanup(func() { _ = gw2.Close() })
+			rec := gw2.Recovery()
+			if rec.Owners != len(specs) {
+				t.Fatalf("recovered %d owners, want %d (info %+v)", rec.Owners, len(specs), rec)
+			}
+			// With window=1 every commit but the latest is spilled, so any
+			// pre-crash rotation persisted a manifest with refs — recovery
+			// must be streaming the cold tier, not loading it.
+			if window == 1 && preMetrics.Snapshots > 0 && rec.SpilledRefs == 0 {
+				t.Fatalf("window=1: rotations happened (%d) but recovery saw no spilled refs (%+v)",
+					preMetrics.Snapshots, rec)
+			}
+			conn2, err := client.DialGateway(gw2.Addr(), key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn2.Close()
+			for i, spec := range specs {
+				pre := gw2.ObservedPattern(spec.name)
+				if want := owners[i].Pattern().Updates(); pre.Updates() != want {
+					t.Fatalf("%s: recovered %d events, owner had %d acknowledged", spec.name, pre.Updates(), want)
+				}
+				swaps[i].swap(conn2.Owner(spec.name))
+			}
+			interleave(crashTick+1, ticks)
+
+			// By the end of the full trace the busiest owner has crossed
+			// 2× every finite matrix window: the recovered gateway must
+			// have kept spilling.
+			if window > 0 {
+				finalSpill := false
+				for _, owner := range owners {
+					if owner.Pattern().Updates() >= 2*window {
+						finalSpill = true
+					}
+				}
+				if m, _ := gw2.StoreMetrics(); finalSpill && m.SpillBatches == 0 {
+					t.Errorf("window=%d: recovered gateway never spilled across the full trace", window)
+				}
+			}
+			for i, spec := range specs {
+				got := gw2.ObservedPattern(spec.name)
+				if got.String() != wantPatterns[spec.name] {
+					t.Errorf("%s transcript diverged after crash+recovery (crashTick %d):\n gateway: %s\n  single: %s",
+						spec.name, crashTick, got.String(), wantPatterns[spec.name])
+				}
+				ledger := gw2.ObservedLedger(spec.name)
+				if !ledger.Equal(wantLedgers[spec.name]) {
+					t.Errorf("%s ledger diverged (double spend or lost charge):\n got: %s\nwant: %s",
+						spec.name, ledger.Describe(), wantLedgers[spec.name].Describe())
+				}
+				want := owners[i].Pattern()
+				if got.Updates() != want.Updates() {
+					t.Errorf("%s: gateway saw %d updates, owner posted %d", spec.name, got.Updates(), want.Updates())
+					continue
+				}
+				for j, e := range got.Events {
+					if e.Volume != want.Events[j].Volume {
+						t.Errorf("%s: event %d volume %d != owner volume %d", spec.name, j, e.Volume, want.Events[j].Volume)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestGracefulCloseFlushesWAL is the shutdown regression test: Close must
 // drain in-flight shard work and flush the WAL, so a subsequent open
 // recovers every acknowledged sync — the in-process contract behind
@@ -451,7 +663,9 @@ func TestDurableReadsWaitForCommit(t *testing.T) {
 
 // TestDurableCrypteBackendRecovery covers the ingress-sealer replay path:
 // record-level backends (Cryptε) are rebuilt by re-opening the logged
-// ciphertexts through the gateway's ingress boundary.
+// ciphertexts through the gateway's ingress boundary. HistoryWindow 1
+// forces part of that history through the spill tier, so the recovery
+// stream exercises sealed-run decoding *and* the ingress sealer together.
 func TestDurableCrypteBackendRecovery(t *testing.T) {
 	key, err := seal.NewRandomKey()
 	if err != nil {
@@ -460,7 +674,7 @@ func TestDurableCrypteBackendRecovery(t *testing.T) {
 	dir := t.TempDir()
 	mk := func() *gateway.Gateway {
 		gw, err := gateway.New("127.0.0.1:0", gateway.Config{
-			Key: key, StoreDir: dir, SyncEpsilon: 0.5,
+			Key: key, StoreDir: dir, SyncEpsilon: 0.5, HistoryWindow: 1,
 			NewBackend: func(owner string) (edb.Database, error) {
 				return crypte.NewWithKey(key, crypte.WithNoiseSource(dp.NewSeededSource(7)))
 			},

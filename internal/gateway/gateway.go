@@ -125,6 +125,15 @@ type Config struct {
 	// SnapshotEvery is the per-shard WAL entry count between snapshot
 	// rotations (0 = DefaultSnapshotEvery).
 	SnapshotEvery int
+	// HistoryWindow bounds the committed ingest batches each tenant keeps
+	// in RAM (and inlines in snapshots). Past the window, history spills to
+	// sealed on-disk history segments; snapshots reference the spilled runs
+	// by manifest (segment, offset, length, checksum) so rotation I/O is
+	// O(delta), and recovery streams the runs back through the ingest path
+	// without materializing them. 0 keeps the full history in RAM and
+	// inline in snapshots (the legacy small-deployment behavior). Durable
+	// mode only.
+	HistoryWindow int
 	// SyncEpsilon is the ε charged to a tenant's ledger per sync (setup or
 	// update), recorded inside the sync's WAL entry so recovery re-spends
 	// exactly what was spent. Changing it against an existing store makes
@@ -234,9 +243,10 @@ func New(addr string, cfg Config) (*Gateway, error) {
 // and ledger — onto its shard, before any worker or connection exists.
 func (g *Gateway) openStore() error {
 	s, states, err := store.Open(store.Options{
-		Dir:    g.cfg.StoreDir,
-		Shards: g.cfg.Shards,
-		Fsync:  g.cfg.Fsync,
+		Dir:           g.cfg.StoreDir,
+		Shards:        g.cfg.Shards,
+		Fsync:         g.cfg.Fsync,
+		HistoryWindow: g.cfg.HistoryWindow,
 	})
 	if err != nil {
 		return fmt.Errorf("gateway: %w", err)
@@ -258,17 +268,16 @@ func (g *Gateway) openStore() error {
 	}
 	// Re-derive each shard's rotation threshold from its recovered history
 	// so a mature store does not immediately re-snapshot at the configured
-	// minimum interval.
+	// minimum interval. The size is the shards' durable entry counts (the
+	// committed clocks) — never len(tn.history), which is only the in-RAM
+	// tail once history is split between RAM and spill segments and would
+	// double-count (or drop) whatever the window moved.
 	for _, sh := range g.shards {
-		total := 0
-		for _, tn := range sh.owners {
-			total += len(tn.history)
-		}
-		sh.snapThreshold = max(g.cfg.SnapshotEvery, total/4)
+		sh.snapThreshold = nextSnapThreshold(g.cfg.SnapshotEvery, g.cfg.HistoryWindow, sh.committedEntries())
 	}
-	if info := s.Info(); info.Owners > 0 || info.CorruptSegments > 0 {
-		g.log.Printf("recovered %d owners (%d snapshots, %d WAL entries, %d duplicates skipped, %d torn tails, %d corrupt segments)",
-			info.Owners, info.Snapshots, info.Entries, info.SkippedEntries, info.TornTails, info.CorruptSegments)
+	if info := s.Info(); info.Owners > 0 || info.CorruptSegments > 0 || info.DamagedHistory > 0 {
+		g.log.Printf("recovered %d owners (%d snapshots, %d WAL entries, %d duplicates skipped, %d torn tails, %d corrupt segments, %d spilled history refs, %d damaged-history fallbacks)",
+			info.Owners, info.Snapshots, info.Entries, info.SkippedEntries, info.TornTails, info.CorruptSegments, info.SpilledRefs, info.DamagedHistory)
 	}
 	return nil
 }

@@ -1,0 +1,170 @@
+package gateway_test
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"testing"
+
+	"dpsync/internal/edb"
+	"dpsync/internal/gateway"
+	"dpsync/internal/query"
+	"dpsync/internal/record"
+	"dpsync/internal/seal"
+	"dpsync/internal/wire"
+)
+
+// sinkDB is an edb.Database that accepts sealed batches and retains
+// nothing — it isolates the *gateway's* per-tenant memory (history tail,
+// spill refs, transcript, ledger) from the backend's own storage, which in
+// a real deployment lives on the outsourced server, not in gateway RAM.
+type sinkDB struct {
+	setup   bool
+	records int
+	updates int
+}
+
+func (s *sinkDB) Name() string                { return "Sink" }
+func (s *sinkDB) Leakage() edb.LeakageClass   { return edb.L0 }
+func (s *sinkDB) Supports(q query.Query) bool { return false }
+func (s *sinkDB) SetupSealed(cts []seal.Sealed) error {
+	s.setup = true
+	s.records += len(cts)
+	s.updates++
+	return nil
+}
+func (s *sinkDB) UpdateSealed(cts []seal.Sealed) error {
+	if !s.setup {
+		return edb.ErrNotSetup
+	}
+	s.records += len(cts)
+	s.updates++
+	return nil
+}
+func (s *sinkDB) Setup(rs []record.Record) error  { return fmt.Errorf("sink: sealed-only") }
+func (s *sinkDB) Update(rs []record.Record) error { return fmt.Errorf("sink: sealed-only") }
+func (s *sinkDB) Query(q query.Query) (query.Answer, edb.Cost, error) {
+	return query.Answer{}, edb.Cost{}, edb.ErrUnsupportedQuery
+}
+func (s *sinkDB) Stats() edb.StorageStats {
+	return edb.StorageStats{Records: s.records, Updates: s.updates}
+}
+
+// driveSink pushes one owner's setup plus n large sealed updates through a
+// fresh durable gateway over a raw wire connection and returns the
+// gateway-side heap growth between the post-setup and post-drive
+// quiescent points.
+func driveSink(t *testing.T, window, updates, blobBytes int) uint64 {
+	t.Helper()
+	gw, err := gateway.New("127.0.0.1:0", gateway.Config{
+		NewBackend:    func(string) (edb.Database, error) { return &sinkDB{}, nil },
+		Shards:        1,
+		StoreDir:      t.TempDir(),
+		SnapshotEvery: 32,
+		HistoryWindow: window,
+		SyncEpsilon:   0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = gw.Serve() }()
+	defer gw.Close()
+
+	conn, err := net.Dial("tcp", gw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	codec := wire.CodecBinary
+	if err := wire.WriteHello(conn, codec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadHelloAck(conn); err != nil {
+		t.Fatal(err)
+	}
+	send := func(id uint64, typ wire.MsgType, sealed [][]byte) {
+		payload, err := codec.EncodeGatewayRequest(wire.GatewayRequest{
+			ID: id, Owner: "m", Req: wire.Request{Type: typ, Sealed: sealed},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wire.WriteFrame(conn, payload); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := wire.ReadFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := codec.DecodeGatewayResponse(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.ID != id || !resp.Resp.OK {
+			t.Fatalf("request %d: %+v", id, resp)
+		}
+	}
+	blob := func(u int) [][]byte {
+		b := make([]byte, blobBytes)
+		for i := range b {
+			b[i] = byte(u + i)
+		}
+		return [][]byte{b}
+	}
+
+	heap := func() uint64 {
+		runtime.GC()
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+
+	send(1, wire.MsgSetup, blob(0))
+	before := heap()
+	for u := 1; u <= updates; u++ {
+		send(uint64(u+1), wire.MsgUpdate, blob(u))
+	}
+	after := heap()
+	if after <= before {
+		return 0
+	}
+	return after - before
+}
+
+// TestGatewayHeapBoundedByHistoryWindow is the memory-bound regression
+// test: with a finite history window, gateway heap must stay within a
+// constant factor of the window while total ingested bytes grow an order
+// of magnitude past it — the property the tiered history store exists for,
+// and the tripwire against any future reintroduction of O(total-history)
+// state. The windowless run is measured alongside as the control: it MUST
+// retain O(total) (that is what snapshots serialize in legacy mode), which
+// also proves the measurement can see the regression it guards against.
+func TestGatewayHeapBoundedByHistoryWindow(t *testing.T) {
+	const (
+		window    = 8
+		updates   = 160 // 20× the window
+		blobBytes = 16 << 10
+	)
+	totalBytes := uint64(updates) * blobBytes
+
+	unbounded := driveSink(t, 0, updates, blobBytes)
+	bounded := driveSink(t, window, updates, blobBytes)
+
+	// The control must hold roughly the whole history in RAM.
+	if unbounded < totalBytes/2 {
+		t.Fatalf("control run grew only %d bytes for %d ingested — the measurement is blind", unbounded, totalBytes)
+	}
+	// The windowed run keeps the tail (window × blob) plus bookkeeping
+	// (refs, transcript, WAL buffers); give it a generous constant factor
+	// of the window — but far below the total, and far below the control.
+	budget := uint64(window*blobBytes)*4 + 512<<10
+	if bounded > budget {
+		t.Fatalf("windowed heap grew %d bytes, budget %d (window %d × %d-byte blobs, %d ingested)",
+			bounded, budget, window, blobBytes, totalBytes)
+	}
+	if bounded > unbounded/4 {
+		t.Fatalf("windowed heap (%d) is not clearly below unbounded (%d) for %d ingested bytes",
+			bounded, unbounded, totalBytes)
+	}
+}

@@ -76,10 +76,17 @@ type tenant struct {
 	// entry, so it is durable before the sync is observable, and the
 	// in-memory ledger always equals the committed history's spend.
 	budget *dp.Budget
-	// history is the full ingest history in tick order, appended at commit
-	// time; it is what snapshots persist so log truncation loses nothing.
-	// Durable mode only (nil otherwise).
+	// history is the *hot tail* of the ingest history in tick order,
+	// appended at commit time. With Config.HistoryWindow set, batches past
+	// the window spill to on-disk history segments and only their refs
+	// stay here (spilled); snapshots persist refs + tail, so log
+	// truncation loses nothing and RAM stays bounded by the window. With
+	// window 0 the tail is the whole history. Durable mode only (nil
+	// otherwise).
 	history []store.Batch
+	// spilled references the cold history runs, in tick order, contiguous
+	// from tick 1; history continues where they end.
+	spilled []store.SegmentRef
 	// failed latches after a durable sync's group commit reports an error:
 	// the outcome of that sync is indeterminate (its frame may or may not
 	// have reached disk), so accepting further syncs would let the live
@@ -367,6 +374,7 @@ func (g *Gateway) dispatch(sh *shard, tn *tenant, owner string, req wire.Request
 					g.log.Printf("tick %d: ledger charge failed after validation: %v", entry.Batch.Tick, cerr)
 				}
 				tn.history = append(tn.history, entry.Batch)
+				g.spillHistory(sh, owner, tn)
 				respond(wire.Response{OK: true})
 				// Reads parked behind this sync can answer now.
 				tn.flushDeferred()
@@ -451,25 +459,101 @@ func (g *Gateway) dispatchUnknown(owner string, req wire.Request) wire.Response 
 	}
 }
 
+// spillHistory enforces the tenant's in-RAM history window after a commit:
+// once the tail reaches twice the window, everything past the window moves
+// to the shard's history segment and only SegmentRefs stay in memory. The
+// 2× hysteresis spills ≥window batches at a time, and the store coalesces
+// a run that lands right after the owner's previous ref into that ref —
+// together they keep per-owner ref counts sublinear in history (a naive
+// spill-on-every-commit would mint one 36-byte ref per tick and sneak
+// O(total-ingest) state back into RAM and manifests). A spill failure is
+// survivable — the batches simply stay in RAM (still correct, just not
+// bounded) and the next commit retries; the store latches genuinely lossy
+// writers so a manifest can never reference bytes that failed to land.
+// Runs on the shard worker.
+func (g *Gateway) spillHistory(sh *shard, owner string, tn *tenant) {
+	w := g.cfg.HistoryWindow
+	if w <= 0 || len(tn.history) < 2*w {
+		return
+	}
+	n := len(tn.history) - w
+	var prev *store.SegmentRef
+	prevCount := 0
+	if len(tn.spilled) > 0 {
+		prev = &tn.spilled[len(tn.spilled)-1]
+		prevCount = int(prev.Count)
+	}
+	refs, extended, err := g.store.Spill(sh.id, owner, prev, tn.history[:n])
+	// A partial failure still returns refs for the runs that completed:
+	// keep them (their bytes are written; Rotate refuses to manifest them
+	// unless they flush) and drop exactly the batches they cover, so a
+	// retry never re-spills — and double-counts — an already-written run.
+	if len(refs) > 0 {
+		done := 0
+		for _, r := range refs {
+			done += int(r.Count)
+		}
+		if extended {
+			done -= prevCount // the widened ref re-counts prev's batches
+			tn.spilled[len(tn.spilled)-1] = refs[0]
+			refs = refs[1:]
+		}
+		tn.spilled = append(tn.spilled, refs...)
+		kept := make([]store.Batch, len(tn.history)-done)
+		copy(kept, tn.history[done:])
+		tn.history = kept
+	}
+	if err != nil {
+		g.log.Printf("owner %q: history spill deferred (%d batches stay in RAM): %v", owner, len(tn.history), err)
+	}
+}
+
+// committedEntries is the shard's total durable history length, derived
+// from the tenants' committed clocks. This is the only correct size once
+// history is split between RAM and spill segments: every tick 1..clock is
+// exactly one committed entry, wherever its bytes live, so the count never
+// double-counts a batch that is both spilled and still referenced, and
+// never shrinks just because the window moved batches out of RAM.
+func (sh *shard) committedEntries() int {
+	total := 0
+	for _, tn := range sh.owners {
+		total += tn.ticks
+	}
+	return total
+}
+
+// nextSnapThreshold picks the shard's next rotation trigger. With a history
+// window, snapshots are manifests — O(refs + window) regardless of total
+// history — so a fixed cadence is right and also bounds the WAL length
+// (which bounds both recovery replay and its RAM). Without a window a
+// snapshot rewrites the whole inline history, so the threshold grows
+// geometrically with the committed entry count to keep total rotation I/O
+// amortized over a long-lived shard.
+func nextSnapThreshold(snapshotEvery, historyWindow, committedEntries int) int {
+	if historyWindow > 0 {
+		return snapshotEvery
+	}
+	return max(snapshotEvery, committedEntries/4)
+}
+
 // snapshotShard rotates the shard's log: its tenants' committed state is
 // written as the shard's snapshot and the segment is truncated. Runs on the
 // shard worker with zero in-flight appends, so clocks, transcripts,
 // ledgers, and histories are mutually consistent. Afterwards the rotation
-// threshold is re-derived from the history size (geometric, so total
-// snapshot I/O stays amortized-linear-ish); a failed rotation doubles the
-// threshold instead, so the shard does not hot-loop a rotation that keeps
-// failing — the WAL keeps growing and keeps everything recoverable.
+// threshold is re-derived (see nextSnapThreshold); a failed rotation
+// doubles the threshold instead, so the shard does not hot-loop a rotation
+// that keeps failing — the WAL keeps growing and keeps everything
+// recoverable.
 func (g *Gateway) snapshotShard(sh *shard) {
-	total := 0
 	states := make([]store.OwnerState, 0, len(sh.owners))
 	for owner, tn := range sh.owners {
-		total += len(tn.history)
 		states = append(states, store.OwnerState{
 			Owner:   owner,
 			Clock:   uint64(tn.ticks),
 			Events:  tn.observed.Events,
 			Budget:  tn.budget,
-			Batches: tn.history,
+			Spilled: tn.spilled,
+			Tail:    tn.history,
 		})
 	}
 	if err := g.store.Rotate(sh.id, states); err != nil {
@@ -477,30 +561,36 @@ func (g *Gateway) snapshotShard(sh *shard) {
 		sh.snapThreshold *= 2
 		return
 	}
-	sh.snapThreshold = max(g.cfg.SnapshotEvery, total/4)
+	sh.snapThreshold = nextSnapThreshold(g.cfg.SnapshotEvery, g.cfg.HistoryWindow, sh.committedEntries())
 }
 
 // replayOwner rebuilds one recovered tenant: the backend is reconstructed
-// by re-ingesting the durable batch history, and the committed transcript,
-// clock, and ledger are installed verbatim.
+// by *streaming* the durable batch history through the shared ingest path —
+// spilled runs straight off their history segments, then the inline tail —
+// and the committed transcript, clock, and ledger are installed verbatim.
+// The spilled tier is never materialized; per-batch memory is one frame.
 func (g *Gateway) replayOwner(st *store.OwnerState) (*tenant, error) {
 	tn, err := g.newTenant(st.Owner)
 	if err != nil {
 		return nil, err
 	}
-	for _, bt := range st.Batches {
+	if err := g.store.StreamHistory(st, func(bt store.Batch) error {
 		cts := make([]seal.Sealed, len(bt.Sealed))
 		for i, b := range bt.Sealed {
 			cts[i] = seal.Sealed(b)
 		}
 		if err := g.ingest(tn, bt.Setup, cts); err != nil {
-			return nil, fmt.Errorf("gateway: replaying owner %q tick %d: %w", st.Owner, bt.Tick, err)
+			return fmt.Errorf("tick %d: %w", bt.Tick, err)
 		}
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("gateway: replaying owner %q: %w", st.Owner, err)
 	}
 	tn.ticks = int(st.Clock)
 	tn.seq = st.Clock
 	tn.observed = leakage.Pattern{Events: st.Events}
 	tn.budget = st.Budget
-	tn.history = st.Batches
+	tn.history = st.Tail
+	tn.spilled = st.Spilled
 	return tn, nil
 }

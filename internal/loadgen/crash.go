@@ -31,6 +31,10 @@ type CrashConfig struct {
 	Fsync bool
 	// Shards configures both gateways (0 = GOMAXPROCS).
 	Shards int
+	// HistoryWindow configures the durable gateway's tiered history (0 =
+	// full history in RAM): with a window, the kill/restart cycle also
+	// exercises spill, manifest snapshots, and streaming recovery.
+	HistoryWindow int
 }
 
 // CrashRun is one seed's outcome.
@@ -39,6 +43,10 @@ type CrashRun struct {
 	CrashTick       int     `json:"crash_tick"`
 	RecoveryMs      float64 `json:"recovery_ms"`
 	RecoveredOwners int     `json:"recovered_owners"`
+	// SpillBatches counts history batches the recovered gateway's store
+	// moved out of RAM (compaction re-spill plus post-restart spills);
+	// zero unless CrashConfig.HistoryWindow is set.
+	SpillBatches int64 `json:"spill_batches,omitempty"`
 }
 
 // CrashReport is the harness result; Runs has one entry per seed, all
@@ -199,6 +207,7 @@ func runCrashSeed(cfg CrashConfig, seed uint64) (CrashRun, error) {
 		gw, err := gateway.New("127.0.0.1:0", gateway.Config{
 			Key: key, Shards: cfg.Shards, SyncEpsilon: cfg.SyncEpsilon,
 			StoreDir: dir, Fsync: cfg.Fsync, SnapshotEvery: 64,
+			HistoryWindow: cfg.HistoryWindow,
 		})
 		if err != nil {
 			return nil, err
@@ -260,5 +269,9 @@ func runCrashSeed(cfg CrashConfig, seed uint64) (CrashRun, error) {
 				ownerName(i), crashTick)
 		}
 	}
-	return CrashRun{Seed: seed, CrashTick: crashTick, RecoveryMs: recoveryMs, RecoveredOwners: recovered}, nil
+	run := CrashRun{Seed: seed, CrashTick: crashTick, RecoveryMs: recoveryMs, RecoveredOwners: recovered}
+	if m, ok := gw2.StoreMetrics(); ok {
+		run.SpillBatches = m.SpillBatches
+	}
+	return run, nil
 }

@@ -72,6 +72,11 @@ type Config struct {
 	StoreDir    string
 	Fsync       bool
 	SyncEpsilon float64
+	// HistoryWindow bounds each tenant's in-RAM committed-batch tail in
+	// durable mode; past it, history spills to on-disk segments and
+	// snapshots carry manifests (see gateway.Config.HistoryWindow). 0
+	// keeps the full history in RAM.
+	HistoryWindow int
 }
 
 // Report is the measurement result.
@@ -108,6 +113,12 @@ type Report struct {
 	WALSnapshots    int64   `json:"wal_snapshots,omitempty"`
 	RecoveryMs      float64 `json:"recovery_ms,omitempty"`
 	RecoveredOwners int     `json:"recovered_owners,omitempty"`
+	// Tiered-history measurements: the configured window, batches and
+	// bytes spilled out of gateway RAM, and history segment files created.
+	HistoryWindow int   `json:"history_window,omitempty"`
+	SpillBatches  int64 `json:"spill_batches,omitempty"`
+	SpillBytes    int64 `json:"spill_bytes,omitempty"`
+	SpillSegments int64 `json:"spill_segments,omitempty"`
 }
 
 // timedDB wraps an owner's database handle and records the round-trip
@@ -210,6 +221,7 @@ func Run(cfg Config) (Report, error) {
 			gwCfg.StoreDir = storeDir
 			gwCfg.Fsync = cfg.Fsync
 			gwCfg.SyncEpsilon = cfg.SyncEpsilon
+			gwCfg.HistoryWindow = cfg.HistoryWindow
 		}
 		var err error
 		gw, err = gateway.New("127.0.0.1:0", gwCfg)
@@ -374,12 +386,16 @@ func Run(cfg Config) (Report, error) {
 	// bit-identical transcript check per owner.
 	if cfg.Durable && gw != nil {
 		rep.Durable = true
+		rep.HistoryWindow = cfg.HistoryWindow
 		if m, ok := gw.StoreMetrics(); ok {
 			rep.WALAppendUs = m.AvgAppendUs()
 			if m.Commits > 0 {
 				rep.WALGroupFactor = float64(m.Appends) / float64(m.Commits)
 			}
 			rep.WALSnapshots = m.Snapshots
+			rep.SpillBatches = m.SpillBatches
+			rep.SpillBytes = m.SpillBytes
+			rep.SpillSegments = m.HistorySegments
 		}
 		var want map[string]string
 		if cfg.Verify {
@@ -398,6 +414,7 @@ func Run(cfg Config) (Report, error) {
 		gw2, err := gateway.New("127.0.0.1:0", gateway.Config{
 			Key: key, Shards: cfg.Shards,
 			StoreDir: storeDir, Fsync: cfg.Fsync, SyncEpsilon: cfg.SyncEpsilon,
+			HistoryWindow: cfg.HistoryWindow,
 		})
 		if err != nil {
 			return Report{}, fmt.Errorf("loadgen: recovery: %w", err)

@@ -13,20 +13,34 @@ import (
 	"dpsync/internal/record"
 )
 
-// On-disk formats. Both files open with a 5-byte header (magic + version);
-// every payload after the header travels in a CRC-checked frame:
+// On-disk formats. All three file kinds open with a 5-byte header (magic +
+// version); every payload after the header travels in a CRC-checked frame:
 //
-//	WAL segment:   "DPSW" ver ( [u32 len][u32 crc32c][entry payload] )*
-//	Snapshot file: "DPSS" ver   [u32 len][u32 crc32c][snapshot payload]
+//	WAL segment:     "DPSW" ver ( [u32 len][u32 crc32c][entry payload] )*
+//	History segment: "DPSH" ver ( [u32 len][u32 crc32c][entry payload] )*
+//	Snapshot file:   "DPSS" ver   [u32 len][u32 crc32c][snapshot payload]
 //
 // The frame layout deliberately mirrors internal/wire's length-prefixed
 // binary codec (bounds-checked cursor, typed errors, count-vs-remaining
 // sanity checks before allocation); the added CRC is what lets recovery
 // tell a torn tail from silent corruption.
+//
+// History segments carry the same entry frames the WAL does, but they are
+// the *cold tier*: committed batches spilled out of gateway RAM, referenced
+// by snapshots through SegmentRef manifests (segment id, byte offset, run
+// length, run CRC) instead of being re-serialized into every snapshot.
 
 const (
-	// formatVersion is the current on-disk version byte for both file kinds.
-	formatVersion = 1
+	// walVersion / histVersion / snapVersion are the current on-disk version
+	// bytes. The snapshot format moved to v2 when it became a manifest
+	// (tiered history: segment refs + inline tail) instead of an inline
+	// re-serialization of the whole ingest history; v1 snapshots are still
+	// readable (everything loads as tail) so existing stores upgrade in
+	// place — the first compaction rewrites them as v2.
+	walVersion    = 1
+	histVersion   = 1
+	snapVersion   = 2
+	snapVersionV1 = 1
 	// maxEntrySize bounds one WAL entry frame. A sync batch is bounded by
 	// the wire layer's 16 MiB frame cap; the entry adds small metadata.
 	maxEntrySize = 20 << 20
@@ -35,10 +49,14 @@ const (
 	// maxOwnerLen mirrors wire.MaxOwnerLen: owner IDs are one-byte-length
 	// routing keys everywhere in the system.
 	maxOwnerLen = 255
+	// segmentRefSize is the encoded size of one SegmentRef (seg + off + len
+	// + crc + firstTick + count).
+	segmentRefSize = 8 + 8 + 4 + 4 + 8 + 4
 )
 
 var (
 	walMagic  = [4]byte{'D', 'P', 'S', 'W'}
+	histMagic = [4]byte{'D', 'P', 'S', 'H'}
 	snapMagic = [4]byte{'D', 'P', 'S', 'S'}
 )
 
@@ -88,18 +106,45 @@ type Entry struct {
 	Batch Batch
 }
 
+// SegmentRef names one contiguous run of an owner's batches inside a sealed
+// history segment: snapshots carry these instead of re-serializing spilled
+// history, so rotation I/O is O(delta) and recovery can stream the run back
+// without materializing it. Off/Len bound the exact byte range of the run's
+// frames; CRC is Castagnoli over that whole range (frame headers included),
+// so a manifest that points at the wrong bytes is caught before replay
+// trusts them. FirstTick/Count pin the run's position in the owner's
+// contiguous tick sequence.
+type SegmentRef struct {
+	Seg       uint64
+	Off       uint64
+	Len       uint32
+	CRC       uint32
+	FirstTick uint64
+	Count     uint32
+}
+
+// lastTick returns the tick of the run's final batch.
+func (r SegmentRef) lastTick() uint64 { return r.FirstTick + uint64(r.Count) - 1 }
+
 // OwnerState is one tenant's recovered (or snapshot-bound) durable state.
+// The ingest history is tiered: Spilled references runs of committed batches
+// living in sealed history segments on disk (tick order, contiguous from
+// tick 1), and Tail holds the most recent batches inline (the in-RAM
+// window). Together they cover ticks 1..Clock exactly; iterate them with
+// Store.StreamHistory, which never materializes the spilled tier.
 type OwnerState struct {
 	Owner string
 	// Clock is the committed logical clock: the tick of the last applied
-	// batch, equal to len(Batches).
+	// batch, equal to the total history length (spilled + tail).
 	Clock uint64
 	// Events is the committed adversary-view transcript.
 	Events []leakage.Event
 	// Budget is the committed privacy ledger.
 	Budget *dp.Budget
-	// Batches is the full ingest history, in tick order.
-	Batches []Batch
+	// Spilled references the cold history runs, in tick order.
+	Spilled []SegmentRef
+	// Tail is the hot history suffix, inline and in tick order.
+	Tail []Batch
 }
 
 // Batch flag bits.
@@ -319,27 +364,12 @@ func decodeEntry(payload []byte) (Entry, error) {
 	return e, nil
 }
 
-// decodeSegment parses a whole WAL segment image: header, then frames until
-// the bytes run out. It always returns the longest valid prefix of entries;
-// err is nil for a clean end, ErrTornTail for a mid-frame end (the normal
-// post-crash shape), and ErrCorruptSegment for a bad header, CRC mismatch,
-// or malformed payload. It never panics, whatever the bytes claim.
-func decodeSegment(data []byte) (entries []Entry, err error) {
-	if len(data) < len(walMagic)+1 {
-		if len(data) == 0 {
-			// A zero-byte file is a segment created but never written — a
-			// crash between create and header flush. Treat as empty.
-			return nil, nil
-		}
-		return nil, fmt.Errorf("%w: short segment header", ErrTornTail)
-	}
-	if string(data[:4]) != string(walMagic[:]) {
-		return nil, fmt.Errorf("%w: bad segment magic %q", ErrCorruptSegment, data[:4])
-	}
-	if data[4] != formatVersion {
-		return nil, fmt.Errorf("%w: unknown segment version %d", ErrCorruptSegment, data[4])
-	}
-	rest := data[5:]
+// scanFrames walks CRC frames until the bytes run out, returning the
+// longest valid prefix of entries; err is nil for a clean end, ErrTornTail
+// for a mid-frame end (the normal post-crash shape), and ErrCorruptSegment
+// for a CRC mismatch or malformed payload. Shared by the WAL and history
+// segment decoders; it never panics, whatever the bytes claim.
+func scanFrames(rest []byte) (entries []Entry, err error) {
 	for len(rest) > 0 {
 		if len(rest) < 8 {
 			return entries, fmt.Errorf("%w: %d trailing bytes", ErrTornTail, len(rest))
@@ -366,23 +396,105 @@ func decodeSegment(data []byte) (entries []Entry, err error) {
 	return entries, nil
 }
 
+// checkSegmentHeader validates a 5-byte magic+version header. A zero-byte
+// image is a file created but never written — a crash between create and
+// header flush — and reports ok=false with a nil error (treat as empty).
+func checkSegmentHeader(data []byte, magic [4]byte, version byte, kind string) (ok bool, err error) {
+	if len(data) < len(magic)+1 {
+		if len(data) == 0 {
+			return false, nil
+		}
+		return false, fmt.Errorf("%w: short %s header", ErrTornTail, kind)
+	}
+	if string(data[:4]) != string(magic[:]) {
+		return false, fmt.Errorf("%w: bad %s magic %q", ErrCorruptSegment, kind, data[:4])
+	}
+	if data[4] != version {
+		return false, fmt.Errorf("%w: unknown %s version %d", ErrCorruptSegment, kind, data[4])
+	}
+	return true, nil
+}
+
+// decodeSegment parses a whole WAL segment image: header, then frames until
+// the bytes run out (longest-valid-prefix semantics, see scanFrames).
+func decodeSegment(data []byte) ([]Entry, error) {
+	ok, err := checkSegmentHeader(data, walMagic, walVersion, "segment")
+	if !ok || err != nil {
+		return nil, err
+	}
+	return scanFrames(data[5:])
+}
+
+// decodeHistorySegment parses a whole history segment image with the same
+// longest-valid-prefix semantics as the WAL decoder. Recovery proper reads
+// history by SegmentRef ranges (streamRun), not by scanning; this decoder is
+// the salvage/inspection path and the fuzz surface for the shared frame
+// layout under the history header.
+func decodeHistorySegment(data []byte) ([]Entry, error) {
+	ok, err := checkSegmentHeader(data, histMagic, histVersion, "history segment")
+	if !ok || err != nil {
+		return nil, err
+	}
+	return scanFrames(data[5:])
+}
+
 // segmentHeader returns the 5-byte header opening every WAL segment.
 func segmentHeader() []byte {
-	return append(append([]byte(nil), walMagic[:]...), formatVersion)
+	return append(append([]byte(nil), walMagic[:]...), walVersion)
+}
+
+// historyHeader returns the 5-byte header opening every history segment.
+func historyHeader() []byte {
+	return append(append([]byte(nil), histMagic[:]...), histVersion)
+}
+
+// validateHistoryShape checks the tiered-history invariant one OwnerState
+// must satisfy: spilled runs chain contiguously from tick 1, the tail
+// continues where they end, and the clock equals the final tick. Both the
+// encoder (catching gateway bookkeeping bugs before they reach disk) and
+// the decoder (rejecting manifests that would replay an impossible history)
+// enforce it.
+func validateHistoryShape(st *OwnerState) error {
+	next := uint64(1)
+	for i, ref := range st.Spilled {
+		if ref.Count == 0 || ref.Len == 0 {
+			return fmt.Errorf("empty segment ref %d", i)
+		}
+		if ref.FirstTick != next {
+			return fmt.Errorf("segment ref %d starts at tick %d, want %d", i, ref.FirstTick, next)
+		}
+		next += uint64(ref.Count)
+	}
+	for i, bt := range st.Tail {
+		if bt.Tick != next {
+			return fmt.Errorf("tail batch %d at tick %d, want %d", i, bt.Tick, next)
+		}
+		next++
+	}
+	if st.Clock != next-1 {
+		return fmt.Errorf("clock %d does not match history end %d", st.Clock, next-1)
+	}
+	return nil
 }
 
 // encodeSnapshot renders a shard's tenants as one snapshot file image
 // (header + single CRC frame). Owners are emitted in sorted order so equal
-// states produce equal bytes.
+// states produce equal bytes. History travels as a manifest: segment refs
+// for the spilled tier plus the inline tail — rotation never re-serializes
+// spilled batches.
 func encodeSnapshot(owners []OwnerState) ([]byte, error) {
 	sorted := make([]OwnerState, len(owners))
 	copy(sorted, owners)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Owner < sorted[j].Owner })
 	payload := make([]byte, 0, 1024)
 	payload = appendU32(payload, uint32(len(sorted)))
-	for _, st := range sorted {
+	for i := range sorted {
+		st := &sorted[i]
 		if len(st.Owner) == 0 || len(st.Owner) > maxOwnerLen {
 			return nil, fmt.Errorf("store: owner id length %d outside [1, %d]", len(st.Owner), maxOwnerLen)
+		}
+		if err := validateHistoryShape(st); err != nil {
+			return nil, fmt.Errorf("store: snapshot history for %q: %v", st.Owner, err)
 		}
 		payload = append(payload, byte(len(st.Owner)))
 		payload = append(payload, st.Owner...)
@@ -407,8 +519,17 @@ func encodeSnapshot(owners []OwnerState) ([]byte, error) {
 			}
 			payload = append(payload, f)
 		}
-		payload = appendU32(payload, uint32(len(st.Batches)))
-		for _, bt := range st.Batches {
+		payload = appendU32(payload, uint32(len(st.Spilled)))
+		for _, ref := range st.Spilled {
+			payload = appendU64(payload, ref.Seg)
+			payload = appendU64(payload, ref.Off)
+			payload = appendU32(payload, ref.Len)
+			payload = appendU32(payload, ref.CRC)
+			payload = appendU64(payload, ref.FirstTick)
+			payload = appendU32(payload, ref.Count)
+		}
+		payload = appendU32(payload, uint32(len(st.Tail)))
+		for _, bt := range st.Tail {
 			payload, err = appendBatch(payload, bt)
 			if err != nil {
 				return nil, err
@@ -420,16 +541,20 @@ func encodeSnapshot(owners []OwnerState) ([]byte, error) {
 	}
 	out := make([]byte, 0, 13+len(payload))
 	out = append(out, snapMagic[:]...)
-	out = append(out, formatVersion)
+	out = append(out, snapVersion)
 	out = appendU32(out, uint32(len(payload)))
 	out = appendU32(out, crc32.Checksum(payload, crcTable))
 	return append(out, payload...), nil
 }
 
-// decodeSnapshot parses a snapshot file image. Any malformation — including
-// a CRC mismatch from a torn snapshot write that escaped the tmp+rename
-// discipline — rejects the whole file (snapshots are atomic units; a half
-// snapshot must not load as a smaller state).
+// decodeSnapshot parses a snapshot file image — the current v2 manifest
+// format, or the legacy v1 format (no spill tier: the whole history loads
+// as tail, and the next compaction rewrites the file as v2). Any
+// malformation — including a CRC mismatch from a torn snapshot write that
+// escaped the tmp+rename discipline, or a manifest whose history shape
+// could not have been written by a correct run — rejects the whole file
+// (snapshots are atomic units; a half snapshot must not load as a smaller
+// state).
 func decodeSnapshot(data []byte) ([]OwnerState, error) {
 	if len(data) < 13 {
 		return nil, fmt.Errorf("%w: short snapshot header", ErrCorruptSegment)
@@ -437,8 +562,9 @@ func decodeSnapshot(data []byte) ([]OwnerState, error) {
 	if string(data[:4]) != string(snapMagic[:]) {
 		return nil, fmt.Errorf("%w: bad snapshot magic %q", ErrCorruptSegment, data[:4])
 	}
-	if data[4] != formatVersion {
-		return nil, fmt.Errorf("%w: unknown snapshot version %d", ErrCorruptSegment, data[4])
+	version := data[4]
+	if version != snapVersion && version != snapVersionV1 {
+		return nil, fmt.Errorf("%w: unknown snapshot version %d", ErrCorruptSegment, version)
 	}
 	n := binary.BigEndian.Uint32(data[5:9])
 	crc := binary.BigEndian.Uint32(data[9:13])
@@ -451,8 +577,13 @@ func decodeSnapshot(data []byte) ([]OwnerState, error) {
 	}
 	r := &binReader{b: payload}
 	count := int(r.u32("owner count"))
-	// Each owner costs ≥ 22 bytes (lengths + clock + empty sections).
-	if count > r.remaining()/22 {
+	// Each owner costs ≥ 22 bytes (v1) / 26 bytes (v2): lengths + clock +
+	// empty sections.
+	minOwner := 26
+	if version == snapVersionV1 {
+		minOwner = 22
+	}
+	if count > r.remaining()/minOwner {
 		return nil, fmt.Errorf("%w: owner count %d exceeds snapshot", ErrCorruptSegment, count)
 	}
 	out := make([]OwnerState, 0, count)
@@ -484,17 +615,39 @@ func decodeSnapshot(data []byte) ([]OwnerState, error) {
 				}
 			}
 		}
-		nBatches := int(r.u32("batch count"))
-		if nBatches > r.remaining()/18 {
-			r.fail("batch count")
+		if version >= snapVersion {
+			nRefs := int(r.u32("segment ref count"))
+			if nRefs > r.remaining()/segmentRefSize {
+				r.fail("segment ref count")
+			}
+			if r.err != nil {
+				return nil, r.err
+			}
+			if nRefs > 0 {
+				st.Spilled = make([]SegmentRef, nRefs)
+				for j := range st.Spilled {
+					st.Spilled[j] = SegmentRef{
+						Seg:       r.u64("ref segment"),
+						Off:       r.u64("ref offset"),
+						Len:       r.u32("ref length"),
+						CRC:       r.u32("ref crc"),
+						FirstTick: r.u64("ref first tick"),
+						Count:     r.u32("ref batch count"),
+					}
+				}
+			}
+		}
+		nTail := int(r.u32("tail batch count"))
+		if nTail > r.remaining()/18 {
+			r.fail("tail batch count")
 		}
 		if r.err != nil {
 			return nil, r.err
 		}
-		if nBatches > 0 {
-			st.Batches = make([]Batch, nBatches)
-			for j := range st.Batches {
-				st.Batches[j] = readBatch(r)
+		if nTail > 0 {
+			st.Tail = make([]Batch, nTail)
+			for j := range st.Tail {
+				st.Tail[j] = readBatch(r)
 			}
 		}
 		if r.err != nil {
@@ -502,6 +655,9 @@ func decodeSnapshot(data []byte) ([]OwnerState, error) {
 		}
 		if st.Owner == "" {
 			return nil, fmt.Errorf("%w: empty owner id in snapshot", ErrCorruptSegment)
+		}
+		if err := validateHistoryShape(&st); err != nil {
+			return nil, fmt.Errorf("%w: owner %q manifest: %v", ErrCorruptSegment, st.Owner, err)
 		}
 		out = append(out, st)
 	}

@@ -23,6 +23,54 @@ func isSnapshotName(name string) bool {
 	return strings.HasPrefix(name, "shard-") && strings.HasSuffix(name, ".snap")
 }
 
+// recovery bundles what recoverDir learned beyond the per-owner states:
+// the public RecoveryInfo, which files were damaged (for quarantine), every
+// history segment referenced by any decodable snapshot (so compaction GC
+// can tell salvage-worthy segments from orphans), history segment sizes on
+// disk (for cheap ref validation), and the highest segment number seen (so
+// fresh spills never collide with an old id).
+type recovery struct {
+	info RecoveryInfo
+	// corrupt names damaged WAL segments / snapshots by base name.
+	corrupt map[string]bool
+	// snapRefs holds every history segment id referenced by any snapshot
+	// that decoded, winning candidate or not.
+	snapRefs map[uint64]bool
+	// corruptSnapshots counts snapshot files that failed to decode. Their
+	// manifests are unreadable, so the refs they carried are unknown —
+	// compaction GC must then quarantine rather than delete unreferenced
+	// history segments, or it could destroy the only salvage copy of runs
+	// the damaged manifest still names.
+	corruptSnapshots int
+	// salvage names snapshot files (by base name) that decoded but carried
+	// at least one candidate recovery dropped for damaged history. The
+	// fresh manifests supersede them with *less* state, so compaction must
+	// quarantine them — their inline tails, ledgers, and SegmentRef
+	// offsets are exactly what an operator needs to salvage the
+	// quarantined segments.
+	salvage map[string]bool
+	// histSizes maps history segment id → byte size on disk.
+	histSizes map[uint64]int64
+	// maxHistSeg is the highest history segment number present on disk.
+	maxHistSeg uint64
+}
+
+// validRefs cheaply checks a snapshot candidate's manifest against the
+// directory: every referenced segment must exist and be long enough to
+// contain the ref's range. Deep validation (CRC, owner, tick chain) happens
+// when the history is streamed; this check is what lets the merge fall back
+// to an older snapshot instead of picking a candidate whose history is
+// provably gone.
+func (rec *recovery) validRefs(st *OwnerState) bool {
+	for _, ref := range st.Spilled {
+		size, ok := rec.histSizes[ref.Seg]
+		if !ok || uint64(size) < ref.Off+uint64(ref.Len) {
+			return false
+		}
+	}
+	return true
+}
+
 // recoverDir reconstructs per-owner durable state from every snapshot and
 // segment in dir.
 //
@@ -30,8 +78,11 @@ func isSnapshotName(name string) bool {
 //
 //  1. Snapshots: for an owner appearing in several snapshot files (possible
 //     after a crash mid-compaction or a shard-count change), the version
-//     with the highest clock wins — tenant state only grows, so the larger
-//     clock strictly supersedes the smaller.
+//     with the highest clock *whose history manifest still checks out
+//     against the directory* wins — tenant state only grows, so the larger
+//     clock strictly supersedes the smaller, but a manifest pointing at a
+//     missing or truncated history segment is unusable and loses to an
+//     older intact candidate (counted in DamagedHistory).
 //  2. Entries: per owner, sorted by tick, applied only while consecutive
 //     from clock+1. A tick at or below the clock is a duplicate already
 //     covered by a snapshot (or an earlier file) and is skipped — this is
@@ -39,15 +90,19 @@ func isSnapshotName(name string) bool {
 //     ends that owner's replay: everything past a hole could reorder the
 //     transcript, so recovery keeps the longest provably-contiguous prefix.
 //
-// The third result names the files (by base name) that recovery found
-// damaged; compaction quarantines those instead of deleting them, so the
-// bytes past a corrupt frame stay available for manual inspection.
-func recoverDir(dir string) (map[string]*OwnerState, RecoveryInfo, map[string]bool, error) {
-	var info RecoveryInfo
-	corrupt := map[string]bool{}
+// Replayed WAL entries extend the owner's inline tail; the spilled tier is
+// never loaded here — only its manifest travels, and Store.StreamHistory
+// streams the runs when the caller rebuilds backends.
+func recoverDir(dir string) (map[string]*OwnerState, *recovery, error) {
+	rec := &recovery{
+		corrupt:   map[string]bool{},
+		salvage:   map[string]bool{},
+		snapRefs:  map[uint64]bool{},
+		histSizes: map[uint64]int64{},
+	}
 	dirents, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, info, nil, fmt.Errorf("store: %w", err)
+		return nil, nil, fmt.Errorf("store: %w", err)
 	}
 	var segNames, snapNames []string
 	for _, de := range dirents {
@@ -59,6 +114,19 @@ func recoverDir(dir string) (map[string]*OwnerState, RecoveryInfo, map[string]bo
 			segNames = append(segNames, name)
 		case isSnapshotName(name):
 			snapNames = append(snapNames, name)
+		case isHistoryName(name):
+			id, ok := historySegID(name)
+			if !ok {
+				continue
+			}
+			fi, err := de.Info()
+			if err != nil {
+				return nil, nil, fmt.Errorf("store: %w", err)
+			}
+			rec.histSizes[id] = fi.Size()
+			if id > rec.maxHistSeg {
+				rec.maxHistSeg = id
+			}
 		}
 	}
 	sort.Strings(segNames)
@@ -68,7 +136,7 @@ func recoverDir(dir string) (map[string]*OwnerState, RecoveryInfo, map[string]bo
 	for _, name := range snapNames {
 		data, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
-			return nil, info, nil, fmt.Errorf("store: %w", err)
+			return nil, nil, fmt.Errorf("store: %w", err)
 		}
 		owners, err := decodeSnapshot(data)
 		if err != nil {
@@ -76,14 +144,23 @@ func recoverDir(dir string) (map[string]*OwnerState, RecoveryInfo, map[string]bo
 			// still be covered by other files (compaction crash windows) or
 			// is lost to corruption — either way, loading half a snapshot
 			// would be worse.
-			info.CorruptSegments++
-			corrupt[name] = true
+			rec.info.CorruptSegments++
+			rec.corruptSnapshots++
+			rec.corrupt[name] = true
 			continue
 		}
-		info.Snapshots++
+		rec.info.Snapshots++
 		for i := range owners {
 			st := owners[i]
+			for _, ref := range st.Spilled {
+				rec.snapRefs[ref.Seg] = true
+			}
 			if prev, ok := states[st.Owner]; ok && prev.Clock >= st.Clock {
+				continue
+			}
+			if !rec.validRefs(&st) {
+				rec.info.DamagedHistory++
+				rec.salvage[name] = true
 				continue
 			}
 			states[st.Owner] = &st
@@ -94,16 +171,16 @@ func recoverDir(dir string) (map[string]*OwnerState, RecoveryInfo, map[string]bo
 	for _, name := range segNames {
 		data, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
-			return nil, info, nil, fmt.Errorf("store: %w", err)
+			return nil, nil, fmt.Errorf("store: %w", err)
 		}
 		entries, err := decodeSegment(data)
 		switch {
 		case err == nil:
 		case errors.Is(err, ErrTornTail):
-			info.TornTails++
+			rec.info.TornTails++
 		default:
-			info.CorruptSegments++
-			corrupt[name] = true
+			rec.info.CorruptSegments++
+			rec.corrupt[name] = true
 		}
 		for _, e := range entries {
 			perOwner[e.Owner] = append(perOwner[e.Owner], e.Batch)
@@ -120,14 +197,14 @@ func recoverDir(dir string) (map[string]*OwnerState, RecoveryInfo, map[string]bo
 		for _, bt := range batches {
 			switch {
 			case bt.Tick <= st.Clock:
-				info.SkippedEntries++
+				rec.info.SkippedEntries++
 			case bt.Tick == st.Clock+1:
 				if err := applyBatch(st, bt); err != nil {
-					return nil, info, nil, fmt.Errorf("store: replaying owner %q tick %d: %w", owner, bt.Tick, err)
+					return nil, nil, fmt.Errorf("store: replaying owner %q tick %d: %w", owner, bt.Tick, err)
 				}
-				info.Entries++
+				rec.info.Entries++
 			default:
-				info.GapOwners++
+				rec.info.GapOwners++
 				// Conservative stop: the prefix up to the hole is provably
 				// the committed history; past it, ordering is unknown.
 				goto nextOwner
@@ -140,14 +217,15 @@ func recoverDir(dir string) (map[string]*OwnerState, RecoveryInfo, map[string]bo
 		if st.Budget == nil {
 			st.Budget = dp.NewBudget()
 		}
+		rec.info.SpilledRefs += len(st.Spilled)
 	}
-	info.Owners = len(states)
-	return states, info, corrupt, nil
+	rec.info.Owners = len(states)
+	return states, rec, nil
 }
 
 // applyBatch folds one replayed batch into an owner's state: clock,
-// transcript event, ledger charge, and history — the same four mutations
-// the gateway makes at commit time.
+// transcript event, ledger charge, and history tail — the same four
+// mutations the gateway makes at commit time.
 func applyBatch(st *OwnerState, bt Batch) error {
 	st.Clock = bt.Tick
 	st.Events = append(st.Events, leakage.Event{
@@ -160,6 +238,6 @@ func applyBatch(st *OwnerState, bt Batch) error {
 			return err
 		}
 	}
-	st.Batches = append(st.Batches, bt)
+	st.Tail = append(st.Tail, bt)
 	return nil
 }

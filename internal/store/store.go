@@ -27,24 +27,43 @@
 // caller (the gateway shard worker) defers acknowledgment and transcript
 // observation to those callbacks.
 //
+// # Tiered history
+//
+// A tenant's ingest history is two tiers: a bounded in-RAM tail (the
+// caller's HistoryWindow) and append-only history segments on disk holding
+// everything older. Committed batches past the window are spilled —
+// appended to the shard's current history segment as the same CRC frames
+// the WAL uses — and only a SegmentRef (segment id, byte offset, run
+// length, run CRC, tick range) stays in memory. Spilled bytes are made
+// durable by Rotate before any manifest references them; until then the
+// WAL covers every spilled batch, so an un-manifested spill lost to a
+// crash costs nothing. This is what keeps caller RSS proportional to the
+// live window rather than total bytes ever ingested.
+//
 // # Snapshots and truncation
 //
 // When a shard's log grows past the caller's threshold, the caller quiesces
 // (waits for its in-flight appends to commit) and calls Rotate with the
 // shard's tenant states: the snapshot is written tmp+rename-atomically and
-// the segment is truncated back to its header. Entries superseded by a
-// snapshot are skipped on replay by the clock rule, so a crash anywhere in
-// the rotate sequence stays recoverable.
+// the segment is truncated back to its header. Snapshots are *manifests*:
+// segment refs for the spilled tier plus the inline tail — rotation I/O is
+// O(delta since the last rotation), never a rewrite of the whole history.
+// Entries superseded by a snapshot are skipped on replay by the clock rule,
+// so a crash anywhere in the rotate sequence stays recoverable.
 //
 // # Recovery
 //
 // Open scans the whole directory — all snapshot and segment files, from any
-// previous shard count — merges snapshots per owner (highest clock wins),
-// replays segment entries in tick order, then compacts: fresh snapshots are
-// written under the current shard mapping, old files are removed, and new
-// empty segments are opened. Torn segment tails (the normal post-crash
-// shape) end replay silently; CRC mismatches stop a segment at its longest
-// valid prefix and are reported in RecoveryInfo.
+// previous shard count — merges snapshots per owner (highest clock whose
+// manifest still checks out against the on-disk history segments wins),
+// replays WAL entries in tick order onto the tail, then compacts: tails
+// past the window are re-spilled, fresh manifest snapshots are written
+// under the current shard mapping, superseded files are removed (orphan
+// history segments collected; possibly-salvageable ones quarantined), and
+// new empty segments are opened. The spilled tier is never loaded —
+// StreamHistory hands it to the caller frame by frame. Torn segment tails
+// (the normal post-crash shape) end replay silently; CRC mismatches stop a
+// segment at its longest valid prefix and are reported in RecoveryInfo.
 package store
 
 import (
@@ -52,6 +71,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,6 +89,12 @@ type Options struct {
 	// machine failure). Off, commits are flushed to the OS (crash-safe
 	// against process failure) — the mode benchmarks and tests use.
 	Fsync bool
+	// HistoryWindow bounds the inline ingest-history tail kept per owner:
+	// compaction re-spills any recovered tail past it into history
+	// segments, and callers use the same window for their live spill
+	// policy. 0 disables compaction re-spill (full history stays inline in
+	// snapshots — the legacy small-deployment mode).
+	HistoryWindow int
 }
 
 // Metrics is the store's cumulative instrumentation.
@@ -83,6 +109,13 @@ type Metrics struct {
 	AppendNs int64
 	// Snapshots counts rotate operations.
 	Snapshots int64
+	// SpillBatches / SpillBytes count committed batches (and their encoded
+	// bytes) moved from RAM to history segments; HistorySegments counts
+	// segment files created. The spill tier is what keeps caller memory
+	// bounded by the history window instead of total ingest.
+	SpillBatches    int64
+	SpillBytes      int64
+	HistorySegments int64
 }
 
 // AvgAppendUs returns the mean append→commit latency in microseconds.
@@ -110,6 +143,13 @@ type RecoveryInfo struct {
 	TornTails       int
 	CorruptSegments int
 	GapOwners       int
+	// SpilledRefs counts manifest segment refs carried by the recovered
+	// states (the cold history runs recovery will stream, not load);
+	// DamagedHistory counts snapshot candidates dropped because a ref
+	// named a missing or too-short history segment — recovery fell back to
+	// an older snapshot or the WAL for those owners.
+	SpilledRefs    int
+	DamagedHistory int
 }
 
 // Store is an open durability directory. Create with Open, append from
@@ -118,14 +158,23 @@ type RecoveryInfo struct {
 type Store struct {
 	dir    string
 	fsync  bool
+	window int
 	shards []*walShard
-	info   RecoveryInfo
+	// hist holds one history-tier append cursor per shard (the spill
+	// target); histSeq allocates globally unique segment numbers across
+	// shards, compaction, and process restarts.
+	hist    []*histWriter
+	histSeq atomic.Uint64
+	info    RecoveryInfo
 
-	appends   atomic.Int64
-	commits   atomic.Int64
-	bytes     atomic.Int64
-	appendNs  atomic.Int64
-	snapshots atomic.Int64
+	appends      atomic.Int64
+	commits      atomic.Int64
+	bytes        atomic.Int64
+	appendNs     atomic.Int64
+	snapshots    atomic.Int64
+	spillBatches atomic.Int64
+	spillBytes   atomic.Int64
+	histSegments atomic.Int64
 
 	mu     sync.Mutex
 	closed bool
@@ -186,13 +235,20 @@ func Open(opts Options) (*Store, map[string]*OwnerState, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("store: %w", err)
 	}
-	states, info, corrupt, err := recoverDir(opts.Dir)
+	states, rec, err := recoverDir(opts.Dir)
 	if err != nil {
 		return nil, nil, err
 	}
-	s := &Store{dir: opts.Dir, fsync: opts.Fsync, info: info}
-	if err := s.compact(opts.Shards, states, corrupt); err != nil {
+	s := &Store{dir: opts.Dir, fsync: opts.Fsync, window: opts.HistoryWindow, info: rec.info}
+	// Segment numbering continues past every file on disk, referenced or
+	// not, so a new spill can never collide with (or resurrect) an old id.
+	s.histSeq.Store(rec.maxHistSeg)
+	if err := s.compact(opts.Shards, states, rec); err != nil {
 		return nil, nil, err
+	}
+	s.hist = make([]*histWriter, opts.Shards)
+	for i := range s.hist {
+		s.hist[i] = &histWriter{store: s}
 	}
 	s.shards = make([]*walShard, opts.Shards)
 	for i := range s.shards {
@@ -243,13 +299,93 @@ func snapshotPath(dir string, id int) string {
 // Files recovery found damaged are quarantined (renamed aside), never
 // deleted — a corrupt frame truncates replay at its position, but the
 // bytes after it may hold committed entries an operator can still salvage.
-func (s *Store) compact(shards int, states map[string]*OwnerState, corrupt map[string]bool) error {
+//
+// Tiered history: recovered tails past Options.HistoryWindow are re-spilled
+// into fresh history segments first (so a mature store reopens within its
+// memory budget), then the fresh snapshots carry the combined manifests.
+// Compaction never re-reads or rewrites already-spilled runs — its I/O is
+// O(tails + manifests), not O(total history). History segments referenced
+// by no fresh snapshot are orphans (spilled but never manifested — their
+// batches are fully covered by the WAL) and are removed, unless an old
+// decodable snapshot referenced them, in which case they are quarantined
+// like any other possibly-salvageable bytes.
+func (s *Store) compact(shards int, states map[string]*OwnerState, rec *recovery) error {
+	if s.window > 0 {
+		var spiller *histWriter
+		owners := make([]string, 0, len(states))
+		for owner := range states {
+			owners = append(owners, owner)
+		}
+		sort.Strings(owners) // deterministic spill order
+		for _, owner := range owners {
+			st := states[owner]
+			if len(st.Tail) <= s.window {
+				continue
+			}
+			if spiller == nil {
+				spiller = &histWriter{store: s}
+			}
+			n := len(st.Tail) - s.window
+			var prev *SegmentRef
+			if len(st.Spilled) > 0 {
+				prev = &st.Spilled[len(st.Spilled)-1]
+			}
+			refs, extendedRef, err := spiller.appendHistory(owner, prev, st.Tail[:n])
+			if err != nil {
+				return fmt.Errorf("store: compaction spill for %q: %w", owner, err)
+			}
+			if extendedRef {
+				st.Spilled[len(st.Spilled)-1] = refs[0]
+				refs = refs[1:]
+			}
+			st.Spilled = append(st.Spilled, refs...)
+			kept := make([]Batch, s.window)
+			copy(kept, st.Tail[n:])
+			st.Tail = kept
+		}
+		if spiller != nil {
+			// Spilled bytes must be durable before any manifest names them.
+			if err := spiller.close(false); err != nil {
+				return err
+			}
+			if s.fsync {
+				if err := syncDir(s.dir); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Preserve damaged and salvage-relevant files aside *before* fresh
+	// snapshots land: under an unchanged shard mapping the fresh snapshot
+	// writes to the same shard-NNNN.snap path, and its tmp+rename would
+	// silently destroy the very bytes the quarantine promises to keep
+	// (the dropped candidate's inline tail, ledger, and the SegmentRef
+	// offsets that make a quarantined history segment interpretable).
+	for name := range rec.corrupt {
+		if err := quarantinePath(filepath.Join(s.dir, name)); err != nil {
+			return err
+		}
+	}
+	for name := range rec.salvage {
+		if rec.corrupt[name] {
+			continue // already moved
+		}
+		if err := quarantinePath(filepath.Join(s.dir, name)); err != nil {
+			return err
+		}
+	}
 	byShard := make([][]OwnerState, shards)
 	for owner, st := range states {
 		sid := ShardFor(owner, shards)
 		byShard[sid] = append(byShard[sid], *st)
 	}
 	written := make(map[string]bool, shards)
+	referenced := make(map[uint64]bool)
+	for _, st := range states {
+		for _, ref := range st.Spilled {
+			referenced[ref.Seg] = true
+		}
+	}
 	for sid, owners := range byShard {
 		path := snapshotPath(s.dir, sid)
 		if len(owners) == 0 {
@@ -264,8 +400,9 @@ func (s *Store) compact(shards int, states map[string]*OwnerState, corrupt map[s
 		}
 		written[filepath.Base(path)] = true
 	}
-	// Remove everything the compaction superseded: all segments, and any
-	// snapshot (stale shard numbering, previous era) not just written.
+	// Remove everything the compaction superseded: all WAL segments, any
+	// snapshot (stale shard numbering, previous era) not just written, and
+	// unreferenced history segments.
 	dirents, err := os.ReadDir(s.dir)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -275,29 +412,55 @@ func (s *Store) compact(shards int, states map[string]*OwnerState, corrupt map[s
 		if written[name] {
 			continue
 		}
-		if isSegmentName(name) || isSnapshotName(name) || filepath.Ext(name) == ".tmp" {
-			path := filepath.Join(s.dir, name)
-			if corrupt[name] {
-				// Quarantined names no longer match is{Segment,Snapshot}Name,
-				// so later opens ignore them; their recovered prefix is in
-				// the fresh snapshots, and the damaged suffix stays on disk.
-				// Never overwrite an earlier quarantine of the same name.
-				q := path + ".quarantined"
-				for i := 1; ; i++ {
-					if _, err := os.Stat(q); os.IsNotExist(err) {
-						break
-					}
-					q = fmt.Sprintf("%s.quarantined-%d", path, i)
-				}
-				if err := os.Rename(path, q); err != nil {
-					return fmt.Errorf("store: quarantine: %w", err)
-				}
+		// Corrupt and salvage-marked files were renamed aside above, so
+		// everything still matching the is*Name matchers here is either
+		// superseded (delete) or a history segment to triage.
+		quarantineWorthy := false
+		switch {
+		case isSegmentName(name) || isSnapshotName(name) || filepath.Ext(name) == ".tmp":
+		case isHistoryName(name):
+			id, ok := historySegID(name)
+			if !ok || referenced[id] {
 				continue
 			}
-			if err := os.Remove(path); err != nil {
-				return fmt.Errorf("store: compact: %w", err)
-			}
+			// Referenced by an old snapshot but not by the fresh ones (the
+			// fresh manifests dropped it — damaged-history fallback), so it
+			// may hold the only copy of batches: keep it inspectable. The
+			// same caution applies when any snapshot failed to decode —
+			// its unreadable manifest may name this segment, so deleting
+			// would destroy the salvage copy the quarantine promises.
+			quarantineWorthy = rec.snapRefs[id] || rec.corruptSnapshots > 0
+		default:
+			continue
 		}
+		path := filepath.Join(s.dir, name)
+		if quarantineWorthy {
+			if err := quarantinePath(path); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("store: compact: %w", err)
+		}
+	}
+	return nil
+}
+
+// quarantinePath renames a file aside so it stops matching the store's
+// file-name matchers (later opens ignore it) while its bytes stay
+// available for manual salvage. Never overwrites an earlier quarantine of
+// the same name.
+func quarantinePath(path string) error {
+	q := path + ".quarantined"
+	for i := 1; ; i++ {
+		if _, err := os.Stat(q); os.IsNotExist(err) {
+			break
+		}
+		q = fmt.Sprintf("%s.quarantined-%d", path, i)
+	}
+	if err := os.Rename(path, q); err != nil {
+		return fmt.Errorf("store: quarantine: %w", err)
 	}
 	return nil
 }
@@ -407,7 +570,26 @@ func (s *Store) Append(sid int, e Entry, done func(error)) error {
 // queue may only contain entries the snapshot already covers — they would
 // be skipped on replay, but the entries' durability window would silently
 // widen, so the contract forbids it). Blocks until the rotation is durable.
+//
+// Ordering: the shard's history cursor is flushed (and in fsync mode
+// fsynced, with the directory) *before* the snapshot manifest is written,
+// so every SegmentRef the manifest carries points at bytes that are at
+// least as durable as the manifest itself.
 func (s *Store) Rotate(sid int, owners []OwnerState) error {
+	hw := s.hist[sid]
+	hw.mu.Lock()
+	err := hw.flush()
+	hw.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if s.fsync {
+		// Make any segment files created since the last rotation durable
+		// directory entries before a manifest names them.
+		if err := syncDir(s.dir); err != nil {
+			return err
+		}
+	}
 	img, err := encodeSnapshot(owners)
 	if err != nil {
 		return err
@@ -565,17 +747,28 @@ func (s *Store) shutdown(kill bool) error {
 			firstErr = fmt.Errorf("store: shard %d close: %w", sh.id, err)
 		}
 	}
+	for _, hw := range s.hist {
+		hw.mu.Lock()
+		err := hw.close(kill)
+		hw.mu.Unlock()
+		if err != nil && firstErr == nil && !kill {
+			firstErr = err
+		}
+	}
 	return firstErr
 }
 
 // Metrics returns the cumulative instrumentation counters.
 func (s *Store) Metrics() Metrics {
 	return Metrics{
-		Appends:   s.appends.Load(),
-		Commits:   s.commits.Load(),
-		Bytes:     s.bytes.Load(),
-		AppendNs:  s.appendNs.Load(),
-		Snapshots: s.snapshots.Load(),
+		Appends:         s.appends.Load(),
+		Commits:         s.commits.Load(),
+		Bytes:           s.bytes.Load(),
+		AppendNs:        s.appendNs.Load(),
+		Snapshots:       s.snapshots.Load(),
+		SpillBatches:    s.spillBatches.Load(),
+		SpillBytes:      s.spillBytes.Load(),
+		HistorySegments: s.histSegments.Load(),
 	}
 }
 

@@ -80,17 +80,17 @@ func TestAppendRecoverRoundTrip(t *testing.T) {
 		if st == nil {
 			t.Fatalf("owner %s not recovered", owner)
 		}
-		if st.Clock != 2 || len(st.Events) != 2 || len(st.Batches) != 2 {
-			t.Fatalf("%s state = clock %d, %d events, %d batches", owner, st.Clock, len(st.Events), len(st.Batches))
+		if st.Clock != 2 || len(st.Events) != 2 || len(st.Tail) != 2 {
+			t.Fatalf("%s state = clock %d, %d events, %d batches", owner, st.Clock, len(st.Events), len(st.Tail))
 		}
 		if st.Events[0].Volume != 1 || st.Events[1].Volume != 2 {
 			t.Fatalf("%s volumes = %d, %d", owner, st.Events[0].Volume, st.Events[1].Volume)
 		}
-		if !st.Batches[0].Setup || st.Batches[1].Setup {
+		if !st.Tail[0].Setup || st.Tail[1].Setup {
 			t.Fatalf("%s setup flags wrong", owner)
 		}
-		if string(st.Batches[1].Sealed[0]) != "ct-"+owner+"-1" {
-			t.Fatalf("%s ciphertexts corrupted: %q", owner, st.Batches[1].Sealed[0])
+		if string(st.Tail[1].Sealed[0]) != "ct-"+owner+"-1" {
+			t.Fatalf("%s ciphertexts corrupted: %q", owner, st.Tail[1].Sealed[0])
 		}
 		if st.Budget.Uses("m_setup") != 1 || st.Budget.Uses("m_update") != 1 {
 			t.Fatalf("%s ledger = %s", owner, st.Budget.Describe())
@@ -132,11 +132,11 @@ func TestRotateTruncatesAndRecovers(t *testing.T) {
 	s2, got := openStore(t, dir, 1)
 	defer s2.Close()
 	o := got["o"]
-	if o == nil || o.Clock != 3 || len(o.Events) != 3 || len(o.Batches) != 3 {
+	if o == nil || o.Clock != 3 || len(o.Events) != 3 || len(o.Tail) != 3 {
 		t.Fatalf("recovered: %+v", o)
 	}
-	if string(o.Batches[2].Sealed[0]) != "c" {
-		t.Fatalf("post-snapshot entry lost: %q", o.Batches[2].Sealed[0])
+	if string(o.Tail[2].Sealed[0]) != "c" {
+		t.Fatalf("post-snapshot entry lost: %q", o.Tail[2].Sealed[0])
 	}
 	if o.Budget.Uses("m_update") != 2 {
 		t.Fatalf("ledger = %s", o.Budget.Describe())
@@ -372,8 +372,13 @@ func TestKillDropsUncommittedOnly(t *testing.T) {
 }
 
 func TestSnapshotDeterministic(t *testing.T) {
-	a := OwnerState{Owner: "a", Clock: 1, Budget: dp.NewBudget()}
-	b := OwnerState{Owner: "b", Clock: 1, Budget: dp.NewBudget()}
+	a := OwnerState{Owner: "a", Budget: dp.NewBudget()}
+	b := OwnerState{Owner: "b", Budget: dp.NewBudget()}
+	for _, st := range []*OwnerState{&a, &b} {
+		if err := applyBatch(st, testEntry(st.Owner, 1, true, "x").Batch); err != nil {
+			t.Fatal(err)
+		}
+	}
 	img1, err := encodeSnapshot([]OwnerState{a, b})
 	if err != nil {
 		t.Fatal(err)
