@@ -62,6 +62,15 @@ type Baseline struct {
 	GatewayP50Ms        float64 `json:"gateway_p50_ms"`
 	GatewayP99Ms        float64 `json:"gateway_p99_ms"`
 	GatewayBytesPerSync float64 `json:"gateway_bytes_per_sync"`
+	// Hostile-fleet serving layer: the same gateway under seeded connection
+	// churn + injected transport faults + open-loop arrivals — mean
+	// outage→resume wall-clock, open-loop p99 measured from scheduled
+	// arrivals (coordinated-omission-free), and typed backpressure sheds.
+	// cmd/dpsync-loadgen -churn -faults -open-loop -baseline merges the
+	// same keys.
+	ChurnResumeMs     float64 `json:"churn_resume_ms"`
+	OpenLoopP99Ms     float64 `json:"open_loop_p99_ms"`
+	BackpressureSheds int64   `json:"backpressure_sheds"`
 	// Durable serving layer (internal/store under the same gateway): mean
 	// WAL append→commit latency, the group-commit factor (entries per
 	// flush/fsync round), durable sync throughput at the same scale as the
@@ -314,6 +323,26 @@ func main() {
 	b.GatewayP50Ms = rep.P50Ms
 	b.GatewayP99Ms = rep.P99Ms
 	b.GatewayBytesPerSync = rep.BytesPerSync
+
+	// Hostile-fleet pass: seeded churn + transport faults + open-loop
+	// arrivals against the same gateway, with transcript verification still
+	// exact (reconnect/replay/resume must be invisible to the accounting).
+	// Smaller than the closed-loop run: open-loop arrivals pace wall-clock
+	// by design.
+	flOwners, flTicks := 200, 60
+	if *quick {
+		flOwners, flTicks = 16, 30
+	}
+	frep, err := loadgen.Run(loadgen.Config{
+		Owners: flOwners, Ticks: flTicks, Seed: 1, Verify: true,
+		Churn: true, Faults: true, OpenLoop: true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	b.ChurnResumeMs = frep.ChurnResumeMs
+	b.OpenLoopP99Ms = frep.OpenLoopP99Ms
+	b.BackpressureSheds = frep.BackpressureSheds
 
 	// Durable serving layer: the same scale on the WAL+snapshot store with
 	// a finite history window (batches past it spill to history segments;

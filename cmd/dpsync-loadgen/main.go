@@ -35,6 +35,17 @@
 //
 //	go run ./cmd/dpsync-loadgen -owners 8 -ticks 30 -crash 3
 //
+// With -churn / -faults / -open-loop the run becomes a hostile-fleet
+// harness: -churn drops live connections on a seeded schedule, -faults
+// routes every connection through internal/faultnet (seeded resets, torn
+// mid-frame writes, stalls, duplicated frame delivery), and -open-loop
+// drives Poisson/bursty arrivals with per-tick latency measured from the
+// scheduled arrival (no coordinated omission). Transcript verification
+// (-verify/-quick) still demands exact per-owner transcripts — reconnect,
+// replay, and resume must be invisible to the privacy ledger:
+//
+//	go run ./cmd/dpsync-loadgen -owners 16 -ticks 50 -churn -faults -open-loop -quick
+//
 // With -baseline the gateway_* (or, with -durable, the wal_*/durable_*/
 // recovery_*/spill_*/history_window) keys are merged into an existing
 // BENCH_baseline.json, preserving its other entries:
@@ -75,6 +86,11 @@ func main() {
 		syncEps  = flag.Float64("sync-epsilon", 0.5, "epsilon charged per sync in durable/crash modes")
 		histWin  = flag.Int("history-window", 0, "per-tenant in-RAM history batches before spilling to history segments (0: keep all in RAM; durable/crash modes)")
 		crash    = flag.Int("crash", 0, "run the crash-injection harness over N seeds instead of a load run")
+		churn    = flag.Bool("churn", false, "drop live connections on a seeded schedule; reconnect/resume must heal every outage")
+		faults   = flag.Bool("faults", false, "inject seeded transport faults (resets, torn frames, stalls, duplicated frames) on every connection")
+		faultBud = flag.Int64("fault-budget", 0, "disruptive fault budget for -faults (0: 4 per connection)")
+		openLoop = flag.Bool("open-loop", false, "open-loop Poisson/bursty arrivals with coordinated-omission-free latency")
+		arrival  = flag.Duration("arrival", 0, "open-loop mean interarrival per owner tick (0: 2ms)")
 	)
 	flag.Parse()
 
@@ -110,6 +126,11 @@ func main() {
 		Fsync:         *fsync,
 		SyncEpsilon:   *syncEps,
 		HistoryWindow: *histWin,
+		Churn:         *churn,
+		Faults:        *faults,
+		FaultBudget:   *faultBud,
+		OpenLoop:      *openLoop,
+		MeanArrival:   *arrival,
 	}
 	switch strings.ToLower(*codec) {
 	case "binary":
@@ -139,6 +160,13 @@ func main() {
 	if *quick {
 		fmt.Printf("ok: %d owners × %d ticks, %d syncs (%d verified), %.0f syncs/sec, p50 %.2fms p99 %.2fms, %.0f bytes/sync\n",
 			rep.Owners, rep.Ticks, rep.Syncs, rep.Verified, rep.SyncsPerSec, rep.P50Ms, rep.P99Ms, rep.BytesPerSync)
+		if *churn || *faults {
+			fmt.Printf("fleet: %d reconnects healed (mean resume %.2fms), %d faults injected, %d backpressure sheds\n",
+				rep.Reconnects, rep.ChurnResumeMs, rep.FaultsInjected, rep.BackpressureSheds)
+		}
+		if *openLoop {
+			fmt.Printf("open-loop: p99 %.2fms from scheduled arrivals\n", rep.OpenLoopP99Ms)
+		}
 		if rep.Durable {
 			fmt.Printf("durable: wal append %.1fµs (group ×%.1f, %d snapshots), recovery %.1fms for %d owners (transcripts verified)\n",
 				rep.WALAppendUs, rep.WALGroupFactor, rep.WALSnapshots, rep.RecoveryMs, rep.RecoveredOwners)
@@ -226,6 +254,9 @@ func mergeBaseline(path string, rep loadgen.Report) error {
 		doc["gateway_p50_ms"] = rep.P50Ms
 		doc["gateway_p99_ms"] = rep.P99Ms
 		doc["gateway_bytes_per_sync"] = rep.BytesPerSync
+		doc["churn_resume_ms"] = rep.ChurnResumeMs
+		doc["open_loop_p99_ms"] = rep.OpenLoopP99Ms
+		doc["backpressure_sheds"] = rep.BackpressureSheds
 	}
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

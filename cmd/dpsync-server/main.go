@@ -27,6 +27,12 @@
 // manifest, and server RSS stops growing with total bytes ever ingested:
 //
 //	dpsync-server -multi -store /var/lib/dpsync -fsync -history-window 64 -listen 127.0.0.1:7701 -key-file shared.key
+//
+// Gateway flow control (hostile-fleet hardening): -max-inflight caps the
+// requests one connection may have admitted at once — past it the gateway
+// sheds with a typed backpressure error, and a tenant that also stops
+// reading responses is severed; -drain-timeout bounds how long a graceful
+// shutdown waits for live connections before severing the stragglers.
 package main
 
 import (
@@ -56,6 +62,8 @@ func main() {
 		snapN    = flag.Int("snapshot-every", 0, "per-shard WAL entries between snapshots (0: default; with -store)")
 		syncEps  = flag.Float64("sync-epsilon", 0, "epsilon charged to a tenant's ledger per sync (with -store)")
 		histWin  = flag.Int("history-window", 0, "per-tenant in-RAM history batches before spilling to history segments (0: keep all in RAM; with -store)")
+		maxInFl  = flag.Int("max-inflight", 0, "per-connection admitted-request cap before typed backpressure sheds (0: default; -multi only)")
+		drainTO  = flag.Duration("drain-timeout", 0, "graceful-close drain deadline before live connections are severed (0: default, negative: wait forever; -multi only)")
 	)
 	flag.Parse()
 
@@ -76,6 +84,7 @@ func main() {
 			Key: key, Shards: *shards, Logger: logger,
 			StoreDir: *storeDir, Fsync: *fsync, SnapshotEvery: *snapN, SyncEpsilon: *syncEps,
 			HistoryWindow: *histWin,
+			MaxInFlight:   *maxInFl, DrainTimeout: *drainTO,
 		})
 		if err != nil {
 			log.Fatalf("dpsync-server: %v", err)
@@ -99,6 +108,9 @@ func main() {
 			}
 			if m, ok := gw.StoreMetrics(); ok {
 				logger.Printf("WAL flushed: %d entries in %d commits, %d snapshot rotations", m.Appends, m.Commits, m.Snapshots)
+			}
+			if n := gw.Sheds(); n > 0 {
+				logger.Printf("backpressure: shed %d requests from slow tenants", n)
 			}
 		}()
 		if err := gw.Serve(); err != nil {

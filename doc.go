@@ -238,4 +238,51 @@
 // measures the layer (wal_append_us, durable_syncs_per_sec, recovery_ms,
 // and with -history-window the spill_* keys in the baseline) and -crash N
 // runs the same kill/restart/verify cycle across N seeds.
+//
+// # Fleet robustness
+//
+// A real fleet is hostile: connections reset mid-frame, clients vanish and
+// return, slow tenants stop reading responses. Reconnection is a privacy
+// property here — a client that cannot tell whether its sync committed
+// before the transport died must not blindly retry, because a double-applied
+// sync double-charges the ε ledger and appends a phantom transcript event.
+// Three layers make the fleet survivable without touching the accounting:
+//
+// Resume protocol. Every sync carries the owner's next logical-clock value
+// (wire.Request.Seq), and the gateway applies syncs tick-ordered and
+// idempotently: the expected next seq applies, anything at or below the
+// owner's clock is acknowledged as a duplicate — without re-ingesting,
+// re-charging, or re-recording — and a gap is refused with state untouched.
+// A reconnecting client asks for the durable per-owner clock with a
+// negotiated Resume frame (wire.MsgResume; served from live tenant state,
+// or straight from the store's recovered clocks for owners not yet faulted
+// in) and realigns before its next upload. client.DialGateway with
+// WithReconnect redials with capped exponential backoff plus jitter,
+// replays unacknowledged in-flight requests in ID order, and resumes from
+// the returned clock — so retransmits, replays, and duplicated frames all
+// collapse into at-most-once application.
+//
+// Per-tenant flow control. Each gateway connection has an admitted-request
+// cap (gateway.Config.MaxInFlight): past it, requests are shed immediately
+// with a typed backpressure error (wire.ErrBackpressure) that touches no
+// tenant state — shedding is privacy-neutral — and a connection that also
+// stops draining responses is severed at a fixed headroom past the cap.
+// Reply queues are sized so a shard worker can always deliver a response
+// without blocking: a slow or dead tenant sheds its own load and an
+// unrelated tenant on the same shard keeps bounded latency (pinned by a
+// fairness regression test). Writes carry deadlines on both server paths
+// (binary and JSON), and Gateway.Close severs connections that outlive the
+// drain deadline instead of waiting on them forever.
+//
+// Fault injection. internal/faultnet wraps net.Conn in seeded,
+// deterministic fault schedules — connection resets, torn mid-frame writes,
+// stalls, duplicated frame delivery — injected at protocol frame
+// boundaries, with disruptive faults drawn from a shared budget so runs
+// terminate. internal/loadgen threads it (with connection churn and an
+// open-loop Poisson/bursty arrival model whose latency is measured from
+// scheduled arrival times — no coordinated omission) behind
+// cmd/dpsync-loadgen -churn/-faults/-open-loop, and the fault-matrix
+// acceptance test pins per-owner transcripts and ε ledgers bit-identical to
+// an uninterrupted run under the full schedule. The baseline records
+// churn_resume_ms, open_loop_p99_ms, and backpressure_sheds.
 package dpsync

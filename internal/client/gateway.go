@@ -1,10 +1,14 @@
 package client
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dpsync/internal/edb"
 	"dpsync/internal/query"
@@ -19,6 +23,18 @@ import (
 // slows its clients instead of accumulating unbounded in-flight state.
 const DefaultWindow = 64
 
+// Reconnect tuning. Backoff is capped exponential with full jitter: each
+// attempt sleeps a uniformly random duration in [delay/2, delay], then the
+// delay doubles up to the cap — the jitter keeps a fleet of owners that lost
+// the same gateway from redialing in lockstep.
+const (
+	// DefaultReconnectAttempts bounds redials per outage before the
+	// connection fails permanently.
+	DefaultReconnectAttempts = 10
+	reconnectBaseDelay       = 5 * time.Millisecond
+	reconnectMaxDelay        = time.Second
+)
+
 // GatewayConn is a pipelined, multiplexed connection to a multi-tenant
 // gateway. Unlike Client (one request per round trip under one mutex), many
 // goroutines — and many owners — share one GatewayConn concurrently: each
@@ -26,30 +42,60 @@ const DefaultWindow = 64
 // writes are serialized so the gateway observes each owner's requests in
 // send order (per-owner FIFO).
 //
+// With WithReconnect, a lost transport is redialed automatically (capped
+// exponential backoff + jitter) and every in-flight request is replayed in
+// ID order on the new connection. Replay is safe because sequenced syncs
+// are idempotent at the gateway (a retransmitted seq the tenant already
+// applied is acked without re-ingesting or re-charging the ε ledger) and
+// reads are side-effect free; callers blocked in roundTrip simply get their
+// response on the new transport.
+//
 // Obtain per-owner edb.Database handles with Owner.
 type GatewayConn struct {
-	codec  wire.Codec
-	conn   net.Conn
-	sealer *seal.Sealer
+	sealer      *seal.Sealer
+	addr        string
+	dialer      func(addr string) (net.Conn, error)
+	proposed    wire.Codec
+	reconnect   bool
+	maxAttempts int
 
 	wmu    sync.Mutex    // serializes frame writes; write order = gateway arrival order
 	window chan struct{} // in-flight cap (backpressure)
 	nextID atomic.Uint64
 
-	mu      sync.Mutex
-	pending map[uint64]chan wire.Response
-	err     error // first connection-level failure; latched
+	mu           sync.Mutex
+	conn         net.Conn
+	codec        wire.Codec    // negotiated for the current transport
+	epoch        uint64        // increments per successful (re)dial; stale failures are ignored
+	gate         chan struct{} // closed = sends may proceed; replaced while reconnecting
+	reconnecting bool
+	pending      map[uint64]*pendingReq
+	closed       bool  // user called Close; no further reconnects
+	err          error // first permanent failure; latched
 
-	bytesOut atomic.Int64
-	bytesIn  atomic.Int64
+	bytesOut    atomic.Int64
+	bytesIn     atomic.Int64
+	reconnects  atomic.Int64
+	reconnectNs atomic.Int64
+}
+
+// pendingReq is one in-flight request, retained in full (not just its
+// response channel) so a reconnect can replay it verbatim.
+type pendingReq struct {
+	owner string
+	req   wire.Request
+	ch    chan wire.Response
 }
 
 // GatewayOption tunes a GatewayConn.
 type GatewayOption func(*gatewayOpts)
 
 type gatewayOpts struct {
-	codec  wire.Codec
-	window int
+	codec       wire.Codec
+	window      int
+	reconnect   bool
+	maxAttempts int
+	dialer      func(addr string) (net.Conn, error)
 }
 
 // WithCodec proposes a payload codec (default: binary). The gateway may
@@ -67,49 +113,116 @@ func WithWindow(n int) GatewayOption {
 	}
 }
 
+// WithReconnect enables automatic redial + replay after transport loss.
+// attempts bounds redials per outage (0 = DefaultReconnectAttempts).
+func WithReconnect(attempts int) GatewayOption {
+	return func(o *gatewayOpts) {
+		o.reconnect = true
+		if attempts > 0 {
+			o.maxAttempts = attempts
+		}
+	}
+}
+
+// WithDialer substitutes the transport constructor (default net.Dial
+// "tcp"). The fault-injection harness uses it to wrap connections in
+// deterministic failure schedules.
+func WithDialer(dial func(addr string) (net.Conn, error)) GatewayOption {
+	return func(o *gatewayOpts) { o.dialer = dial }
+}
+
 // DialGateway connects to a gateway, negotiates the codec, and starts the
 // demultiplexing reader.
 func DialGateway(addr string, key []byte, opts ...GatewayOption) (*GatewayConn, error) {
-	o := gatewayOpts{codec: wire.CodecBinary, window: DefaultWindow}
+	o := gatewayOpts{codec: wire.CodecBinary, window: DefaultWindow, maxAttempts: DefaultReconnectAttempts}
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.dialer == nil {
+		o.dialer = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 	}
 	s, err := seal.NewSealer(key)
 	if err != nil {
 		return nil, err
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("client: dial gateway %s: %w", addr, err)
+	c := &GatewayConn{
+		sealer:      s,
+		addr:        addr,
+		dialer:      o.dialer,
+		proposed:    o.codec,
+		reconnect:   o.reconnect,
+		maxAttempts: o.maxAttempts,
+		window:      make(chan struct{}, o.window),
+		gate:        closedGate(),
+		pending:     map[uint64]*pendingReq{},
 	}
-	if err := wire.WriteHello(conn, o.codec); err != nil {
-		conn.Close()
+	conn, codec, err := c.dialTransport()
+	if err != nil {
 		return nil, err
+	}
+	c.conn, c.codec, c.epoch = conn, codec, 1
+	go c.readLoop(conn, codec, 1)
+	return c, nil
+}
+
+func closedGate() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+// dialTransport dials and runs the hello exchange; shared by DialGateway
+// and the reconnect path so negotiation cannot diverge between them.
+func (c *GatewayConn) dialTransport() (net.Conn, wire.Codec, error) {
+	conn, err := c.dialer(c.addr)
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: dial gateway %s: %w", c.addr, err)
+	}
+	if err := wire.WriteHello(conn, c.proposed); err != nil {
+		conn.Close()
+		return nil, 0, err
 	}
 	accepted, err := wire.ReadHelloAck(conn)
 	if err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("client: gateway hello: %w", err)
+		return nil, 0, fmt.Errorf("client: gateway hello: %w", err)
 	}
-	c := &GatewayConn{
-		codec:   accepted,
-		conn:    conn,
-		sealer:  s,
-		window:  make(chan struct{}, o.window),
-		pending: map[uint64]chan wire.Response{},
-	}
-	go c.readLoop()
-	return c, nil
+	return conn, accepted, nil
 }
 
-// Codec returns the negotiated payload codec.
-func (c *GatewayConn) Codec() wire.Codec { return c.codec }
+// Codec returns the currently negotiated payload codec.
+func (c *GatewayConn) Codec() wire.Codec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.codec
+}
 
-// Close terminates the connection; in-flight requests fail.
+// Close terminates the connection; in-flight requests fail and no reconnect
+// is attempted — an explicit Close is the user's decision, not an outage.
 func (c *GatewayConn) Close() error {
-	err := c.conn.Close()
-	c.fail(fmt.Errorf("client: gateway connection closed"))
+	c.mu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.mu.Unlock()
+	var err error
+	if conn != nil {
+		err = conn.Close()
+	}
+	c.fail(errors.New("client: gateway connection closed"))
 	return err
+}
+
+// Drop severs the underlying transport without closing the logical
+// connection — exactly what a mid-pipeline network failure looks like. With
+// reconnect enabled the connection heals itself (redial + replay); without,
+// it fails like any other transport loss. The churn harness's hook.
+func (c *GatewayConn) Drop() {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
 }
 
 // BytesOut and BytesIn report total frame bytes (including the 4-byte
@@ -120,89 +233,240 @@ func (c *GatewayConn) BytesOut() int64 { return c.bytesOut.Load() }
 // BytesIn reports total frame bytes received.
 func (c *GatewayConn) BytesIn() int64 { return c.bytesIn.Load() }
 
+// ReconnectStats reports how many times the transport was re-established
+// and the total wall time spent in outage-to-replay recovery — the load
+// generator's churn_resume_ms numerator.
+func (c *GatewayConn) ReconnectStats() (count int64, total time.Duration) {
+	return c.reconnects.Load(), time.Duration(c.reconnectNs.Load())
+}
+
 // readLoop demultiplexes responses to their waiting senders by request ID.
-func (c *GatewayConn) readLoop() {
+// One readLoop runs per transport epoch; a stale epoch's failure is ignored.
+func (c *GatewayConn) readLoop(conn net.Conn, codec wire.Codec, epoch uint64) {
 	for {
-		payload, err := wire.ReadFrame(c.conn)
+		payload, err := wire.ReadFrame(conn)
 		if err != nil {
-			c.fail(fmt.Errorf("client: gateway read: %w", err))
+			c.connLost(epoch, fmt.Errorf("client: gateway read: %w", err))
 			return
 		}
 		c.bytesIn.Add(int64(len(payload)) + 4)
-		gr, err := c.codec.DecodeGatewayResponse(payload)
+		gr, err := codec.DecodeGatewayResponse(payload)
 		if err != nil {
 			// A framing-level lie from the server: the stream can no longer
 			// be trusted to demultiplex correctly.
-			c.fail(err)
-			c.conn.Close()
+			conn.Close()
+			c.connLost(epoch, err)
 			return
 		}
 		c.mu.Lock()
-		ch := c.pending[gr.ID]
-		delete(c.pending, gr.ID)
+		var ch chan wire.Response
+		if p := c.pending[gr.ID]; p != nil {
+			ch = p.ch
+			delete(c.pending, gr.ID)
+		}
 		c.mu.Unlock()
+		// Responses with no pending entry are dropped — that is what makes
+		// a duplicated frame (network retransmit, replay overlap) harmless
+		// on the client side.
 		if ch != nil {
 			ch <- gr.Resp
 		}
 	}
 }
 
-// fail latches the first connection error and releases every waiter.
+// connLost handles a transport failure for the given epoch: permanent
+// failure without reconnect, redial with it. Stale epochs (a reconnect
+// already superseded the transport) are ignored.
+func (c *GatewayConn) connLost(epoch uint64, err error) {
+	c.mu.Lock()
+	if c.closed || c.err != nil || c.epoch != epoch || c.reconnecting {
+		c.mu.Unlock()
+		return
+	}
+	if !c.reconnect {
+		c.mu.Unlock()
+		c.fail(err)
+		return
+	}
+	c.reconnecting = true
+	c.gate = make(chan struct{}) // block new sends until replay completes
+	conn := c.conn
+	c.mu.Unlock()
+	conn.Close()
+	go c.redial(err)
+}
+
+// redial re-establishes the transport with capped exponential backoff +
+// jitter, then replays every pending request in ID order before reopening
+// the send gate. The new epoch's read loop starts only after replay — so no
+// failure for the new transport can race the replay itself; a write error
+// mid-replay just burns the attempt and loops.
+func (c *GatewayConn) redial(cause error) {
+	start := time.Now()
+	lastErr := cause
+	delay := reconnectBaseDelay
+	for attempt := 1; ; attempt++ {
+		if attempt > c.maxAttempts {
+			c.fail(fmt.Errorf("client: reconnect failed after %d attempts: %w", c.maxAttempts, lastErr))
+			return
+		}
+		time.Sleep(delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1)))
+		if delay *= 2; delay > reconnectMaxDelay {
+			delay = reconnectMaxDelay
+		}
+		c.mu.Lock()
+		dead := c.closed || c.err != nil
+		c.mu.Unlock()
+		if dead {
+			return
+		}
+		conn, codec, err := c.dialTransport()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		// Install the new transport and snapshot the replay set atomically:
+		// every request registered before this point is in the snapshot;
+		// everything after waits at the gate and goes out post-replay.
+		c.mu.Lock()
+		if c.closed || c.err != nil {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.conn, c.codec = conn, codec
+		c.epoch++
+		epoch := c.epoch
+		ids := make([]uint64, 0, len(c.pending))
+		for id := range c.pending {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		replay := make([]wire.GatewayRequest, len(ids))
+		for i, id := range ids {
+			p := c.pending[id]
+			replay[i] = wire.GatewayRequest{ID: id, Owner: p.owner, Req: p.req}
+		}
+		c.mu.Unlock()
+
+		if err := c.writeAll(conn, codec, replay); err != nil {
+			lastErr = err
+			conn.Close()
+			continue
+		}
+		go c.readLoop(conn, codec, epoch)
+		c.mu.Lock()
+		c.reconnecting = false
+		close(c.gate)
+		c.mu.Unlock()
+		c.reconnects.Add(1)
+		c.reconnectNs.Add(time.Since(start).Nanoseconds())
+		return
+	}
+}
+
+// writeAll replays the given requests in order under the write lock.
+func (c *GatewayConn) writeAll(conn net.Conn, codec wire.Codec, reqs []wire.GatewayRequest) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	for _, greq := range reqs {
+		payload, err := codec.EncodeGatewayRequest(greq)
+		if err != nil {
+			return err
+		}
+		if err := wire.WriteFrame(conn, payload); err != nil {
+			return err
+		}
+		c.bytesOut.Add(int64(len(payload)) + 4)
+	}
+	return nil
+}
+
+// fail latches the first permanent failure, releases every waiter, and
+// opens the send gate so blocked senders observe the error.
 func (c *GatewayConn) fail(err error) {
 	c.mu.Lock()
 	if c.err == nil {
 		c.err = err
 	}
-	for id, ch := range c.pending {
-		close(ch)
+	for id, p := range c.pending {
+		close(p.ch)
 		delete(c.pending, id)
+	}
+	select {
+	case <-c.gate:
+	default:
+		close(c.gate)
 	}
 	c.mu.Unlock()
 }
 
 // send transmits one request without waiting for its response: it acquires
 // a window slot, registers the request ID, and writes the frame. The
-// returned channel yields the response (or closes on connection failure);
-// release must be called after the response is consumed to free the window
-// slot. roundTrip composes send+receive; tests use send directly to pin
+// returned channel yields the response (or closes on permanent connection
+// failure); release must be called after the response is consumed to free
+// the window slot. With reconnect enabled, a write onto a dying transport
+// is not an error — the request stays pending and the replay delivers it.
+// roundTrip composes send+receive; tests use send directly to pin
 // pipelining semantics.
 func (c *GatewayConn) send(owner string, req wire.Request) (ch <-chan wire.Response, release func(), err error) {
 	c.window <- struct{}{}
 	release = func() { <-c.window }
-	c.mu.Lock()
-	if c.err != nil {
-		err := c.err
-		c.mu.Unlock()
-		release()
-		return nil, nil, err
-	}
-	id := c.nextID.Add(1)
-	rch := make(chan wire.Response, 1)
-	c.pending[id] = rch
-	c.mu.Unlock()
-
-	forget := func() {
+	for {
 		c.mu.Lock()
-		delete(c.pending, id)
+		if c.err != nil {
+			err := c.err
+			c.mu.Unlock()
+			release()
+			return nil, nil, err
+		}
+		gate := c.gate
+		select {
+		case <-gate:
+			// Gate open: register while still holding mu, so a concurrent
+			// reconnect either sees this request in its replay snapshot or
+			// has already completed.
+		default:
+			c.mu.Unlock()
+			<-gate // reconnect in progress; wait for replay to finish
+			continue
+		}
+		id := c.nextID.Add(1)
+		rch := make(chan wire.Response, 1)
+		c.pending[id] = &pendingReq{owner: owner, req: req, ch: rch}
+		conn, codec, epoch := c.conn, c.codec, c.epoch
 		c.mu.Unlock()
+
+		forget := func() {
+			c.mu.Lock()
+			delete(c.pending, id)
+			c.mu.Unlock()
+		}
+		payload, err := codec.EncodeGatewayRequest(wire.GatewayRequest{ID: id, Owner: owner, Req: req})
+		if err != nil {
+			forget()
+			release()
+			return nil, nil, err
+		}
+		c.wmu.Lock()
+		err = wire.WriteFrame(conn, payload)
+		c.wmu.Unlock()
+		if err != nil {
+			if c.reconnect {
+				// The transport died under us. The request is registered, so
+				// the reconnect replay (triggered here if the read loop has
+				// not already) will re-send it; the caller just waits.
+				c.connLost(epoch, err)
+				return rch, release, nil
+			}
+			forget()
+			release()
+			c.fail(err)
+			return nil, nil, err
+		}
+		c.bytesOut.Add(int64(len(payload)) + 4)
+		return rch, release, nil
 	}
-	payload, err := c.codec.EncodeGatewayRequest(wire.GatewayRequest{ID: id, Owner: owner, Req: req})
-	if err != nil {
-		forget()
-		release()
-		return nil, nil, err
-	}
-	c.wmu.Lock()
-	err = wire.WriteFrame(c.conn, payload)
-	c.wmu.Unlock()
-	if err != nil {
-		forget()
-		release()
-		c.fail(err)
-		return nil, nil, err
-	}
-	c.bytesOut.Add(int64(len(payload)) + 4)
-	return rch, release, nil
 }
 
 // roundTrip sends one request and waits for its response.
@@ -223,6 +487,9 @@ func (c *GatewayConn) roundTrip(owner string, req wire.Request) (wire.Response, 
 		return wire.Response{}, err
 	}
 	if !resp.OK {
+		if resp.Backpressure {
+			return wire.Response{}, fmt.Errorf("client: gateway refused request: %w", wire.ErrBackpressure)
+		}
 		return wire.Response{}, fmt.Errorf("client: gateway error: %s", resp.Error)
 	}
 	return resp, nil
@@ -238,9 +505,23 @@ func (c *GatewayConn) Owner(name string) *OwnerSession {
 // OwnerSession is one owner's view of a multi-tenant gateway. It implements
 // edb.Database, so core.Owner and the whole strategy stack run unchanged
 // against a shared remote server. Safe for concurrent use.
+//
+// Syncs are sequenced: before its first upload the session runs the resume
+// handshake to learn the owner's committed logical clock, then numbers each
+// sync with the tick it claims. The gateway applies ticks in order and
+// idempotently, which is what makes a session attach-or-reattach safely —
+// a fresh session against a durable namespace continues at the recovered
+// clock instead of colliding with history, and a replayed sync after a
+// reconnect can never double-charge the ε ledger.
 type OwnerSession struct {
 	conn  *GatewayConn
 	owner string
+
+	// upMu serializes uploads: seq assignment order must equal wire order.
+	upMu     sync.Mutex
+	seq      uint64 // last sync seq this session successfully acked
+	seqInit  bool   // seq aligned with the gateway's committed clock
+	seqDirty bool   // a failed upload left local seq unproven; realign first
 
 	mu       sync.Mutex
 	stats    edb.StorageStats
@@ -252,6 +533,29 @@ type OwnerSession struct {
 
 // OwnerID returns the owner namespace this session addresses.
 func (s *OwnerSession) OwnerID() string { return s.owner }
+
+// Resume realigns the session's sync sequence with the gateway's committed
+// clock via the resume handshake. Uploads do this lazily (first use, and
+// after any failed upload); harnesses that hand an existing owner to a new
+// session call it to assert the attachment eagerly.
+func (s *OwnerSession) Resume() error {
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	return s.resumeLocked()
+}
+
+func (s *OwnerSession) resumeLocked() error {
+	resp, err := s.conn.roundTrip(s.owner, wire.Request{Type: wire.MsgResume})
+	if err != nil {
+		return err
+	}
+	if resp.Resume == nil {
+		return fmt.Errorf("client: malformed resume response")
+	}
+	s.seq = resp.Resume.Clock
+	s.seqInit, s.seqDirty = true, false
+	return nil
+}
 
 // info returns the backend's identity (scheme name, §6 leakage class,
 // outsourced record width), fetched from the gateway via a stats round
@@ -326,9 +630,23 @@ func (s *OwnerSession) upload(t wire.MsgType, rs []record.Record) error {
 	for i, ct := range sealedBatch {
 		raw[i] = ct
 	}
-	if _, err := s.conn.roundTrip(s.owner, wire.Request{Type: t, Sealed: raw}); err != nil {
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	if !s.seqInit || s.seqDirty {
+		if err := s.resumeLocked(); err != nil {
+			return err
+		}
+	}
+	seq := s.seq + 1
+	if _, err := s.conn.roundTrip(s.owner, wire.Request{Type: t, Sealed: raw, Seq: seq}); err != nil {
+		// The sync's fate is unproven (a refusal did not advance the clock;
+		// a lost ack may have). Either way the next upload re-runs the
+		// resume handshake and continues from whatever the gateway can
+		// prove committed.
+		s.seqDirty = true
 		return err
 	}
+	s.seq = seq
 	// Identity is fetched after the first successful upload (the namespace
 	// certainly exists by then), so storage accounting uses the backend's
 	// real outsourced width.

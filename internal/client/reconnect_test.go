@@ -1,0 +1,117 @@
+package client
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dpsync/internal/gateway"
+	"dpsync/internal/record"
+)
+
+func yellowAt(tick int, id uint16) record.Record {
+	return record.Record{PickupTime: record.Tick(tick), PickupID: id, Provider: record.YellowCab}
+}
+
+// TestReconnectHealsDrops pins the reconnect/replay/resume loop end to end:
+// with the transport repeatedly yanked mid-stream, every upload must still
+// land exactly once — the gateway transcript counts one event per sync, no
+// loss and no duplication — and the client must report the outages it
+// healed.
+func TestReconnectHealsDrops(t *testing.T) {
+	gw, key := startGateway(t, gateway.Config{})
+	conn, err := DialGateway(gw.Addr(), key, WithReconnect(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const uploads = 200
+	sess := conn.Owner("owner-drop")
+	if err := sess.Setup([]record.Record{yellowAt(0, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= uploads; i++ {
+		if i%25 == 0 {
+			// Yank the transport; the next upload writes into the dead
+			// connection and must heal via redial + replay + resume.
+			conn.Drop()
+		}
+		if err := sess.Update([]record.Record{yellowAt(i, uint16(i%record.NumLocations+1))}); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+
+	if got := gw.ObservedPattern("owner-drop").Updates(); got != uploads+1 {
+		t.Fatalf("gateway observed %d events, want %d (setup + %d uploads): a drop lost or duplicated a sync",
+			got, uploads+1, uploads)
+	}
+	if n, total := conn.ReconnectStats(); n == 0 {
+		t.Fatalf("no reconnects recorded despite %d transport drops", uploads/25)
+	} else if total <= 0 {
+		t.Fatalf("reconnects %d recorded with non-positive resume time %v", n, total)
+	}
+}
+
+// TestExplicitCloseDoesNotReconnect pins that Close is final even on a
+// reconnect-enabled connection: the healing loop must not resurrect a
+// transport the caller deliberately tore down.
+func TestExplicitCloseDoesNotReconnect(t *testing.T) {
+	gw, key := startGateway(t, gateway.Config{})
+	conn, err := DialGateway(gw.Addr(), key, WithReconnect(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := conn.Owner("owner-close")
+	if err := sess.Setup([]record.Record{yellowAt(0, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if err := sess.Update([]record.Record{yellowAt(1, 20)}); err == nil {
+		t.Fatal("update succeeded on an explicitly closed connection")
+	}
+	if n, _ := conn.ReconnectStats(); n != 0 {
+		t.Fatalf("%d reconnects after explicit Close", n)
+	}
+}
+
+// TestReconnectExhaustionFailsFast pins the bounded-backoff contract: when
+// the gateway is gone for good, a reconnect-enabled connection must give up
+// after its attempt budget and surface the failure, not spin forever.
+func TestReconnectExhaustionFailsFast(t *testing.T) {
+	gw, key := startGateway(t, gateway.Config{})
+	conn, err := DialGateway(gw.Addr(), key, WithReconnect(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sess := conn.Owner("owner-doomed")
+	if err := sess.Setup([]record.Record{yellowAt(0, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	gw.Kill()
+
+	start := time.Now()
+	var uerr error
+	for i := 1; i <= 5; i++ {
+		if uerr = sess.Update([]record.Record{yellowAt(i, 20)}); uerr != nil {
+			break
+		}
+	}
+	if uerr == nil {
+		t.Fatal("uploads kept succeeding against a killed gateway")
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("failure took %v: backoff is not bounded by the attempt budget", elapsed)
+	}
+	// The connection is latched dead: later calls fail immediately.
+	start = time.Now()
+	if err := sess.Update([]record.Record{yellowAt(99, 20)}); err == nil {
+		t.Fatal("update succeeded after reconnect exhaustion")
+	} else if errors.Is(err, nil) {
+		t.Fatal("unreachable")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("post-exhaustion failure took %v, want immediate", elapsed)
+	}
+}

@@ -72,13 +72,28 @@ const (
 	// that stops reading cannot stall a shard worker behind a full response
 	// queue forever.
 	DefaultWriteTimeout = 30 * time.Second
+	// DefaultMaxInFlight is the per-connection in-flight request cap: how
+	// many admitted requests may be awaiting responses before further
+	// frames are refused with a typed backpressure response. It is sized
+	// above the client's default pipeline window so well-behaved clients
+	// never see a shed; the response buffer is sized to this cap plus
+	// shedHeadroom, which is what lets shard workers reply without ever
+	// blocking on a slow connection.
+	DefaultMaxInFlight = 256
+	// shedHeadroom is the grace window past the in-flight cap: how many
+	// refusals (backpressure replies, which also occupy response-buffer
+	// slots) may be outstanding before the connection is severed as
+	// hostile — a client that keeps blasting frames while ignoring both
+	// its window and the shed signal.
+	shedHeadroom = 64
+	// DefaultDrainTimeout bounds Close's wait for in-flight connections;
+	// survivors are severed (logged) so one stuck peer cannot wedge a
+	// graceful shutdown.
+	DefaultDrainTimeout = 10 * time.Second
 	// shardQueueLen is the per-shard task buffer. When a shard saturates,
 	// connection readers block on the send — backpressure propagates to the
 	// TCP receive window instead of growing a queue.
 	shardQueueLen = 128
-	// respQueueLen is the per-connection response buffer between shard
-	// workers and the connection writer.
-	respQueueLen = 64
 	// completionQueueLen is the per-shard buffer for WAL commit callbacks
 	// hopping from the log writer back onto the shard worker. The worker
 	// always drains it (it never blocks on sends), so the WAL writer cannot
@@ -111,6 +126,15 @@ type Config struct {
 	ReadTimeout    time.Duration
 	WriteTimeout   time.Duration
 	MaxFrameErrors int
+	// MaxInFlight caps admitted-but-unanswered requests per connection
+	// (0 = DefaultMaxInFlight). Excess frames get typed backpressure
+	// responses; a connection that accumulates shedHeadroom unanswered
+	// refusals on top of the cap is severed.
+	MaxInFlight int
+	// DrainTimeout bounds Close's graceful wait for in-flight connections
+	// before severing the stragglers (0 = DefaultDrainTimeout, negative =
+	// wait forever, the pre-hardening behavior).
+	DrainTimeout time.Duration
 	// MaxOwners bounds distinct namespaces (0 = DefaultMaxOwners).
 	MaxOwners int
 	// StoreDir enables the durability subsystem (internal/store): every
@@ -154,6 +178,7 @@ type Gateway struct {
 	shards     []*shard
 	quit       chan struct{}
 	ownerCount atomic.Int64
+	sheds      atomic.Int64 // backpressure refusals across all connections
 
 	connWG  sync.WaitGroup
 	shardWG sync.WaitGroup
@@ -183,6 +208,12 @@ func New(addr string, cfg Config) (*Gateway, error) {
 	}
 	if cfg.MaxOwners <= 0 {
 		cfg.MaxOwners = DefaultMaxOwners
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
 	}
 	if cfg.SnapshotEvery <= 0 {
 		cfg.SnapshotEvery = DefaultSnapshotEvery
@@ -365,6 +396,33 @@ func (g *Gateway) shutdown(abandon bool) error {
 			g.store.Kill()
 		}
 	}
+	if !abandon && g.cfg.DrainTimeout > 0 {
+		// Graceful drain is bounded: a peer that neither finishes nor hangs
+		// up (half-open, mid-pipeline stall) must not wedge shutdown. Past
+		// the deadline the stragglers are severed — their handlers see read
+		// errors, finish their pending replies (shards are still running),
+		// and exit; acknowledged durable syncs have committed by then, so
+		// severance loses nothing a crash would not.
+		drained := make(chan struct{})
+		go func() {
+			g.connWG.Wait()
+			close(drained)
+		}()
+		select {
+		case <-drained:
+		case <-time.After(g.cfg.DrainTimeout):
+			g.mu.Lock()
+			stragglers := make([]net.Conn, 0, len(g.conns))
+			for c := range g.conns {
+				stragglers = append(stragglers, c)
+			}
+			g.mu.Unlock()
+			g.log.Printf("close: drain deadline %v elapsed; severing %d connections", g.cfg.DrainTimeout, len(stragglers))
+			for _, c := range stragglers {
+				_ = c.Close()
+			}
+		}
+	}
 	g.connWG.Wait()
 	close(g.quit)
 	g.shardWG.Wait()
@@ -378,6 +436,10 @@ func (g *Gateway) shutdown(abandon bool) error {
 
 // Owners returns the number of tenant namespaces created so far.
 func (g *Gateway) Owners() int { return int(g.ownerCount.Load()) }
+
+// Sheds returns the total number of backpressure refusals issued across all
+// connections — the fleet-health counter the load generator reports.
+func (g *Gateway) Sheds() int64 { return g.sheds.Load() }
 
 // shardFor routes an owner ID to its shard. The hash is stable for the
 // gateway's lifetime, so one owner's requests always execute on one worker
@@ -524,27 +586,46 @@ func (g *Gateway) handle(conn net.Conn) {
 	// The writer goroutine serializes responses onto the connection.
 	// Responses arrive from shard workers out of order (that is the point
 	// of pipelining); request IDs let the client re-match them. Once a
-	// write fails or times out, the writer turns into a drain so shard
-	// workers never block on a dead connection.
-	respCh := make(chan wire.GatewayResponse, respQueueLen)
+	// write fails or times out — the write-stall deadline — the writer
+	// turns into a drain AND severs the connection, so the reader stops
+	// admitting work for a peer that has stopped consuming responses.
+	//
+	// Flow control invariant: inflight counts every admitted request and
+	// every reader-originated reply (errors, sheds) from admission until
+	// the writer dequeues its response. Admission stops at MaxInFlight
+	// (typed backpressure), and even refusals stop at MaxInFlight +
+	// shedHeadroom (the connection is severed instead). respCh's capacity
+	// is that same bound, so a shard worker's reply can NEVER block on a
+	// slow connection — the slow tenant sheds its own load while unrelated
+	// tenants on the same shard keep their latency.
+	maxInFlight := g.cfg.MaxInFlight
+	respCh := make(chan wire.GatewayResponse, maxInFlight+shedHeadroom)
+	var inflight atomic.Int64
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		dead := false
 		for r := range respCh {
-			if dead {
-				continue
+			if !dead {
+				out, err := codec.EncodeGatewayResponse(r)
+				if err != nil {
+					g.log.Printf("conn %s: encoding response: %v", conn.RemoteAddr(), err)
+					dead = true
+				} else {
+					_ = conn.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout))
+					if err := wire.WriteFrame(conn, out); err != nil {
+						dead = true
+					}
+				}
+				if dead {
+					// Sever: the peer stalled past the write deadline (or the
+					// stream is unencodable). Closing the conn breaks the
+					// reader out of its blocking ReadFrame, so the connection
+					// winds down instead of half-living as a request sink.
+					conn.Close()
+				}
 			}
-			out, err := codec.EncodeGatewayResponse(r)
-			if err != nil {
-				g.log.Printf("conn %s: encoding response: %v", conn.RemoteAddr(), err)
-				dead = true
-				continue
-			}
-			_ = conn.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout))
-			if err := wire.WriteFrame(conn, out); err != nil {
-				dead = true
-			}
+			inflight.Add(-1)
 		}
 	}()
 
@@ -553,6 +634,10 @@ func (g *Gateway) handle(conn net.Conn) {
 		respCh <- r
 		pending.Done()
 	}
+	// admit reserves an inflight slot for one response. Reader-side replies
+	// get a slot unconditionally up to the severance bound; shard-bound
+	// requests stop at the cap.
+	admit := func() { inflight.Add(1); pending.Add(1) }
 
 	frameErrs := 0
 	for {
@@ -570,11 +655,19 @@ func (g *Gateway) handle(conn net.Conn) {
 			}
 			break
 		}
+		if int(inflight.Load()) >= maxInFlight+shedHeadroom {
+			// The peer ignored its window AND shedHeadroom refusals in a
+			// row: the grace window is spent. Sever rather than shed again —
+			// every further frame is free hostility.
+			logf("severing connection: %d unanswered requests exceed in-flight cap %d + grace %d",
+				inflight.Load(), maxInFlight, shedHeadroom)
+			break
+		}
 		greq, err := codec.DecodeGatewayRequest(payload)
 		if err != nil {
 			frameErrs++
 			logf("malformed frame (%d/%d): %v", frameErrs, g.cfg.MaxFrameErrors, err)
-			pending.Add(1)
+			admit()
 			reply(wire.GatewayResponse{ID: greq.ID, Resp: wire.Response{Error: err.Error()}})
 			if frameErrs >= g.cfg.MaxFrameErrors {
 				logf("closing connection after %d malformed frames", frameErrs)
@@ -583,16 +676,28 @@ func (g *Gateway) handle(conn net.Conn) {
 			continue
 		}
 		if greq.Owner == "" {
-			pending.Add(1)
+			admit()
 			reply(wire.GatewayResponse{ID: greq.ID, Resp: wire.Response{Error: "gateway: missing owner id"}})
 			continue
 		}
-		pending.Add(1)
+		if int(inflight.Load()) >= maxInFlight {
+			// Load shed: refuse without touching tenant state. The refusal
+			// is typed so the client can back off and retry — application
+			// state (clock, ledger, transcript) is untouched, which is what
+			// keeps a shed privacy-neutral.
+			g.sheds.Add(1)
+			admit()
+			reply(wire.GatewayResponse{ID: greq.ID, Resp: wire.Response{
+				Error: wire.ErrBackpressure.Error(), Backpressure: true,
+			}})
+			continue
+		}
+		admit()
 		id, req, owner := greq.ID, greq.Req, greq.Owner
 		sh := g.shardFor(owner)
 		// Only the setup protocol creates a namespace (peek otherwise):
-		// queries, updates, and stats probes against unknown owners must
-		// not let a read-only request stream allocate backend state.
+		// queries, updates, resumes, and stats probes against unknown owners
+		// must not let a read-only request stream allocate backend state.
 		t := task{owner: owner, peek: req.Type != wire.MsgSetup, run: func(tn *tenant, terr error) {
 			if terr != nil {
 				reply(wire.GatewayResponse{ID: id, Resp: wire.Response{Error: terr.Error()}})

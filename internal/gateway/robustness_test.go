@@ -1,0 +1,424 @@
+package gateway_test
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dpsync/internal/client"
+	"dpsync/internal/core"
+	"dpsync/internal/dp"
+	"dpsync/internal/edb"
+	"dpsync/internal/faultnet"
+	"dpsync/internal/gateway"
+	"dpsync/internal/record"
+	"dpsync/internal/seal"
+	"dpsync/internal/server"
+	"dpsync/internal/strategy"
+	"dpsync/internal/wire"
+)
+
+// fleetSpecs builds the three-strategy owner mix with sources derived from
+// seed, so every run of the same seed drives bit-identical traces.
+func fleetSpecs(t *testing.T, seed int64) []struct {
+	name string
+	mk   func() strategy.Strategy
+} {
+	t.Helper()
+	mkTimer := func() strategy.Strategy {
+		s, err := strategy.NewTimer(strategy.TimerConfig{
+			Epsilon: 0.5, Period: 20, FlushInterval: 100, FlushSize: 5,
+			Source: dp.NewSeededSource(uint64(seed)*97 + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	mkANT := func() strategy.Strategy {
+		s, err := strategy.NewANT(strategy.ANTConfig{
+			Epsilon: 0.5, Threshold: 8, FlushInterval: 100, FlushSize: 5,
+			Source: dp.NewSeededSource(uint64(seed)*97 + 2),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	return []struct {
+		name string
+		mk   func() strategy.Strategy
+	}{
+		{"owner-sur", func() strategy.Strategy { return strategy.NewSUR() }},
+		{"owner-timer", mkTimer},
+		{"owner-ant", mkANT},
+	}
+}
+
+// TestFaultMatrixDifferential is the fleet-robustness acceptance test: under
+// a seeded matrix of transport faults (resets, torn mid-frame writes,
+// duplicated frame delivery) plus connection churn, every owner's transcript
+// AND ε ledger must come out bit-identical to an uninterrupted run — the
+// reconnect/replay/resume machinery must be invisible to the privacy
+// accounting. The transcript reference is the single-owner internal/server;
+// the ledger reference is a clean gateway run of the same traces.
+func TestFaultMatrixDifferential(t *testing.T) {
+	const ticks = 150
+	for _, seed := range []int64{1, 7, 23} {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			key, err := seal.NewRandomKey()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			drive := func(t *testing.T, db edb.Database, strat strategy.Strategy, phase int) {
+				t.Helper()
+				owner, err := core.New(core.Config{Strategy: strat, Database: db})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := owner.Setup([]record.Record{yellow(0, 10), yellow(0, 20)}); err != nil {
+					t.Fatal(err)
+				}
+				for i := 1; i <= ticks; i++ {
+					var terr error
+					if (i+phase)%3 == 0 {
+						terr = owner.Tick(yellow(i, uint16(i%record.NumLocations+1)))
+					} else {
+						terr = owner.Tick()
+					}
+					if terr != nil {
+						t.Fatal(terr)
+					}
+				}
+			}
+
+			// Reference 1: each owner alone against the single-owner server —
+			// the transcript ground truth.
+			specs := fleetSpecs(t, seed)
+			wantPatterns := map[string]string{}
+			for i, spec := range specs {
+				srv, err := server.New("127.0.0.1:0", key, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				go func() { _ = srv.Serve() }()
+				cl, err := client.Dial(srv.Addr(), key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				drive(t, cl, spec.mk(), i)
+				wantPatterns[spec.name] = srv.ObservedPattern().String()
+				cl.Close()
+				srv.Close()
+			}
+
+			// Reference 2: the same traces through a clean (fault-free)
+			// gateway — the ε-ledger ground truth.
+			specs = fleetSpecs(t, seed)
+			refGW, _ := startGateway(t, gateway.Config{Key: key, Shards: 2, SyncEpsilon: 0.5})
+			refConn, err := client.DialGateway(refGW.Addr(), key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer refConn.Close()
+			for i, spec := range specs {
+				drive(t, refConn.Owner(spec.name), spec.mk(), i)
+			}
+			wantLedgers := map[string]string{}
+			for _, spec := range specs {
+				if got := refGW.ObservedPattern(spec.name).String(); got != wantPatterns[spec.name] {
+					t.Fatalf("clean gateway reference diverged from single-owner server for %s", spec.name)
+				}
+				b, err := refGW.ObservedLedger(spec.name).MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantLedgers[spec.name] = string(b)
+			}
+
+			// Subject: the same traces through a gateway whose transport runs
+			// the seeded fault schedule, with connection churn layered on top.
+			specs = fleetSpecs(t, seed)
+			gw, _ := startGateway(t, gateway.Config{Key: key, Shards: 2, SyncEpsilon: 0.5})
+			inj := faultnet.New(faultnet.Config{
+				Seed: seed, Budget: 12,
+				Reset: 0.05, Truncate: 0.04, Stall: 0.02, Duplicate: 0.20,
+				MaxStall: 2 * time.Millisecond,
+			})
+			conn, err := client.DialGateway(gw.Addr(), key,
+				client.WithDialer(inj.Dialer(nil)), client.WithReconnect(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			churnStop := make(chan struct{})
+			churnDone := make(chan struct{})
+			go func() {
+				defer close(churnDone)
+				tick := time.NewTicker(15 * time.Millisecond)
+				defer tick.Stop()
+				for {
+					select {
+					case <-churnStop:
+						return
+					case <-tick.C:
+						conn.Drop()
+					}
+				}
+			}()
+			for i, spec := range specs {
+				drive(t, conn.Owner(spec.name), spec.mk(), i)
+			}
+			close(churnStop)
+			<-churnDone
+
+			reconnects, _ := conn.ReconnectStats()
+			if reconnects == 0 && inj.Counts().Total() == 0 {
+				t.Fatalf("fault matrix injected nothing: the run proved nothing")
+			}
+			for _, spec := range specs {
+				if got := gw.ObservedPattern(spec.name).String(); got != wantPatterns[spec.name] {
+					t.Errorf("%s transcript diverged under faults (%d reconnects, faults %+v):\n got: %s\nwant: %s",
+						spec.name, reconnects, inj.Counts(), got, wantPatterns[spec.name])
+				}
+				b, err := gw.ObservedLedger(spec.name).MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(b) != wantLedgers[spec.name] {
+					t.Errorf("%s ε ledger diverged under faults: a retried sync was double-charged or lost", spec.name)
+				}
+			}
+		})
+	}
+}
+
+// rawGatewayConn dials the gateway and completes the binary-codec hello,
+// returning the bare transport for protocol-level tests.
+func rawGatewayConn(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	if err := wire.WriteHello(conn, wire.CodecBinary); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadHelloAck(conn); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// roundTripRaw writes one encoded envelope and reads one response envelope.
+func roundTripRaw(t *testing.T, conn net.Conn, frame []byte) wire.GatewayResponse {
+	t.Helper()
+	if err := wire.WriteFrame(conn, frame); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.CodecBinary.DecodeGatewayResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestDuplicateRetransmitNotRecharged pins the idempotency half of the
+// resume protocol at the wire level: retransmitting the byte-identical
+// frame of an already-committed sync must be acked OK without appending a
+// transcript event or re-charging the ε ledger, and the sequence must stay
+// open for the next sync.
+func TestDuplicateRetransmitNotRecharged(t *testing.T) {
+	gw, key := startGateway(t, gateway.Config{SyncEpsilon: 0.5})
+	sealer, err := seal.NewSealer(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed := func(rs ...record.Record) [][]byte {
+		cts, err := sealer.SealAll(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]byte, len(cts))
+		for i, ct := range cts {
+			out[i] = ct
+		}
+		return out
+	}
+	conn := rawGatewayConn(t, gw.Addr())
+	const owner = "owner-raw"
+
+	encode := func(id uint64, typ wire.MsgType, seq uint64, payload [][]byte) []byte {
+		b, err := wire.CodecBinary.EncodeGatewayRequest(wire.GatewayRequest{
+			ID: id, Owner: owner,
+			Req: wire.Request{Type: typ, Seq: seq, Sealed: payload},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	setup := encode(1, wire.MsgSetup, 1, sealed(yellow(0, 10)))
+	if resp := roundTripRaw(t, conn, setup); !resp.Resp.OK {
+		t.Fatalf("setup refused: %+v", resp.Resp)
+	}
+	update := encode(2, wire.MsgUpdate, 2, sealed(yellow(1, 20), record.NewDummy(record.YellowCab)))
+	if resp := roundTripRaw(t, conn, update); !resp.Resp.OK {
+		t.Fatalf("update refused: %+v", resp.Resp)
+	}
+
+	ledgerBefore, err := gw.ObservedLedger(owner).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	patternBefore := gw.ObservedPattern(owner).String()
+
+	// The duplicated retransmit: same bytes, same seq. Must ack, not apply.
+	if resp := roundTripRaw(t, conn, update); !resp.Resp.OK {
+		t.Fatalf("retransmit of committed sync refused: %+v", resp.Resp)
+	}
+	ledgerAfter, err := gw.ObservedLedger(owner).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ledgerAfter) != string(ledgerBefore) {
+		t.Fatalf("retransmit re-charged the ε ledger")
+	}
+	if got := gw.ObservedPattern(owner).String(); got != patternBefore {
+		t.Fatalf("retransmit appended a transcript event:\n got: %s\nwant: %s", got, patternBefore)
+	}
+
+	// A stale retransmit further back is equally harmless.
+	if resp := roundTripRaw(t, conn, setup); !resp.Resp.OK {
+		t.Fatalf("stale retransmit refused: %+v", resp.Resp)
+	}
+	// A gap is refused without touching state.
+	gap := encode(3, wire.MsgUpdate, 9, sealed(yellow(2, 30)))
+	if resp := roundTripRaw(t, conn, gap); resp.Resp.OK || resp.Resp.Error == "" {
+		t.Fatalf("gap sync accepted: %+v", resp.Resp)
+	}
+	// The sequence is still open at the right place.
+	next := encode(4, wire.MsgUpdate, 3, sealed(yellow(2, 30)))
+	if resp := roundTripRaw(t, conn, next); !resp.Resp.OK {
+		t.Fatalf("next in-order sync refused after retransmits: %+v", resp.Resp)
+	}
+	if got := gw.ObservedPattern(owner).Updates(); got != 3 {
+		t.Fatalf("transcript has %d updates, want 3 (setup + 2 syncs)", got)
+	}
+
+	// And the resume clock reports the committed position.
+	resume := encode(5, wire.MsgResume, 0, nil)
+	resp := roundTripRaw(t, conn, resume)
+	if !resp.Resp.OK || resp.Resp.Resume == nil || resp.Resp.Resume.Clock != 3 {
+		t.Fatalf("resume after 3 syncs = %+v", resp.Resp)
+	}
+}
+
+// TestSlowTenantShedNotStall pins per-tenant fairness: a tenant that floods
+// requests and never reads responses must be shed (typed backpressure) and
+// eventually severed, while an unrelated tenant on the same shard keeps
+// bounded latency throughout.
+func TestSlowTenantShedNotStall(t *testing.T) {
+	gw, key := startGateway(t, gateway.Config{Shards: 1, MaxInFlight: 32})
+
+	hog := rawGatewayConn(t, gw.Addr())
+	req, err := wire.CodecBinary.EncodeGatewayRequest(wire.GatewayRequest{
+		ID: 1, Owner: "hog", Req: wire.Request{Type: wire.MsgStats},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hogDead atomic.Bool
+	go func() {
+		// Flood without ever reading a response. The gateway must shed past
+		// the in-flight cap and sever past the headroom — never letting the
+		// reply queue stall the shard worker.
+		for i := 0; i < 1_000_000; i++ {
+			_ = hog.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			if err := wire.WriteFrame(hog, req); err != nil {
+				hogDead.Store(true)
+				return
+			}
+		}
+	}()
+
+	victimConn, err := client.DialGateway(gw.Addr(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victimConn.Close()
+	victim := victimConn.Owner("victim")
+	if err := victim.Setup([]record.Record{yellow(0, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	var worst time.Duration
+	for i := 1; i <= 200; i++ {
+		start := time.Now()
+		if err := victim.Update([]record.Record{yellow(i, uint16(i%record.NumLocations+1))}); err != nil {
+			t.Fatalf("victim update %d under slow-tenant flood: %v", i, err)
+		}
+		if d := time.Since(start); d > worst {
+			worst = d
+		}
+	}
+	if worst > 2*time.Second {
+		t.Fatalf("victim worst-case sync took %v: slow tenant stalled the shard", worst)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for gw.Sheds() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if gw.Sheds() == 0 {
+		t.Fatalf("flooding tenant was never shed")
+	}
+	for !hogDead.Load() && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !hogDead.Load() {
+		t.Fatalf("flooding tenant was never severed")
+	}
+}
+
+// TestCloseDrainDeadline pins the Gateway.Close regression: with live
+// connections that never drain, Close must sever them at the drain deadline
+// and return, instead of waiting on them indefinitely.
+func TestCloseDrainDeadline(t *testing.T) {
+	key, err := seal.NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := gateway.New("127.0.0.1:0", gateway.Config{
+		Key: key, DrainTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = gw.Serve() }()
+
+	// A connected client that sends nothing and never hangs up: its reader
+	// goroutine is parked in ReadFrame, far inside the idle deadline.
+	conn := rawGatewayConn(t, gw.Addr())
+
+	start := time.Now()
+	if err := gw.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Close took %v despite the %v drain deadline", elapsed, 200*time.Millisecond)
+	}
+	// The straggler was severed, not forgotten.
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := wire.ReadFrame(conn); err == nil {
+		t.Fatalf("straggler connection still alive after Close")
+	}
+}

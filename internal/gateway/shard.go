@@ -296,8 +296,41 @@ func (g *Gateway) dispatch(sh *shard, tn *tenant, owner string, req wire.Request
 		return
 	}
 	switch req.Type {
+	case wire.MsgResume:
+		// The reconnect handshake: report the owner's committed clock. The
+		// answer is immediate even while earlier syncs are applied-but-
+		// uncommitted (tn.seq > tn.ticks) — a client replaying from the
+		// committed clock re-sends those seqs, and the duplicate path below
+		// parks their acks on the original commits, so resume can never
+		// promise more than recovery could prove.
+		respond(wire.Response{OK: true, Resume: &wire.ResumeSpec{Clock: uint64(tn.ticks)}})
+
 	case wire.MsgSetup, wire.MsgUpdate:
 		setup := req.Type == wire.MsgSetup
+		// Tick-ordered idempotent apply. A sequenced sync (req.Seq != 0)
+		// claims a specific logical tick:
+		//   - seq == tn.seq+1: the next tick — apply normally below.
+		//   - seq <= tn.seq: already applied. A retransmit (the client lost
+		//     the ack, not the sync) is acknowledged WITHOUT re-ingesting or
+		//     re-charging the ε ledger — this is the invariant that makes
+		//     reconnect replay privacy-safe. The ack waits for the original
+		//     commit if it is still in flight, so a duplicate ack is never
+		//     a stronger durability claim than the first would have been.
+		//   - seq > tn.seq+1: a gap — the client skipped a sync. Refuse
+		//     without touching state; applying out of order would let a
+		//     distorted schedule masquerade as the DP-optimized one.
+		// Seq 0 is the legacy single-shot behavior: assign the next tick.
+		if req.Seq != 0 {
+			if req.Seq <= tn.seq {
+				g.serveDuplicateAck(tn, req.Seq, respond)
+				return
+			}
+			if req.Seq != tn.seq+1 {
+				respond(wire.Response{Error: fmt.Sprintf(
+					"gateway: sync gap: got seq %d, expected %d", req.Seq, tn.seq+1)})
+				return
+			}
+		}
 		// Validate the ledger charge before any irreversible step: a
 		// refused charge (epsilon/rule drift against a recovered ledger)
 		// must refuse the sync while the backend is still untouched. The
@@ -415,6 +448,26 @@ func (g *Gateway) dispatch(sh *shard, tn *tenant, owner string, req wire.Request
 	}
 }
 
+// serveDuplicateAck answers a retransmitted sync the tenant has already
+// applied. Nothing is re-ingested and nothing is re-charged; the only
+// question is *when* to ack. Committed seqs ack immediately; applied-but-
+// uncommitted seqs park on the original sync's commit (same machinery as
+// deferred reads), so the retransmit's ack carries exactly the durability
+// the original's would have.
+func (g *Gateway) serveDuplicateAck(tn *tenant, seq uint64, respond func(wire.Response)) {
+	if seq <= uint64(tn.ticks) {
+		respond(wire.Response{OK: true})
+		return
+	}
+	tn.deferred = append(tn.deferred, deferredRead{waitSeq: seq, run: func(failed bool) {
+		if failed {
+			respond(wire.Response{Error: "gateway: a durable sync failed for this owner; restart to recover"})
+			return
+		}
+		respond(wire.Response{OK: true})
+	}})
+}
+
 // serveRead answers a read (query or stats) immediately when the tenant's
 // backend holds only committed syncs; otherwise it parks the read until the
 // in-flight syncs that precede it commit. This keeps reads from exposing
@@ -448,6 +501,16 @@ func (g *Gateway) dispatchUnknown(owner string, req wire.Request) wire.Response 
 		return wire.Response{Error: "gateway: internal: setup routed to unknown-owner path"}
 	case wire.MsgUpdate, wire.MsgQuery:
 		return wire.Response{Error: edb.ErrNotSetup.Error()}
+	case wire.MsgResume:
+		// A resume for a namespace this process has not materialized answers
+		// from the durable floor: the store's recovered clock (0 for owners
+		// it never saw). In-memory mode has no floor — an unknown owner's
+		// clock is simply 0.
+		var clock uint64
+		if g.store != nil {
+			clock = g.store.Clock(owner)
+		}
+		return wire.Response{OK: true, Resume: &wire.ResumeSpec{Clock: clock}}
 	case wire.MsgStats:
 		db, err := g.cfg.NewBackend(owner)
 		if err != nil {

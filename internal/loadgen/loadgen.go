@@ -14,6 +14,7 @@ package loadgen
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"dpsync/internal/core"
 	"dpsync/internal/dp"
 	"dpsync/internal/edb"
+	"dpsync/internal/faultnet"
 	"dpsync/internal/gateway"
 	"dpsync/internal/metrics"
 	"dpsync/internal/query"
@@ -77,6 +79,32 @@ type Config struct {
 	// snapshots carry manifests (see gateway.Config.HistoryWindow). 0
 	// keeps the full history in RAM.
 	HistoryWindow int
+	// Churn drops live gateway connections on a seeded schedule for the
+	// whole drive; the client reconnect/resume layer must heal each outage
+	// transparently (Verify still demands exact transcripts). Implies
+	// reconnect-enabled connections.
+	Churn bool
+	// ChurnInterval is the mean time between connection drops (default
+	// 25ms).
+	ChurnInterval time.Duration
+	// Faults routes every gateway connection through an internal/faultnet
+	// injector: seeded resets, torn mid-frame writes, stalls, and
+	// duplicated frame delivery. Implies reconnect-enabled connections.
+	Faults bool
+	// FaultBudget bounds disruptive injected faults (resets + truncations)
+	// across the run; 0 means 4 per connection. Stalls and duplicates are
+	// unbudgeted.
+	FaultBudget int64
+	// OpenLoop switches the drive from closed-loop (each owner ticks as
+	// fast as round trips allow) to an open-loop arrival model: ticks
+	// arrive on a seeded Poisson process with a bursty mixture, and
+	// per-tick latency is measured from the *scheduled* arrival time — so
+	// a stalled server accrues queueing delay instead of silently slowing
+	// the arrival rate (no coordinated omission).
+	OpenLoop bool
+	// MeanArrival is the open-loop mean interarrival time per owner tick
+	// (default 2ms).
+	MeanArrival time.Duration
 }
 
 // Report is the measurement result.
@@ -119,6 +147,18 @@ type Report struct {
 	SpillBatches  int64 `json:"spill_batches,omitempty"`
 	SpillBytes    int64 `json:"spill_bytes,omitempty"`
 	SpillSegments int64 `json:"spill_segments,omitempty"`
+	// Fleet-robustness measurements. Reconnects counts transport losses the
+	// client layer healed (churn drops + injected severances);
+	// ChurnResumeMs is the mean outage→resume wall-clock across them.
+	// OpenLoopP99Ms is the open-loop per-tick p99 measured from scheduled
+	// arrivals. BackpressureSheds counts requests the in-process gateway
+	// refused with the typed backpressure error. FaultsInjected totals
+	// faultnet injections of every kind.
+	Reconnects        int64   `json:"reconnects,omitempty"`
+	ChurnResumeMs     float64 `json:"churn_resume_ms"`
+	OpenLoopP99Ms     float64 `json:"open_loop_p99_ms"`
+	BackpressureSheds int64   `json:"backpressure_sheds"`
+	FaultsInjected    int64   `json:"faults_injected,omitempty"`
 }
 
 // timedDB wraps an owner's database handle and records the round-trip
@@ -127,6 +167,9 @@ type timedDB struct {
 	edb.Database
 	latencies []float64
 	records   int64
+	// openLat is filled by the open-loop driver: per-tick latency in ms
+	// measured from the scheduled arrival, syncing ticks or not.
+	openLat []float64
 }
 
 func (t *timedDB) time(op func() error, n int) error {
@@ -237,15 +280,67 @@ func Run(cfg Config) (Report, error) {
 		return Report{}, fmt.Errorf("loadgen: durable mode drives an in-process gateway (drop -addr)")
 	}
 
+	dialOpts := []client.GatewayOption{client.WithCodec(cfg.Codec), client.WithWindow(cfg.Window)}
+	var inj *faultnet.Injector
+	if cfg.Faults {
+		budget := cfg.FaultBudget
+		if budget <= 0 {
+			budget = int64(4 * cfg.Conns)
+		}
+		inj = faultnet.New(faultnet.DefaultConfig(int64(cfg.Seed), budget))
+		dialOpts = append(dialOpts, client.WithDialer(inj.Dialer(nil)))
+	}
+	if cfg.Churn || cfg.Faults {
+		// A dropped or injected-dead transport must heal, not fail the run:
+		// that healing (redial + replay + resume) is what's under test.
+		dialOpts = append(dialOpts, client.WithReconnect(0))
+	}
 	conns := make([]*client.GatewayConn, cfg.Conns)
 	for i := range conns {
-		c, err := client.DialGateway(addr, key, client.WithCodec(cfg.Codec), client.WithWindow(cfg.Window))
+		c, err := client.DialGateway(addr, key, dialOpts...)
 		if err != nil {
 			return Report{}, err
 		}
 		defer c.Close()
 		conns[i] = c
 	}
+
+	// The churn schedule drops one random connection per interval for the
+	// whole drive; each drop forces a full redial + in-flight replay +
+	// delta resume on every owner multiplexed over that connection.
+	churnStop := make(chan struct{})
+	churnDone := make(chan struct{})
+	if cfg.Churn {
+		interval := cfg.ChurnInterval
+		if interval <= 0 {
+			interval = 25 * time.Millisecond
+		}
+		go func() {
+			defer close(churnDone)
+			rng := rand.New(rand.NewSource(int64(cfg.Seed)*7919 + 17))
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-churnStop:
+					return
+				case <-tick.C:
+					conns[rng.Intn(len(conns))].Drop()
+				}
+			}
+		}()
+	} else {
+		close(churnDone)
+	}
+	stopChurn := func() {
+		select {
+		case <-churnDone:
+		default:
+			close(churnStop)
+			<-churnDone
+		}
+	}
+	defer stopChurn()
 
 	// driveOwner lives one owner's whole life: setup, Ticks ticks with a
 	// deterministic arrival phase, through a timing wrapper.
@@ -266,7 +361,36 @@ func Run(cfg Config) (Report, error) {
 			return nil, fmt.Errorf("owner %d setup: %w", i, err)
 		}
 		phase := i % 3
+		// Open-loop arrivals: a seeded Poisson process with a bursty
+		// mixture (some arrivals land back-to-back). The schedule never
+		// resynchronizes to "now" — if the serving layer stalls, later
+		// arrivals are already due and their measured latency includes the
+		// queueing delay (coordinated-omission-free).
+		var arrivals *rand.Rand
+		var next time.Time
+		meanArrival := cfg.MeanArrival
+		if cfg.OpenLoop {
+			if meanArrival <= 0 {
+				meanArrival = 2 * time.Millisecond
+			}
+			arrivals = rand.New(rand.NewSource(int64(cfg.Seed)*1_000_003 + int64(i)))
+			next = time.Now()
+		}
 		for t := 1; t <= cfg.Ticks; t++ {
+			if cfg.OpenLoop {
+				if arrivals.Float64() < 0.2 {
+					// Burst continuation: this tick arrives with the last.
+				} else {
+					gap := time.Duration(arrivals.ExpFloat64() * float64(meanArrival))
+					if gap > 10*meanArrival {
+						gap = 10 * meanArrival
+					}
+					next = next.Add(gap)
+				}
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+			}
 			var terr error
 			if (t+phase)%3 == 0 {
 				terr = owner.Tick(record.Record{
@@ -279,6 +403,9 @@ func Run(cfg Config) (Report, error) {
 			}
 			if terr != nil {
 				return nil, fmt.Errorf("owner %d tick %d: %w", i, t, terr)
+			}
+			if cfg.OpenLoop {
+				tdb.openLat = append(tdb.openLat, float64(time.Since(next).Nanoseconds())/1e6)
 			}
 		}
 		if cfg.Verify {
@@ -329,6 +456,7 @@ func Run(cfg Config) (Report, error) {
 	}()
 
 	lat := metrics.NewSeries("sync_rtt_ms")
+	openLat := metrics.NewSeries("open_loop_tick_ms")
 	var syncs, syncRecords int64
 	var firstErr error
 	verified := 0
@@ -343,6 +471,9 @@ func Run(cfg Config) (Report, error) {
 		for _, ms := range r.tdb.latencies {
 			lat.Add(record.Tick(lat.Len()), ms)
 		}
+		for _, ms := range r.tdb.openLat {
+			openLat.Add(record.Tick(openLat.Len()), ms)
+		}
 		syncs += int64(len(r.tdb.latencies))
 		syncRecords += r.tdb.records
 		if cfg.Verify {
@@ -350,6 +481,7 @@ func Run(cfg Config) (Report, error) {
 		}
 	}
 	elapsed := time.Since(start)
+	stopChurn()
 	if firstErr != nil {
 		return Report{}, firstErr
 	}
@@ -379,6 +511,26 @@ func Run(cfg Config) (Report, error) {
 		rep.P50Ms = lat.Quantile(0.50)
 		rep.P99Ms = lat.Quantile(0.99)
 		rep.BytesPerSync = float64(bytesOut+bytesIn) / float64(syncs)
+	}
+	if openLat.Len() > 0 {
+		rep.OpenLoopP99Ms = openLat.Quantile(0.99)
+	}
+	var reconnects int64
+	var reconnectTotal time.Duration
+	for _, c := range conns {
+		n, total := c.ReconnectStats()
+		reconnects += n
+		reconnectTotal += total
+	}
+	rep.Reconnects = reconnects
+	if reconnects > 0 {
+		rep.ChurnResumeMs = float64(reconnectTotal.Nanoseconds()) / 1e6 / float64(reconnects)
+	}
+	if gw != nil {
+		rep.BackpressureSheds = gw.Sheds()
+	}
+	if inj != nil {
+		rep.FaultsInjected = inj.Counts().Total()
 	}
 
 	// Durable mode: harvest the WAL measurements, then close the gateway

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"testing"
+	"time"
 
 	"dpsync/internal/wire"
 )
@@ -76,6 +77,36 @@ func TestRunDurable(t *testing.T) {
 	}
 	if rep.Syncs < 8 || rep.SyncsPerSec <= 0 {
 		t.Errorf("throughput: %d syncs, %v/sec", rep.Syncs, rep.SyncsPerSec)
+	}
+}
+
+// TestRunHostileFleet pins the hostile-fleet harness end to end: churn +
+// injected faults + open-loop arrivals, with transcript verification still
+// demanding exact per-owner transcripts, and the new report keys populated.
+func TestRunHostileFleet(t *testing.T) {
+	rep, err := Run(Config{
+		Owners: 8, Ticks: 25, Conns: 2, Seed: 11, Verify: true,
+		Churn: true, ChurnInterval: 5 * time.Millisecond,
+		Faults: true, FaultBudget: 6,
+		OpenLoop: true, MeanArrival: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verified != 8 {
+		t.Errorf("verified = %d, want 8", rep.Verified)
+	}
+	if rep.Reconnects == 0 {
+		t.Errorf("no reconnects under churn+faults")
+	}
+	if rep.ChurnResumeMs <= 0 {
+		t.Errorf("churn_resume_ms = %v with %d reconnects", rep.ChurnResumeMs, rep.Reconnects)
+	}
+	if rep.OpenLoopP99Ms <= 0 {
+		t.Errorf("open_loop_p99_ms = %v", rep.OpenLoopP99Ms)
+	}
+	if rep.FaultsInjected == 0 {
+		t.Errorf("fault injector delivered nothing")
 	}
 }
 

@@ -31,6 +31,11 @@ const (
 	// that sends nothing (not even a keepalive request) for this long is
 	// closed.
 	DefaultReadTimeout = 2 * time.Minute
+	// DefaultWriteTimeout is the per-connection write deadline: a peer that
+	// stops reading (dead TCP window) cannot pin the handler in a blocked
+	// write forever. This mirrors the gateway's binary-path hardening —
+	// the JSON debug/compat path gets the same guarantee.
+	DefaultWriteTimeout = 30 * time.Second
 	// DefaultMaxFrameErrors is how many malformed frames a connection may
 	// send before the server hangs up on it.
 	DefaultMaxFrameErrors = 8
@@ -46,6 +51,12 @@ type Option func(*Server)
 // (tests that hold idle connections open across long pauses).
 func WithReadTimeout(d time.Duration) Option {
 	return func(s *Server) { s.readTimeout = d }
+}
+
+// WithWriteTimeout sets the per-connection write deadline; d <= 0 disables
+// it.
+func WithWriteTimeout(d time.Duration) Option {
+	return func(s *Server) { s.writeTimeout = d }
 }
 
 // WithMaxFrameErrors sets how many malformed frames a connection may send
@@ -65,6 +76,7 @@ type Server struct {
 	log *log.Logger
 
 	readTimeout  time.Duration
+	writeTimeout time.Duration
 	maxFrameErrs int
 
 	mu       sync.Mutex
@@ -92,6 +104,7 @@ func New(addr string, key []byte, logger *log.Logger, opts ...Option) (*Server, 
 	s := &Server{
 		db: db, lis: lis, log: logger,
 		readTimeout:  DefaultReadTimeout,
+		writeTimeout: DefaultWriteTimeout,
 		maxFrameErrs: DefaultMaxFrameErrors,
 	}
 	for _, o := range opts {
@@ -204,7 +217,14 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		if s.writeTimeout > 0 {
+			// The write-stall deadline: a half-open peer or one with a full
+			// receive buffer trips it and frees this goroutine instead of
+			// pinning it in Write for the connection's lifetime.
+			_ = conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		}
 		if err := wire.WriteFrame(conn, out); err != nil {
+			logf("closing connection: write: %v", err)
 			return
 		}
 		if frameErrs >= s.maxFrameErrs {

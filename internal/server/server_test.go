@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"bytes"
 	"errors"
 	"net"
 	"os"
@@ -334,6 +335,70 @@ func TestMalformedFrameFloodClosesConnection(t *testing.T) {
 	defer cl.Close()
 	if err := cl.Setup(nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWriteStallFreesHandler pins the JSON path's write-deadline hardening:
+// a client that sends requests but never reads responses eventually stalls
+// the server's write; the write deadline must free the handler so Close does
+// not hang behind the dead peer. (The gateway's binary path got this in its
+// original hardening pass — this is the compat path's regression test.)
+func TestWriteStallFreesHandler(t *testing.T) {
+	key, err := seal.NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New("127.0.0.1:0", key, nil, server.WithWriteTimeout(200*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// Shrink our buffers so the pipeline fills in kilobytes, not
+		// megabytes of autotuned window.
+		_ = tc.SetReadBuffer(2048)
+		_ = tc.SetWriteBuffer(2048)
+	}
+	req, err := wire.Encode(wire.Request{Type: wire.MsgStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one bytes.Buffer
+	if err := wire.WriteFrame(&one, req); err != nil {
+		t.Fatal(err)
+	}
+	batch := bytes.Repeat(one.Bytes(), 256)
+	// Never read a single response: the server's writes back up through our
+	// receive window until its WriteFrame blocks, then our own sends stop
+	// draining. Our write deadline detects that stall.
+	stalled := false
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		_ = conn.SetWriteDeadline(time.Now().Add(500 * time.Millisecond))
+		if _, err := conn.Write(batch); err != nil {
+			stalled = true
+			break
+		}
+	}
+	if !stalled {
+		t.Fatal("could not stall the server's writes; test environment buffers too large")
+	}
+	// The server's write deadline must now fire and free the handler, so a
+	// graceful Close completes instead of waiting on the pinned goroutine.
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung: handler still pinned in a stalled write")
 	}
 }
 

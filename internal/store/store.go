@@ -166,6 +166,11 @@ type Store struct {
 	hist    []*histWriter
 	histSeq atomic.Uint64
 	info    RecoveryInfo
+	// clocks is the recovered durable clock per owner, frozen at Open
+	// (immutable thereafter — no lock). It lets the serving layer answer a
+	// resume handshake for a namespace it has not materialized (or has
+	// suspended) with the clock recovery would prove, instead of guessing 0.
+	clocks map[string]uint64
 
 	appends      atomic.Int64
 	commits      atomic.Int64
@@ -278,11 +283,21 @@ func Open(opts Options) (*Store, map[string]*OwnerState, error) {
 			return nil, nil, err
 		}
 	}
+	s.clocks = make(map[string]uint64, len(states))
+	for owner, st := range states {
+		s.clocks[owner] = st.Clock
+	}
 	for _, sh := range s.shards {
 		go sh.run()
 	}
 	return s, states, nil
 }
+
+// Clock returns the owner's durable logical clock as recovered at Open (0
+// for owners the store had never seen). It deliberately does not track
+// live commits — the shard worker's tenant state is the live clock; this is
+// the floor a resume handshake can always honor.
+func (s *Store) Clock(owner string) uint64 { return s.clocks[owner] }
 
 func segmentPath(dir string, id int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard-%04d.wal", id))

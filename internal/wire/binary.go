@@ -122,6 +122,7 @@ const (
 	binUpdate = 2
 	binQuery  = 3
 	binStats  = 4
+	binResume = 5
 )
 
 func msgTypeByte(t MsgType) (byte, error) {
@@ -134,6 +135,8 @@ func msgTypeByte(t MsgType) (byte, error) {
 		return binQuery, nil
 	case MsgStats:
 		return binStats, nil
+	case MsgResume:
+		return binResume, nil
 	default:
 		return 0, fmt.Errorf("wire: message type %q has no binary encoding", t)
 	}
@@ -149,6 +152,8 @@ func msgTypeFromByte(b byte) (MsgType, error) {
 		return MsgQuery, nil
 	case binStats:
 		return MsgStats, nil
+	case binResume:
+		return MsgResume, nil
 	default:
 		return "", fmt.Errorf("%w: unknown message type byte %d", ErrBadFrame, b)
 	}
@@ -161,6 +166,8 @@ const (
 	flagAnswer
 	flagCost
 	flagStats
+	flagResume
+	flagBackpressure
 )
 
 // binReader is a bounds-checked cursor over a frame payload. The first
@@ -285,6 +292,7 @@ func encodeGatewayRequestBinary(g GatewayRequest) ([]byte, error) {
 	b = append(b, t)
 	switch t {
 	case binSetup, binUpdate:
+		b = appendU64(b, g.Req.Seq)
 		b = appendU32(b, uint32(len(g.Req.Sealed)))
 		for _, ct := range g.Req.Sealed {
 			b = appendU32(b, uint32(len(ct)))
@@ -344,6 +352,7 @@ func decodeGatewayRequestBinary(b []byte) (GatewayRequest, error) {
 	g.Req.Type = mt
 	switch t {
 	case binSetup, binUpdate:
+		g.Req.Seq = r.u64("sync seq")
 		n := int(r.u32("sealed count"))
 		// Each entry costs at least its 4-byte length prefix: a claimed
 		// count larger than remaining/4 is a lie, reject before allocating.
@@ -406,6 +415,12 @@ func encodeGatewayResponseBinary(g GatewayResponse) ([]byte, error) {
 	if resp.Stats != nil {
 		flags |= flagStats
 	}
+	if resp.Resume != nil {
+		flags |= flagResume
+	}
+	if resp.Backpressure {
+		flags |= flagBackpressure
+	}
 	b := make([]byte, 0, 64)
 	b = appendU64(b, g.ID)
 	b = append(b, flags)
@@ -440,6 +455,9 @@ func encodeGatewayResponseBinary(g GatewayResponse) ([]byte, error) {
 		b = append(b, byte(len(scheme)))
 		b = append(b, scheme...)
 		b = append(b, byte(st.Leakage))
+	}
+	if flags&flagResume != 0 {
+		b = appendU64(b, resp.Resume.Clock)
 	}
 	return b, nil
 }
@@ -506,6 +524,10 @@ func decodeGatewayResponseBinary(b []byte) (GatewayResponse, error) {
 		st.Leakage = int(r.u8("leakage class"))
 		g.Resp.Stats = &st
 	}
+	if flags&flagResume != 0 {
+		g.Resp.Resume = &ResumeSpec{Clock: r.u64("resume clock")}
+	}
+	g.Resp.Backpressure = flags&flagBackpressure != 0
 	if err := r.done("gateway response"); err != nil {
 		return GatewayResponse{}, err
 	}

@@ -14,6 +14,9 @@ func sampleRequests() []GatewayRequest {
 		{ID: 1 << 60, Owner: "owner-b", Req: Request{Type: MsgUpdate}},
 		{ID: 3, Owner: "q", Req: Request{Type: MsgQuery, Query: &QuerySpec{Kind: 2, Provider: 1, JoinWith: 2, Lo: 7, Hi: 99}}},
 		{ID: 4, Owner: "", Req: Request{Type: MsgStats}},
+		{ID: 5, Owner: "owner-c", Req: Request{Type: MsgSetup, Seq: 1, Sealed: [][]byte{{4, 5}}}},
+		{ID: 6, Owner: "owner-c", Req: Request{Type: MsgUpdate, Seq: 1 << 40, Sealed: [][]byte{{6}}}},
+		{ID: 7, Owner: "owner-c", Req: Request{Type: MsgResume}},
 	}
 }
 
@@ -25,6 +28,9 @@ func sampleResponses() []GatewayResponse {
 			Cost: &CostSpec{Seconds: 0.25, RecordsScanned: 1000, PairsCompared: -1}}},
 		{ID: 4, Resp: Response{OK: true, Stats: &StatsSpec{Records: 12, Bytes: 12288, Updates: 3, Scheme: "ObliDB", Leakage: 0}}},
 		{ID: 5, Resp: Response{OK: true, Stats: &StatsSpec{Records: 1, Bytes: 6400, Updates: 1, Scheme: "Crypteps", Leakage: 1}}},
+		{ID: 6, Resp: Response{OK: true, Resume: &ResumeSpec{Clock: 42}}},
+		{ID: 7, Resp: Response{OK: true, Resume: &ResumeSpec{Clock: 0}}},
+		{ID: 8, Resp: Response{Error: "shed", Backpressure: true}},
 	}
 }
 

@@ -57,6 +57,8 @@ func FuzzDecodeGatewayRequest(f *testing.F) {
 		{ID: 1, Owner: "owner-a", Req: Request{Type: MsgSetup, Sealed: [][]byte{{1, 2, 3}}}},
 		{ID: 2, Owner: "o", Req: Request{Type: MsgQuery, Query: &QuerySpec{Kind: 2, Provider: 1}}},
 		{ID: 3, Owner: "s", Req: Request{Type: MsgStats}},
+		{ID: 4, Owner: "r", Req: Request{Type: MsgResume}},
+		{ID: 5, Owner: "u", Req: Request{Type: MsgUpdate, Seq: 9, Sealed: [][]byte{{7}}}},
 	} {
 		for _, codec := range []Codec{CodecJSON, CodecBinary} {
 			if b, err := codec.EncodeGatewayRequest(g); err == nil {
@@ -84,7 +86,7 @@ func FuzzDecodeGatewayRequest(f *testing.F) {
 			t.Fatalf("re-encoded envelope rejected: %v", err)
 		}
 		if g2.ID != g.ID || g2.Owner != g.Owner || g2.Req.Type != g.Req.Type ||
-			len(g2.Req.Sealed) != len(g.Req.Sealed) {
+			g2.Req.Seq != g.Req.Seq || len(g2.Req.Sealed) != len(g.Req.Sealed) {
 			t.Fatalf("round trip changed envelope: %+v vs %+v", g2, g)
 		}
 	})
@@ -99,6 +101,8 @@ func FuzzDecodeGatewayResponse(f *testing.F) {
 		{ID: 3, Resp: Response{OK: true, Answer: &AnswerSpec{Scalar: 4, Groups: []float64{1, 2}},
 			Cost: &CostSpec{Seconds: 1, RecordsScanned: 2}}},
 		{ID: 4, Resp: Response{OK: true, Stats: &StatsSpec{Records: 5, Scheme: "ObliDB"}}},
+		{ID: 5, Resp: Response{OK: true, Resume: &ResumeSpec{Clock: 17}}},
+		{ID: 6, Resp: Response{Error: "shed", Backpressure: true}},
 	} {
 		for _, codec := range []Codec{CodecJSON, CodecBinary} {
 			if b, err := codec.EncodeGatewayResponse(g); err == nil {
@@ -126,6 +130,69 @@ func FuzzDecodeGatewayResponse(f *testing.F) {
 		}
 		if g2.ID != g.ID || g2.Resp.OK != g.Resp.OK || g2.Resp.Error != g.Resp.Error {
 			t.Fatalf("round trip changed envelope: %+v vs %+v", g2, g)
+		}
+	})
+}
+
+// FuzzResumeHandshake targets the reconnect handshake specifically: the
+// MsgResume request (no payload beyond the envelope) and the ResumeSpec /
+// Backpressure response bits, under both codecs. Both decode directions run
+// on every input — whatever either accepts must round-trip with the resume
+// fields intact, since a clock silently corrupted in flight would make a
+// reconnecting client replay from the wrong tick.
+func FuzzResumeHandshake(f *testing.F) {
+	reqs := []GatewayRequest{
+		{ID: 1, Owner: "owner-a", Req: Request{Type: MsgResume}},
+		{ID: 1 << 50, Owner: "", Req: Request{Type: MsgResume}},
+	}
+	resps := []GatewayResponse{
+		{ID: 1, Resp: Response{OK: true, Resume: &ResumeSpec{Clock: 0}}},
+		{ID: 2, Resp: Response{OK: true, Resume: &ResumeSpec{Clock: 1<<64 - 1}}},
+		{ID: 3, Resp: Response{Error: "in-flight cap exceeded", Backpressure: true}},
+	}
+	for _, codec := range []Codec{CodecJSON, CodecBinary} {
+		for _, g := range reqs {
+			if b, err := codec.EncodeGatewayRequest(g); err == nil {
+				f.Add(byte(codec), b)
+			}
+		}
+		for _, g := range resps {
+			if b, err := codec.EncodeGatewayResponse(g); err == nil {
+				f.Add(byte(codec), b)
+			}
+		}
+	}
+	f.Add(byte(CodecBinary), []byte{0, 0, 0, 0, 0, 0, 0, 1, 0, binResume, 0xEE})
+	f.Add(byte(CodecBinary), []byte{0, 0, 0, 0, 0, 0, 0, 2, flagOK | flagResume, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, codecByte byte, data []byte) {
+		codec := Codec(codecByte)
+		if !codec.Valid() {
+			codec = CodecBinary
+		}
+		if g, err := codec.DecodeGatewayRequest(data); err == nil && g.Req.Type == MsgResume {
+			reenc, err := codec.EncodeGatewayRequest(g)
+			if err != nil {
+				t.Fatalf("accepted resume request cannot be re-encoded: %v", err)
+			}
+			g2, err := codec.DecodeGatewayRequest(reenc)
+			if err != nil || g2.ID != g.ID || g2.Owner != g.Owner || g2.Req.Type != MsgResume {
+				t.Fatalf("resume request round trip changed: %+v vs %+v (%v)", g2, g, err)
+			}
+		}
+		if g, err := codec.DecodeGatewayResponse(data); err == nil && (g.Resp.Resume != nil || g.Resp.Backpressure) {
+			reenc, err := codec.EncodeGatewayResponse(g)
+			if err != nil {
+				t.Fatalf("accepted resume response cannot be re-encoded: %v", err)
+			}
+			g2, err := codec.DecodeGatewayResponse(reenc)
+			if err != nil {
+				t.Fatalf("re-encoded resume response rejected: %v", err)
+			}
+			if g2.Resp.Backpressure != g.Resp.Backpressure ||
+				(g.Resp.Resume == nil) != (g2.Resp.Resume == nil) ||
+				(g.Resp.Resume != nil && g2.Resp.Resume.Clock != g.Resp.Resume.Clock) {
+				t.Fatalf("resume response round trip changed: %+v vs %+v", g2, g)
+			}
 		}
 	})
 }

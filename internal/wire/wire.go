@@ -43,6 +43,13 @@ var ErrFrameTooLarge = errors.New("wire: frame exceeds limit")
 // application errors (report them, keep serving).
 var ErrBadFrame = errors.New("wire: malformed frame")
 
+// ErrBackpressure is the typed load-shed error. The gateway sets
+// Response.Backpressure when a connection exceeds its in-flight cap; the
+// client surfaces it as an error wrapping this sentinel so callers can
+// distinguish "slow down and retry" from application failures with
+// errors.Is.
+var ErrBackpressure = errors.New("wire: backpressure: in-flight cap exceeded")
+
 // WriteFrame writes one length-prefixed frame.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
@@ -85,6 +92,11 @@ const (
 	MsgUpdate MsgType = "update"
 	MsgQuery  MsgType = "query"
 	MsgStats  MsgType = "stats"
+	// MsgResume asks the gateway for the owner's committed logical clock —
+	// the reconnect handshake. A client that lost its connection mid-
+	// pipeline resumes from the returned clock instead of guessing which of
+	// its in-flight syncs landed (see Response.Resume).
+	MsgResume MsgType = "resume"
 )
 
 // Request is a client→server message.
@@ -94,6 +106,14 @@ type Request struct {
 	Sealed [][]byte `json:"sealed,omitempty"`
 	// Query describes the analyst request for MsgQuery.
 	Query *QuerySpec `json:"query,omitempty"`
+	// Seq is the owner's sync sequence number for setup/update requests:
+	// the logical tick this sync claims (setup is 1, the first update 2,
+	// ...). The gateway applies syncs tick-ordered and idempotently — a
+	// retransmitted Seq the owner has already applied is acknowledged
+	// without re-ingesting or re-charging the ε ledger, which is what makes
+	// reconnect replay a privacy-safe operation. 0 means unsequenced (the
+	// legacy single-shot behavior: the gateway assigns the next tick).
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // QuerySpec is the wire form of query.Query.
@@ -134,6 +154,22 @@ type Response struct {
 	Answer *AnswerSpec `json:"answer,omitempty"`
 	Cost   *CostSpec   `json:"cost,omitempty"`
 	Stats  *StatsSpec  `json:"stats,omitempty"`
+	// Resume answers a MsgResume handshake (see ResumeSpec).
+	Resume *ResumeSpec `json:"resume,omitempty"`
+	// Backpressure marks a load-shed refusal: the connection exceeded its
+	// in-flight cap and the gateway refused the request without touching
+	// tenant state. Typed (not just an error string) so clients can tell
+	// "slow down and retry" apart from application failures.
+	Backpressure bool `json:"backpressure,omitempty"`
+}
+
+// ResumeSpec is the gateway's answer to a resume handshake: the owner's
+// committed logical clock — how many syncs (setup + updates) have durably
+// landed in this owner's namespace. A reconnecting client replays anything
+// it sent past Clock and skips anything at or below it; the gateway's
+// tick-ordered idempotent apply makes the replay safe either way.
+type ResumeSpec struct {
+	Clock uint64 `json:"clock"`
 }
 
 // AnswerSpec is the wire form of query.Answer.
