@@ -35,6 +35,17 @@
 //
 //	go run ./cmd/dpsync-loadgen -owners 8 -ticks 30 -crash 3
 //
+// With -failover N the two-node failover harness runs N seeds: each starts
+// a replicated cluster (internal/cluster) — a primary with a lease and a
+// follower tailing its WAL stream — kills the primary at a seed-derived
+// tick, and finishes the trace through the clients' failover path (address
+// rotation, typed refusals, resync against the promoted node). It fails
+// unless transcripts and ε ledgers are bit-identical to an uninterrupted
+// reference run, and reports the client-observed failover window plus
+// replication lag and throughput:
+//
+//	go run ./cmd/dpsync-loadgen -owners 8 -ticks 30 -failover 3
+//
 // With -churn / -faults / -open-loop the run becomes a hostile-fleet
 // harness: -churn drops live connections on a seeded schedule, -faults
 // routes every connection through internal/faultnet (seeded resets, torn
@@ -47,8 +58,9 @@
 //	go run ./cmd/dpsync-loadgen -owners 16 -ticks 50 -churn -faults -open-loop -quick
 //
 // With -baseline the gateway_* (or, with -durable, the wal_*/durable_*/
-// recovery_*/spill_*/history_window) keys are merged into an existing
-// BENCH_baseline.json, preserving its other entries:
+// recovery_*/spill_*/history_window; with -failover, the failover_ms/
+// replication_lag_ms/replica_syncs_per_sec) keys are merged into an
+// existing BENCH_baseline.json, preserving its other entries:
 //
 //	go run ./cmd/dpsync-loadgen -owners 1000 -ticks 100 -baseline BENCH_baseline.json
 package main
@@ -60,6 +72,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dpsync/internal/loadgen"
 	"dpsync/internal/wire"
@@ -86,6 +99,8 @@ func main() {
 		syncEps  = flag.Float64("sync-epsilon", 0.5, "epsilon charged per sync in durable/crash modes")
 		histWin  = flag.Int("history-window", 0, "per-tenant in-RAM history batches before spilling to history segments (0: keep all in RAM; durable/crash modes)")
 		crash    = flag.Int("crash", 0, "run the crash-injection harness over N seeds instead of a load run")
+		failover = flag.Int("failover", 0, "run the two-node failover harness over N seeds instead of a load run")
+		leaseTTL = flag.Duration("lease-ttl", 0, "cluster election lease for -failover (0: harness default)")
 		churn    = flag.Bool("churn", false, "drop live connections on a seeded schedule; reconnect/resume must heal every outage")
 		faults   = flag.Bool("faults", false, "inject seeded transport faults (resets, torn frames, stalls, duplicated frames) on every connection")
 		faultBud = flag.Int64("fault-budget", 0, "disruptive fault budget for -faults (0: 4 per connection)")
@@ -108,6 +123,20 @@ func main() {
 			fatal(fmt.Errorf("-crash produces verification evidence, not baseline metrics; drop -baseline"))
 		}
 		runCrash(*owners, *ticks, *crash, *seed, *shards, *syncEps, *histWin, *fsync, *quick)
+		return
+	}
+
+	if *failover > 0 {
+		// Like -crash, the failover harness owns its gateways — but unlike it,
+		// the measured failover window, replication lag, and replica apply
+		// throughput are baseline material, so -baseline stays allowed.
+		switch {
+		case *addr != "":
+			fatal(fmt.Errorf("-failover drives an in-process cluster; drop -addr"))
+		case *storeDir != "":
+			fatal(fmt.Errorf("-failover uses fresh temp stores per seed; drop -store"))
+		}
+		runFailover(*owners, *ticks, *failover, *seed, *shards, *syncEps, *histWin, *fsync, *leaseTTL, *quick, *baseline)
 		return
 	}
 
@@ -220,6 +249,69 @@ func runCrash(owners, ticks, seeds int, seed uint64, shards int, syncEps float64
 		fatal(err)
 	}
 	fmt.Println(string(enc))
+}
+
+// runFailover drives the two-node failover harness, reports per-seed
+// results, and (with -baseline) merges the cluster metrics.
+func runFailover(owners, ticks, seeds int, seed uint64, shards int, syncEps float64, histWin int, fsync bool, leaseTTL time.Duration, quick bool, baseline string) {
+	cfg := loadgen.FailoverConfig{
+		Owners: owners, Ticks: ticks, SyncEpsilon: syncEps, Fsync: fsync, Shards: shards,
+		HistoryWindow: histWin, LeaseTTL: leaseTTL,
+	}
+	for i := 0; i < seeds; i++ {
+		cfg.Seeds = append(cfg.Seeds, seed+uint64(i)*7919)
+	}
+	rep, err := loadgen.RunFailover(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if quick {
+		for _, run := range rep.Runs {
+			fmt.Printf("failover ok: seed %d killed primary at tick %d/%d, promoted in %.1fms (replica lag %.2fms, %d applied @ %.0f/sec), transcripts+ledgers continuous\n",
+				run.Seed, run.KillTick, rep.Ticks, run.FailoverMs, run.ReplicationLagMs, run.ReplicaApplied, run.ReplicaSyncsPerSec)
+		}
+	} else {
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(enc))
+	}
+	if baseline != "" {
+		if err := mergeFailoverBaseline(baseline, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dpsync-loadgen: merged failover metrics into %s\n", baseline)
+	}
+}
+
+// mergeFailoverBaseline folds the per-seed failover measurements (averaged
+// across runs) into an existing baseline document.
+func mergeFailoverBaseline(path string, rep loadgen.FailoverReport) error {
+	doc := map[string]any{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	var failoverMs, lagMs, syncsPerSec float64
+	for _, run := range rep.Runs {
+		failoverMs += run.FailoverMs
+		lagMs += run.ReplicationLagMs
+		syncsPerSec += run.ReplicaSyncsPerSec
+	}
+	n := float64(len(rep.Runs))
+	doc["failover_ms"] = failoverMs / n
+	doc["replication_lag_ms"] = lagMs / n
+	doc["replica_syncs_per_sec"] = syncsPerSec / n
+	doc["failover_seeds"] = len(rep.Runs)
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
 }
 
 // mergeBaseline folds the gateway measurements into an existing baseline

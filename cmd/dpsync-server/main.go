@@ -28,6 +28,23 @@
 //
 //	dpsync-server -multi -store /var/lib/dpsync -fsync -history-window 64 -listen 127.0.0.1:7701 -key-file shared.key
 //
+// With -cluster the server joins a replicated gateway cluster (requires
+// -multi and -store): the nodes elect one primary through a shared lease
+// file (-lease-file, on storage every node sees — each node keeps its own
+// private -store, so the lease must live elsewhere); the primary streams
+// every committed WAL entry to the followers; a follower refuses clients
+// with a typed redirect, tails the primary, and promotes over its
+// replicated prefix when the lease lapses (see internal/cluster). With
+// -replica-of ADDR the node is instead pinned
+// as a permanent standby tailing ADDR: it never campaigns and never
+// promotes. Two-node example on one machine:
+//
+//	dpsync-server -multi -cluster -node-id a -store /var/lib/dpsync-a -lease-file /var/lib/dpsync.lease -listen 127.0.0.1:7701 -key-file shared.key
+//	dpsync-server -multi -cluster -node-id b -store /var/lib/dpsync-b -lease-file /var/lib/dpsync.lease -listen 127.0.0.1:7702 -key-file shared.key
+//
+// Clients list both addresses; failover is their address rotation landing
+// on whichever node holds the lease.
+//
 // Gateway flow control (hostile-fleet hardening): -max-inflight caps the
 // requests one connection may have admitted at once — past it the gateway
 // sheds with a typed backpressure error, and a tenant that also stops
@@ -45,6 +62,7 @@ import (
 	"strings"
 	"syscall"
 
+	"dpsync/internal/cluster"
 	"dpsync/internal/gateway"
 	"dpsync/internal/seal"
 	"dpsync/internal/server"
@@ -52,18 +70,23 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:7700", "listen address")
-		keyFile  = flag.String("key-file", "dpsync.key", "hex-encoded shared data key")
-		genKey   = flag.Bool("gen-key", false, "generate a fresh key and write it to -key-file")
-		multi    = flag.Bool("multi", false, "serve the multi-tenant gateway protocol")
-		shards   = flag.Int("shards", 0, "gateway shard workers (0: GOMAXPROCS; -multi only)")
-		storeDir = flag.String("store", "", "durability directory: WAL + snapshots, open with crash recovery (-multi only)")
-		fsync    = flag.Bool("fsync", false, "fsync every durable group commit (with -store)")
-		snapN    = flag.Int("snapshot-every", 0, "per-shard WAL entries between snapshots (0: default; with -store)")
-		syncEps  = flag.Float64("sync-epsilon", 0, "epsilon charged to a tenant's ledger per sync (with -store)")
-		histWin  = flag.Int("history-window", 0, "per-tenant in-RAM history batches before spilling to history segments (0: keep all in RAM; with -store)")
-		maxInFl  = flag.Int("max-inflight", 0, "per-connection admitted-request cap before typed backpressure sheds (0: default; -multi only)")
-		drainTO  = flag.Duration("drain-timeout", 0, "graceful-close drain deadline before live connections are severed (0: default, negative: wait forever; -multi only)")
+		listen    = flag.String("listen", "127.0.0.1:7700", "listen address")
+		keyFile   = flag.String("key-file", "dpsync.key", "hex-encoded shared data key")
+		genKey    = flag.Bool("gen-key", false, "generate a fresh key and write it to -key-file")
+		multi     = flag.Bool("multi", false, "serve the multi-tenant gateway protocol")
+		shards    = flag.Int("shards", 0, "gateway shard workers (0: GOMAXPROCS; -multi only)")
+		storeDir  = flag.String("store", "", "durability directory: WAL + snapshots, open with crash recovery (-multi only)")
+		fsync     = flag.Bool("fsync", false, "fsync every durable group commit (with -store)")
+		snapN     = flag.Int("snapshot-every", 0, "per-shard WAL entries between snapshots (0: default; with -store)")
+		syncEps   = flag.Float64("sync-epsilon", 0, "epsilon charged to a tenant's ledger per sync (with -store)")
+		histWin   = flag.Int("history-window", 0, "per-tenant in-RAM history batches before spilling to history segments (0: keep all in RAM; with -store)")
+		maxInFl   = flag.Int("max-inflight", 0, "per-connection admitted-request cap before typed backpressure sheds (0: default; -multi only)")
+		drainTO   = flag.Duration("drain-timeout", 0, "graceful-close drain deadline before live connections are severed (0: default, negative: wait forever; -multi only)")
+		clustered = flag.Bool("cluster", false, "join a replicated gateway cluster: elect through -lease-file, replicate WAL commits, fail over (-multi -store only)")
+		nodeID    = flag.String("node-id", "", "this node's name to the cluster (default: hostname:listen)")
+		leaseFile = flag.String("lease-file", "", "shared lease file the cluster elects through; must live on storage every node sees (required with -cluster)")
+		leaseTTL  = flag.Duration("lease-ttl", 0, "election lease duration, the failover fencing window (0: default)")
+		replicaOf = flag.String("replica-of", "", "pin this node as a permanent standby tailing ADDR; never campaigns, never promotes (-multi -store only)")
 	)
 	flag.Parse()
 
@@ -77,6 +100,55 @@ func main() {
 
 	if *storeDir != "" && !*multi {
 		log.Fatalf("dpsync-server: -store requires -multi (the single-owner server keeps no durable tenant state)")
+	}
+
+	if *clustered || *replicaOf != "" {
+		switch {
+		case !*multi:
+			log.Fatalf("dpsync-server: cluster modes serve the gateway protocol; add -multi")
+		case *storeDir == "":
+			log.Fatalf("dpsync-server: cluster modes replicate WAL commits; add -store DIR")
+		case *clustered && *replicaOf != "":
+			log.Fatalf("dpsync-server: -cluster (elects, may promote) and -replica-of (pinned standby) are exclusive")
+		case *clustered && *leaseFile == "":
+			// Defaulting the lease into each node's private -store would give
+			// every node its own arbiter — two primaries. Make the shared
+			// location explicit.
+			log.Fatalf("dpsync-server: -cluster elects through a lease file every node shares; add -lease-file PATH (e.g. %s of a shared directory)", cluster.LeasePathInDir("DIR"))
+		}
+		id := *nodeID
+		if id == "" {
+			host, err := os.Hostname()
+			if err != nil {
+				host = "node"
+			}
+			id = host + ":" + *listen
+		}
+		var lease cluster.Lease
+		if *replicaOf == "" {
+			lease = cluster.NewFileLease(*leaseFile, nil)
+		}
+		node, err := cluster.Start(cluster.Config{
+			Addr: *listen, NodeID: id, StoreDir: *storeDir,
+			Gateway: gateway.Config{
+				Key: key, Shards: *shards, Logger: logger,
+				Fsync: *fsync, SnapshotEvery: *snapN, SyncEpsilon: *syncEps,
+				HistoryWindow: *histWin,
+				MaxInFlight:   *maxInFl, DrainTimeout: *drainTO,
+			},
+			Lease: lease, LeaseTTL: *leaseTTL, ReplicaOf: *replicaOf,
+			Logger: logger,
+		})
+		if err != nil {
+			log.Fatalf("dpsync-server: %v", err)
+		}
+		logger.Printf("cluster node %q started as %s on %s", id, node.Role(), node.Addr())
+		<-done
+		logger.Printf("cluster node %q shutting down (%s)", id, node.Role())
+		if err := node.Close(); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+		return
 	}
 
 	if *multi {

@@ -285,4 +285,40 @@
 // acceptance test pins per-owner transcripts and ε ledgers bit-identical to
 // an uninterrupted run under the full schedule. The baseline records
 // churn_resume_ms, open_loop_p99_ms, and backpressure_sheds.
+//
+// # Replication architecture
+//
+// One durable node still loses availability with the machine. internal/cluster
+// replicates the gateway across nodes (cmd/dpsync-server -cluster /
+// -replica-of) under two role rules:
+//
+// The primary serves and ships. Exactly one node — the holder of an
+// election lease — runs the full gateway; a replication hub taps its
+// durable commit stream and ships every committed WAL entry, in commit
+// order, over a negotiated wire codec to connected followers, each entry
+// tagged with a per-shard stream offset (the shard's committed entry
+// count). Followers resume from their last applied offset cursor; a
+// follower whose cursor has fallen off the primary's bounded catch-up ring
+// is healed with a per-shard snapshot transfer instead.
+//
+// A follower is always a valid restart image. It serves nobody (every
+// hello gets a typed wire.ErrNotPrimary refusal, so clients rotate on
+// instead of hanging) and folds the shipped entries into its own store
+// through the same recovery rules a restart would use — so at every
+// instant its directory holds a provable committed prefix of every owner's
+// history, with transcript, clock, and ε ledger describing exactly that
+// prefix.
+//
+// The failover invariant follows: promotion is recovery. When the lease
+// lapses (the primary is fenced the moment a renewal is refused, before
+// anyone else can acquire), a follower seals its replicated prefix and
+// runs gateway recovery over its own directory. Syncs the dead primary
+// committed but never shipped are not lost — each owner's client still
+// holds them in its resync window, discovers the promoted node's lower
+// durable clock through the resume protocol, and re-uploads them verbatim
+// — so every owner's transcript and ε ledger end bit-identical to an
+// uninterrupted single-node run. The failover differential test pins this
+// across randomized kill ticks, connection churn, and replication-link
+// faults; cmd/dpsync-loadgen -failover measures it (failover_ms,
+// replication_lag_ms, replica_syncs_per_sec in the baseline).
 package dpsync

@@ -33,7 +33,21 @@ const (
 	DefaultReconnectAttempts = 10
 	reconnectBaseDelay       = 5 * time.Millisecond
 	reconnectMaxDelay        = time.Second
+	// helloTimeout bounds one dial's hello exchange, so an address whose
+	// listener is up but whose node is wedged cannot hang the rotation —
+	// failover depends on moving to the next address promptly.
+	helloTimeout = 5 * time.Second
 )
+
+// DefaultResyncWindow is how many recently acked sync payloads an
+// OwnerSession retains for failover resync. When a promoted gateway's
+// committed clock turns out to lag the session's acked sequence (the old
+// primary committed-but-never-shipped those syncs before dying), the
+// session re-uploads the difference verbatim from this window — that is
+// what keeps every owner's transcript and ε ledger identical to an
+// uninterrupted run across a failover. A session that outruns the window
+// cannot heal and fails loudly instead of silently forking history.
+const DefaultResyncWindow = 256
 
 // GatewayConn is a pipelined, multiplexed connection to a multi-tenant
 // gateway. Unlike Client (one request per round trip under one mutex), many
@@ -53,11 +67,13 @@ const (
 // Obtain per-owner edb.Database handles with Owner.
 type GatewayConn struct {
 	sealer      *seal.Sealer
-	addr        string
+	addrs       []string // rotation order; addrs[addrIdx] is the last good one
+	addrIdx     int      // touched only by the single dialing goroutine
 	dialer      func(addr string) (net.Conn, error)
 	proposed    wire.Codec
 	reconnect   bool
 	maxAttempts int
+	resyncWin   int
 
 	wmu    sync.Mutex    // serializes frame writes; write order = gateway arrival order
 	window chan struct{} // in-flight cap (backpressure)
@@ -96,6 +112,8 @@ type gatewayOpts struct {
 	reconnect   bool
 	maxAttempts int
 	dialer      func(addr string) (net.Conn, error)
+	addrs       []string
+	resyncWin   int
 }
 
 // WithCodec proposes a payload codec (default: binary). The gateway may
@@ -131,10 +149,31 @@ func WithDialer(dial func(addr string) (net.Conn, error)) GatewayOption {
 	return func(o *gatewayOpts) { o.dialer = dial }
 }
 
+// WithAddrs adds fallback addresses the client rotates across when the
+// current one is unreachable or answers the hello with a typed refusal
+// (wire.ErrNotPrimary — a cluster follower). The DialGateway address is
+// tried first; together they are the cluster's node list, and failover is
+// just the rotation landing on whichever node is serving.
+func WithAddrs(addrs ...string) GatewayOption {
+	return func(o *gatewayOpts) { o.addrs = append(o.addrs, addrs...) }
+}
+
+// WithResyncWindow sets how many recently acked sync payloads each owner
+// session retains for failover resync (default DefaultResyncWindow;
+// negative = unbounded, for harnesses that must survive arbitrarily stale
+// replicas).
+func WithResyncWindow(n int) GatewayOption {
+	return func(o *gatewayOpts) {
+		if n != 0 {
+			o.resyncWin = n
+		}
+	}
+}
+
 // DialGateway connects to a gateway, negotiates the codec, and starts the
 // demultiplexing reader.
 func DialGateway(addr string, key []byte, opts ...GatewayOption) (*GatewayConn, error) {
-	o := gatewayOpts{codec: wire.CodecBinary, window: DefaultWindow, maxAttempts: DefaultReconnectAttempts}
+	o := gatewayOpts{codec: wire.CodecBinary, window: DefaultWindow, maxAttempts: DefaultReconnectAttempts, resyncWin: DefaultResyncWindow}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -147,11 +186,12 @@ func DialGateway(addr string, key []byte, opts ...GatewayOption) (*GatewayConn, 
 	}
 	c := &GatewayConn{
 		sealer:      s,
-		addr:        addr,
+		addrs:       append([]string{addr}, o.addrs...),
 		dialer:      o.dialer,
 		proposed:    o.codec,
 		reconnect:   o.reconnect,
 		maxAttempts: o.maxAttempts,
+		resyncWin:   o.resyncWin,
 		window:      make(chan struct{}, o.window),
 		gate:        closedGate(),
 		pending:     map[uint64]*pendingReq{},
@@ -171,13 +211,35 @@ func closedGate() chan struct{} {
 	return ch
 }
 
-// dialTransport dials and runs the hello exchange; shared by DialGateway
-// and the reconnect path so negotiation cannot diverge between them.
+// dialTransport finds a serving gateway: it tries the address list starting
+// from the last good entry, skipping nodes that are unreachable or refuse
+// the hello (wire.ErrNotPrimary — a cluster follower). Shared by
+// DialGateway and the reconnect path so negotiation cannot diverge between
+// them; called from one goroutine at a time (init, then the single redial),
+// which is what lets addrIdx go unlocked.
 func (c *GatewayConn) dialTransport() (net.Conn, wire.Codec, error) {
-	conn, err := c.dialer(c.addr)
-	if err != nil {
-		return nil, 0, fmt.Errorf("client: dial gateway %s: %w", c.addr, err)
+	var lastErr error
+	for i := range c.addrs {
+		idx := (c.addrIdx + i) % len(c.addrs)
+		conn, codec, err := c.dialOne(c.addrs[idx])
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.addrIdx = idx
+		return conn, codec, nil
 	}
+	return nil, 0, lastErr
+}
+
+// dialOne dials a single address and runs the hello exchange under a
+// deadline, so one wedged node cannot stall the rotation.
+func (c *GatewayConn) dialOne(addr string) (net.Conn, wire.Codec, error) {
+	conn, err := c.dialer(addr)
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: dial gateway %s: %w", addr, err)
+	}
+	_ = conn.SetDeadline(time.Now().Add(helloTimeout))
 	if err := wire.WriteHello(conn, c.proposed); err != nil {
 		conn.Close()
 		return nil, 0, err
@@ -185,8 +247,9 @@ func (c *GatewayConn) dialTransport() (net.Conn, wire.Codec, error) {
 	accepted, err := wire.ReadHelloAck(conn)
 	if err != nil {
 		conn.Close()
-		return nil, 0, fmt.Errorf("client: gateway hello: %w", err)
+		return nil, 0, fmt.Errorf("client: gateway hello %s: %w", addr, err)
 	}
+	_ = conn.SetDeadline(time.Time{})
 	return conn, accepted, nil
 }
 
@@ -522,6 +585,13 @@ type OwnerSession struct {
 	seq      uint64 // last sync seq this session successfully acked
 	seqInit  bool   // seq aligned with the gateway's committed clock
 	seqDirty bool   // a failed upload left local seq unproven; realign first
+	// acked is the failover resync window: the most recent acked sync
+	// payloads, contiguous in seq and ending at seq. When a resume
+	// handshake reveals a server clock BELOW seq — a promoted replica that
+	// never received the tail of our acked history — the missing syncs are
+	// re-uploaded from here verbatim, so the owner's durable history (and
+	// with it the transcript and ε ledger) is reconstructed bit-identical.
+	acked []ackedSync
 
 	mu       sync.Mutex
 	stats    edb.StorageStats
@@ -552,8 +622,60 @@ func (s *OwnerSession) resumeLocked() error {
 	if resp.Resume == nil {
 		return fmt.Errorf("client: malformed resume response")
 	}
-	s.seq = resp.Resume.Clock
+	clock := resp.Resume.Clock
+	if s.seqInit && clock < s.seq {
+		// The serving gateway's committed clock is behind what this session
+		// has had acknowledged: a failover promoted a replica missing the
+		// tail of our history. Re-upload exactly that suffix from the resync
+		// window — same payloads, same seqs — so the promoted node's durable
+		// history converges on the acknowledged one.
+		if err := s.resyncLocked(clock); err != nil {
+			return err
+		}
+		s.seqDirty = false
+		return nil
+	}
+	s.seq = clock
 	s.seqInit, s.seqDirty = true, false
+	return nil
+}
+
+// ackedSync is one retained acked upload, replayable verbatim.
+type ackedSync struct {
+	seq    uint64
+	typ    wire.MsgType
+	sealed [][]byte
+}
+
+// recordAcked appends one acked upload to the resync window and enforces
+// its bound. Caller holds upMu.
+func (s *OwnerSession) recordAcked(seq uint64, typ wire.MsgType, sealed [][]byte) {
+	s.acked = append(s.acked, ackedSync{seq: seq, typ: typ, sealed: sealed})
+	if w := s.conn.resyncWin; w > 0 && len(s.acked) > w {
+		drop := len(s.acked) - w
+		kept := make([]ackedSync, w)
+		copy(kept, s.acked[drop:])
+		s.acked = kept
+	}
+}
+
+// resyncLocked re-uploads the acked syncs in (clock, s.seq] after a
+// failover exposed a server behind this session. The window is contiguous
+// and ends at s.seq; if it no longer reaches back to clock+1, the lost
+// history is unrecoverable from this client and the session fails loudly —
+// silently restarting from the server's clock would fork the owner's
+// update-pattern transcript. Caller holds upMu.
+func (s *OwnerSession) resyncLocked(clock uint64) error {
+	need := s.seq - clock
+	if uint64(len(s.acked)) < need {
+		return fmt.Errorf("client: owner %q: promoted gateway lost %d acked syncs but resync window holds %d",
+			s.owner, need, len(s.acked))
+	}
+	for _, a := range s.acked[uint64(len(s.acked))-need:] {
+		if _, err := s.conn.roundTrip(s.owner, wire.Request{Type: a.typ, Sealed: a.sealed, Seq: a.seq}); err != nil {
+			return fmt.Errorf("client: owner %q: resync of seq %d: %w", s.owner, a.seq, err)
+		}
+	}
 	return nil
 }
 
@@ -640,13 +762,39 @@ func (s *OwnerSession) upload(t wire.MsgType, rs []record.Record) error {
 	seq := s.seq + 1
 	if _, err := s.conn.roundTrip(s.owner, wire.Request{Type: t, Sealed: raw, Seq: seq}); err != nil {
 		// The sync's fate is unproven (a refusal did not advance the clock;
-		// a lost ack may have). Either way the next upload re-runs the
-		// resume handshake and continues from whatever the gateway can
-		// prove committed.
+		// a lost ack may have — and across a failover, the serving node may
+		// have changed under us entirely). Realign once and retry: the
+		// resume handshake heals whatever the new server is missing (resync
+		// window) or reveals that this very sync already committed (ack
+		// lost). If realignment itself fails, surface the original error
+		// and leave the session dirty for the next upload.
 		s.seqDirty = true
-		return err
+		if rerr := s.resumeLocked(); rerr != nil {
+			return err
+		}
+		switch {
+		case s.seq >= seq:
+			// Committed after all; the ack died in the outage. Fall through
+			// to the bookkeeping — the payload still enters the resync
+			// window, since a later failover may need to re-upload it.
+		case s.seq == seq-1:
+			if _, err2 := s.conn.roundTrip(s.owner, wire.Request{Type: t, Sealed: raw, Seq: seq}); err2 != nil {
+				s.seqDirty = true
+				return err2
+			}
+		default:
+			// The realigned clock fell below even the previous acked seq and
+			// resync could not heal it (resumeLocked would have errored) —
+			// unreachable, but refuse to guess.
+			return err
+		}
 	}
-	s.seq = seq
+	if s.seq < seq {
+		s.seq = seq
+	}
+	if len(s.acked) == 0 || s.acked[len(s.acked)-1].seq+1 == seq {
+		s.recordAcked(seq, t, raw)
+	}
 	// Identity is fetched after the first successful upload (the namespace
 	// certainly exists by then), so storage accounting uses the backend's
 	// real outsourced width.

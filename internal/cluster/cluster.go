@@ -1,0 +1,579 @@
+// Package cluster replicates the multi-tenant DP-Sync gateway across
+// nodes: a primary serves clients and streams every shard's committed WAL
+// entries to followers; a lease-based election keeps exactly one primary;
+// on primary loss a follower seals its replicated prefix and takes over the
+// fleet, with the PR 6 resume protocol letting reconnecting clients
+// discover the promoted node's durable clock and replay the difference.
+//
+// # Roles
+//
+// A Node is either the primary or a follower, never both:
+//
+//   - The primary runs the full gateway (internal/gateway) with a
+//     replication Hub tapped into its durable commit stream. Every
+//     committed sync entry ships to connected followers in commit order,
+//     tagged with a per-shard stream offset equal to the shard's committed
+//     entry count.
+//   - A follower serves nobody: its listener answers every hello — client
+//     and replication alike — with a typed refusal (wire.ErrNotPrimary), so
+//     a client that dials it moves on to the next address instead of
+//     hanging. Meanwhile it tails the primary and folds the shipped
+//     entries into its own store through the recovery rules, so its
+//     directory is at every instant a valid restart image.
+//
+// # Failover invariant
+//
+// Promotion is recovery: the follower seals its replicated prefix (drains
+// its WAL appends and closes its store) and runs gateway.New over its own
+// directory on the listener it was refusing clients on. Everything the
+// promoted node serves is therefore exactly what crash recovery could
+// prove — a committed prefix of every owner's history, with transcript,
+// clock, and ε ledger describing precisely that prefix. Syncs the old
+// primary committed but never shipped are not lost: the owner's client
+// still holds them (its resync window), discovers the promoted node's
+// lower durable clock through the resume protocol, and re-uploads them
+// verbatim, so every owner's transcript and ε ledger end bit-identical to
+// an uninterrupted run. The differential test in this package pins that
+// across randomized kill points, churn, and link faults.
+//
+// # Election
+//
+// The lease arbiter (Lease) grants one holder at a time; the primary
+// renews at a third of the TTL and fences itself — kills its gateway — the
+// moment a renewal is refused, before the arbiter would let anyone else
+// acquire. A graceful Close releases the lease so the next election needs
+// no timeout. Elections are deterministic and clock-injectable: the grant
+// rule is a pure function of (state, node, now), and campaign timing is
+// staggered by a hash of the node ID.
+package cluster
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"dpsync/internal/gateway"
+	"dpsync/internal/wire"
+)
+
+// Role is a node's current cluster role.
+type Role int
+
+const (
+	RoleFollower Role = iota
+	RolePrimary
+)
+
+func (r Role) String() string {
+	if r == RolePrimary {
+		return "primary"
+	}
+	return "follower"
+}
+
+const (
+	// DefaultLeaseTTL is the election lease duration — the failover fencing
+	// window. Production wants seconds; the failover tests run fractions.
+	DefaultLeaseTTL = 3 * time.Second
+	// refusePollInterval is the follower accept-loop's deadline, which is
+	// what bounds how long promotion waits to reclaim the listener.
+	refusePollInterval = 50 * time.Millisecond
+	// dialTimeout bounds one replication dial attempt.
+	dialTimeout = 3 * time.Second
+)
+
+// Config assembles a Node.
+type Config struct {
+	// Addr is the node's listen address (clients and replication share it);
+	// port 0 picks a free port. The listener must be TCP — promotion hands
+	// it from the refusal loop to the gateway via deadline wakeups.
+	Addr string
+	// NodeID names this node to the lease arbiter and the primary. Required.
+	NodeID string
+	// StoreDir is this node's private durability directory. Required —
+	// replication ships WAL frames, so every role needs a WAL.
+	StoreDir string
+	// Gateway is the serving configuration the node uses while primary
+	// (key, shards, epsilon, window, timeouts...). StoreDir, Listener, and
+	// Replicator are owned by the node and overwritten.
+	Gateway gateway.Config
+	// Lease is the election arbiter, shared by the cluster's nodes.
+	// Required unless ReplicaOf pins this node to standby.
+	Lease Lease
+	// LeaseTTL is the lease duration (0 = DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// ReplicaOf pins the node to a permanent standby tailing this address:
+	// it never campaigns and never promotes (cmd/dpsync-server -replica-of).
+	ReplicaOf string
+	// Dialer opens replication connections to the primary (nil = TCP with
+	// a bounded timeout). The fault-injection harness wraps it.
+	Dialer func(addr string) (net.Conn, error)
+	// Heartbeat is the replication idle heartbeat (0 = DefaultHeartbeat);
+	// the follower's link-death deadline derives from it.
+	Heartbeat time.Duration
+	// RingSize is the primary's per-shard catch-up ring (0 = DefaultRingSize).
+	RingSize int
+	// Logger receives role transitions and diagnostics; nil discards.
+	Logger *log.Logger
+}
+
+// Node is one cluster member. Create with Start; stop with Close (graceful)
+// or Kill (crash).
+type Node struct {
+	cfg  Config
+	log  *log.Logger
+	lis  net.Listener
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	role     Role
+	gw       *gateway.Gateway
+	hub      *Hub
+	fol      *followerCore
+	tailConn net.Conn
+	lastFol  FollowerStats
+	closed   bool
+	killed   bool
+
+	promoted     chan struct{}
+	promotedOnce sync.Once
+}
+
+// NodeStats snapshots a node's replication counters for metrics reporting.
+type NodeStats struct {
+	Role Role
+	// Follower carries the replica-side counters (the last sealed values
+	// once the node has promoted).
+	Follower FollowerStats
+	// Hub carries the primary-side counters (zero while following).
+	Hub HubStats
+}
+
+// Start brings a node up: it binds the address, then either takes the lease
+// and serves as primary, or opens its replica image and follows.
+func Start(cfg Config) (*Node, error) {
+	if cfg.NodeID == "" {
+		return nil, fmt.Errorf("cluster: NodeID required")
+	}
+	if cfg.StoreDir == "" {
+		return nil, fmt.Errorf("cluster: StoreDir required")
+	}
+	if cfg.Lease == nil && cfg.ReplicaOf == "" {
+		return nil, fmt.Errorf("cluster: Lease required (or pin the node with ReplicaOf)")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = DefaultHeartbeat
+	}
+	if cfg.Dialer == nil {
+		cfg.Dialer = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, dialTimeout)
+		}
+	}
+	n := &Node{cfg: cfg, quit: make(chan struct{}), promoted: make(chan struct{})}
+	if cfg.Logger != nil {
+		n.log = cfg.Logger
+	} else {
+		n.log = log.New(logDiscard{}, "", 0)
+	}
+	lis, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen: %w", err)
+	}
+	n.lis = lis
+
+	if cfg.ReplicaOf == "" {
+		if _, won, err := cfg.Lease.Acquire(cfg.NodeID, n.Addr(), cfg.LeaseTTL); err != nil {
+			lis.Close()
+			return nil, err
+		} else if won {
+			if err := n.startPrimary(); err != nil {
+				_ = cfg.Lease.Release(cfg.NodeID)
+				lis.Close()
+				return nil, err
+			}
+			return n, nil
+		}
+	}
+	fol, err := openFollower(cfg.StoreDir, n.shardCount(), cfg.Gateway.HistoryWindow, n.snapEvery(), cfg.Gateway.Fsync, n.log)
+	if err != nil {
+		lis.Close()
+		return nil, err
+	}
+	n.fol = fol
+	n.wg.Add(1)
+	go n.runFollower()
+	return n, nil
+}
+
+// shardCount resolves the shard-worker count the same way gateway.New does,
+// so the replica's store layout matches what promotion will recover.
+func (n *Node) shardCount() int {
+	if n.cfg.Gateway.Shards > 0 {
+		return n.cfg.Gateway.Shards
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (n *Node) snapEvery() int {
+	if n.cfg.Gateway.SnapshotEvery > 0 {
+		return n.cfg.Gateway.SnapshotEvery
+	}
+	return gateway.DefaultSnapshotEvery
+}
+
+// Addr returns the node's bound listen address.
+func (n *Node) Addr() string { return n.lis.Addr().String() }
+
+// Role returns the node's current role.
+func (n *Node) Role() Role {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role
+}
+
+// Gateway returns the serving gateway while the node is primary, nil while
+// it follows.
+func (n *Node) Gateway() *gateway.Gateway {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.gw
+}
+
+// Promoted is closed when this node becomes primary (at Start or by
+// failover) — what harnesses block on to time a failover.
+func (n *Node) Promoted() <-chan struct{} { return n.promoted }
+
+// Stats snapshots the node's replication counters.
+func (n *Node) Stats() NodeStats {
+	n.mu.Lock()
+	role, fol, hub, last := n.role, n.fol, n.hub, n.lastFol
+	n.mu.Unlock()
+	st := NodeStats{Role: role, Follower: last}
+	if fol != nil {
+		st.Follower = fol.Stats()
+	}
+	if hub != nil {
+		st.Hub = hub.Stats()
+	}
+	return st
+}
+
+// startPrimary stands the serving stack up on the node's listener: hub,
+// gateway (recovering whatever the store directory holds), bind, serve,
+// renew. Used by Start (initial primary) and by promotion.
+func (n *Node) startPrimary() error {
+	hub := NewHub(HubConfig{RingSize: n.cfg.RingSize, Heartbeat: n.cfg.Heartbeat, Logger: n.cfg.Logger})
+	gwCfg := n.cfg.Gateway
+	gwCfg.StoreDir = n.cfg.StoreDir
+	gwCfg.Listener = n.lis
+	gwCfg.Replicator = hub
+	gw, err := gateway.New("", gwCfg)
+	if err != nil {
+		return err
+	}
+	if err := hub.Bind(gw); err != nil {
+		gw.Kill()
+		return err
+	}
+	n.mu.Lock()
+	if n.closed {
+		// Shutdown raced the promotion: the node must not start serving now.
+		// Kill the just-built stack; the store directory stays a valid image.
+		n.mu.Unlock()
+		hub.Close()
+		gw.Kill()
+		return fmt.Errorf("cluster: node closed during promotion")
+	}
+	n.role, n.gw, n.hub = RolePrimary, gw, hub
+	n.mu.Unlock()
+	n.wg.Add(2)
+	go func() {
+		defer n.wg.Done()
+		_ = gw.Serve()
+	}()
+	go n.renewLoop(gw, hub)
+	n.promotedOnce.Do(func() { close(n.promoted) })
+	n.log.Printf("cluster: node %q serving as primary on %s", n.cfg.NodeID, n.Addr())
+	return nil
+}
+
+// renewLoop keeps the primary's lease alive and fences on loss: a refused
+// renewal means the arbiter may let someone else serve, so the gateway is
+// killed — crash semantics — before that can happen. On a graceful gateway
+// close the lease is released so the successor need not wait out the TTL.
+func (n *Node) renewLoop(gw *gateway.Gateway, hub *Hub) {
+	defer n.wg.Done()
+	interval := n.cfg.LeaseTTL / 3
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	for {
+		select {
+		case <-gw.Closed():
+			hub.Close()
+			n.mu.Lock()
+			killed := n.killed
+			n.mu.Unlock()
+			if n.cfg.Lease != nil && !killed {
+				_ = n.cfg.Lease.Release(n.cfg.NodeID)
+			}
+			return
+		case <-time.After(interval):
+			if n.cfg.Lease == nil {
+				continue
+			}
+			st, ok, err := n.cfg.Lease.Acquire(n.cfg.NodeID, n.Addr(), n.cfg.LeaseTTL)
+			if err != nil {
+				// Arbiter unreachable: keep serving. Nobody else can acquire
+				// through the same arbiter, so the TTL still fences.
+				n.log.Printf("cluster: node %q: lease renewal error: %v", n.cfg.NodeID, err)
+				continue
+			}
+			if !ok {
+				n.log.Printf("cluster: node %q lost the lease to %q; fencing", n.cfg.NodeID, st.Holder)
+				hub.Close()
+				gw.Kill()
+				return
+			}
+		}
+	}
+}
+
+// runFollower is the follower role loop: refuse clients on the bound
+// listener, tail whoever holds the lease, campaign when it lapses, and
+// promote on a win.
+func (n *Node) runFollower() {
+	defer n.wg.Done()
+	stopRefuse := make(chan struct{})
+	refuseDone := make(chan struct{})
+	go n.refuseLoop(stopRefuse, refuseDone)
+	readTO := 6 * n.cfg.Heartbeat
+	if readTO < time.Second {
+		readTO = time.Second
+	}
+	stagger := campaignStagger(n.cfg.NodeID, n.cfg.LeaseTTL)
+	backoff := 5 * time.Millisecond
+	for {
+		select {
+		case <-n.quit:
+			close(stopRefuse)
+			<-refuseDone
+			n.sealFollower()
+			return
+		default:
+		}
+		primary := n.cfg.ReplicaOf
+		if primary == "" {
+			st, won, err := n.cfg.Lease.Acquire(n.cfg.NodeID, n.Addr(), n.cfg.LeaseTTL)
+			if err != nil {
+				n.log.Printf("cluster: node %q: campaign: %v", n.cfg.NodeID, err)
+				n.sleep(backoff)
+				continue
+			}
+			if won {
+				close(stopRefuse)
+				<-refuseDone
+				if err := n.promote(); err != nil {
+					n.log.Printf("cluster: node %q: promotion failed: %v", n.cfg.NodeID, err)
+					_ = n.cfg.Lease.Release(n.cfg.NodeID)
+					n.lis.Close()
+				}
+				return
+			}
+			primary = st.Addr
+		}
+		if primary == "" || primary == n.Addr() {
+			n.sleep(backoff)
+			continue
+		}
+		conn, err := n.cfg.Dialer(primary)
+		if err != nil {
+			// Primary gone or partitioned: wait the staggered beat before the
+			// next campaign/dial round so concurrent campaigners interleave.
+			n.sleep(backoff + stagger)
+			if backoff *= 2; backoff > 200*time.Millisecond {
+				backoff = 200 * time.Millisecond
+			}
+			continue
+		}
+		n.mu.Lock()
+		fol := n.fol
+		n.tailConn = conn
+		n.mu.Unlock()
+		if fol == nil { // Kill raced the dial; the replica is gone
+			conn.Close()
+			return
+		}
+		start := time.Now()
+		err = fol.tail(conn, n.cfg.NodeID, readTO)
+		conn.Close()
+		n.mu.Lock()
+		n.tailConn = nil
+		n.mu.Unlock()
+		if time.Since(start) > time.Second {
+			backoff = 5 * time.Millisecond
+		}
+		select {
+		case <-n.quit:
+		default:
+			n.log.Printf("cluster: node %q: replication session ended: %v", n.cfg.NodeID, err)
+		}
+	}
+}
+
+// sleep waits d or until the node is told to stop.
+func (n *Node) sleep(d time.Duration) {
+	select {
+	case <-time.After(d):
+	case <-n.quit:
+	}
+}
+
+// refuseLoop answers hellos on the follower's listener with the typed
+// refusal, so clients and followers probing a non-primary move on instead
+// of hanging. It polls the listener deadline so promotion can reclaim the
+// listener without closing it.
+func (n *Node) refuseLoop(stop, done chan struct{}) {
+	defer close(done)
+	tcp, _ := n.lis.(*net.TCPListener)
+	for {
+		select {
+		case <-stop:
+			if tcp != nil {
+				_ = tcp.SetDeadline(time.Time{})
+			}
+			return
+		default:
+		}
+		if tcp != nil {
+			_ = tcp.SetDeadline(time.Now().Add(refusePollInterval))
+		}
+		conn, err := n.lis.Accept()
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return // listener closed: node shutting down
+		}
+		go func() {
+			defer conn.Close()
+			_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+			if _, _, err := wire.ReadAnyHello(conn); err != nil {
+				return
+			}
+			_ = wire.WriteHelloRefused(conn)
+		}()
+	}
+}
+
+// promote turns the follower into the primary: seal the replicated prefix
+// (drain replica WAL appends, close the store — everything beyond it lives
+// in clients' resync windows) and recover a serving gateway over the same
+// directory on the same listener.
+func (n *Node) promote() error {
+	n.mu.Lock()
+	fol := n.fol
+	n.mu.Unlock()
+	if err := fol.seal(); err != nil {
+		// The directory still holds the longest provable prefix; promote it.
+		n.log.Printf("cluster: node %q: sealing replica: %v (promoting committed prefix)", n.cfg.NodeID, err)
+	}
+	n.mu.Lock()
+	n.lastFol = fol.Stats()
+	n.fol = nil
+	n.mu.Unlock()
+	n.log.Printf("cluster: node %q promoting on %s", n.cfg.NodeID, n.Addr())
+	return n.startPrimary()
+}
+
+// sealFollower closes the replica gracefully (quiesce + store close) at
+// node shutdown.
+func (n *Node) sealFollower() {
+	n.mu.Lock()
+	fol := n.fol
+	n.fol = nil
+	if fol != nil {
+		n.lastFol = fol.Stats()
+	}
+	n.mu.Unlock()
+	if fol == nil {
+		return
+	}
+	if err := fol.seal(); err != nil {
+		n.log.Printf("cluster: node %q: sealing replica at shutdown: %v", n.cfg.NodeID, err)
+	}
+}
+
+// Close shuts the node down gracefully: a primary drains its gateway
+// (bounded by DrainTimeout) and releases the lease; a follower seals its
+// replica. Safe to call in any role and more than once.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	gw := n.gw
+	conn := n.tailConn
+	n.mu.Unlock()
+	close(n.quit)
+	var err error
+	if gw != nil {
+		err = gw.Close() // renewLoop releases the lease and closes the hub
+	} else {
+		n.lis.Close()
+		if conn != nil {
+			conn.Close()
+		}
+		if n.cfg.Lease != nil {
+			_ = n.cfg.Lease.Release(n.cfg.NodeID)
+		}
+	}
+	n.wg.Wait()
+	return err
+}
+
+// Kill stops the node the way a crash would: connections severed, pending
+// work abandoned, the lease left to expire (the successor must wait out the
+// TTL — that is the failover the harness measures).
+func (n *Node) Kill() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed, n.killed = true, true
+	gw := n.gw
+	hub := n.hub
+	conn := n.tailConn
+	fol := n.fol
+	n.fol = nil
+	if fol != nil {
+		n.lastFol = fol.Stats()
+	}
+	n.mu.Unlock()
+	close(n.quit)
+	if gw != nil {
+		if hub != nil {
+			hub.Close()
+		}
+		gw.Kill()
+	} else {
+		n.lis.Close()
+		if conn != nil {
+			conn.Close()
+		}
+		if fol != nil {
+			fol.kill()
+		}
+	}
+	n.wg.Wait()
+}

@@ -1,0 +1,366 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"dpsync/internal/dp"
+	"dpsync/internal/store"
+	"dpsync/internal/wire"
+)
+
+// The follower's half of replication. A follower is not a serving gateway:
+// it owns its own store.Store under its own directory and folds the
+// primary's shipped WAL entries through the exact rules recovery uses —
+// tick ≤ clock is skipped, tick == clock+1 is applied (transcript event,
+// ε charge, history tail) and appended to the follower's own WAL, anything
+// else is a stream gap. Because the fold and the append are recovery's own
+// semantics, the follower's directory is at every instant a valid restart
+// image: promotion is nothing more than sealing it and running gateway.New
+// over it.
+//
+// Stream positions: counts[sid] is the shard's applied live-stream offset
+// (== the shard's committed entry count, re-derivable from recovered
+// clocks, which is what makes resume-after-restart exact). Snapshot
+// transfers deliver bootstrap entries with offset 0 — folded by tick only —
+// and reposition the cursor at the transfer's basis.
+
+// errStreamGap reports a replication stream that cannot extend this
+// follower's state contiguously; the tail loop drops the link and rejoins
+// asking for a snapshot transfer on the damaged shard.
+var errStreamGap = errors.New("cluster: replication stream gap")
+
+// errShardMismatch reports a primary whose shard count differs from this
+// node's — a misconfigured cluster, fatal (shard hashing would scatter
+// owners differently on each node).
+var errShardMismatch = errors.New("cluster: primary shard count differs from local configuration")
+
+// resyncCursor is the join cursor a follower sends for a shard whose
+// stream it can no longer extend (tick gap, corrupt frame): it is above any
+// real head, so the primary's servability check always answers with a
+// snapshot transfer.
+const resyncCursor = ^uint64(0)
+
+// FollowerStats are the follower-side replication counters.
+type FollowerStats struct {
+	// Applied counts live stream entries folded and WAL-appended.
+	Applied uint64
+	// Snapshots counts per-shard snapshot transfers applied.
+	Snapshots uint64
+	// LagNs is the cumulative (apply time − primary commit time) over
+	// Applied entries, in nanoseconds; divide for the mean replication lag.
+	LagNs int64
+}
+
+// followerCore is the replica state machine. All stream methods run on one
+// goroutine (the tail loop); Stats and the WAL-append completions touch
+// only the mutex-guarded fields.
+type followerCore struct {
+	log       *log.Logger
+	st        *store.Store
+	shards    int
+	window    int
+	snapEvery int
+
+	states    []map[string]*store.OwnerState // per shard, per owner
+	counts    []uint64                       // applied live-stream offsets
+	resync    []bool                         // shard needs a snapshot transfer
+	inSnap    []bool                         // mid snapshot transfer
+	snapBasis []uint64
+	sinceSnap []int            // WAL appends since last rotation
+	pending   []sync.WaitGroup // in-flight WAL appends per shard
+
+	mu        sync.Mutex
+	appendErr error
+	stats     FollowerStats
+}
+
+// openFollower opens (or resumes) a replica image at dir. Whatever a prior
+// process left there — primary or follower alike — is recovered through the
+// standard store recovery, and each shard's stream cursor is re-derived
+// from its owners' committed clocks.
+func openFollower(dir string, shards, window, snapEvery int, fsync bool, lg *log.Logger) (*followerCore, error) {
+	st, states, err := store.Open(store.Options{Dir: dir, Shards: shards, Fsync: fsync, HistoryWindow: window})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: opening replica store: %w", err)
+	}
+	f := &followerCore{
+		log: lg, st: st, shards: shards, window: window, snapEvery: snapEvery,
+		states:    make([]map[string]*store.OwnerState, shards),
+		counts:    make([]uint64, shards),
+		resync:    make([]bool, shards),
+		inSnap:    make([]bool, shards),
+		snapBasis: make([]uint64, shards),
+		sinceSnap: make([]int, shards),
+		pending:   make([]sync.WaitGroup, shards),
+	}
+	for sid := range f.states {
+		f.states[sid] = map[string]*store.OwnerState{}
+	}
+	for owner, os := range states {
+		sid := store.ShardFor(owner, shards)
+		f.states[sid][owner] = os
+		f.counts[sid] += os.Clock
+	}
+	return f, nil
+}
+
+// tail runs one replication session: handshake, join from the durable
+// cursors, then apply frames until the link dies or the stream gaps. The
+// returned error says why the session ended; wire.ErrNotPrimary and
+// errShardMismatch are typed for the caller. readTO bounds silence on the
+// link (the primary heartbeats when idle, so a quiet link is a dead one).
+func (f *followerCore) tail(conn net.Conn, node string, readTO time.Duration) error {
+	deadline := time.Now().Add(replHandshakeTimeout)
+	_ = conn.SetDeadline(deadline)
+	if err := wire.WriteReplHello(conn, wire.ReplVersion); err != nil {
+		return err
+	}
+	if _, err := wire.ReadReplHelloAck(conn); err != nil {
+		return err // wire.ErrNotPrimary passes through typed
+	}
+	cursors := make([]wire.ReplCursor, f.shards)
+	for sid := range cursors {
+		off := f.counts[sid]
+		if f.resync[sid] {
+			off = resyncCursor
+		}
+		cursors[sid] = wire.ReplCursor{Shard: uint32(sid), Offset: off}
+	}
+	jb, err := wire.EncodeReplJoin(wire.ReplJoin{Node: node, Cursors: cursors})
+	if err != nil {
+		return err
+	}
+	if err := wire.WriteFrame(conn, jb); err != nil {
+		return err
+	}
+	payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	ack, err := wire.DecodeReplJoinAck(payload)
+	if err != nil {
+		return err
+	}
+	if int(ack.Shards) != f.shards {
+		return fmt.Errorf("%w: primary has %d, this node %d", errShardMismatch, ack.Shards, f.shards)
+	}
+	_ = conn.SetWriteDeadline(time.Time{})
+	// A dropped link mid-transfer leaves inSnap set; the rejoin restarts the
+	// transfer from scratch, so clear the per-session markers.
+	for sid := range f.inSnap {
+		f.inSnap[sid] = false
+	}
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(readTO))
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return err
+		}
+		fr, err := wire.DecodeReplFrame(payload)
+		if err != nil {
+			return fmt.Errorf("cluster: malformed stream frame: %w", err)
+		}
+		if err := f.applyFrame(fr, time.Now()); err != nil {
+			return err
+		}
+	}
+}
+
+// applyFrame advances the replica by one stream frame. Offsets order the
+// transport (skip ≤ cursor, apply cursor+1, gap otherwise); ticks order the
+// content — the same split that lets a snapshot transfer heal a cursor from
+// another primary's stream without ever double-applying a batch.
+func (f *followerCore) applyFrame(fr wire.ReplFrame, now time.Time) error {
+	if fr.Kind == wire.ReplHeartbeat {
+		return nil
+	}
+	sid := int(fr.Shard)
+	if sid < 0 || sid >= f.shards {
+		return fmt.Errorf("cluster: stream frame for shard %d of %d", fr.Shard, f.shards)
+	}
+	switch fr.Kind {
+	case wire.ReplSnapBegin:
+		f.inSnap[sid], f.snapBasis[sid] = true, fr.Offset
+		return nil
+	case wire.ReplSnapEnd:
+		if !f.inSnap[sid] {
+			return fmt.Errorf("cluster: snapshot end without begin on shard %d", sid)
+		}
+		f.inSnap[sid] = false
+		f.counts[sid] = f.snapBasis[sid]
+		f.resync[sid] = false
+		f.mu.Lock()
+		f.stats.Snapshots++
+		f.mu.Unlock()
+		return nil
+	case wire.ReplEntry:
+		if fr.Offset == 0 {
+			if !f.inSnap[sid] {
+				return fmt.Errorf("cluster: bootstrap entry outside snapshot transfer on shard %d", sid)
+			}
+			return f.fold(sid, fr, false, now)
+		}
+		if fr.Offset <= f.counts[sid] {
+			return nil // duplicate of our applied prefix
+		}
+		if fr.Offset != f.counts[sid]+1 {
+			f.resync[sid] = true
+			return fmt.Errorf("%w: shard %d got offset %d, expected %d", errStreamGap, sid, fr.Offset, f.counts[sid]+1)
+		}
+		if err := f.fold(sid, fr, true, now); err != nil {
+			return err
+		}
+		f.counts[sid]++
+		return nil
+	}
+	return fmt.Errorf("cluster: unknown stream frame kind %d", fr.Kind)
+}
+
+// fold lands one shipped entry: verify its frame (CRC), fold its batch into
+// the owner's state by the recovery rule, append it to the replica's own
+// WAL, and keep the replica's RAM bounded exactly as a live gateway would
+// (history spill past the window, log rotation on cadence).
+func (f *followerCore) fold(sid int, fr wire.ReplFrame, live bool, now time.Time) error {
+	e, err := store.DecodeEntryFrame(fr.Entry)
+	if err != nil {
+		f.resync[sid] = true
+		return fmt.Errorf("cluster: shard %d: corrupt shipped entry: %w", sid, err)
+	}
+	st := f.states[sid][e.Owner]
+	if st == nil {
+		st = &store.OwnerState{Owner: e.Owner, Budget: dp.NewBudget()}
+		f.states[sid][e.Owner] = st
+	}
+	tick := e.Batch.Tick
+	if tick <= st.Clock {
+		return nil // content already in the replica (offset streams overlap after healing)
+	}
+	if tick != st.Clock+1 {
+		f.resync[sid] = true
+		return fmt.Errorf("%w: owner %q tick %d does not extend clock %d", errStreamGap, e.Owner, tick, st.Clock)
+	}
+	if err := st.Apply(e.Batch); err != nil {
+		f.resync[sid] = true
+		return fmt.Errorf("cluster: folding owner %q tick %d: %w", e.Owner, tick, err)
+	}
+	f.pending[sid].Add(1)
+	if err := f.st.Append(sid, e, func(werr error) {
+		if werr != nil {
+			f.mu.Lock()
+			if f.appendErr == nil {
+				f.appendErr = werr
+			}
+			f.mu.Unlock()
+		}
+		f.pending[sid].Done()
+	}); err != nil {
+		f.pending[sid].Done()
+		return fmt.Errorf("cluster: replica WAL append: %w", err)
+	}
+	f.spill(sid, st)
+	f.sinceSnap[sid]++
+	if f.sinceSnap[sid] >= f.snapEvery {
+		f.rotate(sid)
+	}
+	f.mu.Lock()
+	f.stats.Applied++
+	if live {
+		f.stats.LagNs += now.UnixNano() - fr.CommitNs
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+// spill mirrors the gateway's history-window enforcement on the replica:
+// past 2× the window, everything but the last window batches moves to the
+// shard's history segment, coalescing into the owner's previous ref where
+// the store allows. A spill failure is survivable — batches stay in RAM and
+// the next fold retries.
+func (f *followerCore) spill(sid int, st *store.OwnerState) {
+	w := f.window
+	if w <= 0 || len(st.Tail) < 2*w {
+		return
+	}
+	n := len(st.Tail) - w
+	var prev *store.SegmentRef
+	prevCount := 0
+	if len(st.Spilled) > 0 {
+		prev = &st.Spilled[len(st.Spilled)-1]
+		prevCount = int(prev.Count)
+	}
+	refs, extended, err := f.st.Spill(sid, st.Owner, prev, st.Tail[:n])
+	if len(refs) > 0 {
+		done := 0
+		for _, r := range refs {
+			done += int(r.Count)
+		}
+		if extended {
+			done -= prevCount
+			st.Spilled[len(st.Spilled)-1] = refs[0]
+			refs = refs[1:]
+		}
+		st.Spilled = append(st.Spilled, refs...)
+		kept := make([]store.Batch, len(st.Tail)-done)
+		copy(kept, st.Tail[done:])
+		st.Tail = kept
+	}
+	if err != nil {
+		f.log.Printf("cluster: owner %q: replica history spill deferred (%d batches stay in RAM): %v", st.Owner, len(st.Tail), err)
+	}
+}
+
+// rotate snapshots one shard of the replica and truncates its WAL, after
+// draining that shard's in-flight appends (the quiesce the store requires).
+// A failed rotation only means a longer WAL; everything stays recoverable.
+func (f *followerCore) rotate(sid int) {
+	f.pending[sid].Wait()
+	f.mu.Lock()
+	werr := f.appendErr
+	f.mu.Unlock()
+	if werr != nil {
+		return // the tail loop will surface the append failure
+	}
+	owners := make([]store.OwnerState, 0, len(f.states[sid]))
+	for _, st := range f.states[sid] {
+		owners = append(owners, *st)
+	}
+	if err := f.st.Rotate(sid, owners); err != nil {
+		f.log.Printf("cluster: shard %d: replica rotation: %v", sid, err)
+		f.sinceSnap[sid] = f.snapEvery / 2 // retry soon, not instantly
+		return
+	}
+	f.sinceSnap[sid] = 0
+}
+
+// seal quiesces the replica and closes its store, leaving the directory a
+// committed restart image — the promotion (and graceful shutdown) barrier.
+// It reports a latched WAL append failure, if any; even then the directory
+// holds the longest provable prefix.
+func (f *followerCore) seal() error {
+	for sid := range f.pending {
+		f.pending[sid].Wait()
+	}
+	f.mu.Lock()
+	werr := f.appendErr
+	f.mu.Unlock()
+	if cerr := f.st.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// kill abandons the replica the way a crash would: pending appends fail,
+// nothing further is flushed.
+func (f *followerCore) kill() { f.st.Kill() }
+
+// Stats returns a copy of the follower counters.
+func (f *followerCore) Stats() FollowerStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}

@@ -1,0 +1,533 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"dpsync/internal/gateway"
+	"dpsync/internal/store"
+	"dpsync/internal/wire"
+)
+
+// The primary's half of replication. The Hub taps the gateway's durable
+// commit stream (gateway.Replicator) and ships every committed WAL entry,
+// in commit order, to however many followers are tailing. Per shard it
+// keeps a bounded ring of recently shipped frames keyed by a monotone
+// stream offset; a follower joins with its per-shard cursors and is served
+// the suffix from the ring when it can be, or a full snapshot transfer —
+// the owner histories streamed straight off the primary's history segments
+// — when it has fallen behind the ring or its cursors belong to another
+// primary's stream.
+//
+// Offsets are not invented by the Hub: a shard's offset is its total
+// committed entry count (the sum of its owners' clocks), which both sides
+// can re-derive from their own recovered state. That is what makes a
+// follower's resume cursor durable — after a restart it rejoins at exactly
+// the entry after the last one it applied, no gap, no re-apply. Cursors
+// are still stream-local: a follower whose cursors disagree with this
+// primary's history (ahead of head, or behind the ring) is healed by a
+// snapshot transfer, whose per-owner tick folding is immune to offset
+// divergence.
+
+const (
+	// DefaultRingSize is the per-shard count of recently committed frames
+	// the primary retains for follower catch-up; a follower further behind
+	// gets a snapshot transfer instead.
+	DefaultRingSize = 4096
+	// DefaultHeartbeat is the idle-stream heartbeat interval. A follower's
+	// read deadline is derived from it, so silence means a dead primary,
+	// not a quiet one.
+	DefaultHeartbeat = 250 * time.Millisecond
+	// replHandshakeTimeout bounds the join exchange on both sides.
+	replHandshakeTimeout = 10 * time.Second
+	// replWriteTimeout bounds one frame batch's write to a follower; a
+	// follower that stalls longer sheds itself (it rejoins by cursor).
+	replWriteTimeout = 30 * time.Second
+	// senderBatch caps frames shipped per sender iteration so one huge
+	// backlog cannot starve the heartbeat/death checks.
+	senderBatch = 256
+)
+
+// HubConfig assembles a Hub.
+type HubConfig struct {
+	// RingSize is the per-shard catch-up ring length (0 = DefaultRingSize).
+	RingSize int
+	// Heartbeat is the idle-stream heartbeat interval (0 = DefaultHeartbeat).
+	Heartbeat time.Duration
+	// Clock stamps CommitNs on shipped frames (nil = time.Now); the
+	// follower's replication-lag metric is the difference against its own
+	// clock, so tests inject a shared fake.
+	Clock func() time.Time
+	// Logger receives bounded diagnostics; nil discards.
+	Logger *log.Logger
+}
+
+// HubStats are the primary-side replication counters.
+type HubStats struct {
+	// Followers is the number of currently connected followers.
+	Followers int
+	// Shipped counts live stream entries written to followers (snapshot
+	// bootstrap entries excluded).
+	Shipped uint64
+	// Snapshots counts per-shard snapshot transfers served.
+	Snapshots uint64
+}
+
+// replRing is one shard's catch-up buffer: frames[i] is the encoded stream
+// frame for offset head-len(frames)+1+i.
+type replRing struct {
+	head   uint64
+	frames [][]byte
+}
+
+// oldest is the lowest offset still buffered; callers check len(frames)>0.
+func (r *replRing) oldest() uint64 { return r.head - uint64(len(r.frames)) + 1 }
+
+// hubSub is one connected follower: its conn, its per-shard cursors (owned
+// by its sender goroutine), and the channels that wake or kill the sender.
+type hubSub struct {
+	conn    net.Conn
+	cursors []uint64
+	wake    chan struct{} // capacity 1; Committed nudges idle senders
+	dead    chan struct{} // closed when the conn dies (read watchdog)
+	busy    bool          // sender holds collected frames it has not flushed yet
+}
+
+// Hub is the primary-side replication fan-out. Create with NewHub, wire it
+// into the gateway via Config.Replicator, then Bind it to the gateway it
+// serves before Serve starts accepting.
+type Hub struct {
+	cfg  HubConfig
+	log  *log.Logger
+	quit chan struct{}
+
+	mu        sync.Mutex
+	gw        *gateway.Gateway
+	rings     []replRing
+	subs      map[*hubSub]struct{}
+	closed    bool
+	shipped   uint64
+	snapshots uint64
+}
+
+// NewHub builds a hub. It is inert until Bind.
+func NewHub(cfg HubConfig) *Hub {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = DefaultRingSize
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = DefaultHeartbeat
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	h := &Hub{cfg: cfg, quit: make(chan struct{}), subs: map[*hubSub]struct{}{}}
+	if cfg.Logger != nil {
+		h.log = cfg.Logger
+	} else {
+		h.log = log.New(logDiscard{}, "", 0)
+	}
+	return h
+}
+
+type logDiscard struct{}
+
+func (logDiscard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Bind attaches the hub to the gateway it replicates and initializes each
+// shard's stream head to the shard's recovered committed entry count (the
+// sum of its owners' clocks) — so offsets continue the durable stream
+// rather than restarting at zero on every primary. Call after gateway.New
+// and before Serve accepts connections.
+func (h *Hub) Bind(gw *gateway.Gateway) error {
+	if gw.Store() == nil {
+		return fmt.Errorf("cluster: hub requires a durable gateway (StoreDir)")
+	}
+	rings := make([]replRing, gw.Shards())
+	for sid := range rings {
+		var head uint64
+		ok := gw.OwnerCut(sid, func(states []store.OwnerState) {
+			for _, st := range states {
+				head += st.Clock
+			}
+		})
+		if !ok {
+			return fmt.Errorf("cluster: gateway shut down during hub bind")
+		}
+		rings[sid].head = head
+	}
+	h.mu.Lock()
+	h.gw = gw
+	h.rings = rings
+	h.mu.Unlock()
+	return nil
+}
+
+// Close tears the hub down: idle senders wake and exit, connected followers
+// are severed (they rejoin whoever is primary next from their cursors).
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	conns := make([]net.Conn, 0, len(h.subs))
+	for sub := range h.subs {
+		conns = append(conns, sub.conn)
+	}
+	h.mu.Unlock()
+	close(h.quit)
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+// Stats reports the hub's counters.
+func (h *Hub) Stats() HubStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HubStats{Followers: len(h.subs), Shipped: h.shipped, Snapshots: h.snapshots}
+}
+
+// Committed implements gateway.Replicator: one durably committed sync
+// entry, on its shard's worker, in commit order. It encodes the stream
+// frame, appends it to the shard's ring, and nudges idle senders — never
+// blocking: a follower that cannot keep up falls off the ring and is healed
+// by a snapshot transfer, not by stalling the commit path.
+func (h *Hub) Committed(sid int, e store.Entry) {
+	raw, err := store.EncodeEntryFrame(e)
+	if err != nil {
+		// Unreachable for an entry the WAL just committed; losing the frame
+		// would silently desynchronize every follower, so log loudly.
+		h.log.Printf("cluster: shard %d: cannot encode committed entry for owner %q: %v", sid, e.Owner, err)
+		return
+	}
+	h.mu.Lock()
+	if h.closed || h.rings == nil || sid < 0 || sid >= len(h.rings) {
+		h.mu.Unlock()
+		return
+	}
+	r := &h.rings[sid]
+	payload, err := wire.EncodeReplFrame(wire.ReplFrame{
+		Kind:     wire.ReplEntry,
+		Shard:    uint32(sid),
+		Offset:   r.head + 1,
+		CommitNs: h.cfg.Clock().UnixNano(),
+		Entry:    raw,
+	})
+	if err != nil {
+		h.mu.Unlock()
+		h.log.Printf("cluster: shard %d: cannot frame committed entry: %v", sid, err)
+		return
+	}
+	r.head++
+	r.frames = append(r.frames, payload)
+	if len(r.frames) > h.cfg.RingSize {
+		// Trim from the front; re-copy so the backing array does not pin
+		// every frame ever shipped.
+		drop := len(r.frames) - h.cfg.RingSize
+		kept := make([][]byte, h.cfg.RingSize)
+		copy(kept, r.frames[drop:])
+		r.frames = kept
+	}
+	for sub := range h.subs {
+		select {
+		case sub.wake <- struct{}{}:
+		default:
+		}
+	}
+	h.mu.Unlock()
+}
+
+// ServeConn implements gateway.Replicator: the join handshake, then the
+// frame stream, on the connection's handler goroutine until the follower
+// disconnects or the hub/gateway shuts down.
+func (h *Hub) ServeConn(conn net.Conn, version byte) {
+	h.mu.Lock()
+	gw, ready := h.gw, !h.closed && h.rings != nil
+	h.mu.Unlock()
+	if !ready || version != wire.ReplVersion {
+		_ = conn.SetWriteDeadline(time.Now().Add(replHandshakeTimeout))
+		_ = wire.WriteHelloRefused(conn)
+		return
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(replHandshakeTimeout))
+	if err := wire.WriteReplHelloAck(conn, wire.ReplVersion); err != nil {
+		return
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(replHandshakeTimeout))
+	payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	join, err := wire.DecodeReplJoin(payload)
+	if err != nil {
+		h.log.Printf("cluster: follower %s: malformed join: %v", conn.RemoteAddr(), err)
+		return
+	}
+	shards := len(h.rings)
+	cursors := make([]uint64, shards)
+	for _, c := range join.Cursors {
+		if int(c.Shard) >= shards {
+			h.log.Printf("cluster: follower %q: cursor for shard %d but primary has %d shards", join.Node, c.Shard, shards)
+			return
+		}
+		cursors[c.Shard] = c.Offset
+	}
+	snap := false
+	h.mu.Lock()
+	for sid := range cursors {
+		if h.needsSnapshotLocked(sid, cursors[sid]) {
+			snap = true
+		}
+	}
+	h.mu.Unlock()
+	_ = conn.SetWriteDeadline(time.Now().Add(replHandshakeTimeout))
+	if err := wire.WriteFrame(conn, wire.EncodeReplJoinAck(wire.ReplJoinAck{Shards: uint32(shards), Snapshot: snap})); err != nil {
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+
+	sub := &hubSub{conn: conn, cursors: cursors, wake: make(chan struct{}, 1), dead: make(chan struct{})}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.subs[sub] = struct{}{}
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		delete(h.subs, sub)
+		h.mu.Unlock()
+	}()
+	// A follower never writes after its join, so a successful read here is a
+	// protocol violation and an error is the conn dying — either way the
+	// sender must stop. This watchdog is what lets the sender block on an
+	// idle stream yet still notice a dead peer immediately.
+	go func() {
+		buf := make([]byte, 1)
+		_, _ = conn.Read(buf)
+		close(sub.dead)
+	}()
+	h.log.Printf("cluster: follower %q joined from %s (snapshot=%v)", join.Node, conn.RemoteAddr(), snap)
+	h.runSender(gw, sub, join.Node)
+}
+
+// needsSnapshotLocked decides whether a cursor can be served from the ring:
+// a cursor ahead of the stream head belongs to another primary's history,
+// and a cursor behind the oldest buffered frame has lost its suffix — both
+// are healed by a snapshot transfer.
+func (h *Hub) needsSnapshotLocked(sid int, cursor uint64) bool {
+	r := &h.rings[sid]
+	if cursor > r.head {
+		return true
+	}
+	if cursor == r.head {
+		return false
+	}
+	return len(r.frames) == 0 || cursor+1 < r.oldest()
+}
+
+// collect gathers up to senderBatch ring frames the follower is owed and
+// advances its cursors. resnap reports any shard that has meanwhile fallen
+// off the ring (the caller runs a snapshot pass before waiting).
+func (h *Hub) collect(sub *hubSub) (frames [][]byte, resnap bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for sid := range sub.cursors {
+		if len(frames) >= senderBatch {
+			break
+		}
+		r := &h.rings[sid]
+		c := sub.cursors[sid]
+		if c >= r.head {
+			continue
+		}
+		if h.needsSnapshotLocked(sid, c) {
+			resnap = true
+			continue
+		}
+		first := int(c + 1 - r.oldest())
+		take := len(r.frames) - first
+		if room := senderBatch - len(frames); take > room {
+			take = room
+		}
+		frames = append(frames, r.frames[first:first+take]...)
+		sub.cursors[sid] = c + uint64(take)
+	}
+	h.shipped += uint64(len(frames))
+	// Cursors advance before the write happens; busy keeps Flush honest
+	// until the collected frames are actually on the wire.
+	sub.busy = len(frames) > 0
+	return frames, resnap
+}
+
+// settle clears a sub's busy mark once its collected frames are flushed (or
+// its sender is about to exit).
+func (h *Hub) settle(sub *hubSub) {
+	h.mu.Lock()
+	sub.busy = false
+	h.mu.Unlock()
+}
+
+// Flush implements the gateway's graceful-close flush hook: it blocks until
+// every connected follower has consumed the committed stream (cursors at
+// every shard head, no collected-but-unwritten frames), or until timeout.
+// With no followers connected it returns immediately — the drain window's
+// commits then survive in the store and the clients' resync windows alone.
+func (h *Hub) Flush(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for {
+		h.mu.Lock()
+		caught := !h.closed
+		for sub := range h.subs {
+			if sub.busy {
+				caught = false
+				break
+			}
+			for sid, c := range sub.cursors {
+				if c < h.rings[sid].head {
+					caught = false
+					break
+				}
+			}
+			if !caught {
+				break
+			}
+		}
+		h.mu.Unlock()
+		if caught || time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// runSender is one follower's stream loop: snapshot transfers for shards the
+// ring cannot serve, then ring frames as they commit, heartbeats when idle.
+func (h *Hub) runSender(gw *gateway.Gateway, sub *hubSub, node string) {
+	bw := bufio.NewWriter(sub.conn)
+	for {
+		for sid := range sub.cursors {
+			h.mu.Lock()
+			need := h.needsSnapshotLocked(sid, sub.cursors[sid])
+			h.mu.Unlock()
+			if need {
+				if err := h.sendSnapshot(gw, sub, sid, bw); err != nil {
+					h.log.Printf("cluster: follower %q: shard %d snapshot transfer: %v", node, sid, err)
+					return
+				}
+			}
+		}
+		frames, resnap := h.collect(sub)
+		if len(frames) > 0 {
+			_ = sub.conn.SetWriteDeadline(time.Now().Add(replWriteTimeout))
+			for _, fr := range frames {
+				if err := wire.WriteFrame(bw, fr); err != nil {
+					return
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+			h.settle(sub)
+			continue
+		}
+		if resnap {
+			continue
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		select {
+		case <-sub.wake:
+		case <-sub.dead:
+			return
+		case <-h.quit:
+			return
+		case <-time.After(h.cfg.Heartbeat):
+			hb, err := wire.EncodeReplFrame(wire.ReplFrame{Kind: wire.ReplHeartbeat, CommitNs: h.cfg.Clock().UnixNano()})
+			if err != nil {
+				return
+			}
+			_ = sub.conn.SetWriteDeadline(time.Now().Add(replWriteTimeout))
+			if wire.WriteFrame(bw, hb) != nil || bw.Flush() != nil {
+				return
+			}
+		}
+	}
+}
+
+// sendSnapshot heals one shard's stream for one follower: a commit-
+// consistent cut of the shard's owner states is taken on the shard worker
+// (recording the stream basis atomically — every commit is inside the cut
+// or after the basis, never both), the shard's buffered history spill is
+// flushed, and each owner's full batch history is streamed off the
+// primary's own segments as bootstrap entries the follower folds by tick.
+// The follower's cursor resumes from the basis.
+func (h *Hub) sendSnapshot(gw *gateway.Gateway, sub *hubSub, sid int, bw *bufio.Writer) error {
+	var basis uint64
+	var states []store.OwnerState
+	if ok := gw.OwnerCut(sid, func(sts []store.OwnerState) {
+		h.mu.Lock()
+		basis = h.rings[sid].head
+		h.mu.Unlock()
+		states = sts
+	}); !ok {
+		return fmt.Errorf("gateway shut down during cut")
+	}
+	st := gw.Store()
+	if err := st.FlushHistory(sid); err != nil {
+		return err
+	}
+	begin, err := wire.EncodeReplFrame(wire.ReplFrame{Kind: wire.ReplSnapBegin, Shard: uint32(sid), Offset: basis})
+	if err != nil {
+		return err
+	}
+	_ = sub.conn.SetWriteDeadline(time.Now().Add(replWriteTimeout))
+	if err := wire.WriteFrame(bw, begin); err != nil {
+		return err
+	}
+	for i := range states {
+		owner := states[i].Owner
+		err := st.StreamHistory(&states[i], func(bt store.Batch) error {
+			raw, err := store.EncodeEntryFrame(store.Entry{Owner: owner, Batch: bt})
+			if err != nil {
+				return err
+			}
+			payload, err := wire.EncodeReplFrame(wire.ReplFrame{
+				Kind: wire.ReplEntry, Shard: uint32(sid), CommitNs: h.cfg.Clock().UnixNano(), Entry: raw,
+			})
+			if err != nil {
+				return err
+			}
+			_ = sub.conn.SetWriteDeadline(time.Now().Add(replWriteTimeout))
+			return wire.WriteFrame(bw, payload)
+		})
+		if err != nil {
+			return fmt.Errorf("owner %q: %w", owner, err)
+		}
+	}
+	end, err := wire.EncodeReplFrame(wire.ReplFrame{Kind: wire.ReplSnapEnd, Shard: uint32(sid)})
+	if err != nil {
+		return err
+	}
+	_ = sub.conn.SetWriteDeadline(time.Now().Add(replWriteTimeout))
+	if err := wire.WriteFrame(bw, end); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	sub.cursors[sid] = basis
+	h.mu.Lock()
+	h.snapshots++
+	h.mu.Unlock()
+	return nil
+}

@@ -164,6 +164,44 @@ type Config struct {
 	// recovered tenants refuse further syncs (the ledger rejects a charge
 	// whose epsilon drifted) — by design, accounting drift is loud.
 	SyncEpsilon float64
+	// Listener, when non-nil, is a pre-bound listener the gateway adopts
+	// instead of binding addr — how a promoting cluster follower hands the
+	// address it was already refusing clients on to its new gateway without
+	// a bind race. The gateway owns it from New on (Close closes it).
+	Listener net.Listener
+	// Replicator, when non-nil, taps the durable commit stream for WAL
+	// shipping (internal/cluster's primary hub): every committed sync entry
+	// is offered in commit order on its shard worker, and connections whose
+	// hello opens the replication protocol are handed over to it. Requires
+	// StoreDir — replication ships WAL frames, so there must be a WAL.
+	Replicator Replicator
+}
+
+// Replicator is the gateway's hook into a replication hub. Implementations
+// live in internal/cluster; the gateway only defines the seam so the
+// dependency points outward.
+type Replicator interface {
+	// Committed observes one durably committed sync entry. It is invoked on
+	// the owning shard's worker goroutine, in that shard's commit order,
+	// after the entry's group commit and the tenant's commit-time mutations
+	// — so a cut taken on the same worker and the offsets assigned here can
+	// never disagree. It must not block: slow followers shed themselves, not
+	// the fleet.
+	Committed(shard int, e store.Entry)
+	// ServeConn takes over a connection whose hello opened the replication
+	// protocol (the hello itself is consumed; version is its proposed
+	// version byte, not yet acked). Runs on the connection's handler
+	// goroutine and owns the conn until it returns; the gateway severs the
+	// conn to force an exit at shutdown.
+	ServeConn(conn net.Conn, version byte)
+}
+
+// replFlusher is the optional Replicator extension a graceful Close probes
+// for: Flush blocks (bounded by timeout) until connected followers have
+// consumed the committed stream, so syncs committed during the drain window
+// reach the successor instead of surviving only in clients' resync windows.
+type replFlusher interface {
+	Flush(timeout time.Duration)
 }
 
 // Gateway is the multi-tenant server. Create with New, drive with Serve,
@@ -181,11 +219,19 @@ type Gateway struct {
 	sheds      atomic.Int64 // backpressure refusals across all connections
 
 	connWG  sync.WaitGroup
+	replWG  sync.WaitGroup // replication handlers, drained separately
 	shardWG sync.WaitGroup
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
-	closed  bool
-	abandon bool
+	// replConns tracks connections serving the replication protocol. They
+	// are long-lived by design (a follower tails forever), so a graceful
+	// Close never drains them: after the client drain it flushes the
+	// replicator (shipping the drain window's commits) and severs them — a
+	// follower reconnects from its cursor; it must never wedge a primary's
+	// shutdown.
+	replConns map[net.Conn]struct{}
+	closed    bool
+	abandon   bool
 }
 
 type logDiscard struct{}
@@ -218,7 +264,10 @@ func New(addr string, cfg Config) (*Gateway, error) {
 	if cfg.SnapshotEvery <= 0 {
 		cfg.SnapshotEvery = DefaultSnapshotEvery
 	}
-	g := &Gateway{cfg: cfg, quit: make(chan struct{}), conns: map[net.Conn]struct{}{}}
+	if cfg.Replicator != nil && cfg.StoreDir == "" {
+		return nil, fmt.Errorf("gateway: Replicator requires StoreDir (replication ships WAL frames)")
+	}
+	g := &Gateway{cfg: cfg, quit: make(chan struct{}), conns: map[net.Conn]struct{}{}, replConns: map[net.Conn]struct{}{}}
 	if cfg.Logger != nil {
 		g.log = cfg.Logger
 	} else {
@@ -254,14 +303,18 @@ func New(addr string, cfg Config) (*Gateway, error) {
 			return nil, err
 		}
 	}
-	lis, err := net.Listen("tcp", addr)
-	if err != nil {
-		if g.store != nil {
-			g.store.Close()
+	if cfg.Listener != nil {
+		g.lis = cfg.Listener
+	} else {
+		lis, err := net.Listen("tcp", addr)
+		if err != nil {
+			if g.store != nil {
+				g.store.Close()
+			}
+			return nil, fmt.Errorf("gateway: listen: %w", err)
 		}
-		return nil, fmt.Errorf("gateway: listen: %w", err)
+		g.lis = lis
 	}
-	g.lis = lis
 	for _, sh := range g.shards {
 		g.shardWG.Add(1)
 		go g.runShard(sh)
@@ -345,10 +398,7 @@ func (g *Gateway) Serve() error {
 		}
 		delay = 0
 		g.connWG.Add(1)
-		go func() {
-			defer g.connWG.Done()
-			g.handle(conn)
-		}()
+		go g.handle(conn) // handle owns the connWG slot (may trade it for replWG)
 	}
 }
 
@@ -424,6 +474,31 @@ func (g *Gateway) shutdown(abandon bool) error {
 		}
 	}
 	g.connWG.Wait()
+	if !abandon {
+		// Clients are drained, so the committed stream is final. Syncs that
+		// committed during the drain window are still in the replication
+		// rings; give connected followers a bounded chance to reach the
+		// stream head — that is what makes a graceful handover lossless —
+		// then sever the tails (they never finish on their own; a follower
+		// rejoins whoever is primary next from its cursor).
+		if fl, ok := g.cfg.Replicator.(replFlusher); ok {
+			bound := g.cfg.DrainTimeout
+			if bound <= 0 {
+				bound = time.Second
+			}
+			fl.Flush(bound)
+		}
+		g.mu.Lock()
+		repl := make([]net.Conn, 0, len(g.replConns))
+		for c := range g.replConns {
+			repl = append(repl, c)
+		}
+		g.mu.Unlock()
+		for _, c := range repl {
+			_ = c.Close()
+		}
+	}
+	g.replWG.Wait()
 	close(g.quit)
 	g.shardWG.Wait()
 	if g.store != nil && !abandon {
@@ -520,6 +595,74 @@ func (g *Gateway) ObservedLedger(owner string) *dp.Budget {
 	}
 }
 
+// OwnerCut executes fn on shard sid's worker with a commit-consistent copy
+// of every established tenant's durable state on that shard (owners whose
+// first sync has not committed are omitted — they have no durable history to
+// transfer). Because fn runs on the same goroutine that feeds
+// Replicator.Committed, a replication hub can record its stream position and
+// take the cut atomically: every commit is either inside the cut or after
+// the recorded basis, never both, never neither. The copies are safe to
+// read concurrently with the live shard (spill coalescing widens the last
+// SegmentRef in place, so refs are copied; batches are immutable once
+// committed). Returns false if the gateway shut down before fn could run.
+func (g *Gateway) OwnerCut(sid int, fn func([]store.OwnerState)) bool {
+	sh := g.shards[sid]
+	done := make(chan struct{})
+	t := task{peek: true, run: func(_ *tenant, _ error) {
+		defer close(done)
+		states := make([]store.OwnerState, 0, len(sh.owners))
+		for owner, tn := range sh.owners {
+			if tn.ticks == 0 {
+				continue
+			}
+			events := make([]leakage.Event, len(tn.observed.Events))
+			copy(events, tn.observed.Events)
+			spilled := make([]store.SegmentRef, len(tn.spilled))
+			copy(spilled, tn.spilled)
+			tail := make([]store.Batch, len(tn.history))
+			copy(tail, tn.history)
+			states = append(states, store.OwnerState{
+				Owner:   owner,
+				Clock:   uint64(tn.ticks),
+				Events:  events,
+				Budget:  tn.budget.Clone(),
+				Spilled: spilled,
+				Tail:    tail,
+			})
+		}
+		fn(states)
+	}}
+	select {
+	case sh.tasks <- t:
+	case <-g.quit:
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	case <-g.quit:
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// Store exposes the durability subsystem (nil in in-memory mode) so the
+// replication hub can flush and stream history segments for snapshot
+// transfers.
+func (g *Gateway) Store() *store.Store { return g.store }
+
+// Shards reports the resolved shard-worker count (Config.Shards after
+// defaulting) — the replication hub sizes its per-shard stream state to it.
+func (g *Gateway) Shards() int { return len(g.shards) }
+
+// Closed is closed when the gateway has shut down (gracefully or by Kill) —
+// the signal a cluster node's lease-renewal loop selects on to step down.
+func (g *Gateway) Closed() <-chan struct{} { return g.quit }
+
 // StoreMetrics reports the durability subsystem's counters; ok is false in
 // in-memory mode.
 func (g *Gateway) StoreMetrics() (m store.Metrics, ok bool) {
@@ -542,6 +685,16 @@ func (g *Gateway) Recovery() store.RecoveryInfo {
 // then pipelined multiplexed frames until the peer hangs up, stalls past
 // the read deadline, or exceeds the malformed-frame bound.
 func (g *Gateway) handle(conn net.Conn) {
+	// The handler arrives owning a connWG slot; a replication handover swaps
+	// it for a replWG slot so client drain never waits on follower tails.
+	swapped := false
+	defer func() {
+		if swapped {
+			g.replWG.Done()
+		} else {
+			g.connWG.Done()
+		}
+	}()
 	defer conn.Close()
 	// Register for forced teardown (Kill severs live connections the way a
 	// crash would); a connection accepted while an abandon is in progress
@@ -569,11 +722,43 @@ func (g *Gateway) handle(conn net.Conn) {
 	if g.cfg.ReadTimeout > 0 {
 		_ = conn.SetReadDeadline(time.Now().Add(g.cfg.ReadTimeout))
 	}
-	codec, err := wire.ReadHello(conn)
+	kind, versionByte, err := wire.ReadAnyHello(conn)
 	if err != nil {
 		logf("rejecting connection: %v", err)
 		return
 	}
+	if kind == wire.HelloRepl {
+		// A follower asking to tail this node's WAL. Without a hub the
+		// answer is a refusal (this gateway is not a cluster primary); with
+		// one, the connection is handed over whole. Repl conns are tracked
+		// separately so a graceful Close severs rather than drains them.
+		if g.cfg.Replicator == nil {
+			_ = wire.WriteHelloRefused(conn)
+			return
+		}
+		g.mu.Lock()
+		if g.closed {
+			// Shutdown already snapshotted the tails it will sever; a late
+			// joiner would outlive the severance pass and wedge replWG.
+			g.mu.Unlock()
+			_ = wire.WriteHelloRefused(conn)
+			return
+		}
+		g.replConns[conn] = struct{}{}
+		g.replWG.Add(1)
+		g.mu.Unlock()
+		g.connWG.Done()
+		swapped = true
+		defer func() {
+			g.mu.Lock()
+			delete(g.replConns, conn)
+			g.mu.Unlock()
+		}()
+		_ = conn.SetReadDeadline(time.Time{}) // the hub owns its own deadlines
+		g.cfg.Replicator.ServeConn(conn, versionByte)
+		return
+	}
+	codec := wire.Codec(versionByte)
 	if !codec.Valid() {
 		// Unknown proposal: downgrade to the compat codec rather than
 		// refusing a newer client.

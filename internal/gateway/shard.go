@@ -408,6 +408,13 @@ func (g *Gateway) dispatch(sh *shard, tn *tenant, owner string, req wire.Request
 				}
 				tn.history = append(tn.history, entry.Batch)
 				g.spillHistory(sh, owner, tn)
+				if g.cfg.Replicator != nil {
+					// Offer the committed entry to the replication hub here —
+					// on the shard worker, after the commit-time mutations —
+					// so shipping order is commit order and an OwnerCut taken
+					// on this worker is exactly consistent with the stream.
+					g.cfg.Replicator.Committed(sh.id, entry)
+				}
 				respond(wire.Response{OK: true})
 				// Reads parked behind this sync can answer now.
 				tn.flushDeferred()

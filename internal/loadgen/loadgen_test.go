@@ -140,3 +140,31 @@ func TestRunCrashSeeds(t *testing.T) {
 		t.Errorf("crash ticks not spread across seeds: %v", ticksSeen)
 	}
 }
+
+// TestRunFailoverSeeds drives the two-node failover harness end to end:
+// each seed kills the primary mid-trace, requires the follower to promote
+// and the clients to heal through it, and verifies continuity (RunFailover
+// errors on any transcript or ledger divergence).
+func TestRunFailoverSeeds(t *testing.T) {
+	rep, err := RunFailover(FailoverConfig{
+		Owners: 4, Ticks: 18, Seeds: []uint64{3, 11}, SyncEpsilon: 0.5, Shards: 2,
+		LeaseTTL: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 2 {
+		t.Fatalf("runs = %d", len(rep.Runs))
+	}
+	for _, run := range rep.Runs {
+		if run.KillTick < 1 || run.KillTick > 15 {
+			t.Errorf("seed %d: kill tick %d out of range", run.Seed, run.KillTick)
+		}
+		if run.FailoverMs <= 0 {
+			t.Errorf("seed %d: failover window not measured", run.Seed)
+		}
+		if run.ReplicaApplied == 0 {
+			t.Errorf("seed %d: follower applied nothing before the kill", run.Seed)
+		}
+	}
+}

@@ -329,6 +329,35 @@ func encodeEntryFrame(e Entry) ([]byte, error) {
 	return append(frame, payload...), nil
 }
 
+// EncodeEntryFrame renders one entry as a complete CRC frame — the exact
+// bytes Append would write to a WAL segment. The replication layer ships
+// these frames verbatim so a follower's log holds byte-identical records.
+func EncodeEntryFrame(e Entry) ([]byte, error) { return encodeEntryFrame(e) }
+
+// DecodeEntryFrame parses one complete CRC frame ([u32 len][u32 crc]
+// [payload]) back into its entry, rejecting truncated or trailing bytes,
+// CRC mismatches, and malformed payloads with ErrCorruptSegment. It is the
+// receiving half of EncodeEntryFrame: a replication follower verifies every
+// shipped frame with it before appending the same bytes to its own log.
+func DecodeEntryFrame(frame []byte) (Entry, error) {
+	if len(frame) < 8 {
+		return Entry{}, fmt.Errorf("%w: short entry frame header", ErrCorruptSegment)
+	}
+	n := binary.BigEndian.Uint32(frame)
+	crc := binary.BigEndian.Uint32(frame[4:])
+	if n == 0 || n > maxEntrySize {
+		return Entry{}, fmt.Errorf("%w: frame length %d outside (0, %d]", ErrCorruptSegment, n, maxEntrySize)
+	}
+	if len(frame) != 8+int(n) {
+		return Entry{}, fmt.Errorf("%w: frame claims %d payload bytes, has %d", ErrCorruptSegment, n, len(frame)-8)
+	}
+	payload := frame[8:]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return Entry{}, fmt.Errorf("%w: frame CRC mismatch", ErrCorruptSegment)
+	}
+	return decodeEntry(payload)
+}
+
 func batchSealedSize(bt Batch) int {
 	n := 0
 	for _, ct := range bt.Sealed {

@@ -279,6 +279,19 @@ func (s *Store) Spill(sid int, owner string, prev *SegmentRef, batches []Batch) 
 	return hw.appendHistory(owner, prev, batches)
 }
 
+// FlushHistory pushes shard sid's buffered spill bytes to the OS (and in
+// fsync mode to the platter) without rotating. Rotate does this implicitly
+// before writing a manifest; the replication hub calls it explicitly before
+// streaming a snapshot transfer, because StreamHistory reads spilled runs
+// from the segment files and a ref issued since the last rotation may still
+// point at bytes sitting in the writer's buffer.
+func (s *Store) FlushHistory(sid int) error {
+	hw := s.hist[sid]
+	hw.mu.Lock()
+	defer hw.mu.Unlock()
+	return hw.flush()
+}
+
 // StreamHistory replays one owner's full committed ingest history —
 // spilled runs streamed frame by frame from their segments, then the inline
 // tail — through fn, in tick order. Memory stays bounded by one frame

@@ -223,6 +223,14 @@ func recoverDir(dir string) (map[string]*OwnerState, *recovery, error) {
 	return states, rec, nil
 }
 
+// Apply folds one batch into the owner's state under the recovery merge
+// rule's "next tick" case: the caller has already checked bt.Tick ==
+// st.Clock+1 (ticks at or below the clock are duplicates to skip; anything
+// further ahead is a gap). A replication follower folds shipped entries with
+// exactly this function so its materialized state can never diverge from
+// what recovery would reconstruct from its log.
+func (st *OwnerState) Apply(bt Batch) error { return applyBatch(st, bt) }
+
 // applyBatch folds one replayed batch into an owner's state: clock,
 // transcript event, ledger charge, and history tail — the same four
 // mutations the gateway makes at commit time.

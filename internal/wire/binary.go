@@ -85,12 +85,17 @@ func WriteHelloAck(w io.Writer, accepted Codec) error {
 	return nil
 }
 
-// ReadHelloAck consumes the server's answer. An invalid codec byte means
-// the two ends share no encoding — a hard error.
+// ReadHelloAck consumes the server's answer. A refusal byte means the
+// dialed node is a cluster follower (ErrNotPrimary — the client advances to
+// its next address); any other invalid codec byte means the two ends share
+// no encoding — a hard error.
 func ReadHelloAck(r io.Reader) (Codec, error) {
 	var buf [1]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
 		return 0, fmt.Errorf("wire: reading hello ack: %w", err)
+	}
+	if buf[0] == HelloRefused {
+		return 0, ErrNotPrimary
 	}
 	c := Codec(buf[0])
 	if !c.Valid() {

@@ -1,0 +1,329 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Replication protocol: a follower node dials the primary gateway on the
+// same listener the client protocol uses, opening with a 5-byte hello whose
+// magic ("DPSR" instead of the client's "DPSG") routes the connection to the
+// replication handler. After the version ack the follower sends one ReplJoin
+// frame naming its per-shard resume cursors; the primary answers with a
+// ReplJoinAck and then streams ReplFrames — committed WAL entry frames (the
+// exact internal/store CRC frame layout, so the follower can re-verify and
+// re-append them verbatim), snapshot-transfer markers for followers too far
+// behind the primary's replication buffer, and idle heartbeats. The stream
+// is one-directional after the handshake: the follower never writes again,
+// and detects primary death by read deadline against the heartbeat cadence.
+//
+// Frames travel inside the same 4-byte length-prefixed framing as the client
+// protocol (WriteFrame / ReadFrame), which is also what lets
+// internal/faultnet's frame-boundary write buffering wrap the replication
+// link unchanged.
+
+// replMagic opens a replication connection; same shape as helloMagic so a
+// single 5-byte read can dispatch either protocol.
+var replMagic = [4]byte{'D', 'P', 'S', 'R'}
+
+// ReplVersion is the replication protocol version this build speaks.
+const ReplVersion = 1
+
+// HelloRefused is the hello-ack byte a non-primary node answers to any
+// hello, client or replication: this node cannot serve you, try another
+// address. It deliberately sits outside every valid codec/version value.
+const HelloRefused = 0xFF
+
+// ErrNotPrimary is surfaced when a dialed node refuses the hello because it
+// is not the cluster primary. Clients with an address list treat it as
+// "advance to the next address", not as a failure of the cluster.
+var ErrNotPrimary = errors.New("wire: node is not the cluster primary")
+
+// HelloKind discriminates what protocol a connection's hello opened.
+type HelloKind int
+
+const (
+	// HelloClient is the multiplexed client protocol ("DPSG" + codec byte).
+	HelloClient HelloKind = iota
+	// HelloRepl is the replication protocol ("DPSR" + version byte).
+	HelloRepl
+)
+
+// WriteReplHello sends the 5-byte replication hello.
+func WriteReplHello(w io.Writer, version byte) error {
+	var buf [5]byte
+	copy(buf[:4], replMagic[:])
+	buf[4] = version
+	if _, err := w.Write(buf[:]); err != nil {
+		return fmt.Errorf("wire: repl hello: %w", err)
+	}
+	return nil
+}
+
+// ReadAnyHello consumes one 5-byte hello and reports which protocol it
+// opens: HelloClient with the proposed codec, or HelloRepl with the proposed
+// replication version. A magic matching neither protocol is a violation
+// (ErrBadFrame). Like ReadHello, an unknown codec/version byte is not an
+// error — the server answers with a downgrade or a refusal.
+func ReadAnyHello(r io.Reader) (HelloKind, byte, error) {
+	var buf [5]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, 0, fmt.Errorf("wire: reading hello: %w", err)
+	}
+	switch {
+	case buf[0] == helloMagic[0] && buf[1] == helloMagic[1] && buf[2] == helloMagic[2] && buf[3] == helloMagic[3]:
+		return HelloClient, buf[4], nil
+	case buf[0] == replMagic[0] && buf[1] == replMagic[1] && buf[2] == replMagic[2] && buf[3] == replMagic[3]:
+		return HelloRepl, buf[4], nil
+	default:
+		return 0, 0, fmt.Errorf("%w: bad hello magic %q", ErrBadFrame, buf[:4])
+	}
+}
+
+// WriteHelloRefused answers a hello with the refusal byte: this node is not
+// primary. Works for both protocols — the ack slot is one byte either way.
+func WriteHelloRefused(w io.Writer) error {
+	if _, err := w.Write([]byte{HelloRefused}); err != nil {
+		return fmt.Errorf("wire: hello refusal: %w", err)
+	}
+	return nil
+}
+
+// WriteReplHelloAck sends the primary's 1-byte answer: the replication
+// version the stream will speak.
+func WriteReplHelloAck(w io.Writer, version byte) error {
+	if _, err := w.Write([]byte{version}); err != nil {
+		return fmt.Errorf("wire: repl hello ack: %w", err)
+	}
+	return nil
+}
+
+// ReadReplHelloAck consumes the primary's answer. A refusal byte means the
+// dialed node is not primary (ErrNotPrimary — redial elsewhere); any version
+// this build does not speak is a hard error.
+func ReadReplHelloAck(r io.Reader) (byte, error) {
+	var buf [1]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("wire: reading repl hello ack: %w", err)
+	}
+	if buf[0] == HelloRefused {
+		return 0, ErrNotPrimary
+	}
+	if buf[0] != ReplVersion {
+		return 0, fmt.Errorf("%w: primary speaks repl version %d, want %d", ErrBadFrame, buf[0], ReplVersion)
+	}
+	return buf[0], nil
+}
+
+// MaxNodeLen bounds a cluster node identifier, mirroring MaxOwnerLen.
+const MaxNodeLen = 255
+
+// ReplCursor is a follower's resume position on one shard's replication
+// stream: Offset is the last stream offset the follower has durably applied
+// (0: nothing — stream from the beginning or send a snapshot transfer).
+// Offsets are the primary's per-shard commit sequence, monotone from 1, so
+// the contiguity rule offset == cursor+1 is what guarantees the link never
+// gaps and never re-applies.
+type ReplCursor struct {
+	Shard  uint32
+	Offset uint64
+}
+
+// ReplJoin is the follower's opening frame: who it is and where each shard's
+// stream should resume.
+type ReplJoin struct {
+	Node    string
+	Cursors []ReplCursor
+}
+
+// EncodeReplJoin serializes a join frame payload.
+func EncodeReplJoin(j ReplJoin) ([]byte, error) {
+	if len(j.Node) == 0 || len(j.Node) > MaxNodeLen {
+		return nil, fmt.Errorf("wire: node id length %d outside [1, %d]", len(j.Node), MaxNodeLen)
+	}
+	b := make([]byte, 0, 2+len(j.Node)+4+12*len(j.Cursors))
+	b = append(b, byte(len(j.Node)))
+	b = append(b, j.Node...)
+	b = appendU32(b, uint32(len(j.Cursors)))
+	for _, c := range j.Cursors {
+		b = appendU32(b, c.Shard)
+		b = appendU64(b, c.Offset)
+	}
+	return b, nil
+}
+
+// DecodeReplJoin parses a join frame payload (malformed input rejected with
+// ErrBadFrame, never a panic or over-allocation).
+func DecodeReplJoin(b []byte) (ReplJoin, error) {
+	if len(b) == 0 {
+		return ReplJoin{}, fmt.Errorf("%w: empty repl join frame", ErrBadFrame)
+	}
+	r := &binReader{b: b}
+	var j ReplJoin
+	nodeLen := int(r.u8("node length"))
+	j.Node = string(r.bytes(nodeLen, "node id"))
+	n := int(r.u32("cursor count"))
+	// Each cursor costs 12 bytes; a larger claim is a lie.
+	if n > r.remaining()/12 {
+		return ReplJoin{}, fmt.Errorf("%w: cursor count %d exceeds frame", ErrBadFrame, n)
+	}
+	if n > 0 {
+		j.Cursors = make([]ReplCursor, n)
+		for i := range j.Cursors {
+			j.Cursors[i].Shard = r.u32("cursor shard")
+			j.Cursors[i].Offset = r.u64("cursor offset")
+		}
+	}
+	if err := r.done("repl join"); err != nil {
+		return ReplJoin{}, err
+	}
+	if j.Node == "" {
+		return ReplJoin{}, fmt.Errorf("%w: empty node id", ErrBadFrame)
+	}
+	return j, nil
+}
+
+// ReplJoinAck flag bits.
+const replJoinFlagSnapshot = 1
+
+// ReplJoinAck is the primary's answer to a join: the shard count the stream
+// will carry (the follower sizes its cursors by it) and whether the primary
+// will open with a snapshot transfer because at least one requested cursor
+// has fallen behind its replication buffer.
+type ReplJoinAck struct {
+	Shards   uint32
+	Snapshot bool
+}
+
+// EncodeReplJoinAck serializes a join-ack frame payload.
+func EncodeReplJoinAck(a ReplJoinAck) []byte {
+	b := make([]byte, 0, 5)
+	b = appendU32(b, a.Shards)
+	var flags byte
+	if a.Snapshot {
+		flags |= replJoinFlagSnapshot
+	}
+	return append(b, flags)
+}
+
+// DecodeReplJoinAck parses a join-ack frame payload.
+func DecodeReplJoinAck(b []byte) (ReplJoinAck, error) {
+	if len(b) == 0 {
+		return ReplJoinAck{}, fmt.Errorf("%w: empty repl join ack frame", ErrBadFrame)
+	}
+	r := &binReader{b: b}
+	var a ReplJoinAck
+	a.Shards = r.u32("shard count")
+	flags := r.u8("join ack flags")
+	if r.err == nil && flags&^byte(replJoinFlagSnapshot) != 0 {
+		return ReplJoinAck{}, fmt.Errorf("%w: unknown join ack flag bits %#x", ErrBadFrame, flags)
+	}
+	a.Snapshot = flags&replJoinFlagSnapshot != 0
+	if err := r.done("repl join ack"); err != nil {
+		return ReplJoinAck{}, err
+	}
+	if a.Shards == 0 {
+		return ReplJoinAck{}, fmt.Errorf("%w: zero shard count", ErrBadFrame)
+	}
+	return a, nil
+}
+
+// ReplFrame kind bytes. 0 is deliberately unused so an all-zero frame cannot
+// decode as a valid message.
+const (
+	// ReplEntry carries one committed WAL entry frame for a shard. Offset is
+	// the shard's stream position (0 for snapshot-transfer bootstrap entries,
+	// which carry history rather than new commits); CommitNs is the
+	// primary's commit wall clock, the follower's replication-lag probe.
+	ReplEntry = 1
+	// ReplSnapBegin opens a snapshot transfer on one shard: the bootstrap
+	// entries that follow reconstruct the shard's full owner histories up to
+	// stream position Offset (the basis the live tail resumes from).
+	ReplSnapBegin = 2
+	// ReplSnapEnd closes a shard's snapshot transfer: the follower advances
+	// its cursor to the basis and expects the live tail next.
+	ReplSnapEnd = 3
+	// ReplHeartbeat keeps an idle stream alive and carries the primary's
+	// wall clock so followers can bound staleness.
+	ReplHeartbeat = 4
+)
+
+// ReplFrame is one message on the replication stream. Which fields are
+// meaningful depends on Kind (see the kind bytes above); Entry is the raw
+// store WAL frame — [u32 len][u32 crc][payload] — which the follower CRC-
+// verifies and decodes with store.DecodeEntryFrame before applying.
+type ReplFrame struct {
+	Kind     byte
+	Shard    uint32
+	Offset   uint64
+	CommitNs int64
+	Entry    []byte
+}
+
+// EncodeReplFrame serializes a stream frame payload.
+func EncodeReplFrame(f ReplFrame) ([]byte, error) {
+	switch f.Kind {
+	case ReplEntry:
+		if len(f.Entry) == 0 {
+			return nil, fmt.Errorf("wire: repl entry frame without entry bytes")
+		}
+		b := make([]byte, 0, 1+4+8+8+4+len(f.Entry))
+		b = append(b, ReplEntry)
+		b = appendU32(b, f.Shard)
+		b = appendU64(b, f.Offset)
+		b = appendU64(b, uint64(f.CommitNs))
+		b = appendU32(b, uint32(len(f.Entry)))
+		return append(b, f.Entry...), nil
+	case ReplSnapBegin:
+		b := make([]byte, 0, 1+4+8)
+		b = append(b, ReplSnapBegin)
+		b = appendU32(b, f.Shard)
+		return appendU64(b, f.Offset), nil
+	case ReplSnapEnd:
+		b := make([]byte, 0, 1+4)
+		b = append(b, ReplSnapEnd)
+		return appendU32(b, f.Shard), nil
+	case ReplHeartbeat:
+		b := make([]byte, 0, 1+8)
+		b = append(b, ReplHeartbeat)
+		return appendU64(b, uint64(f.CommitNs)), nil
+	default:
+		return nil, fmt.Errorf("wire: unknown repl frame kind %d", f.Kind)
+	}
+}
+
+// DecodeReplFrame parses a stream frame payload (malformed input rejected
+// with ErrBadFrame, never a panic or over-allocation).
+func DecodeReplFrame(b []byte) (ReplFrame, error) {
+	if len(b) == 0 {
+		return ReplFrame{}, fmt.Errorf("%w: empty repl frame", ErrBadFrame)
+	}
+	r := &binReader{b: b}
+	var f ReplFrame
+	f.Kind = r.u8("repl frame kind")
+	switch f.Kind {
+	case ReplEntry:
+		f.Shard = r.u32("repl shard")
+		f.Offset = r.u64("repl offset")
+		f.CommitNs = int64(r.u64("repl commit ns"))
+		n := int(r.u32("repl entry length"))
+		f.Entry = r.bytes(n, "repl entry bytes")
+		if r.err == nil && len(f.Entry) == 0 {
+			return ReplFrame{}, fmt.Errorf("%w: repl entry frame without entry bytes", ErrBadFrame)
+		}
+	case ReplSnapBegin:
+		f.Shard = r.u32("repl shard")
+		f.Offset = r.u64("repl snapshot basis")
+	case ReplSnapEnd:
+		f.Shard = r.u32("repl shard")
+	case ReplHeartbeat:
+		f.CommitNs = int64(r.u64("repl commit ns"))
+	default:
+		return ReplFrame{}, fmt.Errorf("%w: unknown repl frame kind %d", ErrBadFrame, f.Kind)
+	}
+	if err := r.done("repl frame"); err != nil {
+		return ReplFrame{}, err
+	}
+	return f, nil
+}
