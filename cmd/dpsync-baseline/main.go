@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"testing"
@@ -25,6 +26,7 @@ import (
 	"dpsync/internal/query"
 	"dpsync/internal/record"
 	"dpsync/internal/sim"
+	"dpsync/internal/telemetry"
 )
 
 // Baseline is the emitted document. NsPerOp entries are testing.Benchmark
@@ -91,6 +93,13 @@ type Baseline struct {
 	SpillBatches  int64 `json:"spill_batches"`
 	SpillBytes    int64 `json:"spill_bytes"`
 	SpillSegments int64 `json:"spill_segments"`
+	// TelemetryScrapeUs is one full /metrics render — registry snapshot plus
+	// Prometheus text encoding — of a registry shaped like a serving
+	// gateway's (stage histograms populated, ε distribution, counters). The
+	// gateway_*/durable_* throughput keys above are themselves measured
+	// telemetry-on, so their trajectory already prices the hot-path cost;
+	// this key prices the scrape side.
+	TelemetryScrapeUs float64 `json:"telemetry_scrape_us"`
 }
 
 func obliWithRecords(n int) (*oblidb.DB, error) {
@@ -367,6 +376,7 @@ func main() {
 	b.SpillBatches = drep.SpillBatches
 	b.SpillBytes = drep.SpillBytes
 	b.SpillSegments = drep.SpillSegments
+	b.TelemetryScrapeUs = scrapeBench(captureProcs)
 
 	enc, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
@@ -425,6 +435,48 @@ func realAHERun(b *Baseline) error {
 	}
 	b.RealAHESeconds = time.Since(start).Seconds()
 	return nil
+}
+
+// scrapeBench measures one full /metrics render (snapshot + Prometheus text
+// encoding) of a registry populated like a serving gateway's: the four
+// per-sync stage histograms and the group-commit histogram carrying
+// observations, the fleet ε distribution carrying a tenant population, and
+// the counter/gauge set a gateway's collectors emit.
+func scrapeBench(captureProcs func()) float64 {
+	reg := telemetry.New()
+	hists := []*telemetry.Histogram{
+		reg.Histogram("gateway_sync_queue_wait_us", "bench", telemetry.LatencyBucketsUs),
+		reg.Histogram("gateway_sync_apply_us", "bench", telemetry.LatencyBucketsUs),
+		reg.Histogram("gateway_sync_commit_us", "bench", telemetry.LatencyBucketsUs),
+		reg.Histogram("gateway_sync_ack_us", "bench", telemetry.LatencyBucketsUs),
+		reg.Histogram("store_commit_flush_us", "bench", telemetry.LatencyBucketsUs),
+	}
+	for i, h := range hists {
+		for j := 0; j < 4096; j++ {
+			h.Observe(float64((j%997)*(i+1)) + 0.5)
+		}
+	}
+	grp := reg.Histogram("store_commit_group_size", "bench", telemetry.GroupSizeBuckets)
+	for j := 0; j < 4096; j++ {
+		grp.Observe(float64(j%48 + 1))
+	}
+	eps := reg.Distribution("gateway_tenant_eps_spent", "bench", telemetry.EpsilonBuckets)
+	for i := 0; i < 1000; i++ {
+		eps.Add(float64(i%256) / 4)
+	}
+	for i := 0; i < 8; i++ {
+		reg.Counter(fmt.Sprintf("bench_counter_%d", i), "bench").Add(int64(i * 1000))
+		reg.Gauge(fmt.Sprintf("bench_gauge_%d", i), "bench").Set(float64(i))
+	}
+	r := testing.Benchmark(func(bb *testing.B) {
+		captureProcs()
+		for i := 0; i < bb.N; i++ {
+			if err := telemetry.WritePrometheus(io.Discard, reg.Snapshot()); err != nil {
+				bb.Fatal(err)
+			}
+		}
+	})
+	return float64(r.NsPerOp()) / 1e3
 }
 
 func fatal(err error) {

@@ -106,6 +106,7 @@ func main() {
 		faultBud = flag.Int64("fault-budget", 0, "disruptive fault budget for -faults (0: 4 per connection)")
 		openLoop = flag.Bool("open-loop", false, "open-loop Poisson/bursty arrivals with coordinated-omission-free latency")
 		arrival  = flag.Duration("arrival", 0, "open-loop mean interarrival per owner tick (0: 2ms)")
+		metOut   = flag.String("metrics-out", "", "write the in-process gateway's final telemetry snapshot (the /varz JSON shape) to this file")
 	)
 	flag.Parse()
 
@@ -160,6 +161,7 @@ func main() {
 		FaultBudget:   *faultBud,
 		OpenLoop:      *openLoop,
 		MeanArrival:   *arrival,
+		MetricsOut:    *metOut,
 	}
 	switch strings.ToLower(*codec) {
 	case "binary":

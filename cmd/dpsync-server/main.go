@@ -57,6 +57,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -66,6 +67,7 @@ import (
 	"dpsync/internal/gateway"
 	"dpsync/internal/seal"
 	"dpsync/internal/server"
+	"dpsync/internal/telemetry"
 )
 
 func main() {
@@ -87,6 +89,8 @@ func main() {
 		leaseFile = flag.String("lease-file", "", "shared lease file the cluster elects through; must live on storage every node sees (required with -cluster)")
 		leaseTTL  = flag.Duration("lease-ttl", 0, "election lease duration, the failover fencing window (0: default)")
 		replicaOf = flag.String("replica-of", "", "pin this node as a permanent standby tailing ADDR; never campaigns, never promotes (-multi -store only)")
+		adminAddr = flag.String("admin", "", "admin plane listen address: /metrics (Prometheus), /varz (JSON), /statusz, /healthz, /debug/pprof (empty: disabled)")
+		debugTen  = flag.Bool("debug-tenant-metrics", false, "expose per-owner clock/epsilon series (hashed labels) on the admin plane — republishes the update-pattern detail the privacy budget hides; debugging only")
 	)
 	flag.Parse()
 
@@ -94,9 +98,22 @@ func main() {
 	if err != nil {
 		log.Fatalf("dpsync-server: %v", err)
 	}
-	logger := log.New(os.Stderr, "dpsync-server: ", log.LstdFlags)
+	logger := telemetry.NewLogger(os.Stderr, slog.LevelInfo)
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+
+	reg := telemetry.Default
+	serveAdmin := func(status telemetry.Status) *telemetry.Admin {
+		if *adminAddr == "" {
+			return nil
+		}
+		a, err := telemetry.ServeAdmin(*adminAddr, reg, status)
+		if err != nil {
+			log.Fatalf("dpsync-server: %v", err)
+		}
+		logger.Info("admin plane listening", "addr", a.Addr())
+		return a
+	}
 
 	if *storeDir != "" && !*multi {
 		log.Fatalf("dpsync-server: -store requires -multi (the single-owner server keeps no durable tenant state)")
@@ -128,67 +145,96 @@ func main() {
 		if *replicaOf == "" {
 			lease = cluster.NewFileLease(*leaseFile, nil)
 		}
+		// The cluster layer attaches the node ID to every event itself; the
+		// logger passed down stays unadorned so the attr appears once.
 		node, err := cluster.Start(cluster.Config{
 			Addr: *listen, NodeID: id, StoreDir: *storeDir,
 			Gateway: gateway.Config{
-				Key: key, Shards: *shards, Logger: logger,
+				Key: key, Shards: *shards,
 				Fsync: *fsync, SnapshotEvery: *snapN, SyncEpsilon: *syncEps,
 				HistoryWindow: *histWin,
 				MaxInFlight:   *maxInFl, DrainTimeout: *drainTO,
+				DebugTenantMetrics: *debugTen,
 			},
 			Lease: lease, LeaseTTL: *leaseTTL, ReplicaOf: *replicaOf,
-			Logger: logger,
+			Logger: logger, Telemetry: reg,
 		})
 		if err != nil {
 			log.Fatalf("dpsync-server: %v", err)
 		}
-		logger.Printf("cluster node %q started as %s on %s", id, node.Role(), node.Addr())
+		admin := serveAdmin(node)
+		logger.Info("cluster node started", "node", id, "role", node.Role().String(), "addr", node.Addr())
 		<-done
-		logger.Printf("cluster node %q shutting down (%s)", id, node.Role())
+		logger.Info("cluster node shutting down", "node", id, "role", node.Role().String())
 		if err := node.Close(); err != nil {
-			logger.Printf("shutdown: %v", err)
+			logger.Error("shutdown error", "node", id, "err", err)
+		}
+		if admin != nil {
+			_ = admin.Close()
 		}
 		return
 	}
 
 	if *multi {
 		gw, err := gateway.New(*listen, gateway.Config{
-			Key: key, Shards: *shards, Logger: logger,
-			StoreDir: *storeDir, Fsync: *fsync, SnapshotEvery: *snapN, SyncEpsilon: *syncEps,
+			Key: key, Shards: *shards, Logger: logger, Telemetry: reg,
+			DebugTenantMetrics: *debugTen,
+			StoreDir:           *storeDir, Fsync: *fsync, SnapshotEvery: *snapN, SyncEpsilon: *syncEps,
 			HistoryWindow: *histWin,
 			MaxInFlight:   *maxInFl, DrainTimeout: *drainTO,
 		})
 		if err != nil {
 			log.Fatalf("dpsync-server: %v", err)
 		}
+		admin := serveAdmin(telemetry.StatusFuncs{
+			Text: func() string {
+				var b strings.Builder
+				conns, repl := gw.Live()
+				fmt.Fprintf(&b, "role: standalone gateway\naddr: %s\nowners: %d  conns: %d  repl: %d  sheds: %d\n",
+					gw.Addr(), gw.Owners(), conns, repl, gw.Sheds())
+				for _, ss := range gw.ShardStatuses() {
+					fmt.Fprintf(&b, "shard %d: committed=%d pending_wal=%d\n", ss.Shard, ss.Committed, ss.PendingWAL)
+				}
+				return b.String()
+			},
+			ReadyFn: func() (bool, string) {
+				if st := gw.Store(); st != nil && !st.Healthy() {
+					return false, "WAL writer reported a commit error"
+				}
+				return true, "serving"
+			},
+		})
 		if *storeDir != "" {
 			info := gw.Recovery()
-			logger.Printf("durable store %s: recovered %d owners (%d snapshots, %d WAL entries)",
-				*storeDir, info.Owners, info.Snapshots, info.Entries)
+			logger.Info("durable store recovered", "dir", *storeDir,
+				"owners", info.Owners, "snapshots", info.Snapshots, "entries", info.Entries)
 		}
-		logger.Printf("gateway listening on %s", gw.Addr())
+		logger.Info("gateway listening", "addr", gw.Addr())
 		closed := make(chan struct{})
 		go func() {
 			defer close(closed)
 			<-done
-			logger.Printf("draining: %d owner namespaces served", gw.Owners())
+			logger.Info("draining", "owners", gw.Owners())
 			// Close waits for in-flight connections and shard work, then
 			// flushes and closes the WAL — the graceful-drain contract the
 			// in-process gateway regression test pins.
 			if err := gw.Close(); err != nil {
-				logger.Printf("shutdown: %v", err)
+				logger.Error("shutdown error", "err", err)
 			}
 			if m, ok := gw.StoreMetrics(); ok {
-				logger.Printf("WAL flushed: %d entries in %d commits, %d snapshot rotations", m.Appends, m.Commits, m.Snapshots)
+				logger.Info("WAL flushed", "entries", m.Appends, "commits", m.Commits, "rotations", m.Snapshots)
 			}
 			if n := gw.Sheds(); n > 0 {
-				logger.Printf("backpressure: shed %d requests from slow tenants", n)
+				logger.Info("backpressure sheds", "count", n)
 			}
 		}()
 		if err := gw.Serve(); err != nil {
 			log.Fatalf("dpsync-server: serve: %v", err)
 		}
 		<-closed
+		if admin != nil {
+			_ = admin.Close()
+		}
 		return
 	}
 
@@ -196,15 +242,21 @@ func main() {
 	if err != nil {
 		log.Fatalf("dpsync-server: %v", err)
 	}
-	logger.Printf("listening on %s", srv.Addr())
+	admin := serveAdmin(telemetry.StatusFuncs{
+		Text: func() string { return fmt.Sprintf("role: single-owner server\naddr: %s\n", srv.Addr()) },
+	})
+	logger.Info("listening", "addr", srv.Addr())
 	go func() {
 		<-done
 		pat := srv.ObservedPattern()
-		logger.Printf("shutting down; observed update pattern: %s", pat.String())
+		logger.Info("shutting down", "observed_pattern", pat.String())
 		_ = srv.Close()
 	}()
 	if err := srv.Serve(); err != nil {
 		log.Fatalf("dpsync-server: serve: %v", err)
+	}
+	if admin != nil {
+		_ = admin.Close()
 	}
 }
 

@@ -321,4 +321,47 @@
 // across randomized kill ticks, connection churn, and replication-link
 // faults; cmd/dpsync-loadgen -failover measures it (failover_ms,
 // replication_lag_ms, replica_syncs_per_sec in the baseline).
+//
+// # Observability architecture
+//
+// internal/telemetry is the runtime metrics plane: lock-free, allocation-free
+// instruments (atomic counters, gauges, fixed-bucket histograms, and a
+// population distribution) behind a registry whose snapshot reads the same
+// atomics the hot path writes — a scrape can never block a shard worker, and
+// a histogram's count is derived from its bucket cells so snapshots are
+// consistent under concurrent writers by construction. Components that
+// already keep their own counters export through scrape-time collectors
+// instead of double-counting on the hot path.
+//
+// The instrumented surfaces: gateway shard workers decompose per-sync
+// latency into queue-wait / apply / WAL-commit / ack stage histograms; the
+// store's group-commit writer records group size and flush+fsync latency
+// plus WAL, snapshot, and spill counters; the replication hub exports
+// per-follower cursor lag in both entries and milliseconds; the cluster node
+// exports role, lease renewals/losses, and promotion events. Scrape safety
+// is structural — shard workers publish pending/committed counts into
+// atomic mirrors that ShardStatuses and the collectors read without
+// enqueuing onto any shard.
+//
+// dpsync-server -admin ADDR serves the plane: Prometheus text on /metrics,
+// the same samples as JSON on /varz, a human statusz (role, lease holder,
+// per-shard WAL depth and committed offsets, follower cursors), a /healthz
+// whose readiness is real (a primary is ready only holding an unexpired
+// lease with a healthy WAL writer; a follower only while replicating within
+// its contact bound), and net/http/pprof. Logging is structured (log/slog)
+// with node, shard, and owner-hash fields; telemetry.Discard silences it in
+// tests.
+//
+// The privacy posture is part of the design, not an afterthought: the
+// metrics endpoint is part of the adversary's view, so per-tenant series
+// would republish exactly the update-pattern detail the synchronization
+// strategies spend ε to hide. Everything exported is fleet-aggregate by
+// default — cumulative ε spend appears only as a fleet-wide distribution —
+// and per-owner series (committed clock, ε spend, labeled by FNV owner
+// hash, never raw IDs) exist only behind the explicit
+// gateway.Config.DebugTenantMetrics gate. A regression test scrapes both
+// exposition formats and fails on any owner-identifying output in the
+// default configuration. The cost of the plane is priced in the baseline:
+// the gateway_*/durable_* throughput keys are measured telemetry-on, and
+// telemetry_scrape_us records a full /metrics render.
 package dpsync

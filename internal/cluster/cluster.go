@@ -49,13 +49,15 @@ package cluster
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	"dpsync/internal/gateway"
+	"dpsync/internal/telemetry"
 	"dpsync/internal/wire"
 )
 
@@ -117,17 +119,22 @@ type Config struct {
 	// RingSize is the primary's per-shard catch-up ring (0 = DefaultRingSize).
 	RingSize int
 	// Logger receives role transitions and diagnostics; nil discards.
-	Logger *log.Logger
+	Logger *slog.Logger
+	// Telemetry receives the node's cluster metrics (role, lease renewals and
+	// losses, fence/promotion events) and is threaded into the hub and — when
+	// Gateway.Telemetry is unset — the serving gateway. Nil disables export.
+	Telemetry *telemetry.Registry
 }
 
 // Node is one cluster member. Create with Start; stop with Close (graceful)
 // or Kill (crash).
 type Node struct {
 	cfg  Config
-	log  *log.Logger
+	log  *slog.Logger
 	lis  net.Listener
 	quit chan struct{}
 	wg   sync.WaitGroup
+	tm   nodeMetrics
 
 	mu       sync.Mutex
 	role     Role
@@ -138,9 +145,22 @@ type Node struct {
 	lastFol  FollowerStats
 	closed   bool
 	killed   bool
+	// leaseHolder/leaseRenewed mirror the node's last view of the arbiter:
+	// who holds the lease, and when this node last renewed its own (zero
+	// while following). Status and telemetry read them under mu.
+	leaseHolder  string
+	leaseRenewed time.Time
 
 	promoted     chan struct{}
 	promotedOnce sync.Once
+}
+
+// nodeMetrics holds the node's telemetry handles; zero value no-ops.
+type nodeMetrics struct {
+	renewals   *telemetry.Counter
+	losses     *telemetry.Counter
+	promotions *telemetry.Counter
+	unreg      func()
 }
 
 // NodeStats snapshots a node's replication counters for metrics reporting.
@@ -180,28 +200,78 @@ func Start(cfg Config) (*Node, error) {
 	if cfg.Logger != nil {
 		n.log = cfg.Logger
 	} else {
-		n.log = log.New(logDiscard{}, "", 0)
+		n.log = telemetry.Discard()
+	}
+	if reg := cfg.Telemetry; reg != nil {
+		n.tm = nodeMetrics{
+			renewals: reg.Counter("cluster_lease_renewals_total", "successful lease acquisitions/renewals by this node"),
+			losses: reg.Counter("cluster_lease_losses_total",
+				"refused renewals — each one fences the local gateway"),
+			promotions: reg.Counter("cluster_promotions_total", "follower-to-primary promotions"),
+		}
+		n.tm.unreg = reg.RegisterCollector(func(emit func(telemetry.Sample)) {
+			n.mu.Lock()
+			role, holder, renewed := n.role, n.leaseHolder, n.leaseRenewed
+			fol, last := n.fol, n.lastFol
+			n.mu.Unlock()
+			var isPrimary, held float64
+			if role == RolePrimary {
+				isPrimary = 1
+			}
+			if holder == cfg.NodeID && !renewed.IsZero() {
+				held = 1
+			}
+			emit(telemetry.Sample{Name: "cluster_role", Help: "1 while this node serves as primary",
+				Kind: telemetry.KindGauge, Value: isPrimary})
+			emit(telemetry.Sample{Name: "cluster_lease_held", Help: "1 while this node holds the lease",
+				Kind: telemetry.KindGauge, Value: held})
+			fst := last
+			if fol != nil {
+				fst = fol.Stats()
+				if lc := fol.lastContact.Load(); lc != 0 {
+					emit(telemetry.Sample{Name: "cluster_repl_last_contact_ms",
+						Help: "milliseconds since the last frame from the primary",
+						Kind: telemetry.KindGauge, Value: float64(time.Now().UnixNano()-lc) / 1e6})
+				}
+			}
+			emit(telemetry.Sample{Name: "cluster_repl_applied_total", Help: "live stream entries folded by this replica",
+				Kind: telemetry.KindCounter, Value: float64(fst.Applied)})
+			emit(telemetry.Sample{Name: "cluster_repl_snapshot_transfers_total", Help: "snapshot transfers applied by this replica",
+				Kind: telemetry.KindCounter, Value: float64(fst.Snapshots)})
+		})
 	}
 	lis, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
+		if n.tm.unreg != nil {
+			n.tm.unreg()
+		}
 		return nil, fmt.Errorf("cluster: listen: %w", err)
 	}
 	n.lis = lis
 
 	if cfg.ReplicaOf == "" {
-		if _, won, err := cfg.Lease.Acquire(cfg.NodeID, n.Addr(), cfg.LeaseTTL); err != nil {
+		if st, won, err := cfg.Lease.Acquire(cfg.NodeID, n.Addr(), cfg.LeaseTTL); err != nil {
 			lis.Close()
+			if n.tm.unreg != nil {
+				n.tm.unreg()
+			}
 			return nil, err
 		} else if won {
+			n.recordLease(cfg.NodeID, true)
 			if err := n.startPrimary(); err != nil {
 				_ = cfg.Lease.Release(cfg.NodeID)
 				lis.Close()
+				if n.tm.unreg != nil {
+					n.tm.unreg()
+				}
 				return nil, err
 			}
 			return n, nil
+		} else {
+			n.recordLease(st.Holder, false)
 		}
 	}
-	fol, err := openFollower(cfg.StoreDir, n.shardCount(), cfg.Gateway.HistoryWindow, n.snapEvery(), cfg.Gateway.Fsync, n.log)
+	fol, err := openFollower(cfg.StoreDir, n.shardCount(), cfg.Gateway.HistoryWindow, n.snapEvery(), cfg.Gateway.Fsync, n.log.With("node", cfg.NodeID))
 	if err != nil {
 		lis.Close()
 		return nil, err
@@ -210,6 +280,20 @@ func Start(cfg Config) (*Node, error) {
 	n.wg.Add(1)
 	go n.runFollower()
 	return n, nil
+}
+
+// recordLease notes the arbiter's verdict: who holds the lease, and (when
+// this node won) a renewals tick and a fresh renewal timestamp.
+func (n *Node) recordLease(holder string, won bool) {
+	n.mu.Lock()
+	n.leaseHolder = holder
+	if won {
+		n.leaseRenewed = time.Now()
+	}
+	n.mu.Unlock()
+	if won {
+		n.tm.renewals.Inc()
+	}
 }
 
 // shardCount resolves the shard-worker count the same way gateway.New does,
@@ -265,15 +349,110 @@ func (n *Node) Stats() NodeStats {
 	return st
 }
 
+// StatusText implements telemetry.Status: the /statusz body — role, lease
+// view, and per-shard durable progress (WAL depth and committed offsets on a
+// primary, follower cursors via the hub; replication counters on a replica).
+func (n *Node) StatusText() string {
+	n.mu.Lock()
+	role, holder, renewed := n.role, n.leaseHolder, n.leaseRenewed
+	gw, hub, fol, last := n.gw, n.hub, n.fol, n.lastFol
+	n.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "node: %s\nrole: %s\naddr: %s\n", n.cfg.NodeID, role, n.Addr())
+	fmt.Fprintf(&b, "lease holder: %s", holder)
+	if !renewed.IsZero() {
+		fmt.Fprintf(&b, " (renewed %s ago)", time.Since(renewed).Round(time.Millisecond))
+	}
+	b.WriteString("\n")
+	if gw != nil {
+		fmt.Fprintf(&b, "owners: %d  sheds: %d\n", gw.Owners(), gw.Sheds())
+		for _, ss := range gw.ShardStatuses() {
+			fmt.Fprintf(&b, "shard %d: committed=%d pending_wal=%d\n", ss.Shard, ss.Committed, ss.PendingWAL)
+		}
+	}
+	if hub != nil {
+		hs := hub.Stats()
+		fmt.Fprintf(&b, "replication: followers=%d shipped=%d snapshots=%d\n", hs.Followers, hs.Shipped, hs.Snapshots)
+		for _, fs := range hub.Followers() {
+			fmt.Fprintf(&b, "follower %q: lag=%d entries (%.1f ms) cursors=%v\n", fs.Node, fs.LagEntries, fs.LagMs, fs.Cursors)
+		}
+	}
+	if fol != nil {
+		fst := fol.Stats()
+		fmt.Fprintf(&b, "replica: applied=%d snapshot_transfers=%d\n", fst.Applied, fst.Snapshots)
+		if lc := fol.lastContact.Load(); lc != 0 {
+			fmt.Fprintf(&b, "last primary contact: %.1f ms ago\n", float64(time.Now().UnixNano()-lc)/1e6)
+		}
+	} else if gw == nil {
+		fmt.Fprintf(&b, "replica (sealed): applied=%d snapshot_transfers=%d\n", last.Applied, last.Snapshots)
+	}
+	return b.String()
+}
+
+// Ready implements telemetry.Status with real semantics: a primary is ready
+// when it still holds the lease and its WAL writer is healthy; a follower
+// when it is replicating within its lag bound (frames from the primary within
+// the link-death deadline the tail loop itself uses).
+func (n *Node) Ready() (bool, string) {
+	n.mu.Lock()
+	role, holder, renewed := n.role, n.leaseHolder, n.leaseRenewed
+	gw, fol, closed := n.gw, n.fol, n.closed
+	n.mu.Unlock()
+	if closed {
+		return false, "node closed"
+	}
+	if role == RolePrimary {
+		if gw == nil {
+			return false, "primary without a gateway"
+		}
+		if n.cfg.Lease != nil {
+			if holder != n.cfg.NodeID {
+				return false, fmt.Sprintf("lease held by %q", holder)
+			}
+			if time.Since(renewed) > n.cfg.LeaseTTL {
+				return false, fmt.Sprintf("lease renewal stale by %s", time.Since(renewed).Round(time.Millisecond))
+			}
+		}
+		if st := gw.Store(); st != nil && !st.Healthy() {
+			return false, "WAL writer reported a commit error"
+		}
+		return true, "primary: lease held, WAL healthy"
+	}
+	if fol == nil {
+		return false, "follower not replicating"
+	}
+	bound := 6 * n.cfg.Heartbeat
+	if bound < time.Second {
+		bound = time.Second
+	}
+	lc := fol.lastContact.Load()
+	if lc == 0 {
+		return false, "no primary contact yet"
+	}
+	if age := time.Duration(time.Now().UnixNano() - lc); age > bound {
+		return false, fmt.Sprintf("primary silent for %s (bound %s)", age.Round(time.Millisecond), bound)
+	}
+	return true, "follower: replicating within lag bound"
+}
+
 // startPrimary stands the serving stack up on the node's listener: hub,
 // gateway (recovering whatever the store directory holds), bind, serve,
 // renew. Used by Start (initial primary) and by promotion.
 func (n *Node) startPrimary() error {
-	hub := NewHub(HubConfig{RingSize: n.cfg.RingSize, Heartbeat: n.cfg.Heartbeat, Logger: n.cfg.Logger})
+	// Hub and gateway events carry the node ID; the node's own log lines
+	// attach it per call, so the shared logger itself stays unadorned.
+	hub := NewHub(HubConfig{RingSize: n.cfg.RingSize, Heartbeat: n.cfg.Heartbeat,
+		Logger: n.log.With("node", n.cfg.NodeID), Telemetry: n.cfg.Telemetry})
 	gwCfg := n.cfg.Gateway
 	gwCfg.StoreDir = n.cfg.StoreDir
 	gwCfg.Listener = n.lis
 	gwCfg.Replicator = hub
+	if gwCfg.Telemetry == nil {
+		gwCfg.Telemetry = n.cfg.Telemetry
+	}
+	if gwCfg.Logger == nil {
+		gwCfg.Logger = n.log.With("node", n.cfg.NodeID)
+	}
 	gw, err := gateway.New("", gwCfg)
 	if err != nil {
 		return err
@@ -300,7 +479,7 @@ func (n *Node) startPrimary() error {
 	}()
 	go n.renewLoop(gw, hub)
 	n.promotedOnce.Do(func() { close(n.promoted) })
-	n.log.Printf("cluster: node %q serving as primary on %s", n.cfg.NodeID, n.Addr())
+	n.log.Info("serving as primary", "node", n.cfg.NodeID, "addr", n.Addr())
 	return nil
 }
 
@@ -333,15 +512,18 @@ func (n *Node) renewLoop(gw *gateway.Gateway, hub *Hub) {
 			if err != nil {
 				// Arbiter unreachable: keep serving. Nobody else can acquire
 				// through the same arbiter, so the TTL still fences.
-				n.log.Printf("cluster: node %q: lease renewal error: %v", n.cfg.NodeID, err)
+				n.log.Warn("lease renewal error", "node", n.cfg.NodeID, "err", err)
 				continue
 			}
 			if !ok {
-				n.log.Printf("cluster: node %q lost the lease to %q; fencing", n.cfg.NodeID, st.Holder)
+				n.log.Warn("lost the lease; fencing", "node", n.cfg.NodeID, "holder", st.Holder)
+				n.recordLease(st.Holder, false)
+				n.tm.losses.Inc()
 				hub.Close()
 				gw.Kill()
 				return
 			}
+			n.recordLease(n.cfg.NodeID, true)
 		}
 	}
 }
@@ -373,20 +555,22 @@ func (n *Node) runFollower() {
 		if primary == "" {
 			st, won, err := n.cfg.Lease.Acquire(n.cfg.NodeID, n.Addr(), n.cfg.LeaseTTL)
 			if err != nil {
-				n.log.Printf("cluster: node %q: campaign: %v", n.cfg.NodeID, err)
+				n.log.Warn("campaign error", "node", n.cfg.NodeID, "err", err)
 				n.sleep(backoff)
 				continue
 			}
 			if won {
+				n.recordLease(n.cfg.NodeID, true)
 				close(stopRefuse)
 				<-refuseDone
 				if err := n.promote(); err != nil {
-					n.log.Printf("cluster: node %q: promotion failed: %v", n.cfg.NodeID, err)
+					n.log.Error("promotion failed", "node", n.cfg.NodeID, "err", err)
 					_ = n.cfg.Lease.Release(n.cfg.NodeID)
 					n.lis.Close()
 				}
 				return
 			}
+			n.recordLease(st.Holder, false)
 			primary = st.Addr
 		}
 		if primary == "" || primary == n.Addr() {
@@ -423,7 +607,7 @@ func (n *Node) runFollower() {
 		select {
 		case <-n.quit:
 		default:
-			n.log.Printf("cluster: node %q: replication session ended: %v", n.cfg.NodeID, err)
+			n.log.Info("replication session ended", "node", n.cfg.NodeID, "err", err)
 		}
 	}
 }
@@ -483,13 +667,14 @@ func (n *Node) promote() error {
 	n.mu.Unlock()
 	if err := fol.seal(); err != nil {
 		// The directory still holds the longest provable prefix; promote it.
-		n.log.Printf("cluster: node %q: sealing replica: %v (promoting committed prefix)", n.cfg.NodeID, err)
+		n.log.Warn("sealing replica failed; promoting committed prefix", "node", n.cfg.NodeID, "err", err)
 	}
 	n.mu.Lock()
 	n.lastFol = fol.Stats()
 	n.fol = nil
 	n.mu.Unlock()
-	n.log.Printf("cluster: node %q promoting on %s", n.cfg.NodeID, n.Addr())
+	n.log.Info("promoting", "node", n.cfg.NodeID, "addr", n.Addr())
+	n.tm.promotions.Inc()
 	return n.startPrimary()
 }
 
@@ -507,7 +692,7 @@ func (n *Node) sealFollower() {
 		return
 	}
 	if err := fol.seal(); err != nil {
-		n.log.Printf("cluster: node %q: sealing replica at shutdown: %v", n.cfg.NodeID, err)
+		n.log.Warn("sealing replica at shutdown failed", "node", n.cfg.NodeID, "err", err)
 	}
 }
 
@@ -538,6 +723,9 @@ func (n *Node) Close() error {
 		}
 	}
 	n.wg.Wait()
+	if n.tm.unreg != nil {
+		n.tm.unreg()
+	}
 	return err
 }
 
@@ -576,4 +764,7 @@ func (n *Node) Kill() {
 		}
 	}
 	n.wg.Wait()
+	if n.tm.unreg != nil {
+		n.tm.unreg()
+	}
 }

@@ -3,13 +3,15 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dpsync/internal/dp"
 	"dpsync/internal/store"
+	"dpsync/internal/telemetry"
 	"dpsync/internal/wire"
 )
 
@@ -60,11 +62,16 @@ type FollowerStats struct {
 // goroutine (the tail loop); Stats and the WAL-append completions touch
 // only the mutex-guarded fields.
 type followerCore struct {
-	log       *log.Logger
+	log       *slog.Logger
 	st        *store.Store
 	shards    int
 	window    int
 	snapEvery int
+
+	// lastContact is the UnixNano of the last frame read off the primary
+	// (heartbeats included); 0 before the first session. Readiness reads it
+	// lock-free — a follower replicating within its lag bound is ready.
+	lastContact atomic.Int64
 
 	states    []map[string]*store.OwnerState // per shard, per owner
 	counts    []uint64                       // applied live-stream offsets
@@ -83,7 +90,7 @@ type followerCore struct {
 // process left there — primary or follower alike — is recovered through the
 // standard store recovery, and each shard's stream cursor is re-derived
 // from its owners' committed clocks.
-func openFollower(dir string, shards, window, snapEvery int, fsync bool, lg *log.Logger) (*followerCore, error) {
+func openFollower(dir string, shards, window, snapEvery int, fsync bool, lg *slog.Logger) (*followerCore, error) {
 	st, states, err := store.Open(store.Options{Dir: dir, Shards: shards, Fsync: fsync, HistoryWindow: window})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: opening replica store: %w", err)
@@ -165,7 +172,9 @@ func (f *followerCore) tail(conn net.Conn, node string, readTO time.Duration) er
 		if err != nil {
 			return fmt.Errorf("cluster: malformed stream frame: %w", err)
 		}
-		if err := f.applyFrame(fr, time.Now()); err != nil {
+		now := time.Now()
+		f.lastContact.Store(now.UnixNano())
+		if err := f.applyFrame(fr, now); err != nil {
 			return err
 		}
 	}
@@ -310,7 +319,8 @@ func (f *followerCore) spill(sid int, st *store.OwnerState) {
 		st.Tail = kept
 	}
 	if err != nil {
-		f.log.Printf("cluster: owner %q: replica history spill deferred (%d batches stay in RAM): %v", st.Owner, len(st.Tail), err)
+		f.log.Warn("replica history spill deferred; batches stay in RAM",
+			"owner_hash", telemetry.OwnerHash(st.Owner), "batches", len(st.Tail), "err", err)
 	}
 }
 
@@ -330,7 +340,7 @@ func (f *followerCore) rotate(sid int) {
 		owners = append(owners, *st)
 	}
 	if err := f.st.Rotate(sid, owners); err != nil {
-		f.log.Printf("cluster: shard %d: replica rotation: %v", sid, err)
+		f.log.Warn("replica rotation failed", "shard", sid, "err", err)
 		f.sinceSnap[sid] = f.snapEvery / 2 // retry soon, not instantly
 		return
 	}

@@ -3,13 +3,14 @@ package cluster
 import (
 	"bufio"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
 
 	"dpsync/internal/gateway"
 	"dpsync/internal/store"
+	"dpsync/internal/telemetry"
 	"dpsync/internal/wire"
 )
 
@@ -63,7 +64,11 @@ type HubConfig struct {
 	// clock, so tests inject a shared fake.
 	Clock func() time.Time
 	// Logger receives bounded diagnostics; nil discards.
-	Logger *log.Logger
+	Logger *slog.Logger
+	// Telemetry receives the hub's replication metrics (frames shipped,
+	// snapshot fallbacks, per-follower cursor lag in entries and ms). Nil
+	// disables export.
+	Telemetry *telemetry.Registry
 }
 
 // HubStats are the primary-side replication counters.
@@ -78,10 +83,13 @@ type HubStats struct {
 }
 
 // replRing is one shard's catch-up buffer: frames[i] is the encoded stream
-// frame for offset head-len(frames)+1+i.
+// frame for offset head-len(frames)+1+i, and times[i] is that frame's
+// CommitNs — kept parallel so the lag collector can turn a follower's owed
+// suffix into milliseconds without decoding frames.
 type replRing struct {
 	head   uint64
 	frames [][]byte
+	times  []int64
 }
 
 // oldest is the lowest offset still buffered; callers check len(frames)>0.
@@ -91,6 +99,7 @@ func (r *replRing) oldest() uint64 { return r.head - uint64(len(r.frames)) + 1 }
 // by its sender goroutine), and the channels that wake or kill the sender.
 type hubSub struct {
 	conn    net.Conn
+	node    string // follower's self-reported node ID (labels its lag series)
 	cursors []uint64
 	wake    chan struct{} // capacity 1; Committed nudges idle senders
 	dead    chan struct{} // closed when the conn dies (read watchdog)
@@ -101,9 +110,10 @@ type hubSub struct {
 // into the gateway via Config.Replicator, then Bind it to the gateway it
 // serves before Serve starts accepting.
 type Hub struct {
-	cfg  HubConfig
-	log  *log.Logger
-	quit chan struct{}
+	cfg   HubConfig
+	log   *slog.Logger
+	quit  chan struct{}
+	unreg func() // telemetry collector unregistration; nil without Telemetry
 
 	mu        sync.Mutex
 	gw        *gateway.Gateway
@@ -129,14 +139,63 @@ func NewHub(cfg HubConfig) *Hub {
 	if cfg.Logger != nil {
 		h.log = cfg.Logger
 	} else {
-		h.log = log.New(logDiscard{}, "", 0)
+		h.log = telemetry.Discard()
+	}
+	if reg := cfg.Telemetry; reg != nil {
+		h.unreg = reg.RegisterCollector(h.emitTelemetry)
 	}
 	return h
 }
 
-type logDiscard struct{}
+// emitTelemetry is the hub's scrape-time collector. It runs under h.mu — the
+// admin plane's goroutine, never a shard worker — so a scrape can observe
+// follower cursors without perturbing the commit path (Committed holds the
+// same mutex only for its ring append).
+func (h *Hub) emitTelemetry(emit func(telemetry.Sample)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	emit(telemetry.Sample{Name: "repl_followers", Help: "connected followers",
+		Kind: telemetry.KindGauge, Value: float64(len(h.subs))})
+	emit(telemetry.Sample{Name: "repl_shipped_total", Help: "live stream entries written to followers",
+		Kind: telemetry.KindCounter, Value: float64(h.shipped)})
+	emit(telemetry.Sample{Name: "repl_snapshots_total", Help: "per-shard snapshot transfers served",
+		Kind: telemetry.KindCounter, Value: float64(h.snapshots)})
+	now := h.cfg.Clock().UnixNano()
+	for sub := range h.subs {
+		lagE, lagMs := h.lagLocked(sub, now)
+		emit(telemetry.Sample{
+			Name: fmt.Sprintf("repl_follower_lag_entries{follower=%q}", sub.node),
+			Help: "entries committed on the primary but not yet shipped to this follower",
+			Kind: telemetry.KindGauge, Value: float64(lagE)})
+		emit(telemetry.Sample{
+			Name: fmt.Sprintf("repl_follower_lag_ms{follower=%q}", sub.node),
+			Help: "age of the oldest entry owed to this follower, milliseconds",
+			Kind: telemetry.KindGauge, Value: lagMs})
+	}
+}
 
-func (logDiscard) Write(p []byte) (int, error) { return len(p), nil }
+// lagLocked computes one follower's owed-entry count and the age of the
+// oldest owed frame still in a ring (0 ms when fully caught up, or when the
+// owed suffix fell off the ring — a snapshot transfer is already due then).
+func (h *Hub) lagLocked(sub *hubSub, nowNs int64) (entries int64, ms float64) {
+	var oldest int64
+	for sid, c := range sub.cursors {
+		r := &h.rings[sid]
+		if c >= r.head {
+			continue
+		}
+		entries += int64(r.head - c)
+		if len(r.times) > 0 && c+1 >= r.oldest() {
+			if ts := r.times[c+1-r.oldest()]; oldest == 0 || ts < oldest {
+				oldest = ts
+			}
+		}
+	}
+	if oldest != 0 {
+		ms = float64(nowNs-oldest) / 1e6
+	}
+	return entries, ms
+}
 
 // Bind attaches the hub to the gateway it replicates and initializes each
 // shard's stream head to the shard's recovered committed entry count (the
@@ -185,6 +244,9 @@ func (h *Hub) Close() {
 	for _, c := range conns {
 		_ = c.Close()
 	}
+	if h.unreg != nil {
+		h.unreg()
+	}
 }
 
 // Stats reports the hub's counters.
@@ -192,6 +254,30 @@ func (h *Hub) Stats() HubStats {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return HubStats{Followers: len(h.subs), Shipped: h.shipped, Snapshots: h.snapshots}
+}
+
+// FollowerStatus is one connected follower's stream position, for the status
+// plane.
+type FollowerStatus struct {
+	Node       string
+	Cursors    []uint64
+	LagEntries int64
+	LagMs      float64
+}
+
+// Followers reports every connected follower's cursors and lag.
+func (h *Hub) Followers() []FollowerStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := h.cfg.Clock().UnixNano()
+	out := make([]FollowerStatus, 0, len(h.subs))
+	for sub := range h.subs {
+		lagE, lagMs := h.lagLocked(sub, now)
+		cursors := make([]uint64, len(sub.cursors))
+		copy(cursors, sub.cursors)
+		out = append(out, FollowerStatus{Node: sub.node, Cursors: cursors, LagEntries: lagE, LagMs: lagMs})
+	}
+	return out
 }
 
 // Committed implements gateway.Replicator: one durably committed sync
@@ -204,7 +290,8 @@ func (h *Hub) Committed(sid int, e store.Entry) {
 	if err != nil {
 		// Unreachable for an entry the WAL just committed; losing the frame
 		// would silently desynchronize every follower, so log loudly.
-		h.log.Printf("cluster: shard %d: cannot encode committed entry for owner %q: %v", sid, e.Owner, err)
+		h.log.Error("cannot encode committed entry; followers will desynchronize",
+			"shard", sid, "owner_hash", telemetry.OwnerHash(e.Owner), "err", err)
 		return
 	}
 	h.mu.Lock()
@@ -213,20 +300,22 @@ func (h *Hub) Committed(sid int, e store.Entry) {
 		return
 	}
 	r := &h.rings[sid]
+	commitNs := h.cfg.Clock().UnixNano()
 	payload, err := wire.EncodeReplFrame(wire.ReplFrame{
 		Kind:     wire.ReplEntry,
 		Shard:    uint32(sid),
 		Offset:   r.head + 1,
-		CommitNs: h.cfg.Clock().UnixNano(),
+		CommitNs: commitNs,
 		Entry:    raw,
 	})
 	if err != nil {
 		h.mu.Unlock()
-		h.log.Printf("cluster: shard %d: cannot frame committed entry: %v", sid, err)
+		h.log.Error("cannot frame committed entry", "shard", sid, "err", err)
 		return
 	}
 	r.head++
 	r.frames = append(r.frames, payload)
+	r.times = append(r.times, commitNs)
 	if len(r.frames) > h.cfg.RingSize {
 		// Trim from the front; re-copy so the backing array does not pin
 		// every frame ever shipped.
@@ -234,6 +323,9 @@ func (h *Hub) Committed(sid int, e store.Entry) {
 		kept := make([][]byte, h.cfg.RingSize)
 		copy(kept, r.frames[drop:])
 		r.frames = kept
+		times := make([]int64, h.cfg.RingSize)
+		copy(times, r.times[drop:])
+		r.times = times
 	}
 	for sub := range h.subs {
 		select {
@@ -267,14 +359,15 @@ func (h *Hub) ServeConn(conn net.Conn, version byte) {
 	}
 	join, err := wire.DecodeReplJoin(payload)
 	if err != nil {
-		h.log.Printf("cluster: follower %s: malformed join: %v", conn.RemoteAddr(), err)
+		h.log.Warn("malformed follower join", "conn", conn.RemoteAddr().String(), "err", err)
 		return
 	}
 	shards := len(h.rings)
 	cursors := make([]uint64, shards)
 	for _, c := range join.Cursors {
 		if int(c.Shard) >= shards {
-			h.log.Printf("cluster: follower %q: cursor for shard %d but primary has %d shards", join.Node, c.Shard, shards)
+			h.log.Warn("follower cursor for unknown shard",
+				"follower", join.Node, "shard", c.Shard, "shards", shards)
 			return
 		}
 		cursors[c.Shard] = c.Offset
@@ -293,7 +386,7 @@ func (h *Hub) ServeConn(conn net.Conn, version byte) {
 	}
 	_ = conn.SetReadDeadline(time.Time{})
 
-	sub := &hubSub{conn: conn, cursors: cursors, wake: make(chan struct{}, 1), dead: make(chan struct{})}
+	sub := &hubSub{conn: conn, node: join.Node, cursors: cursors, wake: make(chan struct{}, 1), dead: make(chan struct{})}
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
@@ -315,7 +408,7 @@ func (h *Hub) ServeConn(conn net.Conn, version byte) {
 		_, _ = conn.Read(buf)
 		close(sub.dead)
 	}()
-	h.log.Printf("cluster: follower %q joined from %s (snapshot=%v)", join.Node, conn.RemoteAddr(), snap)
+	h.log.Info("follower joined", "follower", join.Node, "conn", conn.RemoteAddr().String(), "snapshot", snap)
 	h.runSender(gw, sub, join.Node)
 }
 
@@ -420,7 +513,7 @@ func (h *Hub) runSender(gw *gateway.Gateway, sub *hubSub, node string) {
 			h.mu.Unlock()
 			if need {
 				if err := h.sendSnapshot(gw, sub, sid, bw); err != nil {
-					h.log.Printf("cluster: follower %q: shard %d snapshot transfer: %v", node, sid, err)
+					h.log.Warn("snapshot transfer failed", "follower", node, "shard", sid, "err", err)
 					return
 				}
 			}
@@ -525,8 +618,10 @@ func (h *Hub) sendSnapshot(gw *gateway.Gateway, sub *hubSub, sid int, bw *bufio.
 	if err := bw.Flush(); err != nil {
 		return err
 	}
-	sub.cursors[sid] = basis
+	// Under h.mu: the telemetry collector and Followers read cursors from
+	// other goroutines (collect already guards its accesses the same way).
 	h.mu.Lock()
+	sub.cursors[sid] = basis
 	h.snapshots++
 	h.mu.Unlock()
 	return nil

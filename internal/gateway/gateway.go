@@ -44,7 +44,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"os"
 	"runtime"
@@ -59,6 +59,7 @@ import (
 	"dpsync/internal/oblidb"
 	"dpsync/internal/seal"
 	"dpsync/internal/store"
+	"dpsync/internal/telemetry"
 	"dpsync/internal/wire"
 )
 
@@ -119,7 +120,20 @@ type Config struct {
 	// namespace. Nil means a per-owner ObliDB instance under Key.
 	NewBackend func(owner string) (edb.Database, error)
 	// Logger receives bounded per-connection diagnostics; nil discards.
-	Logger *log.Logger
+	Logger *slog.Logger
+	// Telemetry receives the gateway's hot-path runtime metrics (per-sync
+	// stage latency histograms, serving-edge counters, the fleet ε-spent
+	// distribution) and is threaded into the store. Nil disables metric
+	// export entirely — handles no-op — which is what keeps unrelated
+	// gateways in one test process from merging series.
+	Telemetry *telemetry.Registry
+	// DebugTenantMetrics exposes per-owner introspection series (committed
+	// clock and ε spend, labeled by owner hash) through Telemetry. Off by
+	// default and meant to stay off outside debugging: per-tenant series
+	// republish exactly the update-pattern detail the synchronization
+	// strategies spend ε to hide, so the aggregate-only default is part of
+	// the privacy posture, not a convenience.
+	DebugTenantMetrics bool
 	// ReadTimeout is the per-connection read deadline (0 = default,
 	// negative = disabled); MaxFrameErrors bounds malformed frames per
 	// connection (0 = default).
@@ -209,14 +223,18 @@ type replFlusher interface {
 type Gateway struct {
 	cfg    Config
 	lis    net.Listener
-	log    *log.Logger
+	log    *slog.Logger
 	sealer *seal.Sealer // ingress for record-level backends; nil without Key
 	store  *store.Store // durability subsystem; nil without StoreDir
+	tm     gwMetrics    // telemetry handles; zero value no-ops
 
 	shards     []*shard
 	quit       chan struct{}
 	ownerCount atomic.Int64
 	sheds      atomic.Int64 // backpressure refusals across all connections
+	severed    atomic.Int64 // connections severed as hostile/stalled
+	liveConns  atomic.Int64 // currently open client connections
+	liveRepl   atomic.Int64 // currently open replication connections
 
 	connWG  sync.WaitGroup
 	replWG  sync.WaitGroup // replication handlers, drained separately
@@ -234,9 +252,29 @@ type Gateway struct {
 	abandon   bool
 }
 
-type logDiscard struct{}
+// gwMetrics holds the gateway's telemetry handles, resolved once at New so
+// the hot path touches only atomics. on gates the time.Now() calls the
+// stage decomposition needs, so a telemetry-less gateway pays nothing.
+type gwMetrics struct {
+	on      bool
+	syncs   *telemetry.Counter
+	queries *telemetry.Counter
+	resumes *telemetry.Counter
+	qwait   *telemetry.Histogram // task enqueue → shard worker dequeue
+	apply   *telemetry.Histogram // backend ingest (validate + seal + apply)
+	commit  *telemetry.Histogram // WAL append → group-commit completion
+	ack     *telemetry.Histogram // response enqueue → frame on the wire
+	eps     *telemetry.Distribution
+	unreg   func()
+}
 
-func (logDiscard) Write(p []byte) (int, error) { return len(p), nil }
+// timedResponse is one response queued for a connection writer, carrying its
+// enqueue timestamp (UnixNano; 0 when telemetry is off) so the writer can
+// observe the ack stage — response enqueue to frame on the wire.
+type timedResponse struct {
+	resp wire.GatewayResponse
+	enq  int64
+}
 
 // New creates a gateway listening on addr (port 0 picks a free port).
 func New(addr string, cfg Config) (*Gateway, error) {
@@ -271,7 +309,74 @@ func New(addr string, cfg Config) (*Gateway, error) {
 	if cfg.Logger != nil {
 		g.log = cfg.Logger
 	} else {
-		g.log = log.New(logDiscard{}, "", 0)
+		g.log = telemetry.Discard()
+	}
+	if reg := cfg.Telemetry; reg != nil {
+		g.tm = gwMetrics{
+			on:      true,
+			syncs:   reg.Counter("gateway_syncs_total", "committed sync uploads (setup + update)"),
+			queries: reg.Counter("gateway_queries_total", "served query requests"),
+			resumes: reg.Counter("gateway_resumes_total", "resume handshakes answered"),
+			qwait: reg.Histogram("gateway_sync_queue_wait_us",
+				"request enqueue to shard-worker dequeue, microseconds", telemetry.LatencyBucketsUs),
+			apply: reg.Histogram("gateway_sync_apply_us",
+				"backend ingest (validate+seal+apply), microseconds", telemetry.LatencyBucketsUs),
+			commit: reg.Histogram("gateway_sync_commit_us",
+				"WAL append to group-commit completion, microseconds", telemetry.LatencyBucketsUs),
+			ack: reg.Histogram("gateway_sync_ack_us",
+				"response enqueue to frame written on the wire, microseconds", telemetry.LatencyBucketsUs),
+			eps: reg.Distribution("gateway_tenant_eps_spent",
+				"fleet-wide distribution of cumulative per-tenant epsilon spend", telemetry.EpsilonBuckets),
+		}
+		g.tm.unreg = reg.RegisterCollector(func(emit func(telemetry.Sample)) {
+			gauge := func(name, help string, v float64) {
+				emit(telemetry.Sample{Name: name, Help: help, Kind: telemetry.KindGauge, Value: v})
+			}
+			counter := func(name, help string, v int64) {
+				emit(telemetry.Sample{Name: name, Help: help, Kind: telemetry.KindCounter, Value: float64(v)})
+			}
+			gauge("gateway_owners", "established tenant namespaces", float64(g.ownerCount.Load()))
+			gauge("gateway_active_conns", "open client connections", float64(g.liveConns.Load()))
+			gauge("gateway_repl_conns", "open replication connections", float64(g.liveRepl.Load()))
+			counter("gateway_sheds_total", "typed backpressure refusals", g.sheds.Load())
+			counter("gateway_severed_total", "connections severed (stalled writer, spent grace window, drain deadline)", g.severed.Load())
+			var pending, committed int64
+			for _, sh := range g.shards {
+				pending += sh.pendingAtomic.Load()
+				committed += sh.committedAtomic.Load()
+			}
+			gauge("gateway_pending_wal_entries", "appended-but-uncommitted WAL entries across shards", float64(pending))
+			counter("gateway_committed_entries_total", "committed sync entries across shards", committed)
+		})
+		if cfg.DebugTenantMetrics {
+			// Per-owner series, behind the explicit debug gate only: they
+			// reveal exactly the per-tenant update-pattern detail the
+			// aggregate-by-default rule exists to suppress. Labeled by owner
+			// hash; the scrape runs owner cuts on the shard workers, so a
+			// debug scrape trades latency for a commit-consistent view.
+			unregMain := g.tm.unreg
+			var unregDebug func()
+			g.tm.unreg = func() { unregMain(); unregDebug() }
+			unregDebug = reg.RegisterCollector(func(emit func(telemetry.Sample)) {
+				for sid := range g.shards {
+					g.OwnerCut(sid, func(states []store.OwnerState) {
+						for _, st := range states {
+							h := telemetry.OwnerHash(st.Owner)
+							emit(telemetry.Sample{
+								Name: fmt.Sprintf("gateway_tenant_clock{owner_hash=%q}", h),
+								Help: "per-owner committed logical clock (DebugTenantMetrics)",
+								Kind: telemetry.KindGauge, Value: float64(st.Clock),
+							})
+							emit(telemetry.Sample{
+								Name: fmt.Sprintf("gateway_tenant_eps{owner_hash=%q}", h),
+								Help: "per-owner cumulative epsilon spend (DebugTenantMetrics)",
+								Kind: telemetry.KindGauge, Value: st.Budget.Spent(),
+							})
+						}
+					})
+				}
+			})
+		}
 	}
 	if len(cfg.Key) > 0 {
 		s, err := seal.NewSealer(cfg.Key)
@@ -331,6 +436,7 @@ func (g *Gateway) openStore() error {
 		Shards:        g.cfg.Shards,
 		Fsync:         g.cfg.Fsync,
 		HistoryWindow: g.cfg.HistoryWindow,
+		Telemetry:     g.cfg.Telemetry,
 	})
 	if err != nil {
 		return fmt.Errorf("gateway: %w", err)
@@ -357,11 +463,24 @@ func (g *Gateway) openStore() error {
 	// tail once history is split between RAM and spill segments and would
 	// double-count (or drop) whatever the window moved.
 	for _, sh := range g.shards {
-		sh.snapThreshold = nextSnapThreshold(g.cfg.SnapshotEvery, g.cfg.HistoryWindow, sh.committedEntries())
+		committed := sh.committedEntries()
+		sh.snapThreshold = nextSnapThreshold(g.cfg.SnapshotEvery, g.cfg.HistoryWindow, committed)
+		sh.committedAtomic.Store(int64(committed))
+	}
+	if g.tm.on {
+		for _, sh := range g.shards {
+			for _, tn := range sh.owners {
+				tn.epsSpent = tn.budget.Spent()
+				g.tm.eps.Add(tn.epsSpent)
+			}
+		}
 	}
 	if info := s.Info(); info.Owners > 0 || info.CorruptSegments > 0 || info.DamagedHistory > 0 {
-		g.log.Printf("recovered %d owners (%d snapshots, %d WAL entries, %d duplicates skipped, %d torn tails, %d corrupt segments, %d spilled history refs, %d damaged-history fallbacks)",
-			info.Owners, info.Snapshots, info.Entries, info.SkippedEntries, info.TornTails, info.CorruptSegments, info.SpilledRefs, info.DamagedHistory)
+		g.log.Info("recovered durable store",
+			"owners", info.Owners, "snapshots", info.Snapshots, "entries", info.Entries,
+			"skipped", info.SkippedEntries, "torn_tails", info.TornTails,
+			"corrupt_segments", info.CorruptSegments, "spilled_refs", info.SpilledRefs,
+			"damaged_history", info.DamagedHistory)
 	}
 	return nil
 }
@@ -390,7 +509,7 @@ func (g *Gateway) Serve() error {
 				} else if delay *= 2; delay > time.Second {
 					delay = time.Second
 				}
-				g.log.Printf("accept: %v; retrying in %v", err, delay)
+				g.log.Warn("accept failed; retrying", "err", err, "delay", delay)
 				time.Sleep(delay)
 				continue
 			}
@@ -467,7 +586,9 @@ func (g *Gateway) shutdown(abandon bool) error {
 				stragglers = append(stragglers, c)
 			}
 			g.mu.Unlock()
-			g.log.Printf("close: drain deadline %v elapsed; severing %d connections", g.cfg.DrainTimeout, len(stragglers))
+			g.log.Warn("drain deadline elapsed; severing connections",
+				"deadline", g.cfg.DrainTimeout, "severed", len(stragglers))
+			g.severed.Add(int64(len(stragglers)))
 			for _, c := range stragglers {
 				_ = c.Close()
 			}
@@ -505,6 +626,9 @@ func (g *Gateway) shutdown(abandon bool) error {
 		if cerr := g.store.Close(); err == nil {
 			err = cerr
 		}
+	}
+	if g.tm.unreg != nil {
+		g.tm.unreg()
 	}
 	return err
 }
@@ -672,6 +796,35 @@ func (g *Gateway) StoreMetrics() (m store.Metrics, ok bool) {
 	return g.store.Metrics(), true
 }
 
+// ShardStatus is one shard worker's durable-progress view for the status
+// plane: WAL entries appended but not yet group-committed, and the shard's
+// committed entry total.
+type ShardStatus struct {
+	Shard      int
+	PendingWAL int64
+	Committed  int64
+}
+
+// ShardStatuses reports every shard's durable progress. It reads atomic
+// mirrors the shard workers maintain — a status scrape never enqueues onto a
+// shard, so it stays bounded no matter how deep the shard queues are.
+func (g *Gateway) ShardStatuses() []ShardStatus {
+	out := make([]ShardStatus, len(g.shards))
+	for i, sh := range g.shards {
+		out[i] = ShardStatus{
+			Shard:      i,
+			PendingWAL: sh.pendingAtomic.Load(),
+			Committed:  sh.committedAtomic.Load(),
+		}
+	}
+	return out
+}
+
+// Live reports currently open client and replication connections.
+func (g *Gateway) Live() (conns, repl int64) {
+	return g.liveConns.Load(), g.liveRepl.Load()
+}
+
 // Recovery reports what New's recovery pass reconstructed (zero value in
 // in-memory mode).
 func (g *Gateway) Recovery() store.RecoveryInfo {
@@ -706,7 +859,9 @@ func (g *Gateway) handle(conn net.Conn) {
 	}
 	g.conns[conn] = struct{}{}
 	g.mu.Unlock()
+	g.liveConns.Add(1)
 	defer func() {
+		g.liveConns.Add(-1)
 		g.mu.Lock()
 		delete(g.conns, conn)
 		g.mu.Unlock()
@@ -714,7 +869,7 @@ func (g *Gateway) handle(conn net.Conn) {
 	logged := 0
 	logf := func(format string, args ...any) {
 		if logged < maxErrorLogs {
-			g.log.Printf("conn %s: "+format, append([]any{conn.RemoteAddr()}, args...)...)
+			g.log.Warn(fmt.Sprintf(format, args...), "conn", conn.RemoteAddr().String())
 			logged++
 		}
 	}
@@ -749,7 +904,9 @@ func (g *Gateway) handle(conn net.Conn) {
 		g.mu.Unlock()
 		g.connWG.Done()
 		swapped = true
+		g.liveRepl.Add(1)
 		defer func() {
+			g.liveRepl.Add(-1)
 			g.mu.Lock()
 			delete(g.replConns, conn)
 			g.mu.Unlock()
@@ -784,7 +941,7 @@ func (g *Gateway) handle(conn net.Conn) {
 	// slow connection — the slow tenant sheds its own load while unrelated
 	// tenants on the same shard keep their latency.
 	maxInFlight := g.cfg.MaxInFlight
-	respCh := make(chan wire.GatewayResponse, maxInFlight+shedHeadroom)
+	respCh := make(chan timedResponse, maxInFlight+shedHeadroom)
 	var inflight atomic.Int64
 	writerDone := make(chan struct{})
 	go func() {
@@ -792,14 +949,17 @@ func (g *Gateway) handle(conn net.Conn) {
 		dead := false
 		for r := range respCh {
 			if !dead {
-				out, err := codec.EncodeGatewayResponse(r)
+				out, err := codec.EncodeGatewayResponse(r.resp)
 				if err != nil {
-					g.log.Printf("conn %s: encoding response: %v", conn.RemoteAddr(), err)
+					g.log.Error("encoding response failed; severing connection",
+						"conn", conn.RemoteAddr().String(), "err", err)
 					dead = true
 				} else {
 					_ = conn.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout))
 					if err := wire.WriteFrame(conn, out); err != nil {
 						dead = true
+					} else if r.enq != 0 {
+						g.tm.ack.ObserveNs(time.Now().UnixNano() - r.enq)
 					}
 				}
 				if dead {
@@ -807,6 +967,7 @@ func (g *Gateway) handle(conn net.Conn) {
 					// stream is unencodable). Closing the conn breaks the
 					// reader out of its blocking ReadFrame, so the connection
 					// winds down instead of half-living as a request sink.
+					g.severed.Add(1)
 					conn.Close()
 				}
 			}
@@ -816,7 +977,11 @@ func (g *Gateway) handle(conn net.Conn) {
 
 	var pending sync.WaitGroup
 	reply := func(r wire.GatewayResponse) {
-		respCh <- r
+		tr := timedResponse{resp: r}
+		if g.tm.on {
+			tr.enq = time.Now().UnixNano()
+		}
+		respCh <- tr
 		pending.Done()
 	}
 	// admit reserves an inflight slot for one response. Reader-side replies
@@ -846,6 +1011,7 @@ func (g *Gateway) handle(conn net.Conn) {
 			// every further frame is free hostility.
 			logf("severing connection: %d unanswered requests exceed in-flight cap %d + grace %d",
 				inflight.Load(), maxInFlight, shedHeadroom)
+			g.severed.Add(1)
 			break
 		}
 		greq, err := codec.DecodeGatewayRequest(payload)
@@ -892,6 +1058,9 @@ func (g *Gateway) handle(conn net.Conn) {
 				reply(wire.GatewayResponse{ID: id, Resp: resp})
 			})
 		}}
+		if g.tm.on {
+			t.at = time.Now().UnixNano()
+		}
 		select {
 		case sh.tasks <- t:
 		case <-g.quit:

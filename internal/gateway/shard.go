@@ -2,6 +2,8 @@ package gateway
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"dpsync/internal/dp"
 	"dpsync/internal/edb"
@@ -9,6 +11,7 @@ import (
 	"dpsync/internal/record"
 	"dpsync/internal/seal"
 	"dpsync/internal/store"
+	"dpsync/internal/telemetry"
 	"dpsync/internal/wire"
 )
 
@@ -25,6 +28,9 @@ type task struct {
 	// read-only request stream must not be able to reach it).
 	peek bool
 	run  func(tn *tenant, err error)
+	// at is the enqueue timestamp (UnixNano; 0 when telemetry is off) — the
+	// shard worker observes queue wait at dequeue.
+	at int64
 }
 
 // shard is one worker's state: its task queue, its commit-completion queue,
@@ -47,6 +53,13 @@ type shard struct {
 	sinceSnap     int
 	snapWanted    bool
 	snapThreshold int
+
+	// pendingAtomic mirrors pendingWAL and committedAtomic counts committed
+	// entries, both written only by the shard worker. They exist so the
+	// telemetry collector and ShardStatuses can read durable progress without
+	// enqueuing onto the shard — a scrape must never wait behind tenant work.
+	pendingAtomic   atomic.Int64
+	committedAtomic atomic.Int64
 }
 
 // tenant is one owner's namespace: its private encrypted store, its private
@@ -87,6 +100,10 @@ type tenant struct {
 	// spilled references the cold history runs, in tick order, contiguous
 	// from tick 1; history continues where they end.
 	spilled []store.SegmentRef
+	// epsSpent caches budget.Spent() so the commit path can move this
+	// tenant's membership in the fleet ε distribution without re-summing the
+	// ledger per sync. Shard-worker-only, like every other tenant field.
+	epsSpent float64
 	// failed latches after a durable sync's group commit reports an error:
 	// the outcome of that sync is indeterminate (its frame may or may not
 	// have reached disk), so accepting further syncs would let the live
@@ -146,6 +163,9 @@ type sealedStore interface {
 func (g *Gateway) runShard(sh *shard) {
 	defer g.shardWG.Done()
 	serve := func(t task) {
+		if t.at != 0 {
+			g.tm.qwait.ObserveNs(time.Now().UnixNano() - t.at)
+		}
 		tn, err := g.tenantFor(sh, t.owner, t.peek)
 		t.run(tn, err)
 	}
@@ -220,6 +240,10 @@ func (g *Gateway) tenantFor(sh *shard, owner string, peek bool) (*tenant, error)
 	}
 	sh.owners[owner] = tn
 	g.ownerCount.Add(1)
+	// Enroll the new tenant in the fleet ε distribution at zero spend;
+	// commits Move it up. Recovered tenants enroll in openStore instead, at
+	// their replayed spend.
+	g.tm.eps.Add(0)
 	return tn, nil
 }
 
@@ -303,6 +327,7 @@ func (g *Gateway) dispatch(sh *shard, tn *tenant, owner string, req wire.Request
 		// committed clock re-sends those seqs, and the duplicate path below
 		// parks their acks on the original commits, so resume can never
 		// promise more than recovery could prove.
+		g.tm.resumes.Inc()
 		respond(wire.Response{OK: true, Resume: &wire.ResumeSpec{Clock: uint64(tn.ticks)}})
 
 	case wire.MsgSetup, wire.MsgUpdate:
@@ -346,9 +371,16 @@ func (g *Gateway) dispatch(sh *shard, tn *tenant, owner string, req wire.Request
 		for i, b := range req.Sealed {
 			cts[i] = seal.Sealed(b)
 		}
+		var applyStart time.Time
+		if g.tm.on {
+			applyStart = time.Now()
+		}
 		if err := g.ingest(tn, setup, cts); err != nil {
 			respond(wire.Response{Error: err.Error()})
 			return
+		}
+		if g.tm.on {
+			g.tm.apply.ObserveSince(applyStart)
 		}
 		tn.seq++
 		tick, volume := tn.seq, len(cts)
@@ -357,8 +389,10 @@ func (g *Gateway) dispatch(sh *shard, tn *tenant, owner string, req wire.Request
 			tn.ticks = int(tick)
 			tn.observed.Record(record.Tick(tick), volume, false)
 			if err := tn.budget.Charge(charge.Name, charge.Eps, charge.Rule); err != nil {
-				g.log.Printf("owner %q tick %d: ledger charge failed after validation: %v", owner, tick, err)
+				g.log.Error("ledger charge failed after validation",
+					"owner_hash", telemetry.OwnerHash(owner), "tick", tick, "err", err)
 			}
+			g.commitTelemetry(sh, tn, charge)
 			respond(wire.Response{OK: true})
 			return
 		}
@@ -369,15 +403,21 @@ func (g *Gateway) dispatch(sh *shard, tn *tenant, owner string, req wire.Request
 			Charge: charge,
 		}}
 		sh.pendingWAL++
+		sh.pendingAtomic.Store(int64(sh.pendingWAL))
 		sh.sinceSnap++
 		if sh.sinceSnap >= sh.snapThreshold {
 			sh.snapWanted = true
+		}
+		var appendAt int64
+		if g.tm.on {
+			appendAt = time.Now().UnixNano()
 		}
 		err := g.store.Append(sh.id, entry, func(werr error) {
 			// Runs on the WAL writer; hop back to the shard worker so every
 			// tenant mutation stays single-goroutine.
 			sh.completions <- func() {
 				sh.pendingWAL--
+				sh.pendingAtomic.Store(int64(sh.pendingWAL))
 				if werr != nil || tn.failed {
 					// A commit failure poisons the tenant: this sync's
 					// durability is indeterminate, so recording later
@@ -387,7 +427,8 @@ func (g *Gateway) dispatch(sh *shard, tn *tenant, owner string, req wire.Request
 					// prefix instead — it is exactly what a restart will
 					// reconstruct.
 					if werr != nil && !tn.failed {
-						g.log.Printf("owner tick %d: durable sync failed, suspending tenant: %v", entry.Batch.Tick, werr)
+						g.log.Error("durable sync failed, suspending tenant",
+							"owner_hash", telemetry.OwnerHash(owner), "tick", entry.Batch.Tick, "err", werr)
 					}
 					tn.failed = true
 					if werr == nil {
@@ -404,8 +445,13 @@ func (g *Gateway) dispatch(sh *shard, tn *tenant, owner string, req wire.Request
 				tn.ticks = int(entry.Batch.Tick)
 				tn.observed.Record(record.Tick(entry.Batch.Tick), volume, false)
 				if cerr := tn.budget.Charge(charge.Name, charge.Eps, charge.Rule); cerr != nil {
-					g.log.Printf("tick %d: ledger charge failed after validation: %v", entry.Batch.Tick, cerr)
+					g.log.Error("ledger charge failed after validation",
+						"owner_hash", telemetry.OwnerHash(owner), "tick", entry.Batch.Tick, "err", cerr)
 				}
+				if appendAt != 0 {
+					g.tm.commit.ObserveNs(time.Now().UnixNano() - appendAt)
+				}
+				g.commitTelemetry(sh, tn, charge)
 				tn.history = append(tn.history, entry.Batch)
 				g.spillHistory(sh, owner, tn)
 				if g.cfg.Replicator != nil {
@@ -426,6 +472,7 @@ func (g *Gateway) dispatch(sh *shard, tn *tenant, owner string, req wire.Request
 			// other post-ingest durability failure; no completion will
 			// arrive for this entry.
 			sh.pendingWAL--
+			sh.pendingAtomic.Store(int64(sh.pendingWAL))
 			sh.sinceSnap--
 			tn.failed = true
 			respond(wire.Response{Error: fmt.Sprintf("gateway: durable sync: %v", err)})
@@ -437,6 +484,7 @@ func (g *Gateway) dispatch(sh *shard, tn *tenant, owner string, req wire.Request
 			respond(wire.Response{Error: "query missing"})
 			return
 		}
+		g.tm.queries.Inc()
 		g.serveRead(tn, respond, func() wire.Response {
 			ans, cost, err := tn.db.Query(req.Query.ToQuery())
 			if err != nil {
@@ -452,6 +500,23 @@ func (g *Gateway) dispatch(sh *shard, tn *tenant, owner string, req wire.Request
 
 	default:
 		respond(wire.Response{Error: fmt.Sprintf("unknown message type %q", req.Type)})
+	}
+}
+
+// commitTelemetry records one committed sync: the syncs counter, the shard's
+// committed-entries mirror, and the tenant's move up the fleet ε-spent
+// distribution (skipped for free syncs). Runs on the shard worker at commit
+// time — immediately in in-memory mode, from the group-commit completion in
+// durable mode — so tn.epsSpent stays single-goroutine.
+func (g *Gateway) commitTelemetry(sh *shard, tn *tenant, charge store.Charge) {
+	if !g.tm.on {
+		return
+	}
+	g.tm.syncs.Inc()
+	sh.committedAtomic.Add(1)
+	if charge.Eps != 0 {
+		g.tm.eps.Move(tn.epsSpent, tn.epsSpent+charge.Eps)
+		tn.epsSpent += charge.Eps
 	}
 }
 
@@ -574,7 +639,8 @@ func (g *Gateway) spillHistory(sh *shard, owner string, tn *tenant) {
 		tn.history = kept
 	}
 	if err != nil {
-		g.log.Printf("owner %q: history spill deferred (%d batches stay in RAM): %v", owner, len(tn.history), err)
+		g.log.Warn("history spill deferred; batches stay in RAM",
+			"owner_hash", telemetry.OwnerHash(owner), "batches", len(tn.history), "err", err)
 	}
 }
 
@@ -627,7 +693,7 @@ func (g *Gateway) snapshotShard(sh *shard) {
 		})
 	}
 	if err := g.store.Rotate(sh.id, states); err != nil {
-		g.log.Printf("shard %d: snapshot: %v", sh.id, err)
+		g.log.Error("snapshot rotation failed; doubling threshold", "shard", sh.id, "err", err)
 		sh.snapThreshold *= 2
 		return
 	}

@@ -1,0 +1,184 @@
+package gateway_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"dpsync/internal/client"
+	"dpsync/internal/gateway"
+	"dpsync/internal/record"
+	"dpsync/internal/telemetry"
+)
+
+// scrapeAll renders a registry the two ways the admin plane does — the
+// Prometheus text exposition and the /varz JSON document — and returns both
+// as strings, so privacy assertions cover every export path at once.
+func scrapeAll(t *testing.T, reg *telemetry.Registry) (prom, varz string) {
+	t.Helper()
+	var pb, vb bytes.Buffer
+	samples := reg.Snapshot()
+	if err := telemetry.WritePrometheus(&pb, samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WriteVarz(&vb, samples); err != nil {
+		t.Fatal(err)
+	}
+	return pb.String(), vb.String()
+}
+
+// driveTelemetryOwners syncs each named owner through one setup and one
+// update so the gateway has committed per-tenant state to (not) expose.
+func driveTelemetryOwners(t *testing.T, addr string, key []byte, owners []string) {
+	t.Helper()
+	conn, err := client.DialGateway(addr, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i, name := range owners {
+		own := conn.Owner(name)
+		if err := own.Setup([]record.Record{yellow(0, uint16(i+1))}); err != nil {
+			t.Fatal(err)
+		}
+		if err := own.Update([]record.Record{yellow(1, uint16(i+2)), record.NewDummy(record.YellowCab)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTelemetryAggregateOnlyByDefault is the privacy regression for the
+// metrics plane: with telemetry on but DebugTenantMetrics off, no scrape
+// output — Prometheus text or /varz JSON — may contain a raw owner ID, an
+// owner-hash label, or any per-tenant series. The metrics endpoint is part
+// of the adversary's view; per-tenant update-pattern detail there would be
+// a side channel around the ε the strategies spend to hide it.
+func TestTelemetryAggregateOnlyByDefault(t *testing.T) {
+	reg := telemetry.New()
+	gw, key := startGateway(t, gateway.Config{Telemetry: reg, SyncEpsilon: 0.25})
+	owners := []string{"owner-alpha", "owner-bravo", "owner-charlie"}
+	driveTelemetryOwners(t, gw.Addr(), key, owners)
+
+	prom, varz := scrapeAll(t, reg)
+	for _, out := range []string{prom, varz} {
+		for _, name := range owners {
+			if strings.Contains(out, name) {
+				t.Fatalf("scrape leaks raw owner ID %q:\n%s", name, out)
+			}
+			if h := telemetry.OwnerHash(name); strings.Contains(out, h) {
+				t.Fatalf("scrape leaks owner hash %q without DebugTenantMetrics:\n%s", h, out)
+			}
+		}
+		for _, series := range []string{"owner_hash", "gateway_tenant_clock", "gateway_tenant_eps{"} {
+			if strings.Contains(out, series) {
+				t.Fatalf("per-tenant series %q present without DebugTenantMetrics:\n%s", series, out)
+			}
+		}
+	}
+
+	// The aggregate view must still be there: totals and the fleet-wide ε
+	// distribution (which is how spend is visible without naming anyone).
+	for _, series := range []string{
+		"gateway_syncs_total", "gateway_owners", "gateway_tenant_eps_spent",
+		"gateway_sync_queue_wait_us", "gateway_sync_apply_us", "gateway_sync_ack_us",
+	} {
+		if !strings.Contains(prom, series) {
+			t.Errorf("aggregate series %q missing from /metrics", series)
+		}
+	}
+	if !strings.Contains(prom, `gateway_tenant_eps_spent_count 3`) {
+		t.Errorf("fleet ε distribution should enroll all 3 tenants:\n%s", prom)
+	}
+}
+
+// TestTelemetryDebugTenantSeries checks the explicit opt-in: with
+// DebugTenantMetrics set, per-owner clock and ε series appear — labeled by
+// owner hash, never by raw owner ID.
+func TestTelemetryDebugTenantSeries(t *testing.T) {
+	reg := telemetry.New()
+	gw, key := startGateway(t, gateway.Config{
+		Telemetry: reg, DebugTenantMetrics: true,
+		StoreDir: t.TempDir(), SyncEpsilon: 0.5,
+	})
+	owners := []string{"owner-alpha", "owner-bravo"}
+	driveTelemetryOwners(t, gw.Addr(), key, owners)
+
+	prom, varz := scrapeAll(t, reg)
+	for _, name := range owners {
+		want := fmt.Sprintf("gateway_tenant_clock{owner_hash=%q}", telemetry.OwnerHash(name))
+		if !strings.Contains(prom, want) {
+			t.Errorf("debug scrape missing %s:\n%s", want, prom)
+		}
+		// /varz JSON-escapes the label quotes; the hash itself must appear.
+		if !strings.Contains(varz, telemetry.OwnerHash(name)) {
+			t.Errorf("debug /varz missing owner hash %s", telemetry.OwnerHash(name))
+		}
+		for _, out := range []string{prom, varz} {
+			if strings.Contains(out, name) {
+				t.Fatalf("debug scrape must label by hash, found raw owner ID %q:\n%s", name, out)
+			}
+		}
+	}
+	if !strings.Contains(prom, "gateway_tenant_eps{") {
+		t.Errorf("debug scrape missing per-owner ε series:\n%s", prom)
+	}
+}
+
+// TestScrapeBoundedDuringSyncs pins the scrape-safety contract: a snapshot
+// (and the statusz shard view) reads atomics the shard workers publish and
+// never enqueues onto a shard, so scraping mid-drive completes quickly no
+// matter how busy the workers are.
+func TestScrapeBoundedDuringSyncs(t *testing.T) {
+	reg := telemetry.New()
+	gw, key := startGateway(t, gateway.Config{Telemetry: reg, SyncEpsilon: 0.25})
+
+	conn, err := client.DialGateway(gw.Addr(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	own := conn.Owner("owner-scrape")
+	if err := own.Setup([]record.Record{yellow(0, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		tick := 1
+		for {
+			select {
+			case <-stop:
+				done <- nil
+				return
+			default:
+			}
+			tick++
+			if err := own.Update([]record.Record{yellow(tick, uint16(tick%200+1))}); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+
+	// Generous bound — CI machines stall — but far below what any path that
+	// waits behind queued shard work could meet while the drive saturates
+	// the workers.
+	const bound = 250 * time.Millisecond
+	for i := 0; i < 100; i++ {
+		start := time.Now()
+		samples := reg.Snapshot()
+		statuses := gw.ShardStatuses()
+		if d := time.Since(start); d > bound {
+			t.Fatalf("scrape %d took %v mid-drive (bound %v)", i, d, bound)
+		}
+		if len(samples) == 0 || len(statuses) == 0 {
+			t.Fatalf("scrape %d returned empty view", i)
+		}
+	}
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

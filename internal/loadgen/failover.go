@@ -13,6 +13,7 @@ import (
 	"dpsync/internal/gateway"
 	"dpsync/internal/record"
 	"dpsync/internal/seal"
+	"dpsync/internal/telemetry"
 )
 
 // FailoverConfig parameterizes the failover harness: for each seed, the same
@@ -267,9 +268,14 @@ func runFailoverSeed(cfg FailoverConfig, seed uint64) (FailoverRun, error) {
 		Key: key, Shards: cfg.Shards, SyncEpsilon: cfg.SyncEpsilon,
 		Fsync: cfg.Fsync, SnapshotEvery: 64, HistoryWindow: cfg.HistoryWindow,
 	}
+	// Each node gets its own registry: the harness runs both nodes in one
+	// process, and shared series would merge the primary's and follower's
+	// counters into nonsense. This also keeps the failover measurement on
+	// the telemetry-on code path, same as production.
 	a, err := cluster.Start(cluster.Config{
 		Addr: "127.0.0.1:0", NodeID: "node-a", StoreDir: dirA,
 		Gateway: gwCfg, Lease: lease, LeaseTTL: cfg.LeaseTTL,
+		Telemetry: telemetry.New(),
 	})
 	if err != nil {
 		return FailoverRun{}, err
@@ -278,6 +284,7 @@ func runFailoverSeed(cfg FailoverConfig, seed uint64) (FailoverRun, error) {
 	b, err := cluster.Start(cluster.Config{
 		Addr: "127.0.0.1:0", NodeID: "node-b", StoreDir: dirB,
 		Gateway: gwCfg, Lease: lease, LeaseTTL: cfg.LeaseTTL,
+		Telemetry: telemetry.New(),
 	})
 	if err != nil {
 		return FailoverRun{}, err

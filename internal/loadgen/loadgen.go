@@ -30,6 +30,7 @@ import (
 	"dpsync/internal/record"
 	"dpsync/internal/seal"
 	"dpsync/internal/strategy"
+	"dpsync/internal/telemetry"
 	"dpsync/internal/wire"
 )
 
@@ -105,6 +106,10 @@ type Config struct {
 	// MeanArrival is the open-loop mean interarrival time per owner tick
 	// (default 2ms).
 	MeanArrival time.Duration
+	// MetricsOut, when non-empty, writes the in-process gateway's final
+	// telemetry snapshot — the same JSON shape as the admin plane's /varz —
+	// to this file after the drive completes. In-process mode only.
+	MetricsOut string
 }
 
 // Report is the measurement result.
@@ -241,6 +246,7 @@ func Run(cfg Config) (Report, error) {
 
 	// Target gateway: external or in-process.
 	var gw *gateway.Gateway
+	reg := telemetry.New()
 	addr, key := cfg.Addr, cfg.Key
 	storeDir := cfg.StoreDir
 	if addr == "" {
@@ -259,7 +265,10 @@ func Run(cfg Config) (Report, error) {
 			defer os.RemoveAll(dir)
 			storeDir = dir
 		}
-		gwCfg := gateway.Config{Key: key, Shards: cfg.Shards}
+		// Each run gets its own registry so concurrent or sequential runs in
+		// one process never merge series; the benchmarks therefore measure
+		// the telemetry-on serving path, which is what production runs.
+		gwCfg := gateway.Config{Key: key, Shards: cfg.Shards, Telemetry: reg}
 		if cfg.Durable {
 			gwCfg.StoreDir = storeDir
 			gwCfg.Fsync = cfg.Fsync
@@ -533,6 +542,18 @@ func Run(cfg Config) (Report, error) {
 		rep.FaultsInjected = inj.Counts().Total()
 	}
 
+	// The snapshot is taken before the durable close below: closing the
+	// gateway unregisters its scrape-time collectors, and the dump should
+	// reflect the gateway that served the drive.
+	if cfg.MetricsOut != "" {
+		if gw == nil {
+			return Report{}, fmt.Errorf("loadgen: -metrics-out snapshots the in-process gateway (drop -addr)")
+		}
+		if err := dumpMetrics(cfg.MetricsOut, reg); err != nil {
+			return Report{}, err
+		}
+	}
+
 	// Durable mode: harvest the WAL measurements, then close the gateway
 	// and reopen it from disk — recovery wall-clock plus (with Verify) a
 	// bit-identical transcript check per owner.
@@ -591,3 +612,17 @@ func Run(cfg Config) (Report, error) {
 // ownerName is the canonical namespace ID for owner i, shared by the drive
 // loop and the durable-recovery verification.
 func ownerName(i int) string { return fmt.Sprintf("owner-%06d", i) }
+
+// dumpMetrics writes the registry's final snapshot to path in the admin
+// plane's /varz JSON shape.
+func dumpMetrics(path string, reg *telemetry.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("loadgen: metrics out: %w", err)
+	}
+	if err := telemetry.WriteVarz(f, reg.Snapshot()); err != nil {
+		f.Close()
+		return fmt.Errorf("loadgen: metrics out: %w", err)
+	}
+	return f.Close()
+}

@@ -9,7 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"os"
 	"sync"
@@ -19,6 +19,7 @@ import (
 	"dpsync/internal/oblidb"
 	"dpsync/internal/record"
 	"dpsync/internal/seal"
+	"dpsync/internal/telemetry"
 	"dpsync/internal/wire"
 )
 
@@ -73,7 +74,7 @@ func WithMaxFrameErrors(n int) Option {
 type Server struct {
 	db  *oblidb.DB
 	lis net.Listener
-	log *log.Logger
+	log *slog.Logger
 
 	readTimeout  time.Duration
 	writeTimeout time.Duration
@@ -89,7 +90,7 @@ type Server struct {
 // New creates a server holding the given 32-byte data key (standing in for
 // enclave attestation/provisioning) and starts listening on addr
 // (e.g. "127.0.0.1:7700"; port 0 picks a free port).
-func New(addr string, key []byte, logger *log.Logger, opts ...Option) (*Server, error) {
+func New(addr string, key []byte, logger *slog.Logger, opts ...Option) (*Server, error) {
 	db, err := oblidb.NewWithKey(key)
 	if err != nil {
 		return nil, err
@@ -99,7 +100,7 @@ func New(addr string, key []byte, logger *log.Logger, opts ...Option) (*Server, 
 		return nil, fmt.Errorf("server: listen: %w", err)
 	}
 	if logger == nil {
-		logger = log.New(logDiscard{}, "", 0)
+		logger = telemetry.Discard()
 	}
 	s := &Server{
 		db: db, lis: lis, log: logger,
@@ -112,10 +113,6 @@ func New(addr string, key []byte, logger *log.Logger, opts ...Option) (*Server, 
 	}
 	return s, nil
 }
-
-type logDiscard struct{}
-
-func (logDiscard) Write(p []byte) (int, error) { return len(p), nil }
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.lis.Addr().String() }
@@ -140,7 +137,7 @@ func (s *Server) Serve() error {
 				} else if delay *= 2; delay > time.Second {
 					delay = time.Second
 				}
-				s.log.Printf("accept: %v; retrying in %v", err, delay)
+				s.log.Warn("accept failed; retrying", "err", err, "delay", delay)
 				time.Sleep(delay)
 				continue
 			}
@@ -182,7 +179,7 @@ func (s *Server) handle(conn net.Conn) {
 		// Bounded error logging: a malformed or hostile peer must not be
 		// able to grow the log without limit.
 		if logged < maxErrorLogs {
-			s.log.Printf("conn %s: "+format, append([]any{conn.RemoteAddr()}, args...)...)
+			s.log.Warn(fmt.Sprintf(format, args...), "conn", conn.RemoteAddr().String())
 			logged++
 		}
 	}
@@ -280,7 +277,7 @@ func (s *Server) observe(volume int) {
 	defer s.mu.Unlock()
 	s.ticks++
 	s.observed.Record(record.Tick(s.ticks), volume, false)
-	s.log.Printf("observed update #%d: %d ciphertexts", s.ticks, volume)
+	s.log.Info("observed update", "tick", s.ticks, "ciphertexts", volume)
 }
 
 // ErrServerClosed mirrors net/http's sentinel for tests.

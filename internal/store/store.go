@@ -75,6 +75,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dpsync/internal/telemetry"
 )
 
 // Options configures Open.
@@ -95,6 +97,11 @@ type Options struct {
 	// policy. 0 disables compaction re-spill (full history stays inline in
 	// snapshots — the legacy small-deployment mode).
 	HistoryWindow int
+	// Telemetry receives the store's runtime metrics (group-commit size and
+	// flush latency histograms on the writer hot path; cumulative counters
+	// exported at scrape time). Nil disables export; the atomic Metrics
+	// counters are maintained either way.
+	Telemetry *telemetry.Registry
 }
 
 // Metrics is the store's cumulative instrumentation.
@@ -180,6 +187,15 @@ type Store struct {
 	spillBatches atomic.Int64
 	spillBytes   atomic.Int64
 	histSegments atomic.Int64
+	commitErrs   atomic.Int64
+
+	// Telemetry handles (nil no-ops without a registry): the group-commit
+	// writer observes its batch size and flush+fsync latency per commit;
+	// the cumulative counters above are exported by a scrape-time collector
+	// so the hot path pays nothing twice.
+	groupSizeHist *telemetry.Histogram
+	flushHist     *telemetry.Histogram
+	unregister    func()
 
 	mu     sync.Mutex
 	closed bool
@@ -245,6 +261,26 @@ func Open(opts Options) (*Store, map[string]*OwnerState, error) {
 		return nil, nil, err
 	}
 	s := &Store{dir: opts.Dir, fsync: opts.Fsync, window: opts.HistoryWindow, info: rec.info}
+	if reg := opts.Telemetry; reg != nil {
+		s.groupSizeHist = reg.Histogram("store_commit_group_size",
+			"WAL entries per group commit (flush/fsync round)", telemetry.GroupSizeBuckets)
+		s.flushHist = reg.Histogram("store_commit_flush_us",
+			"group-commit write+flush(+fsync) latency in microseconds", telemetry.LatencyBucketsUs)
+		s.unregister = reg.RegisterCollector(func(emit func(sm telemetry.Sample)) {
+			counter := func(name, help string, v int64) {
+				emit(telemetry.Sample{Name: name, Help: help, Kind: telemetry.KindCounter, Value: float64(v)})
+			}
+			counter("store_wal_appends_total", "committed WAL entries", s.appends.Load())
+			counter("store_wal_commits_total", "group-commit batches", s.commits.Load())
+			counter("store_wal_bytes_total", "segment bytes written", s.bytes.Load())
+			counter("store_wal_append_ns_total", "cumulative append-to-commit latency in nanoseconds", s.appendNs.Load())
+			counter("store_snapshots_total", "snapshot rotations", s.snapshots.Load())
+			counter("store_spill_batches_total", "history batches spilled from RAM to segments", s.spillBatches.Load())
+			counter("store_spill_bytes_total", "encoded bytes spilled to history segments", s.spillBytes.Load())
+			counter("store_history_segments_total", "history segment files created", s.histSegments.Load())
+			counter("store_commit_errors_total", "failed group commits (WAL writer health)", s.commitErrs.Load())
+		})
+	}
 	// Segment numbering continues past every file on disk, referenced or
 	// not, so a new spill can never collide with (or resurrect) an old id.
 	s.histSeq.Store(rec.maxHistSeg)
@@ -669,18 +705,22 @@ func (sh *walShard) run() {
 // commit writes one group of entries and makes them durable: buffered
 // writes, one flush, one optional fsync — the group-commit hot path.
 func (sh *walShard) commit(batch []pendingEntry) error {
+	ioStart := time.Now()
 	var n int64
 	for _, p := range batch {
 		if _, err := sh.w.Write(p.frame); err != nil {
+			sh.store.commitErrs.Add(1)
 			return fmt.Errorf("store: shard %d append: %w", sh.id, err)
 		}
 		n += int64(len(p.frame))
 	}
 	if err := sh.w.Flush(); err != nil {
+		sh.store.commitErrs.Add(1)
 		return fmt.Errorf("store: shard %d flush: %w", sh.id, err)
 	}
 	if sh.store.fsync {
 		if err := sh.f.Sync(); err != nil {
+			sh.store.commitErrs.Add(1)
 			return fmt.Errorf("store: shard %d fsync: %w", sh.id, err)
 		}
 	}
@@ -693,6 +733,8 @@ func (sh *walShard) commit(batch []pendingEntry) error {
 	sh.store.commits.Add(1)
 	sh.store.bytes.Add(n)
 	sh.store.appendNs.Add(lat)
+	sh.store.groupSizeHist.Observe(float64(len(batch)))
+	sh.store.flushHist.ObserveNs(now.Sub(ioStart).Nanoseconds())
 	return nil
 }
 
@@ -746,6 +788,9 @@ func (s *Store) shutdown(kill bool) error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	if s.unregister != nil {
+		s.unregister()
+	}
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		sh.closing = true
@@ -789,3 +834,12 @@ func (s *Store) Metrics() Metrics {
 
 // Info returns what Open's recovery pass reconstructed.
 func (s *Store) Info() RecoveryInfo { return s.info }
+
+// Healthy reports whether the WAL writers have committed every group they
+// attempted — the "WAL writer healthy" half of a primary's readiness. A
+// single failed group commit latches false: the affected tenants are
+// suspended until a restart re-proves their state, so the node should stop
+// advertising ready.
+func (s *Store) Healthy() bool {
+	return s.commitErrs.Load() == 0
+}

@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) and the /varz JSON snapshot.
+// Sample names may carry a label set (`name{k="v"}`); histograms expand to
+// the conventional _bucket/_sum/_count series with cumulative le labels.
+
+// splitName separates a sample name into its base metric name and its label
+// body (without braces); labels is empty when the name carries none.
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+func promKind(k Kind) string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders samples in the Prometheus text format. HELP/TYPE
+// headers are emitted once per base metric name, so labeled series of one
+// family group under a single header.
+func WritePrometheus(w io.Writer, samples []Sample) error {
+	headered := map[string]bool{}
+	for _, s := range samples {
+		base, labels := splitName(s.Name)
+		if !headered[base] {
+			headered[base] = true
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, s.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, promKind(s.Kind)); err != nil {
+				return err
+			}
+		}
+		if s.Hist == nil {
+			name := base
+			if labels != "" {
+				name = base + "{" + labels + "}"
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(s.Value)); err != nil {
+				return err
+			}
+			continue
+		}
+		withLe := func(le string) string {
+			if labels == "" {
+				return fmt.Sprintf("%s_bucket{le=%q}", base, le)
+			}
+			return fmt.Sprintf("%s_bucket{%s,le=%q}", base, labels, le)
+		}
+		var cum int64
+		for i, bound := range s.Hist.Bounds {
+			cum += s.Hist.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s %d\n", withLe(formatFloat(bound)), cum); err != nil {
+				return err
+			}
+		}
+		cum += s.Hist.Counts[len(s.Hist.Bounds)]
+		if _, err := fmt.Fprintf(w, "%s %d\n", withLe("+Inf"), cum); err != nil {
+			return err
+		}
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", base, suffix, formatFloat(s.Hist.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, suffix, s.Hist.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// varzHist is a histogram's JSON shape in /varz and -metrics-out dumps.
+type varzHist struct {
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"`
+}
+
+// VarzMap renders samples as a name→value JSON object: scalars for
+// counters/gauges, {count,sum,bounds,buckets} for histograms.
+func VarzMap(samples []Sample) map[string]any {
+	out := make(map[string]any, len(samples))
+	for _, s := range samples {
+		if s.Hist == nil {
+			out[s.Name] = s.Value
+			continue
+		}
+		out[s.Name] = varzHist{Count: s.Hist.Count, Sum: s.Hist.Sum, Bounds: s.Hist.Bounds, Buckets: s.Hist.Counts}
+	}
+	return out
+}
+
+// WriteVarz renders samples as indented JSON.
+func WriteVarz(w io.Writer, samples []Sample) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(VarzMap(samples))
+}
