@@ -100,6 +100,15 @@ type Baseline struct {
 	// telemetry-on, so their trajectory already prices the hot-path cost;
 	// this key prices the scrape side.
 	TelemetryScrapeUs float64 `json:"telemetry_scrape_us"`
+	// TraceOverheadNs is the per-request cost of the tracing plane when a
+	// request IS sampled: the full client-admit → queue-wait → apply →
+	// wal-flush → wal-commit span sequence recorded, published, and
+	// finished, measured as the delta against the same sequence through a
+	// sampling-disabled tracer (whose per-request cost is one atomic add).
+	// TracezRenderUs is one full /tracez render — ring snapshot plus span
+	// tree text encoding — over a tracer holding a full ring of traces.
+	TraceOverheadNs float64 `json:"trace_overhead_ns"`
+	TracezRenderUs  float64 `json:"tracez_render_us"`
 }
 
 func obliWithRecords(n int) (*oblidb.DB, error) {
@@ -377,6 +386,7 @@ func main() {
 	b.SpillBytes = drep.SpillBytes
 	b.SpillSegments = drep.SpillSegments
 	b.TelemetryScrapeUs = scrapeBench(captureProcs)
+	b.TraceOverheadNs, b.TracezRenderUs = traceBench(captureProcs)
 
 	enc, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
@@ -477,6 +487,54 @@ func scrapeBench(captureProcs func()) float64 {
 		}
 	})
 	return float64(r.NsPerOp()) / 1e3
+}
+
+// traceBench prices the tracing plane. The overhead measurement drives the
+// span sequence a durable sync records (admit, queue-wait, apply, wal-flush,
+// wal-commit, finish) through an always-sampling tracer and through a
+// sampling-disabled one; the delta is what tracing costs a request when its
+// trace IS captured — the unsampled path's own cost is a single atomic add.
+// The render measurement prices one /tracez text render over a full ring.
+func traceBench(captureProcs func()) (overheadNs, renderUs float64) {
+	sequence := func(tr *telemetry.Tracer) float64 {
+		r := testing.Benchmark(func(bb *testing.B) {
+			captureProcs()
+			for i := 0; i < bb.N; i++ {
+				now := time.Now()
+				tc := tr.Admit("client-admit", now)
+				tc.Record("queue-wait", now, now)
+				tc.Record("apply", now, now)
+				flush := tc.Record("wal-flush", now, now)
+				tc.At(flush).Record("wal-commit", now, now)
+				tr.Finish(tc, "client-admit")
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+	sampled := sequence(telemetry.NewTracer(telemetry.TracerConfig{SampleEvery: 1}))
+	unsampled := sequence(telemetry.NewTracer(telemetry.TracerConfig{SampleEvery: -1}))
+	overheadNs = sampled - unsampled
+
+	tr := telemetry.NewTracer(telemetry.TracerConfig{SampleEvery: 1})
+	for i := 0; i < 128; i++ {
+		now := time.Now()
+		tc := tr.Admit("client-admit", now)
+		tc.Record("queue-wait", now, now.Add(time.Microsecond))
+		tc.Record("apply", now, now.Add(2*time.Microsecond))
+		flush := tc.Record("wal-flush", now, now.Add(3*time.Microsecond))
+		tc.At(flush).Record("wal-commit", now, now.Add(3*time.Microsecond))
+		tr.Finish(tc, "client-admit")
+	}
+	r := testing.Benchmark(func(bb *testing.B) {
+		captureProcs()
+		for i := 0; i < bb.N; i++ {
+			if err := telemetry.WriteTracez(io.Discard, tr.Dump()); err != nil {
+				bb.Fatal(err)
+			}
+		}
+	})
+	renderUs = float64(r.NsPerOp()) / 1e3
+	return overheadNs, renderUs
 }
 
 func fatal(err error) {

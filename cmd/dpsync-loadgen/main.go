@@ -75,6 +75,7 @@ import (
 	"time"
 
 	"dpsync/internal/loadgen"
+	"dpsync/internal/telemetry"
 	"dpsync/internal/wire"
 )
 
@@ -107,6 +108,9 @@ func main() {
 		openLoop = flag.Bool("open-loop", false, "open-loop Poisson/bursty arrivals with coordinated-omission-free latency")
 		arrival  = flag.Duration("arrival", 0, "open-loop mean interarrival per owner tick (0: 2ms)")
 		metOut   = flag.String("metrics-out", "", "write the in-process gateway's final telemetry snapshot (the /varz JSON shape) to this file")
+		traceOut = flag.String("trace-out", "", "trace the in-process gateway and write its sampled span trees (the /tracez JSON shape) to this file")
+		traceN   = flag.Int("trace-sample", 0, "trace 1 in N admitted requests for -trace-out (0: tracer default; slow syncs always captured)")
+		logLevel = flag.String("log-level", "", "route in-process gateway logs to stderr at this verbosity: debug, info, warn, error (empty: silent)")
 	)
 	flag.Parse()
 
@@ -162,6 +166,15 @@ func main() {
 		OpenLoop:      *openLoop,
 		MeanArrival:   *arrival,
 		MetricsOut:    *metOut,
+		TraceOut:      *traceOut,
+		TraceSample:   *traceN,
+	}
+	if *logLevel != "" {
+		lvl, err := telemetry.ParseLevel(*logLevel)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Logger = telemetry.NewLogger(os.Stderr, lvl)
 	}
 	switch strings.ToLower(*codec) {
 	case "binary":

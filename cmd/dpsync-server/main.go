@@ -57,11 +57,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"dpsync/internal/cluster"
 	"dpsync/internal/gateway"
@@ -89,8 +89,10 @@ func main() {
 		leaseFile = flag.String("lease-file", "", "shared lease file the cluster elects through; must live on storage every node sees (required with -cluster)")
 		leaseTTL  = flag.Duration("lease-ttl", 0, "election lease duration, the failover fencing window (0: default)")
 		replicaOf = flag.String("replica-of", "", "pin this node as a permanent standby tailing ADDR; never campaigns, never promotes (-multi -store only)")
-		adminAddr = flag.String("admin", "", "admin plane listen address: /metrics (Prometheus), /varz (JSON), /statusz, /healthz, /debug/pprof (empty: disabled)")
+		adminAddr = flag.String("admin", "", "admin plane listen address: /metrics (Prometheus), /varz (JSON), /statusz, /tracez, /healthz, /debug/pprof (empty: disabled)")
 		debugTen  = flag.Bool("debug-tenant-metrics", false, "expose per-owner clock/epsilon series (hashed labels) on the admin plane — republishes the update-pattern detail the privacy budget hides; debugging only")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+		traceN    = flag.Int("trace-sample", 0, "trace 1 in N admitted requests on /tracez (0: default 64; negative: disable sampling — slow syncs are still captured)")
 	)
 	flag.Parse()
 
@@ -98,16 +100,21 @@ func main() {
 	if err != nil {
 		log.Fatalf("dpsync-server: %v", err)
 	}
-	logger := telemetry.NewLogger(os.Stderr, slog.LevelInfo)
+	lvl, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("dpsync-server: %v", err)
+	}
+	logger := telemetry.NewLogger(os.Stderr, lvl)
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
 
 	reg := telemetry.Default
+	tracer := telemetry.NewTracer(telemetry.TracerConfig{SampleEvery: *traceN})
 	serveAdmin := func(status telemetry.Status) *telemetry.Admin {
 		if *adminAddr == "" {
 			return nil
 		}
-		a, err := telemetry.ServeAdmin(*adminAddr, reg, status)
+		a, err := telemetry.ServeAdmin(*adminAddr, reg, status, tracer)
 		if err != nil {
 			log.Fatalf("dpsync-server: %v", err)
 		}
@@ -155,6 +162,7 @@ func main() {
 				HistoryWindow: *histWin,
 				MaxInFlight:   *maxInFl, DrainTimeout: *drainTO,
 				DebugTenantMetrics: *debugTen,
+				Tracer:             tracer,
 			},
 			Lease: lease, LeaseTTL: *leaseTTL, ReplicaOf: *replicaOf,
 			Logger: logger, Telemetry: reg,
@@ -178,8 +186,8 @@ func main() {
 	if *multi {
 		gw, err := gateway.New(*listen, gateway.Config{
 			Key: key, Shards: *shards, Logger: logger, Telemetry: reg,
-			DebugTenantMetrics: *debugTen,
-			StoreDir:           *storeDir, Fsync: *fsync, SnapshotEvery: *snapN, SyncEpsilon: *syncEps,
+			DebugTenantMetrics: *debugTen, Tracer: tracer,
+			StoreDir: *storeDir, Fsync: *fsync, SnapshotEvery: *snapN, SyncEpsilon: *syncEps,
 			HistoryWindow: *histWin,
 			MaxInFlight:   *maxInFl, DrainTimeout: *drainTO,
 		})
@@ -192,8 +200,25 @@ func main() {
 				conns, repl := gw.Live()
 				fmt.Fprintf(&b, "role: standalone gateway\naddr: %s\nowners: %d  conns: %d  repl: %d  sheds: %d\n",
 					gw.Addr(), gw.Owners(), conns, repl, gw.Sheds())
+				var ages []time.Duration
+				if st := gw.Store(); st != nil {
+					if st.Healthy() {
+						b.WriteString("store: healthy\n")
+					} else {
+						b.WriteString("store: UNHEALTHY (group commit error latched; affected tenants suspended until restart)\n")
+					}
+					ages = st.SnapshotAges()
+				}
 				for _, ss := range gw.ShardStatuses() {
-					fmt.Fprintf(&b, "shard %d: committed=%d pending_wal=%d\n", ss.Shard, ss.Committed, ss.PendingWAL)
+					fmt.Fprintf(&b, "shard %d: committed=%d pending_wal=%d", ss.Shard, ss.Committed, ss.PendingWAL)
+					if ss.Shard < len(ages) {
+						if ages[ss.Shard] < 0 {
+							b.WriteString(" last_snapshot=never")
+						} else {
+							fmt.Fprintf(&b, " last_snapshot=%s ago", ages[ss.Shard].Round(time.Millisecond))
+						}
+					}
+					b.WriteString("\n")
 				}
 				return b.String()
 			},

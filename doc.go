@@ -352,6 +352,27 @@
 // with node, shard, and owner-hash fields; telemetry.Discard silences it in
 // tests.
 //
+// Request-scoped tracing sits beside the metrics plane: a sampled span
+// recorder (telemetry.Tracer) whose unit of capture is one sync's span tree
+// across every layer it crosses. The taxonomy is fixed — client-admit at
+// the gateway root; queue-wait and apply on the shard worker; wal-flush
+// (one shared span per group commit) with a wal-commit child per entry;
+// repl-ship on the replication sender; follower-apply on the far node,
+// which joins the same trace through the trace ID and parent span the
+// negotiated v2 replication codec carries (v1 peers negotiate the traced
+// frames away, so mixed-version clusters keep replicating untraced). The
+// sampling rule is one atomic add per admitted request — 1 in
+// -trace-sample (default 64) requests record spans, an unsampled request
+// allocates nothing — and any sync crossing the slow threshold (50ms) is
+// captured into a separate slow-exemplar ring even when the sampler passed
+// it by, so tail-latency evidence survives fast-traffic bursts. Traces
+// surface three ways: /tracez renders the recent and slow rings as span
+// trees (text, or JSON with ?format=json); /metrics attaches OpenMetrics
+// exemplars linking stage-histogram buckets to the trace IDs that landed
+// in them; and dpsync-loadgen -trace-out writes a drive's span trees to a
+// file. trace_overhead_ns and tracez_render_us price the plane in the
+// baseline.
+//
 // The privacy posture is part of the design, not an afterthought: the
 // metrics endpoint is part of the adversary's view, so per-tenant series
 // would republish exactly the update-pattern detail the synchronization
@@ -359,9 +380,13 @@
 // default — cumulative ε spend appears only as a fleet-wide distribution —
 // and per-owner series (committed clock, ε spend, labeled by FNV owner
 // hash, never raw IDs) exist only behind the explicit
-// gateway.Config.DebugTenantMetrics gate. A regression test scrapes both
-// exposition formats and fails on any owner-identifying output in the
-// default configuration. The cost of the plane is priced in the baseline:
-// the gateway_*/durable_* throughput keys are measured telemetry-on, and
-// telemetry_scrape_us records a full /metrics render.
+// gateway.Config.DebugTenantMetrics gate. Traces obey the same rule: span
+// names are stage names, never tenant identity, and the only
+// tenant-correlated field — an owner-hash annotation on the trace root —
+// appears only behind the same debug gate. A regression test scrapes both
+// exposition formats plus the /tracez render and fails on any
+// owner-identifying output in the default configuration. The cost of the
+// plane is priced in the baseline: the gateway_*/durable_* throughput keys
+// are measured telemetry-on, and telemetry_scrape_us records a full
+// /metrics render.
 package dpsync

@@ -271,7 +271,7 @@ func Start(cfg Config) (*Node, error) {
 			n.recordLease(st.Holder, false)
 		}
 	}
-	fol, err := openFollower(cfg.StoreDir, n.shardCount(), cfg.Gateway.HistoryWindow, n.snapEvery(), cfg.Gateway.Fsync, n.log.With("node", cfg.NodeID))
+	fol, err := openFollower(cfg.StoreDir, n.shardCount(), cfg.Gateway.HistoryWindow, n.snapEvery(), cfg.Gateway.Fsync, n.log.With("node", cfg.NodeID), cfg.Gateway.Tracer)
 	if err != nil {
 		lis.Close()
 		return nil, err
@@ -366,8 +366,25 @@ func (n *Node) StatusText() string {
 	b.WriteString("\n")
 	if gw != nil {
 		fmt.Fprintf(&b, "owners: %d  sheds: %d\n", gw.Owners(), gw.Sheds())
+		var ages []time.Duration
+		if st := gw.Store(); st != nil {
+			if st.Healthy() {
+				b.WriteString("store: healthy\n")
+			} else {
+				b.WriteString("store: UNHEALTHY (group commit error latched; affected tenants suspended until restart)\n")
+			}
+			ages = st.SnapshotAges()
+		}
 		for _, ss := range gw.ShardStatuses() {
-			fmt.Fprintf(&b, "shard %d: committed=%d pending_wal=%d\n", ss.Shard, ss.Committed, ss.PendingWAL)
+			fmt.Fprintf(&b, "shard %d: committed=%d pending_wal=%d", ss.Shard, ss.Committed, ss.PendingWAL)
+			if ss.Shard < len(ages) {
+				if ages[ss.Shard] < 0 {
+					b.WriteString(" last_snapshot=never")
+				} else {
+					fmt.Fprintf(&b, " last_snapshot=%s ago", ages[ss.Shard].Round(time.Millisecond))
+				}
+			}
+			b.WriteString("\n")
 		}
 	}
 	if hub != nil {

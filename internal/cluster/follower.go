@@ -67,6 +67,10 @@ type followerCore struct {
 	shards    int
 	window    int
 	snapEvery int
+	// tracer records follower-apply fragments for traces the primary
+	// propagated over the traced codec; nil disables (spans are dropped,
+	// frames apply identically).
+	tracer *telemetry.Tracer
 
 	// lastContact is the UnixNano of the last frame read off the primary
 	// (heartbeats included); 0 before the first session. Readiness reads it
@@ -90,13 +94,13 @@ type followerCore struct {
 // process left there — primary or follower alike — is recovered through the
 // standard store recovery, and each shard's stream cursor is re-derived
 // from its owners' committed clocks.
-func openFollower(dir string, shards, window, snapEvery int, fsync bool, lg *slog.Logger) (*followerCore, error) {
+func openFollower(dir string, shards, window, snapEvery int, fsync bool, lg *slog.Logger, tracer *telemetry.Tracer) (*followerCore, error) {
 	st, states, err := store.Open(store.Options{Dir: dir, Shards: shards, Fsync: fsync, HistoryWindow: window})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: opening replica store: %w", err)
 	}
 	f := &followerCore{
-		log: lg, st: st, shards: shards, window: window, snapEvery: snapEvery,
+		log: lg, st: st, shards: shards, window: window, snapEvery: snapEvery, tracer: tracer,
 		states:    make([]map[string]*store.OwnerState, shards),
 		counts:    make([]uint64, shards),
 		resync:    make([]bool, shards),
@@ -207,7 +211,7 @@ func (f *followerCore) applyFrame(fr wire.ReplFrame, now time.Time) error {
 		f.stats.Snapshots++
 		f.mu.Unlock()
 		return nil
-	case wire.ReplEntry:
+	case wire.ReplEntry, wire.ReplEntryTraced:
 		if fr.Offset == 0 {
 			if !f.inSnap[sid] {
 				return fmt.Errorf("cluster: bootstrap entry outside snapshot transfer on shard %d", sid)
@@ -282,6 +286,13 @@ func (f *followerCore) fold(sid int, fr wire.ReplFrame, live bool, now time.Time
 		f.stats.LagNs += now.UnixNano() - fr.CommitNs
 	}
 	f.mu.Unlock()
+	if fr.Kind == wire.ReplEntryTraced {
+		// The primary sampled this sync: join its trace with a fragment whose
+		// span parents under the propagated repl-ship span ID. The fragment
+		// carries stage timing only — the wire context is trace ID + parent
+		// span, never tenant identity.
+		f.tracer.Fragment(fr.TraceID, fr.ParentSpan, "follower-apply", now, time.Now())
+	}
 	return nil
 }
 

@@ -85,11 +85,27 @@ type HubStats struct {
 // replRing is one shard's catch-up buffer: frames[i] is the encoded stream
 // frame for offset head-len(frames)+1+i, and times[i] is that frame's
 // CommitNs — kept parallel so the lag collector can turn a follower's owed
-// suffix into milliseconds without decoding frames.
+// suffix into milliseconds without decoding frames. For the sparse sampled
+// entries, traced[i] is the same entry's trace-propagating (v2) encoding and
+// meta[i] the ship-span completion state; both stay nil for unsampled
+// entries, so tracing costs the ring two nil slots per frame.
 type replRing struct {
 	head   uint64
 	frames [][]byte
 	times  []int64
+	traced [][]byte
+	meta   []*shipMeta
+}
+
+// shipMeta completes one sampled entry's repl-ship span. The span's ID was
+// Alloc'd at commit time (it is the parent the follower's span joins under,
+// so it must be on the wire before it has an end); the first sender to put
+// the entry on a wire records it — once, however many followers tail.
+type shipMeta struct {
+	tc    telemetry.TraceContext // positioned at the entry's wal-commit span
+	ship  uint32                 // the Alloc'd repl-ship span ID
+	start time.Time
+	once  sync.Once
 }
 
 // oldest is the lowest offset still buffered; callers check len(frames)>0.
@@ -100,6 +116,7 @@ func (r *replRing) oldest() uint64 { return r.head - uint64(len(r.frames)) + 1 }
 type hubSub struct {
 	conn    net.Conn
 	node    string // follower's self-reported node ID (labels its lag series)
+	version byte   // negotiated replication codec version
 	cursors []uint64
 	wake    chan struct{} // capacity 1; Committed nudges idle senders
 	dead    chan struct{} // closed when the conn dies (read watchdog)
@@ -284,8 +301,12 @@ func (h *Hub) Followers() []FollowerStatus {
 // entry, on its shard's worker, in commit order. It encodes the stream
 // frame, appends it to the shard's ring, and nudges idle senders — never
 // blocking: a follower that cannot keep up falls off the ring and is healed
-// by a snapshot transfer, not by stalling the commit path.
-func (h *Hub) Committed(sid int, e store.Entry) {
+// by a snapshot transfer, not by stalling the commit path. For sampled
+// entries (tc carries a trace, positioned at the wal-commit span) it also
+// Allocs the repl-ship span — whose ID crosses the wire as the parent the
+// follower's apply span joins under — and encodes a trace-propagating (v2)
+// sibling frame for followers that negotiated the traced codec.
+func (h *Hub) Committed(sid int, e store.Entry, tc telemetry.TraceContext) {
 	raw, err := store.EncodeEntryFrame(e)
 	if err != nil {
 		// Unreachable for an entry the WAL just committed; losing the frame
@@ -313,9 +334,31 @@ func (h *Hub) Committed(sid int, e store.Entry) {
 		h.log.Error("cannot frame committed entry", "shard", sid, "err", err)
 		return
 	}
+	var tracedPayload []byte
+	var meta *shipMeta
+	if tc.Sampled() {
+		ship := tc.Alloc()
+		meta = &shipMeta{tc: tc, ship: ship, start: h.cfg.Clock()}
+		tracedPayload, err = wire.EncodeReplFrame(wire.ReplFrame{
+			Kind:       wire.ReplEntryTraced,
+			Shard:      uint32(sid),
+			Offset:     r.head + 1,
+			CommitNs:   commitNs,
+			TraceID:    tc.TraceID(),
+			ParentSpan: ship,
+			Entry:      raw,
+		})
+		if err != nil {
+			// The legacy frame already encoded; ship without the trace.
+			h.log.Warn("cannot frame traced entry; shipping untraced", "shard", sid, "err", err)
+			tracedPayload, meta = nil, nil
+		}
+	}
 	r.head++
 	r.frames = append(r.frames, payload)
 	r.times = append(r.times, commitNs)
+	r.traced = append(r.traced, tracedPayload)
+	r.meta = append(r.meta, meta)
 	if len(r.frames) > h.cfg.RingSize {
 		// Trim from the front; re-copy so the backing array does not pin
 		// every frame ever shipped.
@@ -326,6 +369,12 @@ func (h *Hub) Committed(sid int, e store.Entry) {
 		times := make([]int64, h.cfg.RingSize)
 		copy(times, r.times[drop:])
 		r.times = times
+		traced := make([][]byte, h.cfg.RingSize)
+		copy(traced, r.traced[drop:])
+		r.traced = traced
+		meta := make([]*shipMeta, h.cfg.RingSize)
+		copy(meta, r.meta[drop:])
+		r.meta = meta
 	}
 	for sub := range h.subs {
 		select {
@@ -343,13 +392,17 @@ func (h *Hub) ServeConn(conn net.Conn, version byte) {
 	h.mu.Lock()
 	gw, ready := h.gw, !h.closed && h.rings != nil
 	h.mu.Unlock()
-	if !ready || version != wire.ReplVersion {
+	// Version negotiation: the ack carries min(proposed, ours), so a legacy
+	// follower keeps its v1 stream and a newer one is capped at what this
+	// primary speaks. Version 0 is not a protocol.
+	negotiated := wire.NegotiateReplVersion(version)
+	if !ready || negotiated == 0 {
 		_ = conn.SetWriteDeadline(time.Now().Add(replHandshakeTimeout))
 		_ = wire.WriteHelloRefused(conn)
 		return
 	}
 	_ = conn.SetWriteDeadline(time.Now().Add(replHandshakeTimeout))
-	if err := wire.WriteReplHelloAck(conn, wire.ReplVersion); err != nil {
+	if err := wire.WriteReplHelloAck(conn, negotiated); err != nil {
 		return
 	}
 	_ = conn.SetReadDeadline(time.Now().Add(replHandshakeTimeout))
@@ -386,7 +439,7 @@ func (h *Hub) ServeConn(conn net.Conn, version byte) {
 	}
 	_ = conn.SetReadDeadline(time.Time{})
 
-	sub := &hubSub{conn: conn, node: join.Node, cursors: cursors, wake: make(chan struct{}, 1), dead: make(chan struct{})}
+	sub := &hubSub{conn: conn, node: join.Node, version: negotiated, cursors: cursors, wake: make(chan struct{}, 1), dead: make(chan struct{})}
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
@@ -428,9 +481,12 @@ func (h *Hub) needsSnapshotLocked(sid int, cursor uint64) bool {
 }
 
 // collect gathers up to senderBatch ring frames the follower is owed and
-// advances its cursors. resnap reports any shard that has meanwhile fallen
-// off the ring (the caller runs a snapshot pass before waiting).
-func (h *Hub) collect(sub *hubSub) (frames [][]byte, resnap bool) {
+// advances its cursors. Followers on the traced codec get the trace-
+// propagating encoding for sampled entries; metas are the ship spans the
+// sender must complete once the frames are on the wire. resnap reports any
+// shard that has meanwhile fallen off the ring (the caller runs a snapshot
+// pass before waiting).
+func (h *Hub) collect(sub *hubSub) (frames [][]byte, metas []*shipMeta, resnap bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for sid := range sub.cursors {
@@ -451,14 +507,23 @@ func (h *Hub) collect(sub *hubSub) (frames [][]byte, resnap bool) {
 		if room := senderBatch - len(frames); take > room {
 			take = room
 		}
-		frames = append(frames, r.frames[first:first+take]...)
+		for i := first; i < first+take; i++ {
+			fr := r.frames[i]
+			if sub.version >= wire.ReplVersionTraced && r.traced[i] != nil {
+				fr = r.traced[i]
+			}
+			frames = append(frames, fr)
+			if m := r.meta[i]; m != nil {
+				metas = append(metas, m)
+			}
+		}
 		sub.cursors[sid] = c + uint64(take)
 	}
 	h.shipped += uint64(len(frames))
 	// Cursors advance before the write happens; busy keeps Flush honest
 	// until the collected frames are actually on the wire.
 	sub.busy = len(frames) > 0
-	return frames, resnap
+	return frames, metas, resnap
 }
 
 // settle clears a sub's busy mark once its collected frames are flushed (or
@@ -518,7 +583,7 @@ func (h *Hub) runSender(gw *gateway.Gateway, sub *hubSub, node string) {
 				}
 			}
 		}
-		frames, resnap := h.collect(sub)
+		frames, metas, resnap := h.collect(sub)
 		if len(frames) > 0 {
 			_ = sub.conn.SetWriteDeadline(time.Now().Add(replWriteTimeout))
 			for _, fr := range frames {
@@ -528,6 +593,20 @@ func (h *Hub) runSender(gw *gateway.Gateway, sub *hubSub, node string) {
 			}
 			if err := bw.Flush(); err != nil {
 				return
+			}
+			// The entries are on a wire: complete their repl-ship spans. Once
+			// per entry — the first sender to ship it wins; later followers
+			// re-ship the same frame without re-recording.
+			if len(metas) > 0 {
+				now := time.Now()
+				for _, m := range metas {
+					m.once.Do(func() {
+						m.tc.RecordSpan(telemetry.Span{
+							ID: m.ship, Parent: m.tc.Span(), Name: "repl-ship",
+							Start: m.start, End: now,
+						})
+					})
+				}
 			}
 			h.settle(sub)
 			continue

@@ -134,6 +134,14 @@ type Config struct {
 	// strategies spend ε to hide, so the aggregate-only default is part of
 	// the privacy posture, not a convenience.
 	DebugTenantMetrics bool
+	// Tracer, when non-nil, samples per-request span trees: client-admit at
+	// admission, queue-wait and apply on the shard worker, the WAL group
+	// commit, and (through the Replicator) the replication ship. The
+	// sampling decision is one atomic add per request; unsampled requests
+	// allocate nothing. Traces follow the same privacy rule as metrics —
+	// span names are stage names, and tenant identity (owner hash only)
+	// appears on a trace only when DebugTenantMetrics is also set.
+	Tracer *telemetry.Tracer
 	// ReadTimeout is the per-connection read deadline (0 = default,
 	// negative = disabled); MaxFrameErrors bounds malformed frames per
 	// connection (0 = default).
@@ -200,8 +208,10 @@ type Replicator interface {
 	// after the entry's group commit and the tenant's commit-time mutations
 	// — so a cut taken on the same worker and the offsets assigned here can
 	// never disagree. It must not block: slow followers shed themselves, not
-	// the fleet.
-	Committed(shard int, e store.Entry)
+	// the fleet. tc is the entry's trace context positioned at its WAL-commit
+	// span (zero when the sync is unsampled): a hub records its ship span
+	// under it and propagates the trace across the wire.
+	Committed(shard int, e store.Entry, tc telemetry.TraceContext)
 	// ServeConn takes over a connection whose hello opened the replication
 	// protocol (the hello itself is consumed; version is its proposed
 	// version byte, not yet acked). Runs on the connection's handler
@@ -270,10 +280,13 @@ type gwMetrics struct {
 
 // timedResponse is one response queued for a connection writer, carrying its
 // enqueue timestamp (UnixNano; 0 when telemetry is off) so the writer can
-// observe the ack stage — response enqueue to frame on the wire.
+// observe the ack stage — response enqueue to frame on the wire — and the
+// request's trace context so the writer can finish the trace once the frame
+// is actually on the wire.
 type timedResponse struct {
 	resp wire.GatewayResponse
 	enq  int64
+	tc   telemetry.TraceContext
 }
 
 // New creates a gateway listening on addr (port 0 picks a free port).
@@ -347,6 +360,11 @@ func New(addr string, cfg Config) (*Gateway, error) {
 			}
 			gauge("gateway_pending_wal_entries", "appended-but-uncommitted WAL entries across shards", float64(pending))
 			counter("gateway_committed_entries_total", "committed sync entries across shards", committed)
+			if cfg.Tracer != nil {
+				sampled, slow := cfg.Tracer.Stats()
+				counter("gateway_traces_sampled_total", "requests captured by the trace sampler", sampled)
+				counter("gateway_traces_slow_total", "slow-sync exemplars captured past the threshold", slow)
+			}
 		})
 		if cfg.DebugTenantMetrics {
 			// Per-owner series, behind the explicit debug gate only: they
@@ -958,8 +976,15 @@ func (g *Gateway) handle(conn net.Conn) {
 					_ = conn.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout))
 					if err := wire.WriteFrame(conn, out); err != nil {
 						dead = true
-					} else if r.enq != 0 {
-						g.tm.ack.ObserveNs(time.Now().UnixNano() - r.enq)
+					} else {
+						if r.enq != 0 {
+							g.tm.ack.ObserveEx(float64(time.Now().UnixNano()-r.enq)/1e3, r.tc.TraceID())
+						}
+						// The frame is on the wire: the request's trace ends
+						// here (root span client-admit = admission → ack
+						// written). Unsampled-but-slow syncs are captured by
+						// the same call.
+						g.cfg.Tracer.Finish(r.tc, "client-admit")
 					}
 				}
 				if dead {
@@ -976,8 +1001,8 @@ func (g *Gateway) handle(conn net.Conn) {
 	}()
 
 	var pending sync.WaitGroup
-	reply := func(r wire.GatewayResponse) {
-		tr := timedResponse{resp: r}
+	reply := func(r wire.GatewayResponse, tc telemetry.TraceContext) {
+		tr := timedResponse{resp: r, tc: tc}
 		if g.tm.on {
 			tr.enq = time.Now().UnixNano()
 		}
@@ -1019,7 +1044,7 @@ func (g *Gateway) handle(conn net.Conn) {
 			frameErrs++
 			logf("malformed frame (%d/%d): %v", frameErrs, g.cfg.MaxFrameErrors, err)
 			admit()
-			reply(wire.GatewayResponse{ID: greq.ID, Resp: wire.Response{Error: err.Error()}})
+			reply(wire.GatewayResponse{ID: greq.ID, Resp: wire.Response{Error: err.Error()}}, telemetry.TraceContext{})
 			if frameErrs >= g.cfg.MaxFrameErrors {
 				logf("closing connection after %d malformed frames", frameErrs)
 				break
@@ -1028,7 +1053,7 @@ func (g *Gateway) handle(conn net.Conn) {
 		}
 		if greq.Owner == "" {
 			admit()
-			reply(wire.GatewayResponse{ID: greq.ID, Resp: wire.Response{Error: "gateway: missing owner id"}})
+			reply(wire.GatewayResponse{ID: greq.ID, Resp: wire.Response{Error: "gateway: missing owner id"}}, telemetry.TraceContext{})
 			continue
 		}
 		if int(inflight.Load()) >= maxInFlight {
@@ -1040,31 +1065,43 @@ func (g *Gateway) handle(conn net.Conn) {
 			admit()
 			reply(wire.GatewayResponse{ID: greq.ID, Resp: wire.Response{
 				Error: wire.ErrBackpressure.Error(), Backpressure: true,
-			}})
+			}}, telemetry.TraceContext{})
 			continue
 		}
 		admit()
 		id, req, owner := greq.ID, greq.Req, greq.Owner
 		sh := g.shardFor(owner)
+		// Trace admission: one atomic add decides sampling; the admission
+		// timestamp doubles as the queue-wait stage's start, so tracing and
+		// telemetry share a single clock read.
+		var tc telemetry.TraceContext
+		var at int64
+		if g.tm.on || g.cfg.Tracer != nil {
+			now := time.Now()
+			at = now.UnixNano()
+			tc = g.cfg.Tracer.Admit("client-admit", now)
+			if tc.Sampled() && g.cfg.DebugTenantMetrics {
+				// Tenant identity on a trace only behind the same debug gate
+				// as per-tenant metrics, and only as the owner hash.
+				tc.SetAttr("owner_hash=" + telemetry.OwnerHash(owner))
+			}
+		}
 		// Only the setup protocol creates a namespace (peek otherwise):
 		// queries, updates, resumes, and stats probes against unknown owners
 		// must not let a read-only request stream allocate backend state.
-		t := task{owner: owner, peek: req.Type != wire.MsgSetup, run: func(tn *tenant, terr error) {
+		t := task{owner: owner, peek: req.Type != wire.MsgSetup, at: at, tc: tc, run: func(tn *tenant, terr error) {
 			if terr != nil {
-				reply(wire.GatewayResponse{ID: id, Resp: wire.Response{Error: terr.Error()}})
+				reply(wire.GatewayResponse{ID: id, Resp: wire.Response{Error: terr.Error()}}, tc)
 				return
 			}
-			g.dispatch(sh, tn, owner, req, func(resp wire.Response) {
-				reply(wire.GatewayResponse{ID: id, Resp: resp})
+			g.dispatch(sh, tn, owner, req, tc, func(resp wire.Response) {
+				reply(wire.GatewayResponse{ID: id, Resp: resp}, tc)
 			})
 		}}
-		if g.tm.on {
-			t.at = time.Now().UnixNano()
-		}
 		select {
 		case sh.tasks <- t:
 		case <-g.quit:
-			reply(wire.GatewayResponse{ID: id, Resp: wire.Response{Error: "gateway: shutting down"}})
+			reply(wire.GatewayResponse{ID: id, Resp: wire.Response{Error: "gateway: shutting down"}}, tc)
 		}
 	}
 	// In-flight tasks still owe responses; wait for them before tearing the

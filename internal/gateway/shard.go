@@ -28,9 +28,12 @@ type task struct {
 	// read-only request stream must not be able to reach it).
 	peek bool
 	run  func(tn *tenant, err error)
-	// at is the enqueue timestamp (UnixNano; 0 when telemetry is off) — the
-	// shard worker observes queue wait at dequeue.
+	// at is the enqueue timestamp (UnixNano; 0 when telemetry and tracing are
+	// both off) — the shard worker observes queue wait at dequeue.
 	at int64
+	// tc is the request's trace context (zero when unsampled): the shard
+	// worker records the queue-wait and apply spans under its root.
+	tc telemetry.TraceContext
 }
 
 // shard is one worker's state: its task queue, its commit-completion queue,
@@ -164,7 +167,9 @@ func (g *Gateway) runShard(sh *shard) {
 	defer g.shardWG.Done()
 	serve := func(t task) {
 		if t.at != 0 {
-			g.tm.qwait.ObserveNs(time.Now().UnixNano() - t.at)
+			now := time.Now()
+			g.tm.qwait.ObserveEx(float64(now.UnixNano()-t.at)/1e3, t.tc.TraceID())
+			t.tc.Record("queue-wait", time.Unix(0, t.at), now)
 		}
 		tn, err := g.tenantFor(sh, t.owner, t.peek)
 		t.run(tn, err)
@@ -306,8 +311,10 @@ func (g *Gateway) chargeFor(setup bool) store.Charge {
 // (spend-before-sync: the charge and the entry are durable before the ack
 // and the transcript event exist). respond is invoked exactly once. tn is
 // nil for owners that never ran setup (see task.peek); those requests are
-// answered without materializing the namespace.
-func (g *Gateway) dispatch(sh *shard, tn *tenant, owner string, req wire.Request, respond func(wire.Response)) {
+// answered without materializing the namespace. tc is the request's trace
+// context (zero when unsampled): stage spans land under its root, and durable
+// syncs thread it through the WAL to the replication hub.
+func (g *Gateway) dispatch(sh *shard, tn *tenant, owner string, req wire.Request, tc telemetry.TraceContext, respond func(wire.Response)) {
 	if tn == nil {
 		respond(g.dispatchUnknown(owner, req))
 		return
@@ -372,15 +379,16 @@ func (g *Gateway) dispatch(sh *shard, tn *tenant, owner string, req wire.Request
 			cts[i] = seal.Sealed(b)
 		}
 		var applyStart time.Time
-		if g.tm.on {
+		if g.tm.on || tc.Sampled() {
 			applyStart = time.Now()
 		}
 		if err := g.ingest(tn, setup, cts); err != nil {
 			respond(wire.Response{Error: err.Error()})
 			return
 		}
-		if g.tm.on {
-			g.tm.apply.ObserveSince(applyStart)
+		if !applyStart.IsZero() {
+			g.tm.apply.ObserveSinceEx(applyStart, tc.TraceID())
+			tc.Record("apply", applyStart, time.Now())
 		}
 		tn.seq++
 		tick, volume := tn.seq, len(cts)
@@ -409,12 +417,14 @@ func (g *Gateway) dispatch(sh *shard, tn *tenant, owner string, req wire.Request
 			sh.snapWanted = true
 		}
 		var appendAt int64
-		if g.tm.on {
+		if g.tm.on || tc.Sampled() {
 			appendAt = time.Now().UnixNano()
 		}
-		err := g.store.Append(sh.id, entry, func(werr error) {
+		err := g.store.AppendTraced(sh.id, entry, tc, func(werr error, walTC telemetry.TraceContext) {
 			// Runs on the WAL writer; hop back to the shard worker so every
-			// tenant mutation stays single-goroutine.
+			// tenant mutation stays single-goroutine. walTC is tc advanced to
+			// the entry's WAL-commit span — the parent the replication ship
+			// hangs under.
 			sh.completions <- func() {
 				sh.pendingWAL--
 				sh.pendingAtomic.Store(int64(sh.pendingWAL))
@@ -449,7 +459,7 @@ func (g *Gateway) dispatch(sh *shard, tn *tenant, owner string, req wire.Request
 						"owner_hash", telemetry.OwnerHash(owner), "tick", entry.Batch.Tick, "err", cerr)
 				}
 				if appendAt != 0 {
-					g.tm.commit.ObserveNs(time.Now().UnixNano() - appendAt)
+					g.tm.commit.ObserveEx(float64(time.Now().UnixNano()-appendAt)/1e3, tc.TraceID())
 				}
 				g.commitTelemetry(sh, tn, charge)
 				tn.history = append(tn.history, entry.Batch)
@@ -459,7 +469,7 @@ func (g *Gateway) dispatch(sh *shard, tn *tenant, owner string, req wire.Request
 					// on the shard worker, after the commit-time mutations —
 					// so shipping order is commit order and an OwnerCut taken
 					// on this worker is exactly consistent with the stream.
-					g.cfg.Replicator.Committed(sh.id, entry)
+					g.cfg.Replicator.Committed(sh.id, entry, walTC)
 				}
 				respond(wire.Response{OK: true})
 				// Reads parked behind this sync can answer now.

@@ -57,12 +57,25 @@ func driveTelemetryOwners(t *testing.T, addr string, key []byte, owners []string
 // a side channel around the ε the strategies spend to hide it.
 func TestTelemetryAggregateOnlyByDefault(t *testing.T) {
 	reg := telemetry.New()
-	gw, key := startGateway(t, gateway.Config{Telemetry: reg, SyncEpsilon: 0.25})
+	// Trace every request: the tracing plane is part of the adversary's view
+	// too, so the same no-tenant-identity rule is asserted over /tracez.
+	tracer := telemetry.NewTracer(telemetry.TracerConfig{SampleEvery: 1})
+	gw, key := startGateway(t, gateway.Config{Telemetry: reg, SyncEpsilon: 0.25, Tracer: tracer})
 	owners := []string{"owner-alpha", "owner-bravo", "owner-charlie"}
 	driveTelemetryOwners(t, gw.Addr(), key, owners)
 
 	prom, varz := scrapeAll(t, reg)
-	for _, out := range []string{prom, varz} {
+	var tz, tj bytes.Buffer
+	if err := telemetry.WriteTracez(&tz, tracer.Dump()); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WriteTraceJSON(&tj, tracer.Dump()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tz.String(), "client-admit") {
+		t.Fatalf("tracer captured no traces under SampleEvery=1:\n%s", tz.String())
+	}
+	for _, out := range []string{prom, varz, tz.String(), tj.String()} {
 		for _, name := range owners {
 			if strings.Contains(out, name) {
 				t.Fatalf("scrape leaks raw owner ID %q:\n%s", name, out)
@@ -98,12 +111,28 @@ func TestTelemetryAggregateOnlyByDefault(t *testing.T) {
 // owner hash, never by raw owner ID.
 func TestTelemetryDebugTenantSeries(t *testing.T) {
 	reg := telemetry.New()
+	tracer := telemetry.NewTracer(telemetry.TracerConfig{SampleEvery: 1})
 	gw, key := startGateway(t, gateway.Config{
 		Telemetry: reg, DebugTenantMetrics: true,
-		StoreDir: t.TempDir(), SyncEpsilon: 0.5,
+		StoreDir: t.TempDir(), SyncEpsilon: 0.5, Tracer: tracer,
 	})
 	owners := []string{"owner-alpha", "owner-bravo"}
 	driveTelemetryOwners(t, gw.Addr(), key, owners)
+
+	// Behind the debug gate, sampled traces are annotated with the owner
+	// hash — and only the hash; raw owner IDs stay out of the trace plane.
+	var tz bytes.Buffer
+	if err := telemetry.WriteTracez(&tz, tracer.Dump()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tz.String(), "owner_hash=") {
+		t.Errorf("debug-gated tracez missing owner_hash attr:\n%s", tz.String())
+	}
+	for _, name := range owners {
+		if strings.Contains(tz.String(), name) {
+			t.Fatalf("debug tracez must annotate by hash, found raw owner ID %q:\n%s", name, tz.String())
+		}
+	}
 
 	prom, varz := scrapeAll(t, reg)
 	for _, name := range owners {

@@ -14,6 +14,7 @@ package loadgen
 
 import (
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 	"runtime"
@@ -110,6 +111,18 @@ type Config struct {
 	// telemetry snapshot — the same JSON shape as the admin plane's /varz —
 	// to this file after the drive completes. In-process mode only.
 	MetricsOut string
+	// TraceOut, when non-empty, attaches a span tracer to the in-process
+	// gateway and writes its sampled span trees — the same JSON shape as the
+	// admin plane's /tracez?format=json — to this file after the drive
+	// completes. In-process mode only.
+	TraceOut string
+	// TraceSample is the tracing cadence for TraceOut: one trace per N
+	// admitted requests (0: the tracer default). Slow syncs are always
+	// captured regardless.
+	TraceSample int
+	// Logger, when non-nil, is attached to the in-process gateway (an
+	// external gateway's logs are out of reach). Nil keeps the drive silent.
+	Logger *slog.Logger
 }
 
 // Report is the measurement result.
@@ -246,6 +259,7 @@ func Run(cfg Config) (Report, error) {
 
 	// Target gateway: external or in-process.
 	var gw *gateway.Gateway
+	var tracer *telemetry.Tracer
 	reg := telemetry.New()
 	addr, key := cfg.Addr, cfg.Key
 	storeDir := cfg.StoreDir
@@ -268,7 +282,11 @@ func Run(cfg Config) (Report, error) {
 		// Each run gets its own registry so concurrent or sequential runs in
 		// one process never merge series; the benchmarks therefore measure
 		// the telemetry-on serving path, which is what production runs.
-		gwCfg := gateway.Config{Key: key, Shards: cfg.Shards, Telemetry: reg}
+		gwCfg := gateway.Config{Key: key, Shards: cfg.Shards, Telemetry: reg, Logger: cfg.Logger}
+		if cfg.TraceOut != "" {
+			tracer = telemetry.NewTracer(telemetry.TracerConfig{SampleEvery: cfg.TraceSample})
+			gwCfg.Tracer = tracer
+		}
 		if cfg.Durable {
 			gwCfg.StoreDir = storeDir
 			gwCfg.Fsync = cfg.Fsync
@@ -553,6 +571,14 @@ func Run(cfg Config) (Report, error) {
 			return Report{}, err
 		}
 	}
+	if cfg.TraceOut != "" {
+		if gw == nil {
+			return Report{}, fmt.Errorf("loadgen: -trace-out snapshots the in-process gateway (drop -addr)")
+		}
+		if err := dumpTraces(cfg.TraceOut, tracer); err != nil {
+			return Report{}, err
+		}
+	}
 
 	// Durable mode: harvest the WAL measurements, then close the gateway
 	// and reopen it from disk — recovery wall-clock plus (with Verify) a
@@ -612,6 +638,20 @@ func Run(cfg Config) (Report, error) {
 // ownerName is the canonical namespace ID for owner i, shared by the drive
 // loop and the durable-recovery verification.
 func ownerName(i int) string { return fmt.Sprintf("owner-%06d", i) }
+
+// dumpTraces writes the tracer's sampled and slow span trees to path in the
+// admin plane's /tracez?format=json shape.
+func dumpTraces(path string, tracer *telemetry.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("loadgen: trace out: %w", err)
+	}
+	if err := telemetry.WriteTraceJSON(f, tracer.Dump()); err != nil {
+		f.Close()
+		return fmt.Errorf("loadgen: trace out: %w", err)
+	}
+	return f.Close()
+}
 
 // dumpMetrics writes the registry's final snapshot to path in the admin
 // plane's /varz JSON shape.

@@ -188,6 +188,13 @@ type Store struct {
 	spillBytes   atomic.Int64
 	histSegments atomic.Int64
 	commitErrs   atomic.Int64
+	// failCommits is the fault-injection hook: while set, every group commit
+	// fails (and counts a commit error) without touching the segment —
+	// exactly the observable shape of a dying device, minus the device.
+	failCommits atomic.Bool
+	// snapAtNs holds each shard's last snapshot-rotation time (UnixNano; 0 =
+	// none since Open), written by doRotate, read by the status plane.
+	snapAtNs []atomic.Int64
 
 	// Telemetry handles (nil no-ops without a registry): the group-commit
 	// writer observes its batch size and flush+fsync latency per commit;
@@ -222,7 +229,14 @@ type walShard struct {
 type pendingEntry struct {
 	frame []byte
 	start time.Time
-	done  func(error)
+	// tc is the sync's trace context at its root span; walTC is the same
+	// context advanced to the entry's wal-commit span once the group commit
+	// records it (it stays == tc for unsampled entries and failed commits).
+	// done receives walTC so the caller can parent downstream spans (the
+	// replication ship) under the commit.
+	tc    telemetry.TraceContext
+	walTC telemetry.TraceContext
+	done  func(error, telemetry.TraceContext)
 }
 
 type rotateReq struct {
@@ -291,6 +305,7 @@ func Open(opts Options) (*Store, map[string]*OwnerState, error) {
 	for i := range s.hist {
 		s.hist[i] = &histWriter{store: s}
 	}
+	s.snapAtNs = make([]atomic.Int64, opts.Shards)
 	s.shards = make([]*walShard, opts.Shards)
 	for i := range s.shards {
 		sh := &walShard{
@@ -600,6 +615,16 @@ func (sh *walShard) openSegment() error {
 // Concurrency contract: one producer goroutine per shard (the gateway's
 // shard worker); done callbacks must not block the writer indefinitely.
 func (s *Store) Append(sid int, e Entry, done func(error)) error {
+	return s.AppendTraced(sid, e, telemetry.TraceContext{},
+		func(err error, _ telemetry.TraceContext) { done(err) })
+}
+
+// AppendTraced is Append carrying a trace context: a sampled entry's group
+// commit records a shared wal-flush span (the flush/fsync round) with one
+// wal-commit child per entry, and done receives the context advanced to that
+// wal-commit span so downstream stages (replication ship) parent under it.
+// Same contract as Append otherwise.
+func (s *Store) AppendTraced(sid int, e Entry, tc telemetry.TraceContext, done func(error, telemetry.TraceContext)) error {
 	frame, err := encodeEntryFrame(e)
 	if err != nil {
 		return err
@@ -610,7 +635,7 @@ func (s *Store) Append(sid int, e Entry, done func(error)) error {
 		sh.mu.Unlock()
 		return ErrStoreClosed
 	}
-	sh.queue = append(sh.queue, pendingEntry{frame: frame, start: time.Now(), done: done})
+	sh.queue = append(sh.queue, pendingEntry{frame: frame, start: time.Now(), tc: tc, walTC: tc, done: done})
 	sh.cond.Signal()
 	sh.mu.Unlock()
 	return nil
@@ -680,7 +705,7 @@ func (sh *walShard) run() {
 			// already committed were flushed by their own batch; nothing
 			// here reached an acknowledgment.
 			for _, p := range batch {
-				p.done(ErrStoreClosed)
+				p.done(ErrStoreClosed, p.walTC)
 			}
 			if rot != nil {
 				rot.done <- ErrStoreClosed
@@ -690,7 +715,7 @@ func (sh *walShard) run() {
 		if len(batch) > 0 {
 			err := sh.commit(batch)
 			for _, p := range batch {
-				p.done(err)
+				p.done(err, p.walTC)
 			}
 		}
 		if rot != nil {
@@ -705,6 +730,12 @@ func (sh *walShard) run() {
 // commit writes one group of entries and makes them durable: buffered
 // writes, one flush, one optional fsync — the group-commit hot path.
 func (sh *walShard) commit(batch []pendingEntry) error {
+	if sh.store.failCommits.Load() {
+		// Test failpoint: the group fails as if the device had, exercising
+		// the commit-error latch (Healthy, tenant suspension, readiness).
+		sh.store.commitErrs.Add(1)
+		return fmt.Errorf("store: shard %d commit failpoint", sh.id)
+	}
 	ioStart := time.Now()
 	var n int64
 	for _, p := range batch {
@@ -735,6 +766,27 @@ func (sh *walShard) commit(batch []pendingEntry) error {
 	sh.store.appendNs.Add(lat)
 	sh.store.groupSizeHist.Observe(float64(len(batch)))
 	sh.store.flushHist.ObserveNs(now.Sub(ioStart).Nanoseconds())
+	// Sampled entries get their WAL spans now that the group is durable: one
+	// wal-flush span per trace covering the flush/fsync round, one wal-commit
+	// child per entry spanning enqueue→durable. Off the unsampled path this
+	// loop touches nothing but the nil-rec check.
+	var flushSpans map[uint64]uint32
+	for i := range batch {
+		p := &batch[i]
+		if !p.tc.Sampled() {
+			continue
+		}
+		if flushSpans == nil {
+			flushSpans = make(map[uint64]uint32, 1)
+		}
+		fid, ok := flushSpans[p.tc.TraceID()]
+		if !ok {
+			fid = p.tc.Record("wal-flush", ioStart, now)
+			flushSpans[p.tc.TraceID()] = fid
+		}
+		wid := p.tc.At(fid).Record("wal-commit", p.start, now)
+		p.walTC = p.tc.At(wid)
+	}
 	return nil
 }
 
@@ -763,6 +815,7 @@ func (sh *walShard) doRotate(img []byte) error {
 		}
 	}
 	sh.store.snapshots.Add(1)
+	sh.store.snapAtNs[sh.id].Store(time.Now().UnixNano())
 	return nil
 }
 
@@ -842,4 +895,28 @@ func (s *Store) Info() RecoveryInfo { return s.info }
 // advertising ready.
 func (s *Store) Healthy() bool {
 	return s.commitErrs.Load() == 0
+}
+
+// SetCommitFailpoint toggles the group-commit failure injection (tests
+// only): while on, every commit fails and latches Healthy false, without
+// writing to the segment.
+func (s *Store) SetCommitFailpoint(on bool) {
+	s.failCommits.Store(on)
+}
+
+// SnapshotAges reports, per shard, the time since its last snapshot rotation
+// in this process; -1 means no rotation since Open (the WAL alone carries
+// the shard so far — normal for a young or lightly loaded shard).
+func (s *Store) SnapshotAges() []time.Duration {
+	out := make([]time.Duration, len(s.snapAtNs))
+	now := time.Now().UnixNano()
+	for i := range s.snapAtNs {
+		at := s.snapAtNs[i].Load()
+		if at == 0 {
+			out[i] = -1
+			continue
+		}
+		out[i] = time.Duration(now - at)
+	}
+	return out
 }

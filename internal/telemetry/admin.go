@@ -55,8 +55,8 @@ type Admin struct {
 // ServeAdmin binds addr (port 0 picks a free port) and serves the admin
 // plane for reg and status in a background goroutine. status may be nil
 // (statusz shows only the registry; healthz always ready). reg may be nil
-// (empty exposition).
-func ServeAdmin(addr string, reg *Registry, status Status) (*Admin, error) {
+// (empty exposition). tracer may be nil (/tracez reports tracing disabled).
+func ServeAdmin(addr string, reg *Registry, status Status, tracer *Tracer) (*Admin, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: admin listen: %w", err)
@@ -76,7 +76,7 @@ func ServeAdmin(addr string, reg *Registry, status Status) (*Admin, error) {
 		if status != nil {
 			fmt.Fprintln(w, status.StatusText())
 		}
-		fmt.Fprintf(w, "\nendpoints: /metrics /varz /healthz /debug/pprof/\n")
+		fmt.Fprintf(w, "\nendpoints: /metrics /varz /healthz /tracez /debug/pprof/\n")
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		ok, detail := true, "ok"
@@ -88,6 +88,21 @@ func ServeAdmin(addr string, reg *Registry, status Status) (*Admin, error) {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
 		fmt.Fprintln(w, detail)
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		if tracer == nil {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "tracing disabled (no tracer configured)")
+			return
+		}
+		d := tracer.Dump()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteTraceJSON(w, d)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = WriteTracez(w, d)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -73,15 +73,25 @@ func WritePrometheus(w io.Writer, samples []Sample) error {
 			}
 			return fmt.Sprintf("%s_bucket{%s,le=%q}", base, labels, le)
 		}
+		// Exemplars use the OpenMetrics suffix syntax — `# {trace_id="…"} v`
+		// after the bucket sample — linking a stage bucket to the sampled
+		// trace that last landed there.
+		exFor := func(i int) string {
+			if s.Hist.Exemplars == nil || s.Hist.Exemplars[i] == nil {
+				return ""
+			}
+			ex := s.Hist.Exemplars[i]
+			return fmt.Sprintf(" # {trace_id=\"%016x\"} %s", ex.TraceID, formatFloat(ex.Value))
+		}
 		var cum int64
 		for i, bound := range s.Hist.Bounds {
 			cum += s.Hist.Counts[i]
-			if _, err := fmt.Fprintf(w, "%s %d\n", withLe(formatFloat(bound)), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d%s\n", withLe(formatFloat(bound)), cum, exFor(i)); err != nil {
 				return err
 			}
 		}
 		cum += s.Hist.Counts[len(s.Hist.Bounds)]
-		if _, err := fmt.Fprintf(w, "%s %d\n", withLe("+Inf"), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d%s\n", withLe("+Inf"), cum, exFor(len(s.Hist.Bounds))); err != nil {
 			return err
 		}
 		suffix := ""

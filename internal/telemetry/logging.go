@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"io"
 	"log/slog"
+	"strings"
 )
 
 // Structured logging for the serving stack. Every component (gateway,
@@ -27,6 +28,22 @@ func NewLogger(w io.Writer, level slog.Level, attrs ...any) *slog.Logger {
 		lg = lg.With(attrs...)
 	}
 	return lg
+}
+
+// ParseLevel maps a -log-level flag value (debug, info, warn, error; case-
+// insensitive) to its slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return slog.LevelInfo, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
 }
 
 // OwnerHash condenses an owner ID to a short stable hash for log and debug-

@@ -119,6 +119,17 @@ type Histogram struct {
 	bounds  []float64
 	counts  []atomic.Int64 // len(bounds)+1
 	sumBits atomic.Uint64  // float64 bits, CAS-added
+	// ex holds one exemplar pointer per bucket — the last sampled-trace
+	// observation to land there — linking /metrics stage buckets to trace
+	// IDs. Written only on the sampled path (ObserveEx with a trace ID),
+	// so the unsampled hot path never touches it.
+	ex []atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one observed value to the trace that produced it.
+type Exemplar struct {
+	TraceID uint64
+	Value   float64
 }
 
 func (h *Histogram) bucketFor(v float64) int {
@@ -136,6 +147,20 @@ func (h *Histogram) Observe(v float64) {
 	h.addSum(v)
 }
 
+// ObserveEx records one value and, when traceID is non-zero, stamps the
+// bucket's exemplar with the trace that produced it.
+func (h *Histogram) ObserveEx(v float64, traceID uint64) {
+	if h == nil {
+		return
+	}
+	b := h.bucketFor(v)
+	h.counts[b].Add(1)
+	h.addSum(v)
+	if traceID != 0 && h.ex != nil {
+		h.ex[b].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+}
+
 // ObserveSince records the elapsed time since start, in microseconds — the
 // unit every latency histogram in this codebase uses.
 func (h *Histogram) ObserveSince(start time.Time) {
@@ -143,6 +168,14 @@ func (h *Histogram) ObserveSince(start time.Time) {
 		return
 	}
 	h.Observe(float64(time.Since(start).Nanoseconds()) / 1e3)
+}
+
+// ObserveSinceEx is ObserveSince carrying a trace-ID exemplar.
+func (h *Histogram) ObserveSinceEx(start time.Time, traceID uint64) {
+	if h == nil {
+		return
+	}
+	h.ObserveEx(float64(time.Since(start).Nanoseconds())/1e3, traceID)
 }
 
 // ObserveNs records a duration given in nanoseconds, as microseconds.
@@ -175,6 +208,12 @@ func (h *Histogram) snapshot() *HistogramData {
 		c := h.counts[i].Load()
 		d.Counts[i] = c
 		d.Count += c
+	}
+	if h.ex != nil {
+		d.Exemplars = make([]*Exemplar, len(h.ex))
+		for i := range h.ex {
+			d.Exemplars[i] = h.ex[i].Load()
+		}
 	}
 	return d
 }
@@ -220,6 +259,9 @@ type HistogramData struct {
 	Counts []int64
 	Sum    float64
 	Count  int64
+	// Exemplars is per-bucket (same indexing as Counts), entries nil where
+	// no sampled observation has landed; nil when the histogram keeps none.
+	Exemplars []*Exemplar
 }
 
 // Sample is one metric's snapshot. Name may carry a Prometheus label set
@@ -321,7 +363,8 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 		return nil
 	}
 	if e.h == nil {
-		e.h = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+		e.h = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1),
+			ex: make([]atomic.Pointer[Exemplar], len(bounds)+1)}
 	}
 	return e.h
 }

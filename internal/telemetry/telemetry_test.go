@@ -191,7 +191,7 @@ func TestAdminEndpoints(t *testing.T) {
 	a, err := ServeAdmin("127.0.0.1:0", reg, StatusFuncs{
 		Text:    func() string { return "role: primary\nlease: held" },
 		ReadyFn: func() (bool, string) { return ready, "state" },
-	})
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

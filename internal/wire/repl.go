@@ -27,8 +27,18 @@ import (
 // single 5-byte read can dispatch either protocol.
 var replMagic = [4]byte{'D', 'P', 'S', 'R'}
 
-// ReplVersion is the replication protocol version this build speaks.
-const ReplVersion = 1
+// ReplVersion is the newest replication protocol version this build speaks.
+// Version 2 adds the traced-entry frame (ReplEntryTraced), carrying the
+// optional trace-context extension — a trace ID and parent span ID — so a
+// sampled sync's span tree crosses the replication link. The handshake
+// negotiates down: the primary acks min(proposed, own), so a v1 peer on
+// either side yields a v1 stream and traced entries ship as plain
+// ReplEntry frames with the trace context stripped.
+const ReplVersion = 2
+
+// ReplVersionTraced is the first version whose streams may carry
+// ReplEntryTraced frames.
+const ReplVersionTraced = 2
 
 // HelloRefused is the hello-ack byte a non-primary node answers to any
 // hello, client or replication: this node cannot serve you, try another
@@ -99,9 +109,10 @@ func WriteReplHelloAck(w io.Writer, version byte) error {
 	return nil
 }
 
-// ReadReplHelloAck consumes the primary's answer. A refusal byte means the
+// ReadReplHelloAck consumes the primary's answer: the negotiated stream
+// version, at most what the follower proposed. A refusal byte means the
 // dialed node is not primary (ErrNotPrimary — redial elsewhere); any version
-// this build does not speak is a hard error.
+// this build does not speak — zero, or newer than its own — is a hard error.
 func ReadReplHelloAck(r io.Reader) (byte, error) {
 	var buf [1]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
@@ -110,10 +121,20 @@ func ReadReplHelloAck(r io.Reader) (byte, error) {
 	if buf[0] == HelloRefused {
 		return 0, ErrNotPrimary
 	}
-	if buf[0] != ReplVersion {
-		return 0, fmt.Errorf("%w: primary speaks repl version %d, want %d", ErrBadFrame, buf[0], ReplVersion)
+	if buf[0] == 0 || buf[0] > ReplVersion {
+		return 0, fmt.Errorf("%w: primary speaks repl version %d, want 1..%d", ErrBadFrame, buf[0], ReplVersion)
 	}
 	return buf[0], nil
+}
+
+// NegotiateReplVersion is the primary's side of the version handshake: the
+// stream speaks the older of the two builds. A proposal of zero is invalid
+// (the caller refuses the hello).
+func NegotiateReplVersion(proposed byte) byte {
+	if proposed > ReplVersion {
+		return ReplVersion
+	}
+	return proposed
 }
 
 // MaxNodeLen bounds a cluster node identifier, mirroring MaxOwnerLen.
@@ -247,6 +268,11 @@ const (
 	// ReplHeartbeat keeps an idle stream alive and carries the primary's
 	// wall clock so followers can bound staleness.
 	ReplHeartbeat = 4
+	// ReplEntryTraced is a ReplEntry carrying the trace-context extension:
+	// the trace ID of the sampled sync that committed the entry and the
+	// primary-side parent span ID the follower's apply span hangs under.
+	// Valid only on streams negotiated at ReplVersionTraced or newer.
+	ReplEntryTraced = 5
 )
 
 // ReplFrame is one message on the replication stream. Which fields are
@@ -259,6 +285,10 @@ type ReplFrame struct {
 	Offset   uint64
 	CommitNs int64
 	Entry    []byte
+	// TraceID/ParentSpan are the trace-context extension, meaningful only
+	// on ReplEntryTraced frames (TraceID must be non-zero there).
+	TraceID    uint64
+	ParentSpan uint32
 }
 
 // EncodeReplFrame serializes a stream frame payload.
@@ -273,6 +303,22 @@ func EncodeReplFrame(f ReplFrame) ([]byte, error) {
 		b = appendU32(b, f.Shard)
 		b = appendU64(b, f.Offset)
 		b = appendU64(b, uint64(f.CommitNs))
+		b = appendU32(b, uint32(len(f.Entry)))
+		return append(b, f.Entry...), nil
+	case ReplEntryTraced:
+		if len(f.Entry) == 0 {
+			return nil, fmt.Errorf("wire: repl traced entry frame without entry bytes")
+		}
+		if f.TraceID == 0 {
+			return nil, fmt.Errorf("wire: repl traced entry frame without trace ID")
+		}
+		b := make([]byte, 0, 1+4+8+8+8+4+4+len(f.Entry))
+		b = append(b, ReplEntryTraced)
+		b = appendU32(b, f.Shard)
+		b = appendU64(b, f.Offset)
+		b = appendU64(b, uint64(f.CommitNs))
+		b = appendU64(b, f.TraceID)
+		b = appendU32(b, f.ParentSpan)
 		b = appendU32(b, uint32(len(f.Entry)))
 		return append(b, f.Entry...), nil
 	case ReplSnapBegin:
@@ -311,6 +357,20 @@ func DecodeReplFrame(b []byte) (ReplFrame, error) {
 		f.Entry = r.bytes(n, "repl entry bytes")
 		if r.err == nil && len(f.Entry) == 0 {
 			return ReplFrame{}, fmt.Errorf("%w: repl entry frame without entry bytes", ErrBadFrame)
+		}
+	case ReplEntryTraced:
+		f.Shard = r.u32("repl shard")
+		f.Offset = r.u64("repl offset")
+		f.CommitNs = int64(r.u64("repl commit ns"))
+		f.TraceID = r.u64("repl trace id")
+		f.ParentSpan = r.u32("repl parent span")
+		n := int(r.u32("repl entry length"))
+		f.Entry = r.bytes(n, "repl entry bytes")
+		if r.err == nil && len(f.Entry) == 0 {
+			return ReplFrame{}, fmt.Errorf("%w: repl traced entry frame without entry bytes", ErrBadFrame)
+		}
+		if r.err == nil && f.TraceID == 0 {
+			return ReplFrame{}, fmt.Errorf("%w: repl traced entry frame without trace ID", ErrBadFrame)
 		}
 	case ReplSnapBegin:
 		f.Shard = r.u32("repl shard")

@@ -91,6 +91,8 @@ func TestReplJoinAckRoundTrip(t *testing.T) {
 func TestReplFrameRoundTrip(t *testing.T) {
 	frames := []ReplFrame{
 		{Kind: ReplEntry, Shard: 2, Offset: 9, CommitNs: 123456, Entry: []byte{0, 0, 0, 1, 0xDE, 0xAD, 0xBE, 0xEF, 7}},
+		{Kind: ReplEntryTraced, Shard: 2, Offset: 10, CommitNs: 123457,
+			TraceID: 0xABCDEF0123456789, ParentSpan: 4, Entry: []byte{0, 0, 0, 1, 0xDE, 0xAD, 0xBE, 0xEF, 7}},
 		{Kind: ReplSnapBegin, Shard: 1, Offset: 42},
 		{Kind: ReplSnapEnd, Shard: 1},
 		{Kind: ReplHeartbeat, CommitNs: 987},
@@ -105,12 +107,19 @@ func TestReplFrameRoundTrip(t *testing.T) {
 			t.Fatalf("%+v: %v", f, err)
 		}
 		if got.Kind != f.Kind || got.Shard != f.Shard || got.Offset != f.Offset ||
-			got.CommitNs != f.CommitNs || !bytes.Equal(got.Entry, f.Entry) {
+			got.CommitNs != f.CommitNs || !bytes.Equal(got.Entry, f.Entry) ||
+			got.TraceID != f.TraceID || got.ParentSpan != f.ParentSpan {
 			t.Fatalf("round trip changed frame: %+v vs %+v", got, f)
 		}
 	}
 	if _, err := EncodeReplFrame(ReplFrame{Kind: ReplEntry}); err == nil {
 		t.Fatal("entry frame without bytes accepted")
+	}
+	if _, err := EncodeReplFrame(ReplFrame{Kind: ReplEntryTraced, TraceID: 7}); err == nil {
+		t.Fatal("traced entry frame without bytes accepted")
+	}
+	if _, err := EncodeReplFrame(ReplFrame{Kind: ReplEntryTraced, Entry: []byte{1}}); err == nil {
+		t.Fatal("traced entry frame without trace ID accepted")
 	}
 	if _, err := EncodeReplFrame(ReplFrame{Kind: 99}); err == nil {
 		t.Fatal("unknown kind accepted")
@@ -202,6 +211,84 @@ func FuzzDecodeReplFrame(f *testing.F) {
 		}
 		if !bytes.Equal(reenc, data) {
 			t.Fatal("repl frame round trip changed bytes")
+		}
+	})
+}
+
+// FuzzDecodeReplTracedFrame targets the trace-context extension decoder:
+// arbitrary bytes presented as a ReplEntryTraced frame must never panic,
+// never decode to a zero trace ID, and anything accepted must re-encode
+// byte-identical (a trace context corrupted in flight must not silently
+// misattribute a follower's spans to another tenant's sync).
+func FuzzDecodeReplTracedFrame(f *testing.F) {
+	seeds := []ReplFrame{
+		{Kind: ReplEntryTraced, Shard: 0, Offset: 1, CommitNs: 1111,
+			TraceID: 1, ParentSpan: 0, Entry: []byte{0, 0, 0, 1, 1, 2, 3, 4, 5}},
+		{Kind: ReplEntryTraced, Shard: 7, Offset: 1 << 40, CommitNs: -1,
+			TraceID: ^uint64(0), ParentSpan: ^uint32(0), Entry: []byte{9}},
+	}
+	for _, fr := range seeds {
+		if b, err := EncodeReplFrame(fr); err == nil {
+			f.Add(b)
+		}
+	}
+	// A traced frame claiming a zero trace ID, and one whose entry length
+	// overruns the payload.
+	f.Add([]byte{ReplEntryTraced, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0,
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 9})
+	f.Add([]byte{ReplEntryTraced, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1,
+		0, 0, 0, 1, 0, 0, 0, 7, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{ReplEntryTraced})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeReplFrame(data)
+		if err != nil {
+			return
+		}
+		if fr.Kind == ReplEntryTraced && fr.TraceID == 0 {
+			t.Fatal("decoder accepted a traced frame with a zero trace ID")
+		}
+		reenc, err := EncodeReplFrame(fr)
+		if err != nil {
+			t.Fatalf("accepted frame cannot be re-encoded: %v", err)
+		}
+		if !bytes.Equal(reenc, data) {
+			t.Fatal("traced repl frame round trip changed bytes")
+		}
+	})
+}
+
+// FuzzReplVersionNegotiation pins the version handshake's invariants for
+// every possible proposal byte: the primary never acks above its own
+// version or above the proposal, a legacy v1 proposal always yields a v1
+// stream, and every ack the primary can emit for a valid proposal is one
+// the follower-side decoder accepts.
+func FuzzReplVersionNegotiation(f *testing.F) {
+	f.Add(byte(1))
+	f.Add(byte(ReplVersion))
+	f.Add(byte(ReplVersion + 1))
+	f.Add(byte(0))
+	f.Add(byte(0xFE))
+	f.Fuzz(func(t *testing.T, proposed byte) {
+		got := NegotiateReplVersion(proposed)
+		if got > ReplVersion {
+			t.Fatalf("negotiated %d above own version %d", got, ReplVersion)
+		}
+		if proposed >= 1 && proposed <= ReplVersion && got != proposed {
+			t.Fatalf("proposal %d within range renegotiated to %d", proposed, got)
+		}
+		if proposed > ReplVersion && got != ReplVersion {
+			t.Fatalf("newer proposal %d should cap at %d, got %d", proposed, ReplVersion, got)
+		}
+		if proposed == 0 {
+			return // caller refuses the hello; the ack is never written
+		}
+		var buf bytes.Buffer
+		if err := WriteReplHelloAck(&buf, got); err != nil {
+			t.Fatal(err)
+		}
+		v, err := ReadReplHelloAck(&buf)
+		if err != nil || v != got {
+			t.Fatalf("negotiated ack %d rejected by follower: v=%d err=%v", got, v, err)
 		}
 	})
 }
