@@ -64,6 +64,21 @@ type Baseline struct {
 	GatewayP50Ms        float64 `json:"gateway_p50_ms"`
 	GatewayP99Ms        float64 `json:"gateway_p99_ms"`
 	GatewayBytesPerSync float64 `json:"gateway_bytes_per_sync"`
+	// Read-path serving layer: the same gateway drive carries an analyst
+	// query mix (GatewayQueryMix queries per owner per tick, cycling Q1–Q4).
+	// QueryQPS is the analyst-query throughput — the read-path scale-out
+	// target holds it at ≥10× gateway_syncs_per_sec — and QcacheHitRatio is
+	// the noise-reuse answer cache's hits/(hits+misses): every hit re-serves
+	// already-released bytes with zero backend work and zero ε spend.
+	// ReplicaQueryQPS / ReplicaServed come from the two-node read-replica
+	// harness (cmd/dpsync-loadgen -read-replica -baseline merges the same
+	// keys): follower read-plane throughput and queries it absorbed.
+	GatewayQueryMix int     `json:"gateway_query_mix"`
+	QueryQPS        float64 `json:"query_qps"`
+	QueryP99Ms      float64 `json:"query_p99_ms"`
+	QcacheHitRatio  float64 `json:"qcache_hit_ratio"`
+	ReplicaQueryQPS float64 `json:"replica_query_qps"`
+	ReplicaServed   int64   `json:"replica_served"`
 	// Hostile-fleet serving layer: the same gateway under seeded connection
 	// churn + injected transport faults + open-loop arrivals — mean
 	// outage→resume wall-clock, open-loop p99 measured from scheduled
@@ -329,7 +344,7 @@ func main() {
 	if *quick {
 		gwOwners, gwTicks = 32, 30
 	}
-	rep, err := loadgen.Run(loadgen.Config{Owners: gwOwners, Ticks: gwTicks, Seed: 1})
+	rep, err := loadgen.Run(loadgen.Config{Owners: gwOwners, Ticks: gwTicks, Seed: 1, QueryMix: 6})
 	if err != nil {
 		fatal(err)
 	}
@@ -341,6 +356,10 @@ func main() {
 	b.GatewayP50Ms = rep.P50Ms
 	b.GatewayP99Ms = rep.P99Ms
 	b.GatewayBytesPerSync = rep.BytesPerSync
+	b.GatewayQueryMix = 6
+	b.QueryQPS = rep.QueryQPS
+	b.QueryP99Ms = rep.QueryP99Ms
+	b.QcacheHitRatio = rep.QcacheHitRatio
 
 	// Hostile-fleet pass: seeded churn + transport faults + open-loop
 	// arrivals against the same gateway, with transcript verification still
@@ -361,6 +380,23 @@ func main() {
 	b.ChurnResumeMs = frep.ChurnResumeMs
 	b.OpenLoopP99Ms = frep.OpenLoopP99Ms
 	b.BackpressureSheds = frep.BackpressureSheds
+
+	// Read-replica harness: a two-node cluster whose follower read plane
+	// absorbs the analyst mix (RunReplica errors unless the follower
+	// actually served queries, so the recorded throughput is never a
+	// fallback-to-primary artifact).
+	rpOwners, rpTicks := 128, 60
+	if *quick {
+		rpOwners, rpTicks = 8, 24
+	}
+	rrep, err := loadgen.RunReplica(loadgen.ReplicaConfig{
+		Owners: rpOwners, Ticks: rpTicks, QueryMix: 4, Seed: 1,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	b.ReplicaQueryQPS = rrep.ReplicaQueryQPS
+	b.ReplicaServed = rrep.ReplicaServed
 
 	// Durable serving layer: the same scale on the WAL+snapshot store with
 	// a finite history window (batches past it spill to history segments;

@@ -57,10 +57,22 @@
 //
 //	go run ./cmd/dpsync-loadgen -owners 16 -ticks 50 -churn -faults -open-loop -quick
 //
+// With -query-mix N each owner issues N analyst queries per tick (cycling
+// the paper's Q1–Q4), interleaved with its sync traffic — the read-path
+// load that exercises the gateway's noise-reuse answer cache. With
+// -replica-addr the query half routes to a follower's read plane (falling
+// back to the primary on typed staleness or refusal), and with
+// -read-replica the tool starts its own two-node cluster and measures how
+// much of the read load the follower absorbs:
+//
+//	go run ./cmd/dpsync-loadgen -owners 16 -ticks 50 -query-mix 4 -quick
+//	go run ./cmd/dpsync-loadgen -owners 8 -ticks 30 -read-replica -quick
+//
 // With -baseline the gateway_* (or, with -durable, the wal_*/durable_*/
 // recovery_*/spill_*/history_window; with -failover, the failover_ms/
-// replication_lag_ms/replica_syncs_per_sec) keys are merged into an
-// existing BENCH_baseline.json, preserving its other entries:
+// replication_lag_ms/replica_syncs_per_sec; with -read-replica, the
+// replica_query_qps) keys are merged into an existing BENCH_baseline.json,
+// preserving its other entries:
 //
 //	go run ./cmd/dpsync-loadgen -owners 1000 -ticks 100 -baseline BENCH_baseline.json
 package main
@@ -111,6 +123,9 @@ func main() {
 		traceOut = flag.String("trace-out", "", "trace the in-process gateway and write its sampled span trees (the /tracez JSON shape) to this file")
 		traceN   = flag.Int("trace-sample", 0, "trace 1 in N admitted requests for -trace-out (0: tracer default; slow syncs always captured)")
 		logLevel = flag.String("log-level", "", "route in-process gateway logs to stderr at this verbosity: debug, info, warn, error (empty: silent)")
+		queryMix = flag.Int("query-mix", 0, "analyst queries per owner per tick, cycling Q1-Q4 (0: no read load)")
+		repAddr  = flag.String("replica-addr", "", "follower read-plane address to route queries to (primary fallback on refusal)")
+		readRep  = flag.Bool("read-replica", false, "run the two-node read-replica harness instead of a load run")
 	)
 	flag.Parse()
 
@@ -128,6 +143,20 @@ func main() {
 			fatal(fmt.Errorf("-crash produces verification evidence, not baseline metrics; drop -baseline"))
 		}
 		runCrash(*owners, *ticks, *crash, *seed, *shards, *syncEps, *histWin, *fsync, *quick)
+		return
+	}
+
+	if *readRep {
+		// The read-replica harness owns its two-node cluster (fresh temp
+		// stores, loopback ports); flags that target an external deployment
+		// are refused rather than ignored.
+		switch {
+		case *addr != "" || *repAddr != "":
+			fatal(fmt.Errorf("-read-replica starts its own cluster; drop -addr/-replica-addr"))
+		case *storeDir != "":
+			fatal(fmt.Errorf("-read-replica uses fresh temp stores; drop -store"))
+		}
+		runReplica(*owners, *ticks, *queryMix, *conns, *codec, *shards, *syncEps, *seed, *leaseTTL, *quick, *baseline)
 		return
 	}
 
@@ -168,6 +197,8 @@ func main() {
 		MetricsOut:    *metOut,
 		TraceOut:      *traceOut,
 		TraceSample:   *traceN,
+		QueryMix:      *queryMix,
+		ReplicaAddr:   *repAddr,
 	}
 	if *logLevel != "" {
 		lvl, err := telemetry.ParseLevel(*logLevel)
@@ -210,6 +241,21 @@ func main() {
 		}
 		if *openLoop {
 			fmt.Printf("open-loop: p99 %.2fms from scheduled arrivals\n", rep.OpenLoopP99Ms)
+		}
+		if rep.Queries > 0 {
+			if *addr != "" {
+				// External gateway: its cache counters live in the server
+				// process (scrape its admin plane instead).
+				fmt.Printf("queries: %d at %.0f/sec (p99 %.2fms)\n",
+					rep.Queries, rep.QueryQPS, rep.QueryP99Ms)
+			} else {
+				fmt.Printf("queries: %d at %.0f/sec (p99 %.2fms), qcache hit ratio %.2f\n",
+					rep.Queries, rep.QueryQPS, rep.QueryP99Ms, rep.QcacheHitRatio)
+			}
+			if *repAddr != "" {
+				fmt.Printf("replica: %d served at %.0f/sec, %d stale refusals, %d fallbacks\n",
+					rep.ReplicaServed, rep.ReplicaQueryQPS, rep.ReplicaStale, rep.ReplicaFallbacks)
+			}
 		}
 		if rep.Durable {
 			fmt.Printf("durable: wal append %.1fµs (group ×%.1f, %d snapshots), recovery %.1fms for %d owners (transcripts verified)\n",
@@ -300,6 +346,68 @@ func runFailover(owners, ticks, seeds int, seed uint64, shards int, syncEps floa
 	}
 }
 
+// runReplica drives the two-node read-replica harness, reports the drive
+// plus the follower's read-plane counters, and (with -baseline) merges the
+// replica read-throughput metrics.
+func runReplica(owners, ticks, queryMix, conns int, codec string, shards int, syncEps float64, seed uint64, leaseTTL time.Duration, quick bool, baseline string) {
+	cfg := loadgen.ReplicaConfig{
+		Owners: owners, Ticks: ticks, QueryMix: queryMix, Conns: conns,
+		Shards: shards, SyncEpsilon: syncEps, Seed: seed, LeaseTTL: leaseTTL,
+	}
+	switch strings.ToLower(codec) {
+	case "binary":
+		cfg.Codec = wire.CodecBinary
+	case "json":
+		cfg.Codec = wire.CodecJSON
+	default:
+		fatal(fmt.Errorf("unknown codec %q", codec))
+	}
+	rep, err := loadgen.RunReplica(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if quick {
+		fmt.Printf("replica ok: %d owners × %d ticks, follower served %d/%d queries at %.0f/sec (%d stale refusals, %d fallbacks to primary)\n",
+			rep.Owners, rep.Ticks, rep.ReplicaServed, rep.Queries, rep.ReplicaQueryQPS, rep.ReplicaStale, rep.ReplicaFallbacks)
+		fmt.Printf("replica plane: %d requests, qcache %d hits / %d misses, %d rebuilds, cursor %d applied\n",
+			rep.PlaneQueries, rep.PlaneCacheHits, rep.PlaneCacheMisses, rep.PlaneRebuilds, rep.FollowerApplied)
+	} else {
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(enc))
+	}
+	if baseline != "" {
+		if err := mergeReplicaBaseline(baseline, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dpsync-loadgen: merged read-replica metrics into %s\n", baseline)
+	}
+}
+
+// mergeReplicaBaseline folds the read-replica measurements into an existing
+// baseline document.
+func mergeReplicaBaseline(path string, rep loadgen.ReplicaReport) error {
+	doc := map[string]any{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	doc["replica_query_qps"] = rep.ReplicaQueryQPS
+	doc["replica_served"] = rep.ReplicaServed
+	doc["replica_stale_refusals"] = rep.ReplicaStale
+	doc["replica_rebuilds"] = rep.PlaneRebuilds
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
+}
+
 // mergeFailoverBaseline folds the per-seed failover measurements (averaged
 // across runs) into an existing baseline document.
 func mergeFailoverBaseline(path string, rep loadgen.FailoverReport) error {
@@ -364,6 +472,11 @@ func mergeBaseline(path string, rep loadgen.Report) error {
 		doc["churn_resume_ms"] = rep.ChurnResumeMs
 		doc["open_loop_p99_ms"] = rep.OpenLoopP99Ms
 		doc["backpressure_sheds"] = rep.BackpressureSheds
+		if rep.Queries > 0 {
+			doc["query_qps"] = rep.QueryQPS
+			doc["query_p99_ms"] = rep.QueryP99Ms
+			doc["qcache_hit_ratio"] = rep.QcacheHitRatio
+		}
 	}
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -322,6 +322,53 @@
 // faults; cmd/dpsync-loadgen -failover measures it (failover_ms,
 // replication_lag_ms, replica_syncs_per_sec in the baseline).
 //
+// # Read-path architecture
+//
+// Analyst queries scale independently of the sync path, and both halves
+// of the read plane are ε-free consequences of the DP-Sync accounting
+// model.
+//
+// Noise-reuse answer cache. A released DP answer is already noised:
+// re-serving the identical bytes to a repeat of the same query is pure
+// post-processing of a published release, so it costs zero additional
+// privacy — the cache never touches the ε ledger, and a differential
+// suite pins the ledger bit-identical across cache hits. Each shard
+// worker keeps a per-tenant, LFU-bounded cache (gateway.Config.QueryCache;
+// 0 selects the default capacity, negative disables) keyed by the query
+// spec, storing the exact answer and cost bytes of the first evaluation.
+// The owner's next committed sync invalidates their entries — a cached
+// answer always describes a committed prefix the analyst could have
+// queried directly. The cache is RAM-only by design: a crash discards it,
+// so an answer computed from a sync that applied but never group-committed
+// cannot survive a restart (the crash differential races an update against
+// a kill and checks the reopened gateway recomputes from exactly the
+// WAL-committed prefix). Hit/miss/eviction/invalidation counters export
+// fleet-aggregate only — a per-tenant hit rate would fingerprint which
+// tenants repeat which questions.
+//
+// Follower read plane. PR 7 followers already hold a provable committed
+// prefix of every owner's history; internal/cluster/read.go serves
+// analyst reads from it. A read-only hello ("DPSQ" + codec byte) opens a
+// query/stats-only connection on any node; on a follower, answers are
+// computed by materializing the owner's replicated state into a backend
+// (rebuilt only when the owner's committed clock moves, then cached with
+// its own noise-reuse cache in front). Freshness is explicit rather than
+// assumed: wire.Request.MinOffset carries the minimum replication offset
+// the caller will accept, and a follower behind that bound refuses with
+// the typed wire.ErrStale carrying its cursor (wire.StaleSpec) — never a
+// silently stale answer. Writes on a read connection get the same typed
+// wire.ErrNotPrimary refusal a follower's write plane always gave.
+// client.WithReadReplica(addr) routes a session's queries to a replica
+// and falls back to the (trivially fresh) primary on any refusal;
+// dpsync-loadgen -query-mix/-replica-addr/-read-replica drive mixed
+// read/write load through both paths. The two-node differential pins the
+// contract under -race: every follower-served answer bit-identical to the
+// primary's and to a single-owner reference, a partitioned follower
+// serving exactly its frozen committed prefix while refusing fresher
+// bounds, and convergence after heal. Baseline keys: query_qps (≥10×
+// gateway_syncs_per_sec), qcache_hit_ratio, query_p99_ms,
+// replica_query_qps, replica_served.
+//
 // # Observability architecture
 //
 // internal/telemetry is the runtime metrics plane: lock-free, allocation-free

@@ -74,6 +74,7 @@ type GatewayConn struct {
 	reconnect   bool
 	maxAttempts int
 	resyncWin   int
+	readAddr    string // read-replica address ("" = reads go to the primary)
 
 	wmu    sync.Mutex    // serializes frame writes; write order = gateway arrival order
 	window chan struct{} // in-flight cap (backpressure)
@@ -93,6 +94,20 @@ type GatewayConn struct {
 	bytesIn     atomic.Int64
 	reconnects  atomic.Int64
 	reconnectNs atomic.Int64
+
+	// The read-replica side channel: a second, deliberately simple
+	// connection (synchronous request/response under rmu, no pipelining, no
+	// replay — reads are side-effect free, so on ANY replica trouble the
+	// caller just falls back to the primary). Lazy-dialed on first replica
+	// read, redialed on the next read after a failure.
+	rmu    sync.Mutex
+	rconn  net.Conn
+	rcodec wire.Codec
+	rid    uint64 // replica request IDs, independent of the primary stream
+
+	replicaServed    atomic.Int64
+	replicaStale     atomic.Int64
+	replicaFallbacks atomic.Int64
 }
 
 // pendingReq is one in-flight request, retained in full (not just its
@@ -114,6 +129,7 @@ type gatewayOpts struct {
 	dialer      func(addr string) (net.Conn, error)
 	addrs       []string
 	resyncWin   int
+	readAddr    string
 }
 
 // WithCodec proposes a payload codec (default: binary). The gateway may
@@ -158,6 +174,17 @@ func WithAddrs(addrs ...string) GatewayOption {
 	return func(o *gatewayOpts) { o.addrs = append(o.addrs, addrs...) }
 }
 
+// WithReadReplica routes queries and stats probes to a follower's read
+// plane at addr ("DPSQ" hello), keeping syncs on the primary. A replica
+// answer is served from the follower's committed replicated prefix; when
+// the caller demands fresher state than the replica has applied
+// (OwnerSession.QueryAt with a MinOffset above the replica's cursor), the
+// replica's typed wire.ErrStale refusal — and any other replica failure —
+// falls back to the primary transparently. ReplicaStats reports the split.
+func WithReadReplica(addr string) GatewayOption {
+	return func(o *gatewayOpts) { o.readAddr = addr }
+}
+
 // WithResyncWindow sets how many recently acked sync payloads each owner
 // session retains for failover resync (default DefaultResyncWindow;
 // negative = unbounded, for harnesses that must survive arbitrarily stale
@@ -192,6 +219,7 @@ func DialGateway(addr string, key []byte, opts ...GatewayOption) (*GatewayConn, 
 		reconnect:   o.reconnect,
 		maxAttempts: o.maxAttempts,
 		resyncWin:   o.resyncWin,
+		readAddr:    o.readAddr,
 		window:      make(chan struct{}, o.window),
 		gate:        closedGate(),
 		pending:     map[uint64]*pendingReq{},
@@ -267,6 +295,12 @@ func (c *GatewayConn) Close() error {
 	c.closed = true
 	conn := c.conn
 	c.mu.Unlock()
+	c.rmu.Lock()
+	if c.rconn != nil {
+		c.rconn.Close()
+		c.rconn = nil
+	}
+	c.rmu.Unlock()
 	var err error
 	if conn != nil {
 		err = conn.Close()
@@ -301,6 +335,79 @@ func (c *GatewayConn) BytesIn() int64 { return c.bytesIn.Load() }
 // generator's churn_resume_ms numerator.
 func (c *GatewayConn) ReconnectStats() (count int64, total time.Duration) {
 	return c.reconnects.Load(), time.Duration(c.reconnectNs.Load())
+}
+
+// ReplicaStats reports the read-replica traffic split: reads answered by
+// the replica, typed staleness refusals received from it, and reads that
+// fell back to the primary (staleness included).
+func (c *GatewayConn) ReplicaStats() (served, stale, fallbacks int64) {
+	return c.replicaServed.Load(), c.replicaStale.Load(), c.replicaFallbacks.Load()
+}
+
+// replicaRoundTrip runs one read request against the configured read
+// replica: lazy-dial with the read-only hello, write the frame, wait for
+// the matching response. Synchronous under rmu by design — replica reads
+// are a fallback-friendly side channel, not a second pipelined stream. Any
+// transport error tears the replica connection down (the next read
+// redials) and surfaces to the caller, who falls back to the primary.
+func (c *GatewayConn) replicaRoundTrip(owner string, req wire.Request) (wire.Response, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return wire.Response{}, errors.New("client: gateway connection closed")
+	}
+	if c.rconn == nil {
+		conn, err := c.dialer(c.readAddr)
+		if err != nil {
+			return wire.Response{}, fmt.Errorf("client: dial read replica %s: %w", c.readAddr, err)
+		}
+		_ = conn.SetDeadline(time.Now().Add(helloTimeout))
+		if err := wire.WriteReadHello(conn, c.proposed); err != nil {
+			conn.Close()
+			return wire.Response{}, err
+		}
+		accepted, err := wire.ReadHelloAck(conn)
+		if err != nil {
+			conn.Close()
+			return wire.Response{}, fmt.Errorf("client: replica hello %s: %w", c.readAddr, err)
+		}
+		_ = conn.SetDeadline(time.Time{})
+		c.rconn, c.rcodec = conn, accepted
+	}
+	c.rid++
+	id := c.rid
+	payload, err := c.rcodec.EncodeGatewayRequest(wire.GatewayRequest{ID: id, Owner: owner, Req: req})
+	if err != nil {
+		return wire.Response{}, err
+	}
+	sever := func(err error) (wire.Response, error) {
+		c.rconn.Close()
+		c.rconn = nil
+		return wire.Response{}, err
+	}
+	if err := wire.WriteFrame(c.rconn, payload); err != nil {
+		return sever(fmt.Errorf("client: replica write: %w", err))
+	}
+	c.bytesOut.Add(int64(len(payload)) + 4)
+	in, err := wire.ReadFrame(c.rconn)
+	if err != nil {
+		return sever(fmt.Errorf("client: replica read: %w", err))
+	}
+	c.bytesIn.Add(int64(len(in)) + 4)
+	gr, err := c.rcodec.DecodeGatewayResponse(in)
+	if err != nil {
+		return sever(err)
+	}
+	if gr.ID != id {
+		return sever(fmt.Errorf("client: replica response id %d for request %d", gr.ID, id))
+	}
+	if err := respErr(gr.Resp); err != nil {
+		return wire.Response{}, err
+	}
+	return gr.Resp, nil
 }
 
 // readLoop demultiplexes responses to their waiting senders by request ID.
@@ -549,13 +656,27 @@ func (c *GatewayConn) roundTrip(owner string, req wire.Request) (wire.Response, 
 		}
 		return wire.Response{}, err
 	}
-	if !resp.OK {
-		if resp.Backpressure {
-			return wire.Response{}, fmt.Errorf("client: gateway refused request: %w", wire.ErrBackpressure)
-		}
-		return wire.Response{}, fmt.Errorf("client: gateway error: %s", resp.Error)
+	if err := respErr(resp); err != nil {
+		return wire.Response{}, err
 	}
 	return resp, nil
+}
+
+// respErr maps a non-OK response to its typed client error: backpressure
+// and replica staleness wrap their sentinel errors so callers can branch
+// with errors.Is; everything else is a generic gateway error.
+func respErr(resp wire.Response) error {
+	if resp.OK {
+		return nil
+	}
+	if resp.Backpressure {
+		return fmt.Errorf("client: gateway refused request: %w", wire.ErrBackpressure)
+	}
+	if resp.Stale != nil {
+		return fmt.Errorf("client: replica committed offset %d below freshness bound: %w",
+			resp.Stale.Offset, wire.ErrStale)
+	}
+	return fmt.Errorf("client: gateway error: %s", resp.Error)
 }
 
 // Owner returns this owner namespace's database handle on the shared
@@ -813,10 +934,23 @@ func (s *OwnerSession) Setup(rs []record.Record) error { return s.upload(wire.Ms
 // Update implements edb.Database.
 func (s *OwnerSession) Update(rs []record.Record) error { return s.upload(wire.MsgUpdate, rs) }
 
-// Query implements edb.Database.
+// Query implements edb.Database. With WithReadReplica configured the query
+// is served by the replica's read plane at any committed freshness
+// (MinOffset 0); without, it goes to the primary.
 func (s *OwnerSession) Query(q query.Query) (query.Answer, edb.Cost, error) {
+	return s.QueryAt(q, 0)
+}
+
+// QueryAt runs q with an explicit freshness bound: the answer must reflect
+// a committed replication offset of at least minOffset on the serving
+// node. A read replica whose applied cursor is below the bound refuses
+// with the typed wire.ErrStale (carrying its cursor) and the query falls
+// back to the primary, which is trivially fresh — so the bound can tighten
+// a replica read without ever failing the caller. minOffset 0 accepts any
+// committed prefix.
+func (s *OwnerSession) QueryAt(q query.Query, minOffset uint64) (query.Answer, edb.Cost, error) {
 	spec := wire.FromQuery(q)
-	resp, err := s.conn.roundTrip(s.owner, wire.Request{Type: wire.MsgQuery, Query: &spec})
+	resp, err := s.readRoundTrip(wire.Request{Type: wire.MsgQuery, Query: &spec, MinOffset: minOffset})
 	if err != nil {
 		return query.Answer{}, edb.Cost{}, err
 	}
@@ -824,6 +958,26 @@ func (s *OwnerSession) Query(q query.Query) (query.Answer, edb.Cost, error) {
 		return query.Answer{}, edb.Cost{}, fmt.Errorf("client: malformed query response")
 	}
 	return resp.Answer.ToAnswer(), resp.Cost.ToCost(), nil
+}
+
+// readRoundTrip routes one side-effect-free read: replica first when one
+// is configured, primary on any replica failure (staleness, transport,
+// refusal). Replica trouble is never the caller's problem — the fallback
+// is the contract.
+func (s *OwnerSession) readRoundTrip(req wire.Request) (wire.Response, error) {
+	if s.conn.readAddr == "" {
+		return s.conn.roundTrip(s.owner, req)
+	}
+	resp, err := s.conn.replicaRoundTrip(s.owner, req)
+	if err == nil {
+		s.conn.replicaServed.Add(1)
+		return resp, nil
+	}
+	if errors.Is(err, wire.ErrStale) {
+		s.conn.replicaStale.Add(1)
+	}
+	s.conn.replicaFallbacks.Add(1)
+	return s.conn.roundTrip(s.owner, req)
 }
 
 // Stats implements edb.Database: the owner-side accounting, which knows the
@@ -835,9 +989,9 @@ func (s *OwnerSession) Stats() edb.StorageStats {
 }
 
 // RemoteStats asks the gateway for its split-blind view of this owner's
-// namespace.
+// namespace (served by the read replica when one is configured).
 func (s *OwnerSession) RemoteStats() (wire.StatsSpec, error) {
-	resp, err := s.conn.roundTrip(s.owner, wire.Request{Type: wire.MsgStats})
+	resp, err := s.readRoundTrip(wire.Request{Type: wire.MsgStats})
 	if err != nil {
 		return wire.StatsSpec{}, err
 	}

@@ -141,8 +141,10 @@ type Node struct {
 	gw       *gateway.Gateway
 	hub      *Hub
 	fol      *followerCore
+	plane    *readPlane
 	tailConn net.Conn
 	lastFol  FollowerStats
+	lastRead ReadPlaneStats
 	closed   bool
 	killed   bool
 	// leaseHolder/leaseRenewed mirror the node's last view of the arbiter:
@@ -171,6 +173,9 @@ type NodeStats struct {
 	Follower FollowerStats
 	// Hub carries the primary-side counters (zero while following).
 	Hub HubStats
+	// ReadPlane carries the follower read-plane counters (the last values
+	// before shutdown once the node has promoted or closed).
+	ReadPlane ReadPlaneStats
 }
 
 // Start brings a node up: it binds the address, then either takes the lease
@@ -213,6 +218,7 @@ func Start(cfg Config) (*Node, error) {
 			n.mu.Lock()
 			role, holder, renewed := n.role, n.leaseHolder, n.leaseRenewed
 			fol, last := n.fol, n.lastFol
+			plane, lastRead := n.plane, n.lastRead
 			n.mu.Unlock()
 			var isPrimary, held float64
 			if role == RolePrimary {
@@ -238,6 +244,25 @@ func Start(cfg Config) (*Node, error) {
 				Kind: telemetry.KindCounter, Value: float64(fst.Applied)})
 			emit(telemetry.Sample{Name: "cluster_repl_snapshot_transfers_total", Help: "snapshot transfers applied by this replica",
 				Kind: telemetry.KindCounter, Value: float64(fst.Snapshots)})
+			rst := lastRead
+			if plane != nil {
+				rst = plane.Stats()
+			}
+			emit(telemetry.Sample{Name: "cluster_read_queries_total",
+				Help: "read requests served by the follower read plane (refusals included)",
+				Kind: telemetry.KindCounter, Value: float64(rst.Queries)})
+			emit(telemetry.Sample{Name: "cluster_read_stale_total",
+				Help: "typed freshness refusals (replica cursor below the query's MinOffset)",
+				Kind: telemetry.KindCounter, Value: float64(rst.Stale)})
+			emit(telemetry.Sample{Name: "cluster_read_qcache_hits_total",
+				Help: "replica queries served from the noise-reuse answer cache",
+				Kind: telemetry.KindCounter, Value: float64(rst.CacheHits)})
+			emit(telemetry.Sample{Name: "cluster_read_qcache_misses_total",
+				Help: "replica queries evaluated against the materialized backend",
+				Kind: telemetry.KindCounter, Value: float64(rst.CacheMisses)})
+			emit(telemetry.Sample{Name: "cluster_read_rebuilds_total",
+				Help: "read-plane backend materializations (first read, or replicated clock advanced)",
+				Kind: telemetry.KindCounter, Value: float64(rst.Rebuilds)})
 		})
 	}
 	lis, err := net.Listen("tcp", cfg.Addr)
@@ -277,6 +302,15 @@ func Start(cfg Config) (*Node, error) {
 		return nil, err
 	}
 	n.fol = fol
+	// The follower read plane serves "DPSQ" connections from the replica.
+	// A config the serving gateway could not materialize (no key, no
+	// backend) degrades to the old refuse-everything follower rather than
+	// failing the node — promotion would surface the same problem louder.
+	if plane, perr := newReadPlane(cfg, fol, n.log.With("node", cfg.NodeID)); perr != nil {
+		n.log.Warn("read plane disabled", "node", cfg.NodeID, "err", perr)
+	} else {
+		n.plane = plane
+	}
 	n.wg.Add(1)
 	go n.runFollower()
 	return n, nil
@@ -338,10 +372,14 @@ func (n *Node) Promoted() <-chan struct{} { return n.promoted }
 func (n *Node) Stats() NodeStats {
 	n.mu.Lock()
 	role, fol, hub, last := n.role, n.fol, n.hub, n.lastFol
+	plane, lastRead := n.plane, n.lastRead
 	n.mu.Unlock()
-	st := NodeStats{Role: role, Follower: last}
+	st := NodeStats{Role: role, Follower: last, ReadPlane: lastRead}
 	if fol != nil {
 		st.Follower = fol.Stats()
+	}
+	if plane != nil {
+		st.ReadPlane = plane.Stats()
 	}
 	if hub != nil {
 		st.Hub = hub.Stats()
@@ -356,6 +394,7 @@ func (n *Node) StatusText() string {
 	n.mu.Lock()
 	role, holder, renewed := n.role, n.leaseHolder, n.leaseRenewed
 	gw, hub, fol, last := n.gw, n.hub, n.fol, n.lastFol
+	plane, lastRead := n.plane, n.lastRead
 	n.mu.Unlock()
 	var b strings.Builder
 	fmt.Fprintf(&b, "node: %s\nrole: %s\naddr: %s\n", n.cfg.NodeID, role, n.Addr())
@@ -402,6 +441,13 @@ func (n *Node) StatusText() string {
 		}
 	} else if gw == nil {
 		fmt.Fprintf(&b, "replica (sealed): applied=%d snapshot_transfers=%d\n", last.Applied, last.Snapshots)
+	}
+	if plane != nil {
+		lastRead = plane.Stats()
+	}
+	if plane != nil || lastRead != (ReadPlaneStats{}) {
+		fmt.Fprintf(&b, "read plane: queries=%d stale=%d cache_hits=%d cache_misses=%d rebuilds=%d\n",
+			lastRead.Queries, lastRead.Stale, lastRead.CacheHits, lastRead.CacheMisses, lastRead.Rebuilds)
 	}
 	return b.String()
 }
@@ -666,8 +712,22 @@ func (n *Node) refuseLoop(stop, done chan struct{}) {
 		go func() {
 			defer conn.Close()
 			_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
-			if _, _, err := wire.ReadAnyHello(conn); err != nil {
+			kind, proposed, err := wire.ReadAnyHello(conn)
+			if err != nil {
 				return
+			}
+			if kind == wire.HelloRead {
+				// Read-only hello: hand the connection to the read plane,
+				// which serves queries from the replicated store instead of
+				// refusing. Sync hellos keep the typed refusal below.
+				n.mu.Lock()
+				plane := n.plane
+				n.mu.Unlock()
+				if plane != nil {
+					_ = conn.SetDeadline(time.Time{})
+					plane.serve(conn, proposed)
+					return
+				}
 			}
 			_ = wire.WriteHelloRefused(conn)
 		}()
@@ -681,7 +741,17 @@ func (n *Node) refuseLoop(stop, done chan struct{}) {
 func (n *Node) promote() error {
 	n.mu.Lock()
 	fol := n.fol
+	plane := n.plane
+	n.plane = nil
 	n.mu.Unlock()
+	if plane != nil {
+		// No read request may touch the store once sealing starts; the
+		// plane's counters survive in lastRead for status continuity.
+		plane.shutdown()
+		n.mu.Lock()
+		n.lastRead = plane.Stats()
+		n.mu.Unlock()
+	}
 	if err := fol.seal(); err != nil {
 		// The directory still holds the longest provable prefix; promote it.
 		n.log.Warn("sealing replica failed; promoting committed prefix", "node", n.cfg.NodeID, "err", err)
@@ -700,11 +770,18 @@ func (n *Node) promote() error {
 func (n *Node) sealFollower() {
 	n.mu.Lock()
 	fol := n.fol
-	n.fol = nil
+	plane := n.plane
+	n.fol, n.plane = nil, nil
 	if fol != nil {
 		n.lastFol = fol.Stats()
 	}
 	n.mu.Unlock()
+	if plane != nil {
+		plane.shutdown()
+		n.mu.Lock()
+		n.lastRead = plane.Stats()
+		n.mu.Unlock()
+	}
 	if fol == nil {
 		return
 	}
@@ -760,7 +837,8 @@ func (n *Node) Kill() {
 	hub := n.hub
 	conn := n.tailConn
 	fol := n.fol
-	n.fol = nil
+	plane := n.plane
+	n.fol, n.plane = nil, nil
 	if fol != nil {
 		n.lastFol = fol.Stats()
 	}
@@ -775,6 +853,12 @@ func (n *Node) Kill() {
 		n.lis.Close()
 		if conn != nil {
 			conn.Close()
+		}
+		if plane != nil {
+			plane.shutdown()
+			n.mu.Lock()
+			n.lastRead = plane.Stats()
+			n.mu.Unlock()
 		}
 		if fol != nil {
 			fol.kill()

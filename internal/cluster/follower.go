@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dpsync/internal/dp"
+	"dpsync/internal/leakage"
 	"dpsync/internal/store"
 	"dpsync/internal/telemetry"
 	"dpsync/internal/wire"
@@ -60,7 +61,8 @@ type FollowerStats struct {
 
 // followerCore is the replica state machine. All stream methods run on one
 // goroutine (the tail loop); Stats and the WAL-append completions touch
-// only the mutex-guarded fields.
+// only the mutex-guarded fields. The read plane observes owner state
+// through cut, which synchronizes with the tail loop via smu.
 type followerCore struct {
 	log       *slog.Logger
 	st        *store.Store
@@ -77,6 +79,12 @@ type followerCore struct {
 	// lock-free — a follower replicating within its lag bound is ready.
 	lastContact atomic.Int64
 
+	// smu orders the tail loop's state mutations against read-plane cuts:
+	// applyFrame holds it across each non-heartbeat frame, so a cut sees
+	// owner state and stream cursor from the same frame boundary. WAL-append
+	// completions take only mu, so holding smu across rotate's quiesce
+	// cannot deadlock.
+	smu       sync.Mutex
 	states    []map[string]*store.OwnerState // per shard, per owner
 	counts    []uint64                       // applied live-stream offsets
 	resync    []bool                         // shard needs a snapshot transfer
@@ -135,6 +143,7 @@ func (f *followerCore) tail(conn net.Conn, node string, readTO time.Duration) er
 		return err // wire.ErrNotPrimary passes through typed
 	}
 	cursors := make([]wire.ReplCursor, f.shards)
+	f.smu.Lock()
 	for sid := range cursors {
 		off := f.counts[sid]
 		if f.resync[sid] {
@@ -142,6 +151,7 @@ func (f *followerCore) tail(conn net.Conn, node string, readTO time.Duration) er
 		}
 		cursors[sid] = wire.ReplCursor{Shard: uint32(sid), Offset: off}
 	}
+	f.smu.Unlock()
 	jb, err := wire.EncodeReplJoin(wire.ReplJoin{Node: node, Cursors: cursors})
 	if err != nil {
 		return err
@@ -192,6 +202,10 @@ func (f *followerCore) applyFrame(fr wire.ReplFrame, now time.Time) error {
 	if fr.Kind == wire.ReplHeartbeat {
 		return nil
 	}
+	// One frame is the unit of atomicity the read plane observes: cut waits
+	// out an in-progress fold, never sees a half-applied batch.
+	f.smu.Lock()
+	defer f.smu.Unlock()
 	sid := int(fr.Shard)
 	if sid < 0 || sid >= f.shards {
 		return fmt.Errorf("cluster: stream frame for shard %d of %d", fr.Shard, f.shards)
@@ -384,4 +398,28 @@ func (f *followerCore) Stats() FollowerStats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.stats
+}
+
+// cut returns a deep copy of one owner's replicated state together with the
+// owning shard's applied stream offset — the freshness cursor a read-plane
+// answer is stamped with. The copy discipline mirrors gateway.OwnerCut:
+// slices and the budget are copied under smu so the caller can stream and
+// fold them while the tail loop keeps applying frames. ok is false when the
+// replica has never seen the owner.
+func (f *followerCore) cut(owner string) (st store.OwnerState, cursor uint64, ok bool) {
+	sid := store.ShardFor(owner, f.shards)
+	f.smu.Lock()
+	defer f.smu.Unlock()
+	src := f.states[sid][owner]
+	if src == nil {
+		return store.OwnerState{}, f.counts[sid], false
+	}
+	st = *src
+	st.Events = append([]leakage.Event(nil), src.Events...)
+	st.Spilled = append([]store.SegmentRef(nil), src.Spilled...)
+	st.Tail = append([]store.Batch(nil), src.Tail...)
+	if src.Budget != nil {
+		st.Budget = src.Budget.Clone()
+	}
+	return st, f.counts[sid], true
 }

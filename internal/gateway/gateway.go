@@ -186,6 +186,16 @@ type Config struct {
 	// recovered tenants refuse further syncs (the ledger rejects a charge
 	// whose epsilon drifted) — by design, accounting drift is loud.
 	SyncEpsilon float64
+	// QueryCache is the per-tenant noise-reuse answer cache capacity in
+	// entries (0 = qcache.DefaultCapacity, negative disables). A released DP
+	// answer is already noised — re-serving the identical bytes to the
+	// identical QuerySpec is pure post-processing and costs zero additional
+	// ε — so each tenant caches its released answers and the shard worker
+	// serves repeats without touching the backend. The cache is RAM-only and
+	// invalidated when the owner's next sync *commits* (never at apply), so
+	// a cached answer cannot outlive the state transition that could change
+	// it and a crash cannot resurrect a stale entry.
+	QueryCache int
 	// Listener, when non-nil, is a pre-bound listener the gateway adopts
 	// instead of binding addr — how a promoting cluster follower hands the
 	// address it was already refusing clients on to its new gateway without
@@ -275,6 +285,14 @@ type gwMetrics struct {
 	commit  *telemetry.Histogram // WAL append → group-commit completion
 	ack     *telemetry.Histogram // response enqueue → frame on the wire
 	eps     *telemetry.Distribution
+	// Noise-reuse answer cache counters (fleet aggregates — per-owner cache
+	// behavior is exactly the update/query pattern the aggregate-only
+	// posture suppresses) and the cache-served stage latency.
+	qcHits  *telemetry.Counter
+	qcMiss  *telemetry.Counter
+	qcEvict *telemetry.Counter
+	qcInval *telemetry.Counter
+	qcServe *telemetry.Histogram // shard-worker dequeue → cache-served response
 	unreg   func()
 }
 
@@ -340,6 +358,12 @@ func New(addr string, cfg Config) (*Gateway, error) {
 				"response enqueue to frame written on the wire, microseconds", telemetry.LatencyBucketsUs),
 			eps: reg.Distribution("gateway_tenant_eps_spent",
 				"fleet-wide distribution of cumulative per-tenant epsilon spend", telemetry.EpsilonBuckets),
+			qcHits:  reg.Counter("gateway_qcache_hits_total", "queries served from the noise-reuse answer cache (zero additional epsilon)"),
+			qcMiss:  reg.Counter("gateway_qcache_misses_total", "queries evaluated against the backend (cache cold or invalidated)"),
+			qcEvict: reg.Counter("gateway_qcache_evictions_total", "answer-cache entries evicted by the LFU capacity bound"),
+			qcInval: reg.Counter("gateway_qcache_invalidations_total", "answer-cache entries dropped by a committed sync"),
+			qcServe: reg.Histogram("gateway_qcache_serve_us",
+				"cache-hit query service time on the shard worker, microseconds", telemetry.LatencyBucketsUs),
 		}
 		g.tm.unreg = reg.RegisterCollector(func(emit func(telemetry.Sample)) {
 			gauge := func(name, help string, v float64) {
@@ -658,6 +682,27 @@ func (g *Gateway) Owners() int { return int(g.ownerCount.Load()) }
 // connections — the fleet-health counter the load generator reports.
 func (g *Gateway) Sheds() int64 { return g.sheds.Load() }
 
+// QueryCacheStats snapshots the noise-reuse answer cache counters across
+// every tenant (zero when Telemetry is disabled — the counters are the
+// telemetry instruments themselves, read lock-free).
+type QueryCacheStats struct {
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	Invalidations int64
+}
+
+// QueryCacheStats returns the gateway-wide answer-cache counters — what the
+// load generator reports as the cache hit ratio.
+func (g *Gateway) QueryCacheStats() QueryCacheStats {
+	return QueryCacheStats{
+		Hits:          g.tm.qcHits.Value(),
+		Misses:        g.tm.qcMiss.Value(),
+		Evictions:     g.tm.qcEvict.Value(),
+		Invalidations: g.tm.qcInval.Value(),
+	}
+}
+
 // shardFor routes an owner ID to its shard. The hash is stable for the
 // gateway's lifetime, so one owner's requests always execute on one worker
 // — that is what serializes a tenant without a tenant lock. The mapping is
@@ -933,6 +978,12 @@ func (g *Gateway) handle(conn net.Conn) {
 		g.cfg.Replicator.ServeConn(conn, versionByte)
 		return
 	}
+	// A read-only hello ("DPSQ") on a primary is served from the same path
+	// as a full client — the primary is trivially fresh, so MinOffset never
+	// refuses here — but its write half is disabled: syncs and resumes get
+	// the typed not-primary refusal so a misrouted writer fails loudly
+	// instead of mutating state over a connection negotiated as read-only.
+	readOnly := kind == wire.HelloRead
 	codec := wire.Codec(versionByte)
 	if !codec.Valid() {
 		// Unknown proposal: downgrade to the compat codec rather than
@@ -1055,6 +1106,14 @@ func (g *Gateway) handle(conn net.Conn) {
 			admit()
 			reply(wire.GatewayResponse{ID: greq.ID, Resp: wire.Response{Error: "gateway: missing owner id"}}, telemetry.TraceContext{})
 			continue
+		}
+		if readOnly {
+			switch greq.Req.Type {
+			case wire.MsgSetup, wire.MsgUpdate, wire.MsgResume:
+				admit()
+				reply(wire.GatewayResponse{ID: greq.ID, Resp: wire.Response{Error: wire.ErrNotPrimary.Error()}}, telemetry.TraceContext{})
+				continue
+			}
 		}
 		if int(inflight.Load()) >= maxInFlight {
 			// Load shed: refuse without touching tenant state. The refusal

@@ -8,6 +8,7 @@ import (
 	"dpsync/internal/dp"
 	"dpsync/internal/edb"
 	"dpsync/internal/leakage"
+	"dpsync/internal/qcache"
 	"dpsync/internal/record"
 	"dpsync/internal/seal"
 	"dpsync/internal/store"
@@ -123,6 +124,15 @@ type tenant struct {
 	// preceded it (waitSeq) and runs on the shard worker from the commit
 	// completion.
 	deferred []deferredRead
+	// qc is the owner's noise-reuse answer cache: released query responses
+	// keyed by the full QuerySpec, served without touching the backend (a
+	// released DP answer is already noised — re-serving it is pure post-
+	// processing and spends nothing). RAM-only by design: it is invalidated
+	// where ticks advances — at *commit*, never at apply — so a cached
+	// answer cannot outlive the committed state it was computed from, and
+	// recovery always starts cold. Shard-worker-only like every other
+	// tenant field; nil when Config.QueryCache is negative.
+	qc *qcache.Cache
 }
 
 // deferredRead is one parked read: run(false) executes it, run(true)
@@ -260,6 +270,9 @@ func (g *Gateway) newTenant(owner string) (*tenant, error) {
 		return nil, fmt.Errorf("gateway: backend for %q: %w", owner, err)
 	}
 	tn := &tenant{db: db, budget: dp.NewBudget()}
+	if g.cfg.QueryCache >= 0 {
+		tn.qc = qcache.New(g.cfg.QueryCache)
+	}
 	if ss, ok := db.(sealedStore); ok {
 		tn.sealed = ss
 	} else if g.sealer == nil {
@@ -395,6 +408,7 @@ func (g *Gateway) dispatch(sh *shard, tn *tenant, owner string, req wire.Request
 		if g.store == nil {
 			// In-memory mode: commit is immediate, like internal/server.
 			tn.ticks = int(tick)
+			g.invalidateCache(tn)
 			tn.observed.Record(record.Tick(tick), volume, false)
 			if err := tn.budget.Charge(charge.Name, charge.Eps, charge.Rule); err != nil {
 				g.log.Error("ledger charge failed after validation",
@@ -453,6 +467,7 @@ func (g *Gateway) dispatch(sh *shard, tn *tenant, owner string, req wire.Request
 				// clock, and history always describe the same committed
 				// prefix (what snapshots persist and recovery rebuilds).
 				tn.ticks = int(entry.Batch.Tick)
+				g.invalidateCache(tn)
 				tn.observed.Record(record.Tick(entry.Batch.Tick), volume, false)
 				if cerr := tn.budget.Charge(charge.Name, charge.Eps, charge.Rule); cerr != nil {
 					g.log.Error("ledger charge failed after validation",
@@ -495,12 +510,39 @@ func (g *Gateway) dispatch(sh *shard, tn *tenant, owner string, req wire.Request
 			return
 		}
 		g.tm.queries.Inc()
+		spec := *req.Query
 		g.serveRead(tn, respond, func() wire.Response {
-			ans, cost, err := tn.db.Query(req.Query.ToQuery())
+			// Noise-reuse answer cache. The exec closure runs only against
+			// committed state (immediately when seq == ticks, or from the
+			// commit completion after flushDeferred) and invalidation happens
+			// where ticks advances, so a hit can only re-serve bytes the
+			// current committed state would recompute identically — and
+			// re-serving a released DP answer spends zero additional ε.
+			var start time.Time
+			if g.tm.on {
+				start = time.Now()
+			}
+			if tn.qc != nil {
+				if resp, ok := tn.qc.Get(spec); ok {
+					g.tm.qcHits.Inc()
+					if !start.IsZero() {
+						g.tm.qcServe.ObserveSince(start)
+					}
+					return resp
+				}
+				g.tm.qcMiss.Inc()
+			}
+			ans, cost, err := tn.db.Query(spec.ToQuery())
 			if err != nil {
 				return wire.Response{Error: err.Error()}
 			}
-			return wire.NewQueryResponse(ans, cost)
+			resp := wire.NewQueryResponse(ans, cost)
+			if tn.qc != nil {
+				if tn.qc.Put(spec, resp) {
+					g.tm.qcEvict.Inc()
+				}
+			}
+			return resp
 		})
 
 	case wire.MsgStats:
@@ -568,6 +610,19 @@ func (g *Gateway) serveRead(tn *tenant, respond func(wire.Response), exec func()
 		}
 		respond(exec())
 	}})
+}
+
+// invalidateCache drops the tenant's noise-reuse answer cache. Called at
+// every point where tn.ticks advances — commit time, never apply time — and
+// always before the deferred reads parked behind that commit run, so a
+// cached answer can never outlive the committed state that produced it.
+func (g *Gateway) invalidateCache(tn *tenant) {
+	if tn.qc == nil {
+		return
+	}
+	if n := tn.qc.Invalidate(); n > 0 {
+		g.tm.qcInval.Add(int64(n))
+	}
 }
 
 // dispatchUnknown answers requests addressed to a namespace that does not

@@ -9,6 +9,7 @@ import (
 
 	"dpsync/internal/client"
 	"dpsync/internal/gateway"
+	"dpsync/internal/query"
 	"dpsync/internal/record"
 	"dpsync/internal/telemetry"
 )
@@ -30,7 +31,9 @@ func scrapeAll(t *testing.T, reg *telemetry.Registry) (prom, varz string) {
 }
 
 // driveTelemetryOwners syncs each named owner through one setup and one
-// update so the gateway has committed per-tenant state to (not) expose.
+// update, then queries each twice — the repeat is served by the answer
+// cache — so the gateway has committed per-tenant state AND per-tenant read
+// activity to (not) expose.
 func driveTelemetryOwners(t *testing.T, addr string, key []byte, owners []string) {
 	t.Helper()
 	conn, err := client.DialGateway(addr, key)
@@ -45,6 +48,11 @@ func driveTelemetryOwners(t *testing.T, addr string, key []byte, owners []string
 		}
 		if err := own.Update([]record.Record{yellow(1, uint16(i+2)), record.NewDummy(record.YellowCab)}); err != nil {
 			t.Fatal(err)
+		}
+		for rep := 0; rep < 2; rep++ {
+			if _, _, err := own.Query(query.Q1()); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 }
@@ -93,9 +101,14 @@ func TestTelemetryAggregateOnlyByDefault(t *testing.T) {
 
 	// The aggregate view must still be there: totals and the fleet-wide ε
 	// distribution (which is how spend is visible without naming anyone).
+	// The answer-cache counters ride the same contract: hit/miss totals are
+	// fleet-wide — a per-tenant hit rate would expose which tenants re-ask
+	// which questions, a workload fingerprint the read path must not leak.
 	for _, series := range []string{
 		"gateway_syncs_total", "gateway_owners", "gateway_tenant_eps_spent",
 		"gateway_sync_queue_wait_us", "gateway_sync_apply_us", "gateway_sync_ack_us",
+		"gateway_qcache_hits_total", "gateway_qcache_misses_total",
+		"gateway_qcache_invalidations_total", "gateway_qcache_serve_us",
 	} {
 		if !strings.Contains(prom, series) {
 			t.Errorf("aggregate series %q missing from /metrics", series)
@@ -103,6 +116,12 @@ func TestTelemetryAggregateOnlyByDefault(t *testing.T) {
 	}
 	if !strings.Contains(prom, `gateway_tenant_eps_spent_count 3`) {
 		t.Errorf("fleet ε distribution should enroll all 3 tenants:\n%s", prom)
+	}
+	// Each owner's repeat query hit the cache: the aggregate counters moved,
+	// and moved only in aggregate (the leak sweep above already ran over the
+	// same scrape with the cache populated).
+	if st := gw.QueryCacheStats(); st.Hits < int64(len(owners)) {
+		t.Errorf("cache hits = %d, want at least one per owner (%d)", st.Hits, len(owners))
 	}
 }
 

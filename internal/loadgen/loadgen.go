@@ -97,6 +97,15 @@ type Config struct {
 	// across the run; 0 means 4 per connection. Stalls and duplicates are
 	// unbudgeted.
 	FaultBudget int64
+	// QueryMix issues this many analyst queries per owner per tick, cycling
+	// the paper's Q1–Q4 kinds, interleaved with the sync traffic. Repeated
+	// specs between commits exercise the gateway's noise-reuse answer cache
+	// (and, with ReplicaAddr, the follower read plane).
+	QueryMix int
+	// ReplicaAddr routes the query half of the drive to a follower's read
+	// plane (client.WithReadReplica); syncs still go to Addr. Queries that
+	// the replica refuses or cannot serve fall back to the primary.
+	ReplicaAddr string
 	// OpenLoop switches the drive from closed-loop (each owner ticks as
 	// fast as round trips allow) to an open-loop arrival model: ticks
 	// arrive on a seeded Poisson process with a bursty mixture, and
@@ -177,6 +186,21 @@ type Report struct {
 	OpenLoopP99Ms     float64 `json:"open_loop_p99_ms"`
 	BackpressureSheds int64   `json:"backpressure_sheds"`
 	FaultsInjected    int64   `json:"faults_injected,omitempty"`
+	// Read-path measurements (QueryMix > 0). Queries counts analyst queries
+	// completed; QueryQPS is their throughput over the drive. QcacheHitRatio
+	// is hits/(hits+misses) of the in-process gateway's noise-reuse answer
+	// cache — every hit is a response re-served without touching the backend
+	// or the ε ledger. The Replica* fields are client-side read-plane
+	// counters (ReplicaAddr set): queries the replica answered, typed
+	// freshness refusals, and fallbacks to the primary.
+	Queries          int64   `json:"queries,omitempty"`
+	QueryQPS         float64 `json:"query_qps,omitempty"`
+	QueryP99Ms       float64 `json:"query_p99_ms,omitempty"`
+	QcacheHitRatio   float64 `json:"qcache_hit_ratio,omitempty"`
+	ReplicaServed    int64   `json:"replica_served,omitempty"`
+	ReplicaStale     int64   `json:"replica_stale,omitempty"`
+	ReplicaFallbacks int64   `json:"replica_fallbacks,omitempty"`
+	ReplicaQueryQPS  float64 `json:"replica_query_qps,omitempty"`
 }
 
 // timedDB wraps an owner's database handle and records the round-trip
@@ -188,7 +212,17 @@ type timedDB struct {
 	// openLat is filled by the open-loop driver: per-tick latency in ms
 	// measured from the scheduled arrival, syncing ticks or not.
 	openLat []float64
+	// queries / queryLat are filled by the query-mix driver: analyst query
+	// round trips in ms, cache hits and misses alike.
+	queries  int64
+	queryLat []float64
 }
+
+// queryKinds is the analyst mix the drive cycles: the paper's four query
+// shapes (range count, group count, join count, fare sum). Reusing the same
+// four specs between commits is deliberate — repeats are what the
+// noise-reuse answer cache exists to serve.
+var queryKinds = []query.Query{query.Q1(), query.Q2(), query.Q3(), query.Q4()}
 
 func (t *timedDB) time(op func() error, n int) error {
 	start := time.Now()
@@ -305,9 +339,18 @@ func Run(cfg Config) (Report, error) {
 		return Report{}, fmt.Errorf("loadgen: external gateway requires a key")
 	} else if cfg.Durable {
 		return Report{}, fmt.Errorf("loadgen: durable mode drives an in-process gateway (drop -addr)")
+	} else if cfg.Verify && cfg.ReplicaAddr != "" {
+		// External verification reads RemoteStats, which -replica-addr routes
+		// to the follower; a replica lagging by an in-flight frame would fail
+		// the check spuriously (a lagging-but-committed answer is not an
+		// error, so no primary fallback fires).
+		return Report{}, fmt.Errorf("loadgen: -verify races replica lag (drop -replica-addr)")
 	}
 
 	dialOpts := []client.GatewayOption{client.WithCodec(cfg.Codec), client.WithWindow(cfg.Window)}
+	if cfg.ReplicaAddr != "" {
+		dialOpts = append(dialOpts, client.WithReadReplica(cfg.ReplicaAddr))
+	}
 	var inj *faultnet.Injector
 	if cfg.Faults {
 		budget := cfg.FaultBudget
@@ -431,6 +474,19 @@ func Run(cfg Config) (Report, error) {
 			if terr != nil {
 				return nil, fmt.Errorf("owner %d tick %d: %w", i, t, terr)
 			}
+			// The analyst mix rides the same tick cadence as the syncs:
+			// QueryMix queries per tick, cycling the four kinds, straight to
+			// the session (queries bypass the strategy — they are reads of
+			// released state, not part of the owner's update pattern).
+			for q := 0; q < cfg.QueryMix; q++ {
+				spec := queryKinds[(t*cfg.QueryMix+q)%len(queryKinds)]
+				qStart := time.Now()
+				if _, _, qerr := session.Query(spec); qerr != nil {
+					return nil, fmt.Errorf("owner %d query tick %d: %w", i, t, qerr)
+				}
+				tdb.queries++
+				tdb.queryLat = append(tdb.queryLat, float64(time.Since(qStart).Nanoseconds())/1e6)
+			}
 			if cfg.OpenLoop {
 				tdb.openLat = append(tdb.openLat, float64(time.Since(next).Nanoseconds())/1e6)
 			}
@@ -484,7 +540,8 @@ func Run(cfg Config) (Report, error) {
 
 	lat := metrics.NewSeries("sync_rtt_ms")
 	openLat := metrics.NewSeries("open_loop_tick_ms")
-	var syncs, syncRecords int64
+	queryLat := metrics.NewSeries("query_rtt_ms")
+	var syncs, syncRecords, queries int64
 	var firstErr error
 	verified := 0
 	for done := 0; done < cfg.Owners; done++ {
@@ -501,8 +558,12 @@ func Run(cfg Config) (Report, error) {
 		for _, ms := range r.tdb.openLat {
 			openLat.Add(record.Tick(openLat.Len()), ms)
 		}
+		for _, ms := range r.tdb.queryLat {
+			queryLat.Add(record.Tick(queryLat.Len()), ms)
+		}
 		syncs += int64(len(r.tdb.latencies))
 		syncRecords += r.tdb.records
+		queries += r.tdb.queries
 		if cfg.Verify {
 			verified++
 		}
@@ -541,6 +602,34 @@ func Run(cfg Config) (Report, error) {
 	}
 	if openLat.Len() > 0 {
 		rep.OpenLoopP99Ms = openLat.Quantile(0.99)
+	}
+	if queries > 0 {
+		rep.Queries = queries
+		rep.QueryP99Ms = queryLat.Quantile(0.99)
+		if elapsed > 0 {
+			rep.QueryQPS = float64(queries) / elapsed.Seconds()
+		}
+	}
+	if gw != nil && cfg.QueryMix > 0 {
+		qs := gw.QueryCacheStats()
+		if total := qs.Hits + qs.Misses; total > 0 {
+			rep.QcacheHitRatio = float64(qs.Hits) / float64(total)
+		}
+	}
+	if cfg.ReplicaAddr != "" {
+		var served, staleN, fallbacks int64
+		for _, c := range conns {
+			s, st, fb := c.ReplicaStats()
+			served += s
+			staleN += st
+			fallbacks += fb
+		}
+		rep.ReplicaServed = served
+		rep.ReplicaStale = staleN
+		rep.ReplicaFallbacks = fallbacks
+		if elapsed > 0 {
+			rep.ReplicaQueryQPS = float64(served) / elapsed.Seconds()
+		}
 	}
 	var reconnects int64
 	var reconnectTotal time.Duration

@@ -1,0 +1,110 @@
+// Package qcache is the gateway's noise-reuse answer cache: a per-tenant,
+// bounded-capacity store of released DP query answers keyed by the full
+// wire.QuerySpec.
+//
+// The privacy argument is DP-Sync's free lunch: a released answer is already
+// noised, so re-serving the exact same bytes to the exact same question
+// costs zero additional ε — differential privacy is closed under
+// post-processing, and a cache hit is pure post-processing. The cache
+// therefore never touches the ledger; its only correctness obligation is
+// that a cached answer must never outlive the state transition that could
+// change it. The gateway enforces that by invalidating the owner's cache at
+// sync *commit* time (not apply time): in durable mode the entry clears
+// inside the WAL completion where the committed clock advances, so a crash
+// between apply and commit cannot resurrect a stale answer — the cache is
+// RAM-only and recovery starts cold by construction.
+//
+// This is deliberately not internal/cache, which is the paper's owner-side
+// update buffer (the thing the DP strategies flush); this package lives on
+// the server read path. Each instance belongs to one shard-worker-owned
+// tenant, so it needs no locking: the shard worker is the only goroutine
+// that ever touches it.
+//
+// Eviction is LFU with FIFO tie-breaking. The query-spec space is tiny
+// (kind × provider × range bounds), capacities are small, and hot analyst
+// dashboards re-ask the same handful of specs — frequency, not recency, is
+// the signal that matters. Eviction scans for the minimum (O(capacity));
+// lookups and inserts below capacity are single map operations.
+package qcache
+
+import "dpsync/internal/wire"
+
+// DefaultCapacity is the per-tenant entry bound used when the gateway
+// config does not name one.
+const DefaultCapacity = 64
+
+type entry struct {
+	resp wire.Response
+	hits uint64
+	// seq is the insertion sequence, the LFU tie-breaker: among equally
+	// cold entries the oldest goes first.
+	seq uint64
+}
+
+// Cache is a bounded LFU cache of released query responses for one tenant.
+// Not safe for concurrent use — by design it is owned by a single shard
+// worker goroutine.
+type Cache struct {
+	cap  int
+	seq  uint64
+	m    map[wire.QuerySpec]*entry
+	hits uint64
+}
+
+// New returns a cache bounded to capacity entries (DefaultCapacity if
+// capacity <= 0).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{cap: capacity, m: make(map[wire.QuerySpec]*entry, capacity)}
+}
+
+// Get returns the cached response for spec and bumps its frequency.
+func (c *Cache) Get(spec wire.QuerySpec) (wire.Response, bool) {
+	e, ok := c.m[spec]
+	if !ok {
+		return wire.Response{}, false
+	}
+	e.hits++
+	return e.resp, true
+}
+
+// Put stores the released response for spec, evicting the least-frequently-
+// used entry if the cache is at capacity. It reports whether an eviction
+// happened (for telemetry).
+func (c *Cache) Put(spec wire.QuerySpec, resp wire.Response) (evicted bool) {
+	if e, ok := c.m[spec]; ok {
+		// Same spec, same committed state — the bytes cannot differ, but
+		// refreshing costs nothing and keeps Put idempotent.
+		e.resp = resp
+		return false
+	}
+	if len(c.m) >= c.cap {
+		var victim wire.QuerySpec
+		var min *entry
+		for k, e := range c.m {
+			if min == nil || e.hits < min.hits || (e.hits == min.hits && e.seq < min.seq) {
+				victim, min = k, e
+			}
+		}
+		delete(c.m, victim)
+		evicted = true
+	}
+	c.seq++
+	c.m[spec] = &entry{resp: resp, seq: c.seq}
+	return evicted
+}
+
+// Invalidate drops every entry — the owner committed a sync, so any cached
+// answer may now be stale — and returns how many were dropped.
+func (c *Cache) Invalidate() int {
+	n := len(c.m)
+	if n > 0 {
+		clear(c.m)
+	}
+	return n
+}
+
+// Len returns the live entry count.
+func (c *Cache) Len() int { return len(c.m) }

@@ -1,0 +1,111 @@
+package qcache
+
+import (
+	"testing"
+
+	"dpsync/internal/wire"
+)
+
+func spec(kind int, lo uint16) wire.QuerySpec {
+	return wire.QuerySpec{Kind: kind, Provider: 1, Lo: lo, Hi: lo + 1}
+}
+
+func resp(scalar float64) wire.Response {
+	return wire.Response{OK: true, Answer: &wire.AnswerSpec{Scalar: scalar}}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(4)
+	if _, ok := c.Get(spec(1, 0)); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	if evicted := c.Put(spec(1, 0), resp(42)); evicted {
+		t.Fatal("insert below capacity evicted")
+	}
+	got, ok := c.Get(spec(1, 0))
+	if !ok || got.Answer.Scalar != 42 {
+		t.Fatalf("Get = %+v, %v; want scalar 42 hit", got, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCapacityBoundAndLFUEviction(t *testing.T) {
+	c := New(3)
+	c.Put(spec(1, 0), resp(1))
+	c.Put(spec(1, 1), resp(2))
+	c.Put(spec(1, 2), resp(3))
+	// Heat up entries 0 and 2; entry 1 stays cold.
+	for i := 0; i < 3; i++ {
+		c.Get(spec(1, 0))
+		c.Get(spec(1, 2))
+	}
+	if evicted := c.Put(spec(1, 3), resp(4)); !evicted {
+		t.Fatal("insert at capacity did not evict")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d after eviction, want 3", c.Len())
+	}
+	if _, ok := c.Get(spec(1, 1)); ok {
+		t.Fatal("least-frequently-used entry survived eviction")
+	}
+	for _, s := range []wire.QuerySpec{spec(1, 0), spec(1, 2), spec(1, 3)} {
+		if _, ok := c.Get(s); !ok {
+			t.Fatalf("entry %+v missing after LFU eviction", s)
+		}
+	}
+}
+
+func TestEvictionTieBreaksFIFO(t *testing.T) {
+	c := New(2)
+	c.Put(spec(1, 0), resp(1)) // oldest, zero hits
+	c.Put(spec(1, 1), resp(2)) // newer, zero hits
+	c.Put(spec(1, 2), resp(3)) // evicts the oldest cold entry
+	if _, ok := c.Get(spec(1, 0)); ok {
+		t.Fatal("oldest of the equally-cold entries survived")
+	}
+	if _, ok := c.Get(spec(1, 1)); !ok {
+		t.Fatal("newer equally-cold entry was evicted instead")
+	}
+}
+
+func TestPutSameSpecRefreshesWithoutEviction(t *testing.T) {
+	c := New(1)
+	c.Put(spec(1, 0), resp(1))
+	if evicted := c.Put(spec(1, 0), resp(9)); evicted {
+		t.Fatal("refreshing an existing key must not evict")
+	}
+	got, _ := c.Get(spec(1, 0))
+	if got.Answer.Scalar != 9 {
+		t.Fatalf("refresh did not replace value: %v", got.Answer.Scalar)
+	}
+}
+
+func TestInvalidateDropsEverything(t *testing.T) {
+	c := New(4)
+	c.Put(spec(1, 0), resp(1))
+	c.Put(spec(2, 0), resp(2))
+	if n := c.Invalidate(); n != 2 {
+		t.Fatalf("Invalidate = %d, want 2", n)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after invalidate, want 0", c.Len())
+	}
+	if _, ok := c.Get(spec(1, 0)); ok {
+		t.Fatal("entry survived invalidation")
+	}
+	if n := c.Invalidate(); n != 0 {
+		t.Fatalf("Invalidate on empty cache = %d, want 0", n)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	c := New(0)
+	for i := 0; i < DefaultCapacity+10; i++ {
+		c.Put(spec(1, uint16(i)), resp(float64(i)))
+	}
+	if c.Len() != DefaultCapacity {
+		t.Fatalf("Len = %d, want DefaultCapacity %d", c.Len(), DefaultCapacity)
+	}
+}

@@ -128,6 +128,11 @@ const (
 	binQuery  = 3
 	binStats  = 4
 	binResume = 5
+	// binQueryAt is a MsgQuery carrying a freshness bound (Request.MinOffset
+	// > 0) for the follower read plane. A query with MinOffset == 0 encodes
+	// as plain binQuery, and the decoder rejects a binQueryAt claiming bound
+	// zero — so every request has exactly one binary encoding.
+	binQueryAt = 6
 )
 
 func msgTypeByte(t MsgType) (byte, error) {
@@ -153,7 +158,7 @@ func msgTypeFromByte(b byte) (MsgType, error) {
 		return MsgSetup, nil
 	case binUpdate:
 		return MsgUpdate, nil
-	case binQuery:
+	case binQuery, binQueryAt:
 		return MsgQuery, nil
 	case binStats:
 		return MsgStats, nil
@@ -173,6 +178,7 @@ const (
 	flagStats
 	flagResume
 	flagBackpressure
+	flagStale
 )
 
 // binReader is a bounds-checked cursor over a frame payload. The first
@@ -286,6 +292,9 @@ func encodeGatewayRequestBinary(g GatewayRequest) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	if t == binQuery && g.Req.MinOffset > 0 {
+		t = binQueryAt
+	}
 	size := 8 + 1 + len(g.Owner) + 1
 	for _, ct := range g.Req.Sealed {
 		size += 4 + len(ct)
@@ -303,7 +312,7 @@ func encodeGatewayRequestBinary(g GatewayRequest) ([]byte, error) {
 			b = appendU32(b, uint32(len(ct)))
 			b = append(b, ct...)
 		}
-	case binQuery:
+	case binQuery, binQueryAt:
 		if g.Req.Query == nil {
 			return nil, fmt.Errorf("wire: query request without query spec")
 		}
@@ -314,6 +323,9 @@ func encodeGatewayRequestBinary(g GatewayRequest) ([]byte, error) {
 		b = append(b, byte(q.Kind), q.Provider, q.JoinWith)
 		b = appendU16(b, q.Lo)
 		b = appendU16(b, q.Hi)
+		if t == binQueryAt {
+			b = appendU64(b, g.Req.MinOffset)
+		}
 	case binStats:
 	}
 	return b, nil
@@ -371,7 +383,7 @@ func decodeGatewayRequestBinary(b []byte) (GatewayRequest, error) {
 				g.Req.Sealed[i] = r.bytes(ctLen, "ciphertext")
 			}
 		}
-	case binQuery:
+	case binQuery, binQueryAt:
 		var q QuerySpec
 		q.Kind = int(r.u8("query kind"))
 		q.Provider = r.u8("query provider")
@@ -379,6 +391,12 @@ func decodeGatewayRequestBinary(b []byte) (GatewayRequest, error) {
 		q.Lo = r.u16("query lo")
 		q.Hi = r.u16("query hi")
 		g.Req.Query = &q
+		if t == binQueryAt {
+			g.Req.MinOffset = r.u64("query min offset")
+			if r.err == nil && g.Req.MinOffset == 0 {
+				return GatewayRequest{}, fmt.Errorf("%w: freshness-bound query with zero bound", ErrBadFrame)
+			}
+		}
 	}
 	if err := r.done("gateway request"); err != nil {
 		return GatewayRequest{}, err
@@ -426,6 +444,9 @@ func encodeGatewayResponseBinary(g GatewayResponse) ([]byte, error) {
 	if resp.Backpressure {
 		flags |= flagBackpressure
 	}
+	if resp.Stale != nil {
+		flags |= flagStale
+	}
 	b := make([]byte, 0, 64)
 	b = appendU64(b, g.ID)
 	b = append(b, flags)
@@ -463,6 +484,9 @@ func encodeGatewayResponseBinary(g GatewayResponse) ([]byte, error) {
 	}
 	if flags&flagResume != 0 {
 		b = appendU64(b, resp.Resume.Clock)
+	}
+	if flags&flagStale != 0 {
+		b = appendU64(b, resp.Stale.Offset)
 	}
 	return b, nil
 }
@@ -531,6 +555,9 @@ func decodeGatewayResponseBinary(b []byte) (GatewayResponse, error) {
 	}
 	if flags&flagResume != 0 {
 		g.Resp.Resume = &ResumeSpec{Clock: r.u64("resume clock")}
+	}
+	if flags&flagStale != 0 {
+		g.Resp.Stale = &StaleSpec{Offset: r.u64("stale offset")}
 	}
 	g.Resp.Backpressure = flags&flagBackpressure != 0
 	if err := r.done("gateway response"); err != nil {

@@ -59,6 +59,8 @@ func FuzzDecodeGatewayRequest(f *testing.F) {
 		{ID: 3, Owner: "s", Req: Request{Type: MsgStats}},
 		{ID: 4, Owner: "r", Req: Request{Type: MsgResume}},
 		{ID: 5, Owner: "u", Req: Request{Type: MsgUpdate, Seq: 9, Sealed: [][]byte{{7}}}},
+		{ID: 6, Owner: "f", Req: Request{Type: MsgQuery, Query: &QuerySpec{Kind: 1}, MinOffset: 42}},
+		{ID: 7, Owner: "f", Req: Request{Type: MsgQuery, Query: &QuerySpec{Kind: 2, Lo: 50, Hi: 100}, MinOffset: 1<<64 - 1}},
 	} {
 		for _, codec := range []Codec{CodecJSON, CodecBinary} {
 			if b, err := codec.EncodeGatewayRequest(g); err == nil {
@@ -86,7 +88,8 @@ func FuzzDecodeGatewayRequest(f *testing.F) {
 			t.Fatalf("re-encoded envelope rejected: %v", err)
 		}
 		if g2.ID != g.ID || g2.Owner != g.Owner || g2.Req.Type != g.Req.Type ||
-			g2.Req.Seq != g.Req.Seq || len(g2.Req.Sealed) != len(g.Req.Sealed) {
+			g2.Req.Seq != g.Req.Seq || len(g2.Req.Sealed) != len(g.Req.Sealed) ||
+			g2.Req.MinOffset != g.Req.MinOffset {
 			t.Fatalf("round trip changed envelope: %+v vs %+v", g2, g)
 		}
 	})
@@ -103,6 +106,8 @@ func FuzzDecodeGatewayResponse(f *testing.F) {
 		{ID: 4, Resp: Response{OK: true, Stats: &StatsSpec{Records: 5, Scheme: "ObliDB"}}},
 		{ID: 5, Resp: Response{OK: true, Resume: &ResumeSpec{Clock: 17}}},
 		{ID: 6, Resp: Response{Error: "shed", Backpressure: true}},
+		{ID: 7, Resp: Response{Error: "replica behind freshness bound", Stale: &StaleSpec{Offset: 99}}},
+		{ID: 8, Resp: Response{Error: "stale", Stale: &StaleSpec{Offset: 0}}},
 	} {
 		for _, codec := range []Codec{CodecJSON, CodecBinary} {
 			if b, err := codec.EncodeGatewayResponse(g); err == nil {
@@ -130,6 +135,10 @@ func FuzzDecodeGatewayResponse(f *testing.F) {
 		}
 		if g2.ID != g.ID || g2.Resp.OK != g.Resp.OK || g2.Resp.Error != g.Resp.Error {
 			t.Fatalf("round trip changed envelope: %+v vs %+v", g2, g)
+		}
+		if (g.Resp.Stale == nil) != (g2.Resp.Stale == nil) ||
+			(g.Resp.Stale != nil && g2.Resp.Stale.Offset != g.Resp.Stale.Offset) {
+			t.Fatalf("round trip changed stale marker: %+v vs %+v", g2.Resp.Stale, g.Resp.Stale)
 		}
 	})
 }
@@ -192,6 +201,94 @@ func FuzzResumeHandshake(f *testing.F) {
 				(g.Resp.Resume == nil) != (g2.Resp.Resume == nil) ||
 				(g.Resp.Resume != nil && g2.Resp.Resume.Clock != g.Resp.Resume.Clock) {
 				t.Fatalf("resume response round trip changed: %+v vs %+v", g2, g)
+			}
+		}
+	})
+}
+
+// FuzzReadHandshake targets the read-plane surface a follower exposes to
+// untrusted dialers: the "DPSQ" read-only hello and its 1-byte ack, the
+// MinOffset-carrying query envelope (binQueryAt under the binary codec),
+// and the typed staleness refusal (Response.Stale) the client trusts for
+// fallback decisions. Both decode directions run on every input — a
+// MinOffset corrupted in flight would let a replica serve an answer staler
+// than the caller demanded, and a corrupted Stale.Offset would misdirect
+// the client's catch-up arithmetic.
+func FuzzReadHandshake(f *testing.F) {
+	var hello bytes.Buffer
+	_ = WriteReadHello(&hello, CodecBinary)
+	f.Add(byte(CodecBinary), hello.Bytes())
+	hello.Reset()
+	_ = WriteReadHello(&hello, CodecJSON)
+	f.Add(byte(CodecJSON), hello.Bytes())
+	f.Add(byte(CodecBinary), []byte("DPSQ\xFF"))
+	f.Add(byte(CodecBinary), []byte{HelloRefused})
+	reqs := []GatewayRequest{
+		{ID: 1, Owner: "owner-a", Req: Request{Type: MsgQuery, Query: &QuerySpec{Kind: 2, Provider: 1, Lo: 50, Hi: 100}, MinOffset: 17}},
+		{ID: 2, Owner: "o", Req: Request{Type: MsgQuery, Query: &QuerySpec{Kind: 1}, MinOffset: 1<<64 - 1}},
+		{ID: 3, Owner: "s", Req: Request{Type: MsgStats}},
+	}
+	resps := []GatewayResponse{
+		{ID: 1, Resp: Response{Error: "wire: replica behind requested offset", Stale: &StaleSpec{Offset: 16}}},
+		{ID: 2, Resp: Response{Error: "stale", Stale: &StaleSpec{Offset: 1<<64 - 1}}},
+		{ID: 3, Resp: Response{Error: "wire: node is not the cluster primary"}},
+	}
+	for _, codec := range []Codec{CodecJSON, CodecBinary} {
+		for _, g := range reqs {
+			if b, err := codec.EncodeGatewayRequest(g); err == nil {
+				f.Add(byte(codec), b)
+			}
+		}
+		for _, g := range resps {
+			if b, err := codec.EncodeGatewayResponse(g); err == nil {
+				f.Add(byte(codec), b)
+			}
+		}
+	}
+	// Truncated/corrupt binQueryAt frames: bound claimed but bytes missing,
+	// and a binQueryAt claiming bound zero (the decoder must reject it — a
+	// re-encode would silently change the frame type to binQuery).
+	f.Add(byte(CodecBinary), []byte{0, 0, 0, 0, 0, 0, 0, 1, 1, 'a', binQueryAt, 2, 1, 0})
+	f.Add(byte(CodecBinary), []byte{0, 0, 0, 0, 0, 0, 0, 1, 1, 'a', binQueryAt, 2, 1, 0, 0, 50, 0, 100, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, codecByte byte, data []byte) {
+		codec := Codec(codecByte)
+		if !codec.Valid() {
+			codec = CodecBinary
+		}
+		if kind, v, err := ReadAnyHello(bytes.NewReader(data)); err == nil && kind == HelloRead {
+			var out bytes.Buffer
+			_ = WriteReadHello(&out, Codec(v))
+			if !bytes.Equal(out.Bytes(), data[:5]) {
+				t.Fatal("read hello round trip changed bytes")
+			}
+		}
+		_, _ = ReadHelloAck(bytes.NewReader(data)) // refusal byte included; must never panic
+		if g, err := codec.DecodeGatewayRequest(data); err == nil && g.Req.MinOffset > 0 {
+			reenc, err := codec.EncodeGatewayRequest(g)
+			if err != nil {
+				t.Fatalf("accepted bounded query cannot be re-encoded: %v", err)
+			}
+			g2, err := codec.DecodeGatewayRequest(reenc)
+			if err != nil {
+				t.Fatalf("re-encoded bounded query rejected: %v", err)
+			}
+			if g2.Req.MinOffset != g.Req.MinOffset || g2.ID != g.ID || g2.Owner != g.Owner ||
+				g2.Req.Type != g.Req.Type {
+				t.Fatalf("freshness bound round trip changed: %+v vs %+v", g2, g)
+			}
+		}
+		if g, err := codec.DecodeGatewayResponse(data); err == nil && g.Resp.Stale != nil {
+			reenc, err := codec.EncodeGatewayResponse(g)
+			if err != nil {
+				t.Fatalf("accepted stale refusal cannot be re-encoded: %v", err)
+			}
+			g2, err := codec.DecodeGatewayResponse(reenc)
+			if err != nil {
+				t.Fatalf("re-encoded stale refusal rejected: %v", err)
+			}
+			if g2.Resp.Stale == nil || g2.Resp.Stale.Offset != g.Resp.Stale.Offset ||
+				g2.Resp.Error != g.Resp.Error || g2.Resp.OK != g.Resp.OK {
+				t.Fatalf("stale refusal round trip changed: %+v vs %+v", g2, g)
 			}
 		}
 	})

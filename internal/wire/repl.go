@@ -27,6 +27,15 @@ import (
 // single 5-byte read can dispatch either protocol.
 var replMagic = [4]byte{'D', 'P', 'S', 'R'}
 
+// readMagic opens a read-only client connection ("DPSQ" — Q for query): the
+// same multiplexed client protocol as helloMagic, but the serving node only
+// answers queries and stats. A cluster follower — which refuses every
+// "DPSG" hello with ErrNotPrimary — accepts this one and serves from its
+// replicated committed prefix; sync/resume frames arriving on it are
+// refused per-request. The byte after the magic proposes the codec, acked
+// exactly like the client hello.
+var readMagic = [4]byte{'D', 'P', 'S', 'Q'}
+
 // ReplVersion is the newest replication protocol version this build speaks.
 // Version 2 adds the traced-entry frame (ReplEntryTraced), carrying the
 // optional trace-context extension — a trace ID and parent span ID — so a
@@ -58,7 +67,25 @@ const (
 	HelloClient HelloKind = iota
 	// HelloRepl is the replication protocol ("DPSR" + version byte).
 	HelloRepl
+	// HelloRead is the read-only client protocol ("DPSQ" + codec byte):
+	// queries and stats only, served by followers from their committed
+	// replicated prefix (and by a primary, which is trivially fresh).
+	HelloRead
 )
+
+// WriteReadHello sends the 5-byte read-only hello: readMagic then the
+// proposed codec version byte. The answer is the same 1-byte hello ack as
+// the client protocol (ReadHelloAck): the accepted codec, or HelloRefused
+// from a node that serves no read plane.
+func WriteReadHello(w io.Writer, proposed Codec) error {
+	var buf [5]byte
+	copy(buf[:4], readMagic[:])
+	buf[4] = byte(proposed)
+	if _, err := w.Write(buf[:]); err != nil {
+		return fmt.Errorf("wire: read hello: %w", err)
+	}
+	return nil
+}
 
 // WriteReplHello sends the 5-byte replication hello.
 func WriteReplHello(w io.Writer, version byte) error {
@@ -86,6 +113,8 @@ func ReadAnyHello(r io.Reader) (HelloKind, byte, error) {
 		return HelloClient, buf[4], nil
 	case buf[0] == replMagic[0] && buf[1] == replMagic[1] && buf[2] == replMagic[2] && buf[3] == replMagic[3]:
 		return HelloRepl, buf[4], nil
+	case buf[0] == readMagic[0] && buf[1] == readMagic[1] && buf[2] == readMagic[2] && buf[3] == readMagic[3]:
+		return HelloRead, buf[4], nil
 	default:
 		return 0, 0, fmt.Errorf("%w: bad hello magic %q", ErrBadFrame, buf[:4])
 	}

@@ -50,6 +50,15 @@ var ErrBadFrame = errors.New("wire: malformed frame")
 // errors.Is.
 var ErrBackpressure = errors.New("wire: backpressure: in-flight cap exceeded")
 
+// ErrStale is the typed freshness refusal on the follower read plane. A
+// read-only query carries the client's minimum acceptable per-shard
+// replication offset (Request.MinOffset); a follower whose committed cursor
+// has not reached it refuses with Response.Stale — carrying the cursor it
+// does have — rather than ever serving an answer older than the bound. The
+// client surfaces it wrapping this sentinel so callers can distinguish
+// "retry on the primary" from application failures with errors.Is.
+var ErrStale = errors.New("wire: replica stale: freshness bound not reached")
+
 // WriteFrame writes one length-prefixed frame.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
@@ -114,6 +123,13 @@ type Request struct {
 	// reconnect replay a privacy-safe operation. 0 means unsequenced (the
 	// legacy single-shot behavior: the gateway assigns the next tick).
 	Seq uint64 `json:"seq,omitempty"`
+	// MinOffset is the freshness bound for MsgQuery/MsgStats on a read-only
+	// (replica) connection: the minimum per-shard replication offset the
+	// answering node must have committed. 0 means "any" — serve whatever
+	// committed prefix the replica holds. A primary ignores it (the primary
+	// is always fresh); a follower behind the bound refuses with
+	// Response.Stale instead of answering.
+	MinOffset uint64 `json:"minOffset,omitempty"`
 }
 
 // QuerySpec is the wire form of query.Query.
@@ -161,6 +177,18 @@ type Response struct {
 	// tenant state. Typed (not just an error string) so clients can tell
 	// "slow down and retry" apart from application failures.
 	Backpressure bool `json:"backpressure,omitempty"`
+	// Stale marks a freshness refusal from a read replica: the follower's
+	// committed replication cursor has not reached the query's MinOffset.
+	// Typed (not just an error string) so clients can retry on the primary
+	// with errors.Is(err, ErrStale) — and it carries the cursor the replica
+	// does hold, so the caller can see how far behind it is.
+	Stale *StaleSpec `json:"stale,omitempty"`
+}
+
+// StaleSpec carries the refusing replica's current committed replication
+// offset for the queried owner's shard (see Response.Stale).
+type StaleSpec struct {
+	Offset uint64 `json:"offset"`
 }
 
 // ResumeSpec is the gateway's answer to a resume handshake: the owner's
